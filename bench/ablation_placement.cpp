@@ -1,0 +1,67 @@
+// Theorem 6 ablation: BS placement invariance in the uniformly dense
+// regime. Scheme B is evaluated under clustered-matched, uniform, and
+// regular-grid placement across an n-sweep; the three fitted exponents and
+// the per-n capacity ratios must agree up to constants.
+#include <cmath>
+#include <iostream>
+
+#include "net/traffic.h"
+#include "routing/scheme_b.h"
+#include "rng/rng.h"
+#include "sim/sweep.h"
+#include "util/table.h"
+
+int main() {
+  using namespace manetcap;
+  std::cout << "=== Theorem 6 ablation: BS placement invariance ===\n"
+            << "strong regime (alpha = 0.3, K = 0.75, phi = 0), scheme B\n\n";
+
+  net::ScalingParams base;
+  base.alpha = 0.3;
+  base.with_bs = true;
+  base.K = 0.75;
+  base.M = 1.0;
+  base.phi = 0.0;
+
+  const auto sizes = sim::geometric_sizes(2048, 2.0, 4);
+  util::Table t({"placement", "lambda(n=2048)", "lambda(n=16384)",
+                 "fitted e", "stderr", "R^2"});
+
+  std::vector<double> first_lambdas;
+  for (auto placement :
+       {net::BsPlacement::kClusteredMatched, net::BsPlacement::kUniform,
+        net::BsPlacement::kRegularGrid}) {
+    sim::Evaluator eval = [placement](const net::ScalingParams& p,
+                                      std::uint64_t seed) {
+      auto net = net::Network::build(
+          p, mobility::ShapeKind::kUniformDisk, placement, seed);
+      rng::Xoshiro256 g(seed ^ 0x5bd1e995u);
+      auto dest = net::permutation_traffic(p.n, g);
+      routing::SchemeB b;
+      // Typical-MS capacity: the strict min over MSs is an extreme-value
+      // statistic whose noise would drown the placement comparison.
+      return b.evaluate(net, dest).lambda_symmetric;
+    };
+    auto sweep = sim::run_sweep(base, sizes, 3, eval, 41);
+    first_lambdas.push_back(sweep.points.front().lambda_gm);
+    t.add_row({to_string(placement),
+               util::fmt_sci(sweep.points.front().lambda_gm, 3),
+               util::fmt_sci(sweep.points.back().lambda_gm, 3),
+               sweep.fit_valid ? util::fmt_double(sweep.fit.exponent, 3)
+                               : "n/a",
+               sweep.fit_valid ? util::fmt_double(sweep.fit.stderr_, 2)
+                               : "-",
+               sweep.fit_valid ? util::fmt_double(sweep.fit.r_squared, 3)
+                               : "-"});
+  }
+  t.print(std::cout);
+
+  const double lo =
+      *std::min_element(first_lambdas.begin(), first_lambdas.end());
+  const double hi =
+      *std::max_element(first_lambdas.begin(), first_lambdas.end());
+  std::cout << "\nplacement spread at n=2048: max/min = "
+            << util::fmt_double(hi / lo, 3)
+            << " (Theorem 6 predicts a constant, i.e. order-1, gap)\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Extension: the L-maximum-hop allocation of Li–Zhang–Fang [9].
+//
+// Flows within L squarelet hops stay ad hoc; farther flows ride the
+// infrastructure; the wireless channel is split between the two. Sweeping
+// L traces the interpolation between pure scheme B (L = 0) and pure
+// scheme A (L → grid diameter) and shows where the interior optimum sits
+// for a given infrastructure density.
+#include <iostream>
+
+#include "net/traffic.h"
+#include "routing/l_hop.h"
+#include "rng/rng.h"
+#include "util/table.h"
+
+int main() {
+  using namespace manetcap;
+  std::cout << "=== extension: L-maximum-hop hybrid allocation ===\n"
+            << "n = 8192, alpha = 0.3, phi = 0, even channel split\n\n";
+
+  for (double K : {0.6, 0.8}) {
+    net::ScalingParams p;
+    p.n = 8192;
+    p.alpha = 0.3;
+    p.with_bs = true;
+    p.K = K;
+    p.M = 1.0;
+    p.phi = 0.0;
+    auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
+                                   net::BsPlacement::kClusteredMatched, 501);
+    rng::Xoshiro256 g(503);
+    auto dest = net::permutation_traffic(p.n, g);
+
+    std::cout << "-- K = " << K << " (k = " << p.k() << ") --\n";
+    util::Table t({"L", "short flows", "long flows", "lambda (typical)",
+                   "adhoc-class bound", "infra-class bound"});
+    double best = 0.0;
+    int best_l = 0;
+    for (int L : {0, 1, 2, 4, 8, 16, 32}) {
+      routing::LMaxHop scheme(L);
+      auto r = scheme.evaluate(net, dest);
+      if (r.lambda_symmetric > best) {
+        best = r.lambda_symmetric;
+        best_l = L;
+      }
+      t.add_row({std::to_string(L), std::to_string(r.short_flows),
+                 std::to_string(r.long_flows),
+                 util::fmt_sci(r.lambda_symmetric, 3),
+                 util::fmt_sci(r.lambda_adhoc_class, 3),
+                 util::fmt_sci(r.lambda_infra_class, 3)});
+    }
+    t.print(std::cout);
+    std::cout << "best L = " << best_l << " (lambda "
+              << util::fmt_sci(best, 3) << ")\n\n";
+  }
+
+  std::cout
+      << "Reading: the binding class flips where the two bound columns\n"
+      << "cross. With sparse infrastructure (K = 0.6) the infra class is\n"
+      << "always the choke point and the best policy is all-ad-hoc\n"
+      << "(large L); with dense infrastructure (K = 0.8) offloading\n"
+      << "everything to the BSs wins (L = 0). The [9] design dial moves\n"
+      << "from one extreme to the other as k = n^K grows — exactly the\n"
+      << "mobility-dominant vs infrastructure-dominant split of Fig. 3.\n";
+  return 0;
+}

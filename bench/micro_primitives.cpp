@@ -1,0 +1,109 @@
+// Microbenchmarks for the simulation hot paths (google-benchmark):
+// spatial hash build/query, S* slot scheduling, H-V path construction,
+// η-kernel evaluation and the analytic link capacity.
+#include <benchmark/benchmark.h>
+
+#include "geom/spatial_hash.h"
+#include "geom/tessellation.h"
+#include "linkcap/link_capacity.h"
+#include "mobility/shape.h"
+#include "rng/rng.h"
+#include "sched/sstar.h"
+
+namespace {
+
+using namespace manetcap;
+
+std::vector<geom::Point> random_points(std::size_t n, std::uint64_t seed) {
+  rng::Xoshiro256 g(seed);
+  std::vector<geom::Point> pts(n);
+  for (auto& p : pts) p = rng::uniform_point(g);
+  return pts;
+}
+
+void BM_SpatialHashBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto pts = random_points(n, 1);
+  geom::SpatialHash hash(1.0 / std::sqrt(static_cast<double>(n)), n);
+  for (auto _ : state) {
+    hash.build(pts);
+    benchmark::DoNotOptimize(hash.size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_SpatialHashBuild)->Arg(1024)->Arg(16384);
+
+void BM_SpatialHashQuery(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto pts = random_points(n, 2);
+  const double r = 2.0 / std::sqrt(static_cast<double>(n));
+  geom::SpatialHash hash(r, n);
+  hash.build(pts);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hash.count_in_disk(pts[i % n], r));
+    ++i;
+  }
+}
+BENCHMARK(BM_SpatialHashQuery)->Arg(1024)->Arg(16384);
+
+void BM_SStarSlot(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto pts = random_points(n, 3);
+  sched::SStarScheduler sstar(0.3, 1.0);
+  for (auto _ : state) {
+    auto pairs = sstar.feasible_pairs(pts);
+    benchmark::DoNotOptimize(pairs.size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_SStarSlot)->Arg(1024)->Arg(8192);
+
+void BM_HvPath(benchmark::State& state) {
+  geom::SquareTessellation tess(64);
+  rng::Xoshiro256 g(4);
+  for (auto _ : state) {
+    geom::Cell a{static_cast<int>(rng::uniform_index(g, 64)),
+                 static_cast<int>(rng::uniform_index(g, 64))};
+    geom::Cell b{static_cast<int>(rng::uniform_index(g, 64)),
+                 static_cast<int>(rng::uniform_index(g, 64))};
+    auto path = tess.hv_path(a, b);
+    benchmark::DoNotOptimize(path.size());
+  }
+}
+BENCHMARK(BM_HvPath);
+
+void BM_ShapeConstruction(benchmark::State& state) {
+  for (auto _ : state) {
+    mobility::Shape s(mobility::ShapeKind::kTriangular);
+    benchmark::DoNotOptimize(s.eta0());
+  }
+}
+BENCHMARK(BM_ShapeConstruction);
+
+void BM_EtaLookup(benchmark::State& state) {
+  mobility::Shape s(mobility::ShapeKind::kQuadratic);
+  double x = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.eta(x));
+    x += 0.001;
+    if (x > 2.0) x = 0.0;
+  }
+}
+BENCHMARK(BM_EtaLookup);
+
+void BM_LinkCapacityEval(benchmark::State& state) {
+  mobility::Shape s(mobility::ShapeKind::kUniformDisk);
+  linkcap::LinkCapacityModel model(s, 16.0, 65536);
+  double d = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.mu_ms_ms(d));
+    d += 1e-4;
+    if (d > 0.2) d = 0.0;
+  }
+}
+BENCHMARK(BM_LinkCapacityEval);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// Mobility-regime walkthrough: one population, growing geography.
+//
+// A fixed population of devices clusters around buildings (home-points in
+// the clustered model). As the deployment area grows — a lab, a campus, a
+// city, a region — the *same* per-device movement turns from "strong"
+// (mixing the whole network) through "weak" (mixing one cluster) to
+// "trivial" (effectively static), and the optimal architecture changes
+// with it (Remark 14: the regime belongs to the network, not the node).
+//
+// Run: ./examples/campus_mobility_regimes [--n 8192]
+#include <iostream>
+
+#include "analysis/density.h"
+#include "capacity/formulas.h"
+#include "capacity/regimes.h"
+#include "net/network.h"
+#include "sim/fluid.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace manetcap;
+  util::Flags flags(argc, argv, {"n"});
+  const std::size_t n = static_cast<std::size_t>(flags.get_int("n", 8192));
+
+  std::cout << "=== one population (" << n
+            << " devices), growing geography ===\n\n";
+
+  struct Scenario {
+    const char* name;
+    double alpha, M, R, K;
+    net::BsPlacement placement;
+  };
+  // α grows with the deployment area; clusters (buildings) stay put.
+  const Scenario scenarios[] = {
+      {"lab floor (dense)", 0.10, 1.0, 0.0, 0.7,
+       net::BsPlacement::kClusteredMatched},
+      {"campus (strong mobility)", 0.30, 1.0, 0.0, 0.7,
+       net::BsPlacement::kClusteredMatched},
+      {"city (weak: clusters isolate)", 0.45, 0.45, 0.35, 0.75,
+       net::BsPlacement::kClusteredMatched},
+      {"region (trivial: near-static)", 0.75, 0.2, 0.3, 0.6,
+       net::BsPlacement::kClusterGrid},
+  };
+
+  util::Table t({"scenario", "regime", "f*sqrt(gamma)", "density contrast",
+                 "law", "lambda (typical)", "scheme", "bottleneck"});
+
+  for (const auto& s : scenarios) {
+    net::ScalingParams p;
+    p.n = n;
+    p.alpha = s.alpha;
+    p.with_bs = true;
+    p.K = s.K;
+    p.M = s.M;
+    p.R = s.R;
+    p.phi = 0.0;
+
+    const auto regime = capacity::classify(p);
+    const auto law = capacity::capacity_law(p);
+
+    auto net = net::Network::build(p, mobility::ShapeKind::kTriangular,
+                                   s.placement, 5);
+    auto field = analysis::compute_density_field(net.ms_home(), net.bs_pos(),
+                                                 net.shape(), p.f(), 16);
+    sim::FluidOptions opt;
+    opt.seed = 5;
+    opt.placement = s.placement;
+    auto out = sim::evaluate_capacity(net, opt);
+
+    t.add_row({s.name, to_string(regime),
+               util::fmt_double(capacity::f_sqrt_gamma(p), 3),
+               std::isinf(field.contrast()) ? "inf"
+                                            : util::fmt_double(
+                                                  field.contrast(), 3),
+               law.expression, util::fmt_sci(out.lambda_symmetric, 3),
+               out.scheme, to_string(out.bottleneck)});
+  }
+  t.print(std::cout);
+
+  std::cout
+      << "\nReading the table top to bottom:\n"
+      << "  * while mobility is strong the ad hoc fabric carries traffic\n"
+      << "    at Theta(1/f) and infrastructure only supplements it;\n"
+      << "  * once clusters isolate, every inter-cluster byte must ride\n"
+      << "    the backbone: capacity snaps to Theta(min(k^2 c/n, k/n));\n"
+      << "  * in the trivial regime the same law holds but the winning\n"
+      << "    architecture changes to cellular TDMA (scheme C) — same\n"
+      << "    rate, different system (the paper's closing observation).\n";
+  return 0;
+}

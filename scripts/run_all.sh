@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# One-shot reproduction: configure, build, test, regenerate every paper
+# artifact, and leave the transcripts next to the sources.
+#
+#   scripts/run_all.sh [build-dir]
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+
+cmake -B "$build" -G Ninja -S "$repo"
+cmake --build "$build"
+
+ctest --test-dir "$build" 2>&1 | tee "$repo/test_output.txt"
+
+(
+  cd "$build/bench"
+  for b in *; do
+    if [ -f "$b" ] && [ -x "$b" ]; then
+      echo "===== bench/$b ====="
+      "./$b"
+      echo
+    fi
+  done
+) 2>&1 | tee "$repo/bench_output.txt"
+
+echo
+echo "Done. Tables/figures: $repo/bench_output.txt"
+echo "CSV series:          $build/bench/bench_csv/"

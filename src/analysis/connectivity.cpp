@@ -1,0 +1,76 @@
+#include "analysis/connectivity.h"
+
+#include <cmath>
+#include <vector>
+
+#include "geom/spatial_hash.h"
+#include "util/check.h"
+
+namespace manetcap::analysis {
+
+namespace {
+/// Label components with a BFS over the disk graph; returns the count.
+std::size_t bfs_components(const std::vector<geom::Point>& points,
+                           double range) {
+  const std::size_t n = points.size();
+  if (n == 0) return 0;
+  geom::SpatialHash hash(std::max(range, 1e-4), n);
+  hash.build(points);
+
+  std::vector<bool> visited(n, false);
+  std::vector<std::uint32_t> stack;
+  std::size_t components = 0;
+  for (std::uint32_t seed = 0; seed < n; ++seed) {
+    if (visited[seed]) continue;
+    ++components;
+    visited[seed] = true;
+    stack.push_back(seed);
+    while (!stack.empty()) {
+      const std::uint32_t u = stack.back();
+      stack.pop_back();
+      hash.for_each_in_disk(points[u], range, [&](std::uint32_t v) {
+        if (!visited[v]) {
+          visited[v] = true;
+          stack.push_back(v);
+        }
+      });
+    }
+  }
+  return components;
+}
+}  // namespace
+
+bool is_connected(const std::vector<geom::Point>& points, double range) {
+  MANETCAP_CHECK(range >= 0.0);
+  return bfs_components(points, range) <= 1;
+}
+
+std::size_t count_components(const std::vector<geom::Point>& points,
+                             double range) {
+  MANETCAP_CHECK(range >= 0.0);
+  return bfs_components(points, range);
+}
+
+double critical_range(const std::vector<geom::Point>& points,
+                      double tolerance) {
+  MANETCAP_CHECK_MSG(points.size() >= 2, "need at least two points");
+  MANETCAP_CHECK(tolerance > 0.0);
+  double lo = 0.0;
+  double hi = std::sqrt(0.5);  // torus diameter: always connected
+  while (hi - lo > tolerance) {
+    const double mid = 0.5 * (lo + hi);
+    if (is_connected(points, mid))
+      hi = mid;
+    else
+      lo = mid;
+  }
+  return hi;
+}
+
+double gupta_kumar_range(std::size_t n) {
+  MANETCAP_CHECK(n >= 2);
+  const double nn = static_cast<double>(n);
+  return std::sqrt(std::log(nn) / (M_PI * nn));
+}
+
+}  // namespace manetcap::analysis

@@ -1,0 +1,36 @@
+// Connectivity analysis of disk graphs on the torus.
+//
+// The regime conditions compare the mobility radius against *critical
+// transmission ranges*: √(log n/(πn)) for n uniform points (Gupta–Kumar
+// [18], used in Theorem 1's intuition) and the cluster-level analogue of
+// Lemma 10. These helpers measure the actual critical range of a point
+// set, so experiments can verify the theoretical thresholds instead of
+// assuming them.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/point.h"
+
+namespace manetcap::analysis {
+
+/// True iff the disk graph with edge rule torus_dist ≤ range is connected.
+/// O(n · expected neighbors) via a spatial-hash BFS.
+bool is_connected(const std::vector<geom::Point>& points, double range);
+
+/// Number of connected components of the disk graph.
+std::size_t count_components(const std::vector<geom::Point>& points,
+                             double range);
+
+/// Smallest range (within `tolerance`) at which the disk graph is
+/// connected — equals the longest edge of the Euclidean MST; found by
+/// bisection on [0, √2/2]. Requires ≥ 2 points.
+double critical_range(const std::vector<geom::Point>& points,
+                      double tolerance = 1e-4);
+
+/// The Gupta–Kumar theoretical critical range √(log n/(π n)) for n
+/// uniform points on the unit torus.
+double gupta_kumar_range(std::size_t n);
+
+}  // namespace manetcap::analysis

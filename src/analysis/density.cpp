@@ -1,0 +1,75 @@
+#include "analysis/density.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "geom/spatial_hash.h"
+#include "util/check.h"
+
+namespace manetcap::analysis {
+
+double DensityField::contrast() const {
+  if (min <= 0.0) return std::numeric_limits<double>::infinity();
+  return max / min;
+}
+
+DensityField compute_density_field(const std::vector<geom::Point>& ms_home,
+                                   const std::vector<geom::Point>& bs_pos,
+                                   const mobility::Shape& shape, double f,
+                                   std::size_t grid, double probe_radius) {
+  MANETCAP_CHECK(grid >= 2);
+  MANETCAP_CHECK(f >= 1.0);
+  const std::size_t population = ms_home.size() + bs_pos.size();
+  MANETCAP_CHECK(population >= 1);
+  if (probe_radius <= 0.0)
+    probe_radius = 1.0 / std::sqrt(static_cast<double>(population));
+
+  const double s0 = shape.normalization();
+  const double disk = M_PI * probe_radius * probe_radius;
+  // A MS with home farther than support/f + probe_radius contributes 0.
+  const double reach = shape.support() / f + probe_radius;
+
+  geom::SpatialHash ms_hash(std::max(reach, 1e-4), ms_home.size());
+  ms_hash.build(ms_home);
+  geom::SpatialHash bs_hash(std::max(probe_radius, 1e-4), bs_pos.size());
+  if (!bs_pos.empty()) bs_hash.build(bs_pos);
+
+  DensityField field;
+  field.grid = grid;
+  field.rho.assign(grid * grid, 0.0);
+  field.min = std::numeric_limits<double>::infinity();
+  field.max = 0.0;
+  double sum = 0.0;
+
+  for (std::size_t row = 0; row < grid; ++row) {
+    for (std::size_t col = 0; col < grid; ++col) {
+      const geom::Point probe{(static_cast<double>(col) + 0.5) / grid,
+                              (static_cast<double>(row) + 0.5) / grid};
+      double rho = 0.0;
+      // Mobile stations: probability mass of φ_i on the probe disk,
+      // φ_i(X) = f²·s(f·‖X − X_i^h‖)/S₀ evaluated at the probe center.
+      ms_hash.for_each_in_disk(probe, reach, [&](std::uint32_t i) {
+        const double d = geom::torus_dist(probe, ms_home[i]);
+        rho += disk * f * f * shape.density(f * d) / s0;
+      });
+      // Static base stations: plain membership.
+      if (!bs_pos.empty())
+        rho += static_cast<double>(bs_hash.count_in_disk(probe, probe_radius));
+
+      field.rho[row * grid + col] = rho;
+      field.min = std::min(field.min, rho);
+      field.max = std::max(field.max, rho);
+      sum += rho;
+    }
+  }
+  field.mean = sum / static_cast<double>(grid * grid);
+  return field;
+}
+
+bool is_uniformly_dense(const DensityField& field, double h, double H) {
+  MANETCAP_CHECK(h > 0.0 && H > h);
+  return field.min > h && field.max < H;
+}
+
+}  // namespace manetcap::analysis

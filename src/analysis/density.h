@@ -1,0 +1,45 @@
+// Local node density ρ(X) (Definition 7) and the uniformly-dense test
+// (Definition 8 / Theorem 1) — the quantity behind Figure 1.
+//
+// ρ(X) = Σ_i Pr{ Z_i ∈ B(X, 1/√n) | home-points }: for a mobile node the
+// probability mass its stationary law puts on the probe disk, for a static
+// BS the plain indicator. A network is uniformly dense when ρ is bounded
+// between positive constants h < H everywhere.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "analysis/stats.h"
+#include "geom/point.h"
+#include "mobility/shape.h"
+
+namespace manetcap::analysis {
+
+struct DensityField {
+  std::size_t grid = 0;             // probe points per side
+  std::vector<double> rho;          // row-major grid values
+  double min = 0.0, max = 0.0, mean = 0.0;
+
+  double at(std::size_t row, std::size_t col) const {
+    return rho[row * grid + col];
+  }
+
+  /// Ratio max/min — the figure-of-merit for Figure 1 (≈ O(1) when
+  /// uniformly dense, diverging with clustering otherwise). +inf when some
+  /// probe sees zero density.
+  double contrast() const;
+};
+
+/// Evaluates ρ(X) on a `grid`×`grid` probe lattice for MS home-points with
+/// stationary shape `shape` scaled by 1/f, plus static BSs.
+/// `probe_radius` defaults to 1/√(population) per Definition 7.
+DensityField compute_density_field(
+    const std::vector<geom::Point>& ms_home,
+    const std::vector<geom::Point>& bs_pos, const mobility::Shape& shape,
+    double f, std::size_t grid, double probe_radius = 0.0);
+
+/// Definition 8 check: h < ρ(X) < H for every probe point.
+bool is_uniformly_dense(const DensityField& field, double h, double H);
+
+}  // namespace manetcap::analysis

@@ -1,0 +1,66 @@
+#include "analysis/loglog_fit.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace manetcap::analysis {
+
+double PowerLawFit::predict(double x) const {
+  return std::exp(log_prefactor + exponent * std::log(x));
+}
+
+PowerLawFit fit_power_law(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  MANETCAP_CHECK_MSG(x.size() == y.size(), "x and y length mismatch");
+  MANETCAP_CHECK_MSG(x.size() >= 3, "power-law fit needs >= 3 points");
+
+  const std::size_t n = x.size();
+  std::vector<double> lx(n), ly(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    MANETCAP_CHECK_MSG(x[i] > 0.0 && y[i] > 0.0,
+                       "power-law fit needs positive data, got (x="
+                           << x[i] << ", y=" << y[i] << ")");
+    lx[i] = std::log(x[i]);
+    ly[i] = std::log(y[i]);
+  }
+
+  double mx = 0.0, my = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mx += lx[i];
+    my += ly[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = lx[i] - mx;
+    const double dy = ly[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  MANETCAP_CHECK_MSG(sxx > 0.0, "all x values identical");
+
+  PowerLawFit fit;
+  fit.points = n;
+  fit.exponent = sxy / sxx;
+  fit.log_prefactor = my - fit.exponent * mx;
+
+  // Residual variance → slope standard error; R² against total variance.
+  double ss_res = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double e = ly[i] - (fit.log_prefactor + fit.exponent * lx[i]);
+    ss_res += e * e;
+  }
+  fit.r_squared = syy > 0.0 ? 1.0 - ss_res / syy : 1.0;
+  if (n > 2) {
+    const double var =
+        ss_res / (static_cast<double>(n) - 2.0) / sxx;
+    fit.stderr_ = std::sqrt(var);
+  }
+  return fit;
+}
+
+}  // namespace manetcap::analysis

@@ -1,0 +1,30 @@
+// Scaling-exponent estimation: least-squares slope of log y against log x.
+//
+// A law y = Θ(x^e · polylog) over a finite sweep shows up as a fitted slope
+// close to e; the slope's standard error and R² tell us how clean the
+// power-law is. This is the bridge between the paper's asymptotic Θ(·)
+// statements and finite-n measurements.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace manetcap::analysis {
+
+struct PowerLawFit {
+  double exponent = 0.0;     // fitted slope in log-log space
+  double log_prefactor = 0.0;  // intercept: y ≈ e^log_prefactor · x^exponent
+  double stderr_ = 0.0;      // standard error of the slope
+  double r_squared = 0.0;
+  std::size_t points = 0;
+
+  /// Predicted y at x under the fitted law.
+  double predict(double x) const;
+};
+
+/// Fits log(y) = a + e·log(x); requires ≥ 3 points, all strictly positive.
+/// Throws CheckError otherwise.
+PowerLawFit fit_power_law(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+}  // namespace manetcap::analysis

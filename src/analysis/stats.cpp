@@ -1,0 +1,52 @@
+#include "analysis/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace manetcap::analysis {
+
+Summary summarize(const std::vector<double>& values) {
+  MANETCAP_CHECK_MSG(!values.empty(), "summarize needs data");
+  Summary s;
+  s.count = values.size();
+  s.min = values.front();
+  s.max = values.front();
+  double sum = 0.0;
+  for (double v : values) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(s.count);
+  if (s.count > 1) {
+    double acc = 0.0;
+    for (double v : values) acc += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(acc / static_cast<double>(s.count - 1));
+  }
+  return s;
+}
+
+double geometric_mean(const std::vector<double>& values) {
+  MANETCAP_CHECK_MSG(!values.empty(), "geometric_mean needs data");
+  double acc = 0.0;
+  for (double v : values) {
+    MANETCAP_CHECK_MSG(v > 0.0, "geometric_mean needs positive data");
+    acc += std::log(v);
+  }
+  return std::exp(acc / static_cast<double>(values.size()));
+}
+
+double quantile(std::vector<double> values, double p) {
+  MANETCAP_CHECK_MSG(!values.empty(), "quantile needs data");
+  MANETCAP_CHECK(p >= 0.0 && p <= 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = p * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace manetcap::analysis

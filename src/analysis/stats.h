@@ -1,0 +1,27 @@
+// Small summary-statistics helpers for experiment harnesses.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace manetcap::analysis {
+
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;   // sample standard deviation
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t count = 0;
+};
+
+/// Computes mean / sample-stddev / extrema; requires a non-empty input.
+Summary summarize(const std::vector<double>& values);
+
+/// Geometric mean (values must be strictly positive) — the right average
+/// for quantities compared on log scales.
+double geometric_mean(const std::vector<double>& values);
+
+/// p-quantile (0 ≤ p ≤ 1) with linear interpolation on the sorted copy.
+double quantile(std::vector<double> values, double p);
+
+}  // namespace manetcap::analysis

@@ -1,0 +1,90 @@
+#include "backbone/backbone.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace manetcap::backbone {
+
+WiredBackbone::WiredBackbone(std::size_t num_bs, double edge_capacity)
+    : num_bs_(num_bs), capacity_(edge_capacity) {
+  MANETCAP_CHECK(num_bs >= 1);
+  MANETCAP_CHECK(edge_capacity > 0.0);
+}
+
+std::pair<std::uint32_t, std::uint32_t> WiredBackbone::key(std::uint32_t a,
+                                                           std::uint32_t b) {
+  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
+void WiredBackbone::add_load(std::uint32_t a, std::uint32_t b, double load) {
+  MANETCAP_CHECK(a < num_bs_ && b < num_bs_);
+  MANETCAP_CHECK_MSG(a != b, "no self-edges in the backbone");
+  MANETCAP_CHECK(load >= 0.0);
+  double& slot = loads_[key(a, b)];
+  slot += load;
+  max_load_ = std::max(max_load_, slot);
+}
+
+double WiredBackbone::load(std::uint32_t a, std::uint32_t b) const {
+  auto it = loads_.find(key(a, b));
+  return it == loads_.end() ? 0.0 : it->second;
+}
+
+double WiredBackbone::max_feasible_scale() const {
+  if (max_load_ <= 0.0) return std::numeric_limits<double>::infinity();
+  return capacity_ / max_load_;
+}
+
+GroupedBackbone::GroupedBackbone(std::vector<std::size_t> group_sizes,
+                                 double edge_capacity)
+    : sizes_(std::move(group_sizes)), capacity_(edge_capacity) {
+  MANETCAP_CHECK(!sizes_.empty());
+  MANETCAP_CHECK(edge_capacity > 0.0);
+}
+
+double GroupedBackbone::edges_between(std::uint32_t g1,
+                                      std::uint32_t g2) const {
+  if (g1 == g2) {
+    const double s = static_cast<double>(sizes_[g1]);
+    return s * (s - 1.0) / 2.0;
+  }
+  return static_cast<double>(sizes_[g1]) * static_cast<double>(sizes_[g2]);
+}
+
+void GroupedBackbone::add_load(std::uint32_t g1, std::uint32_t g2,
+                               double load) {
+  MANETCAP_CHECK(g1 < sizes_.size() && g2 < sizes_.size());
+  MANETCAP_CHECK(load >= 0.0);
+  if (load == 0.0) return;
+  if (edges_between(g1, g2) <= 0.0) {
+    structurally_infeasible_ = true;
+    return;
+  }
+  auto k = g1 < g2 ? std::make_pair(g1, g2) : std::make_pair(g2, g1);
+  loads_[k] += load;
+}
+
+double GroupedBackbone::group_load(std::uint32_t g1, std::uint32_t g2) const {
+  auto k = g1 < g2 ? std::make_pair(g1, g2) : std::make_pair(g2, g1);
+  auto it = loads_.find(k);
+  return it == loads_.end() ? 0.0 : it->second;
+}
+
+double GroupedBackbone::max_edge_load() const {
+  double worst = 0.0;
+  for (const auto& [pair, total] : loads_) {
+    worst = std::max(worst, total / edges_between(pair.first, pair.second));
+  }
+  return worst;
+}
+
+double GroupedBackbone::max_feasible_scale() const {
+  if (structurally_infeasible_) return 0.0;
+  const double worst = max_edge_load();
+  if (worst <= 0.0) return std::numeric_limits<double>::infinity();
+  return capacity_ / worst;
+}
+
+}  // namespace manetcap::backbone

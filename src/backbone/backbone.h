@@ -1,0 +1,88 @@
+// The wired infrastructure substrate (Section II-B).
+//
+// All k base stations are pairwise wired with bandwidth c(n); wired links
+// never interfere with the wireless channel. Two ledgers are provided:
+//
+//  * WiredBackbone — exact per-edge load accounting over the complete
+//    graph (slot simulator, small k);
+//  * GroupedBackbone — group-pair accounting for the fluid model: scheme B
+//    spreads each flow uniformly across all edges between the source-side
+//    and destination-side BS groups (squarelets in the strong regime,
+//    clusters in the weak regime), so only per-group-pair totals matter.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace manetcap::backbone {
+
+/// Exact per-edge load ledger over the complete BS graph.
+class WiredBackbone {
+ public:
+  WiredBackbone(std::size_t num_bs, double edge_capacity);
+
+  std::size_t num_bs() const { return num_bs_; }
+  double edge_capacity() const { return capacity_; }
+
+  /// Accumulates `load` (bps) on the undirected edge {a, b}.
+  void add_load(std::uint32_t a, std::uint32_t b, double load);
+
+  double load(std::uint32_t a, std::uint32_t b) const;
+
+  /// Largest per-edge load accumulated so far.
+  double max_edge_load() const { return max_load_; }
+
+  /// Largest uniform scale x such that x·load fits capacity on every edge;
+  /// +inf when no edge is loaded.
+  double max_feasible_scale() const;
+
+  std::size_t num_loaded_edges() const { return loads_.size(); }
+
+ private:
+  static std::pair<std::uint32_t, std::uint32_t> key(std::uint32_t a,
+                                                     std::uint32_t b);
+  std::size_t num_bs_;
+  double capacity_;
+  double max_load_ = 0.0;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, double> loads_;
+};
+
+/// Fluid-model ledger: BSs are partitioned into groups; flows between two
+/// groups spread uniformly over all |G₁|·|G₂| wired edges between them
+/// (|G|·(|G|−1)/2 within a group).
+class GroupedBackbone {
+ public:
+  GroupedBackbone(std::vector<std::size_t> group_sizes, double edge_capacity);
+
+  std::size_t num_groups() const { return sizes_.size(); }
+  std::size_t group_size(std::uint32_t g) const { return sizes_[g]; }
+  double edge_capacity() const { return capacity_; }
+
+  /// Accumulates `load` between groups g1 and g2 (order irrelevant).
+  /// A group pair with zero connecting edges (an empty group, or an
+  /// intra-group pair with fewer than 2 BSs) makes the ledger infeasible.
+  void add_load(std::uint32_t g1, std::uint32_t g2, double load);
+
+  /// Total load recorded between the two groups.
+  double group_load(std::uint32_t g1, std::uint32_t g2) const;
+
+  /// Per-edge load of the most loaded group pair.
+  double max_edge_load() const;
+
+  /// Largest uniform scale x with x·(per-edge load) ≤ capacity everywhere;
+  /// +inf when nothing is loaded, 0 when load was put on a pair with no
+  /// edges.
+  double max_feasible_scale() const;
+
+ private:
+  double edges_between(std::uint32_t g1, std::uint32_t g2) const;
+
+  std::vector<std::size_t> sizes_;
+  double capacity_;
+  bool structurally_infeasible_ = false;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, double> loads_;
+};
+
+}  // namespace manetcap::backbone

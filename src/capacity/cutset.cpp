@@ -1,0 +1,135 @@
+#include "capacity/cutset.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "geom/spatial_hash.h"
+#include "linkcap/link_capacity.h"
+#include "util/check.h"
+
+namespace manetcap::capacity {
+
+namespace {
+/// True iff point is inside the band x ∈ [x0, x0 + 1/2) on the torus.
+bool in_band(geom::Point p, double x0) {
+  return geom::wrap01(p.x - x0) < 0.5;
+}
+}  // namespace
+
+double CutBound::lambda_bound() const {
+  if (crossing_flows == 0) return std::numeric_limits<double>::infinity();
+  return (wireless_capacity + access_capacity + wired_capacity) /
+         static_cast<double>(crossing_flows);
+}
+
+CutBound evaluate_strip_cut(const net::Network& net,
+                            const std::vector<std::uint32_t>& dest,
+                            double x0) {
+  const auto& home = net.ms_home();
+  const auto& bs = net.bs_pos();
+  const std::size_t n = home.size();
+  MANETCAP_CHECK(dest.size() == n);
+
+  CutBound cut;
+  cut.x = x0;
+
+  linkcap::LinkCapacityModel mu(net.shape(), net.params().f(),
+                                n + bs.size());
+
+  std::vector<bool> ms_in(n);
+  for (std::size_t i = 0; i < n; ++i) ms_in[i] = in_band(home[i], x0);
+
+  // Wireless MS↔MS capacity across the cut: only pairs within contact of
+  // the two boundary lines contribute (μ has finite support).
+  const double contact = mu.max_contact_dist_ms_ms();
+  geom::SpatialHash hash(std::max(contact, 1e-4), n);
+  hash.build(home);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (!ms_in[i]) continue;
+    hash.for_each_in_disk(home[i], contact, [&](std::uint32_t j) {
+      if (ms_in[j]) return;
+      cut.wireless_capacity +=
+          mu.mu_ms_ms(geom::torus_dist(home[i], home[j]));
+    });
+  }
+
+  // Wireless MS↔BS capacity across the cut (both orientations).
+  if (!bs.empty()) {
+    const double bs_contact = mu.max_contact_dist_ms_bs();
+    geom::SpatialHash bs_hash(std::max(bs_contact, 1e-4), bs.size());
+    bs_hash.build(bs);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const bool inside = ms_in[i];
+      bs_hash.for_each_in_disk(home[i], bs_contact, [&](std::uint32_t l) {
+        if (in_band(bs[l], x0) != inside)
+          cut.access_capacity +=
+              mu.mu_ms_bs(geom::torus_dist(home[i], bs[l]));
+      });
+    }
+    // Wired capacity: every (inside, outside) BS pair carries c(n).
+    std::size_t k_in = 0;
+    for (const auto& y : bs)
+      if (in_band(y, x0)) ++k_in;
+    cut.wired_capacity = static_cast<double>(k_in) *
+                         static_cast<double>(bs.size() - k_in) *
+                         net.params().c();
+  }
+
+  for (std::uint32_t s = 0; s < n; ++s)
+    if (ms_in[s] && !ms_in[dest[s]]) ++cut.crossing_flows;
+  return cut;
+}
+
+double HopCountBound::lambda_bound() const {
+  if (total_min_hops <= 0.0) return std::numeric_limits<double>::infinity();
+  return total_budget / total_min_hops;
+}
+
+HopCountBound hop_count_bound(const net::Network& net,
+                              const std::vector<std::uint32_t>& dest) {
+  const auto& home = net.ms_home();
+  const std::size_t n = home.size();
+  MANETCAP_CHECK(dest.size() == n);
+
+  HopCountBound bound;
+  linkcap::LinkCapacityModel mu(net.shape(), net.params().f(), n);
+  const double contact = mu.max_contact_dist_ms_ms();
+
+  // Transmission budget: each node can be in at most one S* pair at a
+  // time; its long-run scheduled fraction is Σ_j μ(i,j), and each pair
+  // consumes two nodes, hence the /2.
+  geom::SpatialHash hash(std::max(contact, 1e-4), n);
+  hash.build(home);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    hash.for_each_in_disk(home[i], contact, [&](std::uint32_t j) {
+      if (j == i) return;
+      bound.total_budget +=
+          mu.mu_ms_ms(geom::torus_dist(home[i], home[j])) / 2.0;
+    });
+  }
+
+  for (std::uint32_t s = 0; s < n; ++s) {
+    const double d = geom::torus_dist(home[s], home[dest[s]]);
+    bound.total_min_hops += std::max(1.0, std::ceil(d / contact));
+  }
+  return bound;
+}
+
+CutBound best_strip_cut(const net::Network& net,
+                        const std::vector<std::uint32_t>& dest,
+                        std::size_t count) {
+  MANETCAP_CHECK(count >= 1);
+  CutBound best;
+  double best_bound = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < count; ++i) {
+    CutBound cut = evaluate_strip_cut(
+        net, dest, static_cast<double>(i) / static_cast<double>(count));
+    if (cut.lambda_bound() < best_bound) {
+      best_bound = cut.lambda_bound();
+      best = cut;
+    }
+  }
+  return best;
+}
+
+}  // namespace manetcap::capacity

@@ -1,0 +1,61 @@
+// Cut-set upper bounds on per-node capacity (Lemma 6 / Lemma 7).
+//
+// For any partition of the torus into I_L and E_L by a closed curve L,
+//   λ ≤ ( Σ_{i∈I_L, j∈E_L} μ(i,j) + wired crossing capacity )
+//       / #{source–destination pairs crossing L},
+// where μ is the S* link capacity (valid as an upper bound because S* is
+// order-optimal — Theorem 2 / Remark 7). We evaluate the bound for
+// vertical strip cuts (constant-length curves on the torus): wireless
+// crossing capacity Θ(n/f) recovers Lemma 4's Θ(1/f), and the wired term
+// k_I·k_E·c recovers Lemma 7's Θ(k²c/n).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/network.h"
+
+namespace manetcap::capacity {
+
+/// One evaluated cut.
+struct CutBound {
+  double x = 0.0;                  // cut position (vertical line pair)
+  double wireless_capacity = 0.0;  // Σ μ(MS, MS) across the cut
+  double access_capacity = 0.0;    // Σ μ(MS, BS) across the cut (Lemma 7
+                                   // drops this term; reported anyway)
+  double wired_capacity = 0.0;     // k_I·k_E·c(n)
+  std::size_t crossing_flows = 0;  // source inside, destination outside
+  /// Upper bound on λ from this cut; +inf if no flow crosses.
+  double lambda_bound() const;
+};
+
+/// Evaluates the Lemma 6/7 bound for a vertical strip cut: the interior is
+/// the band x ∈ [x0, x0 + 1/2) (a constant-length cut on the torus).
+/// μ values come from the analytic LinkCapacityModel on `net`'s shape.
+CutBound evaluate_strip_cut(const net::Network& net,
+                            const std::vector<std::uint32_t>& dest,
+                            double x0);
+
+/// The tightest bound over `count` evenly spaced strip cuts.
+CutBound best_strip_cut(const net::Network& net,
+                        const std::vector<std::uint32_t>& dest,
+                        std::size_t count = 8);
+
+/// The hop-count upper bound of Lemma 4's proof: a flow whose endpoints'
+/// home-points are distance d apart needs at least ⌈d / (2D/f + R_T)⌉
+/// wireless transmissions (each mobility leg + transmission covers at most
+/// the contact range), the network can serve at most Σ_i busy_i/2 ≈ n·p/2
+/// transmissions per unit time, so
+///   λ ≤ (total transmission budget) / (Σ_flows min-hops).
+/// Independent of the cut-set bound; only meaningful without BSs (wires
+/// bypass the hop argument).
+struct HopCountBound {
+  double total_budget = 0.0;   // Σ_i (airtime_i) / 2 — transmissions/time
+  double total_min_hops = 0.0; // Σ_flows minimum hop count
+  double lambda_bound() const;
+};
+
+HopCountBound hop_count_bound(const net::Network& net,
+                              const std::vector<std::uint32_t>& dest);
+
+}  // namespace manetcap::capacity

@@ -1,0 +1,83 @@
+#include "capacity/formulas.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace manetcap::capacity {
+
+double mobility_exponent(double alpha) { return -alpha; }
+
+double infrastructure_exponent(double K, double phi) {
+  // min(k²c/n, k/n) with k²c = k·µ_c = n^(K+ϕ): the min switches at ϕ = 0.
+  return K + std::min(phi, 0.0) - 1.0;
+}
+
+double clustered_no_bs_exponent(double M) { return M / 2.0 - 1.0; }
+
+bool backbone_limited(double phi) { return phi < 0.0; }
+
+bool mobility_dominant(double alpha, double K, double phi) {
+  return mobility_exponent(alpha) > infrastructure_exponent(K, phi);
+}
+
+CapacityLaw capacity_law(const net::ScalingParams& p) {
+  const double M = p.cluster_free() ? 1.0 : p.M;
+  const double R = p.cluster_free() ? 0.0 : p.R;
+  CapacityLaw law;
+  law.regime = classify_exponents(p.alpha, M, R);
+  law.with_bs = p.with_bs;
+
+  const double mob = mobility_exponent(p.alpha);
+  const double infra =
+      p.with_bs ? infrastructure_exponent(p.K, p.phi) : -2.0;
+
+  switch (law.regime) {
+    case MobilityRegime::kStrong:
+      if (p.with_bs) {
+        law.exponent = std::max(mob, infra);
+        law.expression = "Th(1/f) + Th(min(k^2 c/n, k/n))";
+      } else {
+        law.exponent = mob;
+        law.expression = "Th(1/f)";
+      }
+      law.rt_exponent = -0.5;
+      law.rt_expression = "Th(1/sqrt(n))";
+      break;
+    case MobilityRegime::kWeak:
+      if (p.with_bs) {
+        law.exponent = infra;
+        law.expression = "Th(min(k^2 c/n, k/n))";
+        // R_T = r·√(m/n): within-cluster S* range (Table I).
+        law.rt_exponent = -R + (M - 1.0) / 2.0;
+        law.rt_expression = "Th(r sqrt(m/n))";
+      } else {
+        law.exponent = clustered_no_bs_exponent(M);
+        law.expression = "Th(sqrt(m/(n^2 log m)))";
+        law.rt_exponent = -M / 2.0;
+        law.rt_expression = "Th(sqrt(log m / m))";
+      }
+      break;
+    case MobilityRegime::kTrivial:
+      if (p.with_bs) {
+        law.exponent = infra;
+        law.expression = "Th(min(k^2 c/n, k/n))";
+        // R_T = r·√(m/k): the hexagon cell side (Table I).
+        law.rt_exponent = -R + (M - p.K) / 2.0;
+        law.rt_expression = "Th(r sqrt(m/k))";
+      } else {
+        law.exponent = clustered_no_bs_exponent(M);
+        law.expression = "Th(sqrt(m/(n^2 log m)))";
+        law.rt_exponent = -M / 2.0;
+        law.rt_expression = "Th(sqrt(log m / m))";
+      }
+      break;
+  }
+  return law;
+}
+
+double capacity_exponent(const net::ScalingParams& p) {
+  return capacity_law(p).exponent;
+}
+
+}  // namespace manetcap::capacity

@@ -1,0 +1,67 @@
+#include "capacity/phase_diagram.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "capacity/formulas.h"
+#include "util/check.h"
+
+namespace manetcap::capacity {
+
+const PhasePoint& PhaseDiagram::at(std::size_t ai, std::size_t ki) const {
+  MANETCAP_CHECK(ai < alpha_steps && ki < k_steps);
+  return grid[ki * alpha_steps + ai];
+}
+
+PhaseDiagram compute_phase_diagram(double phi, std::size_t alpha_steps,
+                                   std::size_t k_steps) {
+  MANETCAP_CHECK(alpha_steps >= 2 && k_steps >= 2);
+  PhaseDiagram d;
+  d.phi = phi;
+  d.alpha_steps = alpha_steps;
+  d.k_steps = k_steps;
+  d.grid.reserve(alpha_steps * k_steps);
+  for (std::size_t ki = 0; ki < k_steps; ++ki) {
+    const double K =
+        static_cast<double>(ki) / static_cast<double>(k_steps - 1);
+    for (std::size_t ai = 0; ai < alpha_steps; ++ai) {
+      const double alpha = 0.5 * static_cast<double>(ai) /
+                           static_cast<double>(alpha_steps - 1);
+      PhasePoint p;
+      p.alpha = alpha;
+      p.K = K;
+      const double mob = mobility_exponent(alpha);
+      const double infra = infrastructure_exponent(K, phi);
+      p.mobility_dominant = mob > infra;
+      p.exponent = std::max(mob, infra);
+      d.grid.push_back(p);
+    }
+  }
+  return d;
+}
+
+double dominance_boundary_K(double alpha, double phi) {
+  return 1.0 - alpha - std::min(phi, 0.0);
+}
+
+std::string render_ascii(const PhaseDiagram& d) {
+  std::ostringstream os;
+  os << "K \\ alpha  (phi = " << d.phi << ")\n";
+  for (std::size_t ki = d.k_steps; ki-- > 0;) {
+    const double K = static_cast<double>(ki) /
+                     static_cast<double>(d.k_steps - 1);
+    os.width(5);
+    os.precision(2);
+    os << std::fixed << K << "  ";
+    for (std::size_t ai = 0; ai < d.alpha_steps; ++ai)
+      os << (d.at(ai, ki).mobility_dominant ? 'M' : 'I');
+    os << '\n';
+  }
+  os << "       ";
+  for (std::size_t ai = 0; ai < d.alpha_steps; ++ai)
+    os << (ai % 5 == 0 ? '|' : '-');
+  os << "  alpha: 0 .. 0.5 ('M' mobility-, 'I' infrastructure-dominant)\n";
+  return os.str();
+}
+
+}  // namespace manetcap::capacity

@@ -1,0 +1,48 @@
+// Figure 3: the capacity phase diagram over (α, K).
+//
+// The paper plots per-node capacity as a function of f(n) = n^α and
+// k = n^K with µ_c = n^ϕ as a parameter: one panel for ϕ ≥ 0 (access phase
+// is the infrastructure bottleneck) and one for ϕ = −½ (wired backbone is
+// the bottleneck). Each (α, K) point is either mobility-dominant
+// (λ = Θ(1/f)) or infrastructure-dominant (λ = Θ(min(k²c/n, k/n))); the
+// boundary is the line where the two exponents cross.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace manetcap::capacity {
+
+struct PhasePoint {
+  double alpha = 0.0;
+  double K = 0.0;
+  double exponent = 0.0;        // capacity exponent at this point
+  bool mobility_dominant = false;
+};
+
+/// One panel of Figure 3 for a fixed ϕ.
+struct PhaseDiagram {
+  double phi = 0.0;
+  std::vector<PhasePoint> grid;  // row-major over (alpha, K)
+  std::size_t alpha_steps = 0;
+  std::size_t k_steps = 0;
+
+  const PhasePoint& at(std::size_t ai, std::size_t ki) const;
+};
+
+/// Computes the diagram on a uniform grid α ∈ [0, ½], K ∈ [0, 1]
+/// (strong-mobility regime assumed, as in the figure).
+PhaseDiagram compute_phase_diagram(double phi, std::size_t alpha_steps = 11,
+                                   std::size_t k_steps = 11);
+
+/// The dominance boundary: for each α, the smallest K at which
+/// infrastructure overtakes mobility, i.e. K + min(ϕ,0) − 1 ≥ −α
+/// ⇔ K ≥ 1 − α − min(ϕ, 0). Values above 1 mean mobility dominates for
+/// every admissible K.
+double dominance_boundary_K(double alpha, double phi);
+
+/// ASCII rendering of a panel (rows = K descending, cols = α ascending;
+/// 'M' mobility-dominant, 'I' infrastructure-dominant).
+std::string render_ascii(const PhaseDiagram& d);
+
+}  // namespace manetcap::capacity

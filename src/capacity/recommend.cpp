@@ -1,0 +1,33 @@
+#include "capacity/recommend.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "capacity/formulas.h"
+#include "util/check.h"
+
+namespace manetcap::capacity {
+
+double recommended_phi() { return 0.0; }
+
+double required_K(double target_exponent, double phi) {
+  MANETCAP_CHECK_MSG(target_exponent <= 0.0,
+                     "per-node capacity exponent cannot be positive");
+  return target_exponent + 1.0 - std::min(phi, 0.0);
+}
+
+double infrastructure_worthwhile_K(double alpha, double phi) {
+  return 1.0 - alpha - std::min(phi, 0.0);
+}
+
+bool infrastructure_improves(double alpha, double K, double phi) {
+  return infrastructure_exponent(K, phi) > mobility_exponent(alpha);
+}
+
+double wired_bandwidth_for_phi(const net::ScalingParams& p, double phi) {
+  const double k = static_cast<double>(p.k());
+  MANETCAP_CHECK_MSG(k >= 1.0, "no base stations configured");
+  return std::pow(static_cast<double>(p.n), phi) / k;
+}
+
+}  // namespace manetcap::capacity

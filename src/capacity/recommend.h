@@ -1,0 +1,31 @@
+// Design-rule helpers derived from the capacity laws — the quantitative
+// version of Section IV's "optimal communication schemes and system
+// parameters" discussion. Used by examples/infrastructure_planning.
+#pragma once
+
+#include "net/params.h"
+
+namespace manetcap::capacity {
+
+/// The order-optimal wired-bandwidth exponent: µ_c = k·c = Θ(1) (ϕ = 0).
+/// Less starves the backbone, more is pure waste (Remark 10 discussion;
+/// the paper's prose says 1, its own formula says 0 — see DESIGN.md).
+double recommended_phi();
+
+/// Smallest K such that the infrastructure term reaches a target capacity
+/// exponent e (per λ = Θ(n^e)) at a given ϕ: K = e + 1 − min(ϕ, 0).
+/// Returns a value > 1 when the target is unreachable with k ≤ n.
+double required_K(double target_exponent, double phi);
+
+/// Smallest K at which infrastructure starts to dominate mobility for a
+/// given α (the Figure 3 boundary): K = 1 − α − min(ϕ, 0).
+double infrastructure_worthwhile_K(double alpha, double phi);
+
+/// True when adding the proposed infrastructure (K, ϕ) would improve the
+/// order of capacity over pure ad hoc operation at network exponent α.
+bool infrastructure_improves(double alpha, double K, double phi);
+
+/// Per-BS wired bandwidth c(n) realizing ϕ for a concrete instance.
+double wired_bandwidth_for_phi(const net::ScalingParams& p, double phi);
+
+}  // namespace manetcap::capacity

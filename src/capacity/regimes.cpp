@@ -1,0 +1,53 @@
+#include "capacity/regimes.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace manetcap::capacity {
+
+std::string to_string(MobilityRegime r) {
+  switch (r) {
+    case MobilityRegime::kStrong:
+      return "strong";
+    case MobilityRegime::kWeak:
+      return "weak";
+    case MobilityRegime::kTrivial:
+      return "trivial";
+  }
+  return "?";
+}
+
+double strong_statistic_exponent(double alpha, double M) {
+  // Cluster-free corresponds to m = n (M = 1).
+  return alpha - M / 2.0;
+}
+
+double trivial_statistic_exponent(double alpha, double M, double R) {
+  return alpha - R - (1.0 - M) / 2.0;
+}
+
+MobilityRegime classify_exponents(double alpha, double M, double R) {
+  if (strong_statistic_exponent(alpha, M) < 0.0)
+    return MobilityRegime::kStrong;
+  if (trivial_statistic_exponent(alpha, M, R) > 0.0)
+    return MobilityRegime::kTrivial;
+  return MobilityRegime::kWeak;
+}
+
+MobilityRegime classify(const net::ScalingParams& p) {
+  return classify_exponents(p.alpha, p.cluster_free() ? 1.0 : p.M,
+                            p.cluster_free() ? 0.0 : p.R);
+}
+
+double f_sqrt_gamma(const net::ScalingParams& p) {
+  return p.f() * std::sqrt(p.gamma());
+}
+
+double f_sqrt_gamma_tilde(const net::ScalingParams& p) {
+  MANETCAP_CHECK_MSG(!p.cluster_free(),
+                     "gamma_tilde is defined for clustered layouts");
+  return p.f() * std::sqrt(p.gamma_tilde());
+}
+
+}  // namespace manetcap::capacity

@@ -1,0 +1,43 @@
+// Mobility-regime classification (Theorem 1 and Section V).
+//
+// With γ(n) = log m / m and γ̃(n) = r²·log(n/m)/(n/m):
+//   strong  mobility ⇔ f·√γ  = o(1)        (uniformly dense, Thm. 1)
+//   weak    mobility ⇔ f·√γ  = ω(1) and f·√γ̃ = o(1)
+//   trivial mobility ⇔ f·√γ̃ = ω(log(n/m))
+// The regime is a property of the *network scaling*, not of any node's own
+// movement (Remark 14): it compares the mobility radius Θ(1/f) against the
+// critical connectivity ranges at the global and within-cluster levels.
+#pragma once
+
+#include <string>
+
+#include "net/params.h"
+
+namespace manetcap::capacity {
+
+enum class MobilityRegime { kStrong, kWeak, kTrivial };
+
+std::string to_string(MobilityRegime r);
+
+/// Asymptotic classification from exponents alone (log factors resolve the
+/// boundaries: an exponent of exactly 0 means the o(1) condition fails).
+///   f√γ  ~ n^(α − M/2)            → strong iff α − M/2 < 0
+///   f√γ̃ ~ n^(α − R − (1−M)/2)    → trivial iff that exponent > 0
+/// The in-between (including boundary) cases are weak.
+MobilityRegime classify_exponents(double alpha, double M, double R);
+
+/// Classification of a concrete parameter point (uses the exponents; also
+/// exposed for convenience on ScalingParams).
+MobilityRegime classify(const net::ScalingParams& p);
+
+/// Finite-n diagnostic values so experiments can report how deep inside a
+/// regime an instance sits.
+double f_sqrt_gamma(const net::ScalingParams& p);        // f·√γ
+double f_sqrt_gamma_tilde(const net::ScalingParams& p);  // f·√γ̃
+
+/// Exponents of the two regime statistics (the quantities classify_…
+/// compares against 0).
+double strong_statistic_exponent(double alpha, double M);
+double trivial_statistic_exponent(double alpha, double M, double R);
+
+}  // namespace manetcap::capacity

@@ -1,0 +1,56 @@
+#include "flow/constraints.h"
+
+#include "util/check.h"
+
+namespace manetcap::flow {
+
+std::string to_string(Resource r) {
+  switch (r) {
+    case Resource::kWirelessRelay:
+      return "wireless-relay";
+    case Resource::kAccess:
+      return "access";
+    case Resource::kBackbone:
+      return "backbone";
+  }
+  return "?";
+}
+
+void ConstraintSet::add(Resource resource, double capacity, double unit_load,
+                        std::string label) {
+  MANETCAP_CHECK(capacity >= 0.0);
+  MANETCAP_CHECK(unit_load >= 0.0);
+  if (unit_load == 0.0) return;
+  constraints_.push_back(
+      {resource, capacity, unit_load, std::move(label)});
+}
+
+ThroughputResult ConstraintSet::solve() const {
+  ThroughputResult res;
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& c : constraints_) {
+    const double bound = c.capacity / c.unit_load;  // may be 0
+    double* per_resource = nullptr;
+    switch (c.resource) {
+      case Resource::kWirelessRelay:
+        per_resource = &res.lambda_wireless;
+        break;
+      case Resource::kAccess:
+        per_resource = &res.lambda_access;
+        break;
+      case Resource::kBackbone:
+        per_resource = &res.lambda_backbone;
+        break;
+    }
+    if (bound < *per_resource) *per_resource = bound;
+    if (bound < best) {
+      best = bound;
+      res.bottleneck = c.resource;
+      res.bottleneck_label = c.label;
+    }
+  }
+  res.lambda = best;
+  return res;
+}
+
+}  // namespace manetcap::flow

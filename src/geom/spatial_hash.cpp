@@ -1,0 +1,115 @@
+#include "geom/spatial_hash.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace manetcap::geom {
+
+SpatialHash::SpatialHash(double radius_hint, std::size_t expected_points) {
+  MANETCAP_CHECK_MSG(radius_hint > 0.0, "radius hint must be positive");
+  // Bucket side ≈ radius_hint, capped so the bucket table stays O(points).
+  int g = static_cast<int>(std::floor(1.0 / radius_hint));
+  g = std::max(1, std::min(g, 4096));
+  if (expected_points > 0) {
+    int cap = static_cast<int>(
+        std::ceil(std::sqrt(static_cast<double>(expected_points)))) * 2;
+    g = std::min(g, std::max(1, cap));
+  }
+  g_ = g;
+}
+
+void SpatialHash::build(const std::vector<Point>& points) {
+  points_ = points;
+  const std::size_t nb = static_cast<std::size_t>(g_) * g_;
+  bucket_start_.assign(nb + 1, 0);
+  ids_.resize(points_.size());
+
+  // Counting sort into buckets (CSR).
+  for (const Point& p : points_) {
+    int b = bucket_index(bucket_coord(p.x), bucket_coord(p.y));
+    ++bucket_start_[b + 1];
+  }
+  for (std::size_t b = 0; b < nb; ++b) bucket_start_[b + 1] += bucket_start_[b];
+  std::vector<std::uint32_t> cursor(bucket_start_.begin(),
+                                    bucket_start_.end() - 1);
+  for (std::uint32_t id = 0; id < points_.size(); ++id) {
+    const Point& p = points_[id];
+    int b = bucket_index(bucket_coord(p.x), bucket_coord(p.y));
+    ids_[cursor[b]++] = id;
+  }
+}
+
+int SpatialHash::bucket_coord(double v) const {
+  int c = static_cast<int>(v * g_);
+  return std::min(c, g_ - 1);
+}
+
+int SpatialHash::bucket_index(int bx, int by) const {
+  auto m = [this](int v) {
+    int w = v % g_;
+    return w < 0 ? w + g_ : w;
+  };
+  return m(by) * g_ + m(bx);
+}
+
+void SpatialHash::for_each_in_disk(
+    Point center, double r,
+    const std::function<void(std::uint32_t)>& fn) const {
+  MANETCAP_CHECK(r >= 0.0);
+  const double r2 = r * r;
+  // Covering bucket range (torus-wrapped). When r spans the whole torus the
+  // range collapses to a single full sweep.
+  int span = static_cast<int>(std::ceil(r * g_)) + 1;
+  span = std::min(span, g_ / 2 + 1);
+  const int cx = bucket_coord(center.x);
+  const int cy = bucket_coord(center.y);
+
+  // Avoid visiting a wrapped bucket twice when 2·span+1 ≥ g_.
+  const int lo = -span, hi = (2 * span + 1 >= g_) ? g_ - 1 - span : span;
+  for (int dy = lo; dy <= hi; ++dy) {
+    for (int dx = lo; dx <= hi; ++dx) {
+      int b = bucket_index(cx + dx, cy + dy);
+      for (std::uint32_t k = bucket_start_[b]; k < bucket_start_[b + 1]; ++k) {
+        std::uint32_t id = ids_[k];
+        if (torus_dist2(center, points_[id]) <= r2) fn(id);
+      }
+    }
+  }
+}
+
+std::vector<std::uint32_t> SpatialHash::query_disk(Point center,
+                                                   double r) const {
+  std::vector<std::uint32_t> out;
+  for_each_in_disk(center, r, [&out](std::uint32_t id) { out.push_back(id); });
+  return out;
+}
+
+std::size_t SpatialHash::count_in_disk(Point center, double r) const {
+  std::size_t n = 0;
+  for_each_in_disk(center, r, [&n](std::uint32_t) { ++n; });
+  return n;
+}
+
+std::uint32_t SpatialHash::nearest(Point center, std::uint32_t exclude) const {
+  if (points_.empty()) return 0;
+  // Expanding-ring search; falls back to a full scan at the torus diameter.
+  double best2 = std::numeric_limits<double>::infinity();
+  std::uint32_t best = static_cast<std::uint32_t>(points_.size());
+  for (double r = 1.5 / g_; ; r *= 2.0) {
+    for_each_in_disk(center, std::min(r, 0.7072), [&](std::uint32_t id) {
+      if (id == exclude) return;
+      double d2 = torus_dist2(center, points_[id]);
+      if (d2 < best2) {
+        best2 = d2;
+        best = id;
+      }
+    });
+    if (best != points_.size() || r > 0.7072) break;
+  }
+  return best;
+}
+
+}  // namespace manetcap::geom

@@ -1,0 +1,55 @@
+// Uniform-grid spatial index over the unit torus for O(1)-expected disk
+// queries — the workhorse behind protocol-model interference checks and
+// the S* scheduler's neighbor scans.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "geom/point.h"
+
+namespace manetcap::geom {
+
+/// Buckets point ids into a g×g grid (g chosen from a query-radius hint) and
+/// answers "all ids within distance r of X" by scanning the covering
+/// buckets. Rebuild per time slot; queries never allocate.
+class SpatialHash {
+ public:
+  /// `radius_hint` sizes the buckets (bucket side ≈ radius_hint); queries
+  /// with radius near the hint touch a constant number of buckets.
+  explicit SpatialHash(double radius_hint, std::size_t expected_points = 0);
+
+  /// Replaces the indexed set with `points`; ids are indices into `points`.
+  void build(const std::vector<Point>& points);
+
+  std::size_t size() const { return points_.size(); }
+  const Point& point(std::uint32_t id) const { return points_[id]; }
+
+  /// Invokes `fn(id)` for every indexed point with torus_dist(X, point) ≤ r.
+  /// The center itself is reported if indexed (callers filter self-matches).
+  void for_each_in_disk(Point center, double r,
+                        const std::function<void(std::uint32_t)>& fn) const;
+
+  /// Collects ids within distance r of `center` (convenience wrapper).
+  std::vector<std::uint32_t> query_disk(Point center, double r) const;
+
+  /// Number of indexed points within distance r of `center`.
+  std::size_t count_in_disk(Point center, double r) const;
+
+  /// Id of the nearest indexed point to `center` excluding `exclude`
+  /// (pass size() to exclude nothing); size() if the index is empty.
+  std::uint32_t nearest(Point center, std::uint32_t exclude) const;
+
+ private:
+  int bucket_coord(double v) const;
+  int bucket_index(int bx, int by) const;
+
+  int g_;  // buckets per side
+  std::vector<Point> points_;
+  // CSR layout: bucket_start_[b]..bucket_start_[b+1] indexes into ids_.
+  std::vector<std::uint32_t> bucket_start_;
+  std::vector<std::uint32_t> ids_;
+};
+
+}  // namespace manetcap::geom

@@ -1,0 +1,59 @@
+// Monte-Carlo measurement of link capacity and scheduling statistics.
+//
+// These estimators validate the analytic model empirically:
+//  * meeting probability of a pair at given home-distance (Corollary 1),
+//  * S* busy probability per node (Lemma 3: bounded below by a constant),
+//  * per-slot S* pair statistics over a real mobility process.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mobility/process.h"
+#include "mobility/shape.h"
+#include "net/network.h"
+#include "rng/rng.h"
+#include "sched/sstar.h"
+
+namespace manetcap::linkcap {
+
+/// A Monte-Carlo probability estimate with its binomial standard error.
+struct Estimate {
+  double value = 0.0;
+  double stderr_ = 0.0;
+  std::size_t trials = 0;
+};
+
+/// Estimates Pr{ d_ij ≤ rt } for two MSs whose home-points are `home_dist`
+/// apart, both moving with stationary law φ ∝ s(f‖·‖).
+Estimate estimate_meeting_probability(const mobility::Shape& shape, double f,
+                                      double home_dist, double rt,
+                                      std::size_t trials, rng::Xoshiro256& g);
+
+/// Estimates Pr{ d ≤ rt } between a MS (home at distance `home_dist`) and a
+/// static BS.
+Estimate estimate_meeting_probability_bs(const mobility::Shape& shape,
+                                         double f, double home_dist,
+                                         double rt, std::size_t trials,
+                                         rng::Xoshiro256& g);
+
+/// Per-node fraction of slots in which the node is a member of an
+/// S*-feasible pair, measured over `slots` steps of `process` with the BSs
+/// (static) appended to the population. Result has process.size() +
+/// bs.size() entries (Lemma 3 asserts a constant lower bound for each).
+std::vector<double> measure_busy_probability(
+    mobility::MobilityProcess& process,
+    const std::vector<geom::Point>& bs_pos,
+    const sched::SStarScheduler& sstar, std::size_t slots);
+
+/// Measures the S* link capacity μ(i, j) (fraction of slots the specific
+/// pair is feasible) for selected pairs, over `slots` steps of `process`.
+/// `pairs` index into the combined MS+BS population.
+std::vector<double> measure_pair_capacity(
+    mobility::MobilityProcess& process,
+    const std::vector<geom::Point>& bs_pos,
+    const sched::SStarScheduler& sstar,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& pairs,
+    std::size_t slots);
+
+}  // namespace manetcap::linkcap

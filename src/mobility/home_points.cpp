@@ -1,0 +1,57 @@
+#include "mobility/home_points.h"
+
+#include "util/check.h"
+
+namespace manetcap::mobility {
+
+std::vector<std::vector<std::uint32_t>> HomePointLayout::members_by_cluster()
+    const {
+  std::vector<std::vector<std::uint32_t>> out(cluster_centers.size());
+  for (std::uint32_t i = 0; i < points.size(); ++i)
+    out[cluster_of[i]].push_back(i);
+  return out;
+}
+
+HomePointLayout place_home_points(std::size_t count, const ClusterSpec& spec,
+                                  rng::Xoshiro256& g) {
+  MANETCAP_CHECK_MSG(spec.num_clusters >= 1, "need at least one cluster");
+  MANETCAP_CHECK(spec.radius >= 0.0);
+
+  std::vector<geom::Point> centers(spec.num_clusters);
+  for (auto& c : centers) c = rng::uniform_point(g);
+
+  if (spec.radius == 0.0 && spec.num_clusters == count) {
+    // Cluster-free layout: one point per center, bijectively, so distinct
+    // nodes never coincide (random assignment would create ~n/2 ties).
+    HomePointLayout layout;
+    layout.cluster_centers = centers;
+    layout.cluster_radius = 0.0;
+    layout.points = centers;
+    layout.cluster_of.resize(count);
+    for (std::uint32_t i = 0; i < count; ++i) layout.cluster_of[i] = i;
+    return layout;
+  }
+  return place_in_clusters(count, centers, spec.radius, g);
+}
+
+HomePointLayout place_in_clusters(std::size_t count,
+                                  const std::vector<geom::Point>& centers,
+                                  double radius, rng::Xoshiro256& g) {
+  MANETCAP_CHECK(!centers.empty());
+  HomePointLayout layout;
+  layout.cluster_centers = centers;
+  layout.cluster_radius = radius;
+  layout.points.resize(count);
+  layout.cluster_of.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto c =
+        static_cast<std::uint32_t>(rng::uniform_index(g, centers.size()));
+    layout.cluster_of[i] = c;
+    layout.points[i] = radius > 0.0
+                           ? rng::uniform_in_disk(g, centers[c], radius)
+                           : centers[c];
+  }
+  return layout;
+}
+
+}  // namespace manetcap::mobility

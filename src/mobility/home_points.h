@@ -1,0 +1,54 @@
+// The clustered home-point model (Definition 3).
+//
+// m(n) = Θ(n^M) cluster centers are placed independently and uniformly on
+// the torus; each cluster is a disk of radius r(n) = Θ(n^-R); each of the n
+// home-points picks a cluster uniformly at random and then a uniform
+// position inside it. m = n with r = 0 degenerates to the cluster-free
+// (uniform) layout used by classical MANET models (Remark 4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/point.h"
+#include "rng/rng.h"
+
+namespace manetcap::mobility {
+
+/// Parameters of the clustered model.
+struct ClusterSpec {
+  std::size_t num_clusters = 1;  // m(n)
+  double radius = 0.0;           // r(n), in torus units
+
+  /// Cluster-free layout: every home-point uniform on the torus.
+  static ClusterSpec uniform(std::size_t n) { return {n, 0.0}; }
+};
+
+/// A sampled home-point layout.
+struct HomePointLayout {
+  std::vector<geom::Point> cluster_centers;   // size m
+  std::vector<geom::Point> points;            // size count
+  std::vector<std::uint32_t> cluster_of;      // size count, values < m
+  double cluster_radius = 0.0;
+
+  std::size_t num_clusters() const { return cluster_centers.size(); }
+
+  /// Per-cluster member lists (index i → point ids in cluster i).
+  std::vector<std::vector<std::uint32_t>> members_by_cluster() const;
+};
+
+/// Samples `count` home-points under `spec`. With spec.radius == 0 each
+/// "cluster" is a single point, so num_clusters == count gives the uniform
+/// layout.
+HomePointLayout place_home_points(std::size_t count, const ClusterSpec& spec,
+                                  rng::Xoshiro256& g);
+
+/// Samples `count` points reusing existing cluster centers (the paper's BS
+/// placement draws Q_j from the *same* clustered model as the MS
+/// home-points; reusing centers realizes "distribution of BSs matches the
+/// distribution of users").
+HomePointLayout place_in_clusters(std::size_t count,
+                                  const std::vector<geom::Point>& centers,
+                                  double radius, rng::Xoshiro256& g);
+
+}  // namespace manetcap::mobility

@@ -1,0 +1,114 @@
+#include "mobility/process.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace manetcap::mobility {
+
+IidStationaryMobility::IidStationaryMobility(
+    std::vector<geom::Point> home_points, const Shape& shape, double inv_f,
+    std::uint64_t seed)
+    : home_(std::move(home_points)),
+      shape_(&shape),
+      inv_f_(inv_f),
+      rng_(seed),
+      pos_(home_.size()) {
+  MANETCAP_CHECK(inv_f > 0.0 && inv_f <= 1.0);
+  step();
+}
+
+void IidStationaryMobility::step() {
+  for (std::size_t i = 0; i < home_.size(); ++i) {
+    geom::Vec2 v = shape_->sample_displacement(rng_) * inv_f_;
+    pos_[i] = home_[i].displaced(v);
+  }
+}
+
+BoundedRandomWalk::BoundedRandomWalk(std::vector<geom::Point> home_points,
+                                     double radius, std::uint64_t seed,
+                                     double step_fraction)
+    : home_(std::move(home_points)),
+      radius_(radius),
+      step_len_(radius * step_fraction),
+      rng_(seed),
+      offset_(home_.size()),
+      pos_(home_.size()) {
+  MANETCAP_CHECK(radius > 0.0);
+  MANETCAP_CHECK(step_fraction > 0.0 && step_fraction <= 1.0);
+  // Start from the stationary (uniform-disk) law so measurements need no
+  // burn-in.
+  for (std::size_t i = 0; i < home_.size(); ++i) {
+    double r = radius_ * std::sqrt(rng::uniform01(rng_));
+    double th = rng::uniform(rng_, 0.0, 2.0 * M_PI);
+    offset_[i] = {r * std::cos(th), r * std::sin(th)};
+    pos_[i] = home_[i].displaced(offset_[i]);
+  }
+}
+
+void BoundedRandomWalk::step() {
+  for (std::size_t i = 0; i < home_.size(); ++i) {
+    double th = rng::uniform(rng_, 0.0, 2.0 * M_PI);
+    geom::Vec2 cand = offset_[i] + geom::Vec2{step_len_ * std::cos(th),
+                                              step_len_ * std::sin(th)};
+    double norm = cand.norm();
+    if (norm > radius_) {
+      // Radial reflection at the boundary keeps the uniform stationary law.
+      cand = cand * ((2.0 * radius_ - norm) / norm);
+      if (cand.norm() > radius_) cand = cand * (radius_ / cand.norm());
+    }
+    offset_[i] = cand;
+    pos_[i] = home_[i].displaced(cand);
+  }
+}
+
+BrownianTorusMobility::BrownianTorusMobility(std::vector<geom::Point> start,
+                                             std::uint64_t seed,
+                                             double sigma)
+    : sigma_(sigma), rng_(seed), pos_(std::move(start)) {
+  MANETCAP_CHECK(sigma > 0.0);
+}
+
+void BrownianTorusMobility::step() {
+  for (auto& p : pos_) {
+    p = p.displaced(
+        {sigma_ * rng::normal(rng_), sigma_ * rng::normal(rng_)});
+  }
+}
+
+PullHomeMobility::PullHomeMobility(std::vector<geom::Point> home_points,
+                                   double radius, std::uint64_t seed,
+                                   double rho)
+    : home_(std::move(home_points)),
+      radius_(radius),
+      rho_(rho),
+      // σ chosen so the untruncated stationary std-dev is radius/2.5:
+      // Var = σ²/(1−ρ²), so σ = (radius/2.5)·√(1−ρ²). Truncation then only
+      // clips a small tail.
+      sigma_(radius / 2.5 * std::sqrt(1.0 - rho * rho)),
+      rng_(seed),
+      offset_(home_.size()),
+      pos_(home_.size()) {
+  MANETCAP_CHECK(radius > 0.0);
+  MANETCAP_CHECK(rho > 0.0 && rho < 1.0);
+  for (std::size_t i = 0; i < home_.size(); ++i) {
+    offset_[i] = {0.0, 0.0};
+    pos_[i] = home_[i];
+  }
+  // Mix to (approximate) stationarity; the AR(1) memory decays as ρ^t.
+  for (int t = 0; t < 32; ++t) step();
+}
+
+void PullHomeMobility::step() {
+  for (std::size_t i = 0; i < home_.size(); ++i) {
+    geom::Vec2 cand = offset_[i] * rho_ +
+                      geom::Vec2{sigma_ * rng::normal(rng_),
+                                 sigma_ * rng::normal(rng_)};
+    double norm = cand.norm();
+    if (norm > radius_) cand = cand * (radius_ / norm);
+    offset_[i] = cand;
+    pos_[i] = home_[i].displaced(cand);
+  }
+}
+
+}  // namespace manetcap::mobility

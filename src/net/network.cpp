@@ -1,0 +1,168 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "geom/hex.h"
+#include "util/check.h"
+
+namespace manetcap::net {
+
+std::string to_string(BsPlacement p) {
+  switch (p) {
+    case BsPlacement::kClusteredMatched:
+      return "clustered-matched";
+    case BsPlacement::kUniform:
+      return "uniform";
+    case BsPlacement::kRegularGrid:
+      return "regular-grid";
+    case BsPlacement::kClusterGrid:
+      return "cluster-hex-grid";
+  }
+  return "?";
+}
+
+Network::Network(const ScalingParams& params, mobility::Shape shape,
+                 BsPlacement placement, std::uint64_t seed)
+    : params_(params),
+      shape_(std::move(shape)),
+      placement_(placement),
+      seed_(seed) {}
+
+Network Network::with_bs_subset(const std::vector<bool>& keep) const {
+  MANETCAP_CHECK_MSG(keep.size() == bs_.size(),
+                     "mask size " << keep.size() << " != BS count "
+                                  << bs_.size());
+  Network out(*this);
+  out.bs_.clear();
+  out.bs_cluster_.clear();
+  for (std::size_t j = 0; j < bs_.size(); ++j) {
+    if (!keep[j]) continue;
+    out.bs_.push_back(bs_[j]);
+    out.bs_cluster_.push_back(bs_cluster_[j]);
+  }
+  return out;
+}
+
+Network Network::build(const ScalingParams& params,
+                       mobility::ShapeKind shape_kind, BsPlacement placement,
+                       std::uint64_t seed) {
+  MANETCAP_CHECK(params.n >= 2);
+  Network net(params, mobility::Shape(shape_kind, params.shape_support),
+              placement, seed);
+  rng::Xoshiro256 g(seed);
+  rng::Xoshiro256 g_ms = g.split(1);
+  rng::Xoshiro256 g_bs = g.split(2);
+
+  // MS home-points under the clustered model.
+  mobility::ClusterSpec spec =
+      params.cluster_free()
+          ? mobility::ClusterSpec::uniform(params.n)
+          : mobility::ClusterSpec{params.m(), params.r()};
+  net.ms_ = mobility::place_home_points(params.n, spec, g_ms);
+
+  // BS positions.
+  const std::size_t k = params.k();
+  net.bs_.resize(k);
+  net.bs_cluster_.assign(k, 0);
+  if (k == 0) return net;
+
+  switch (placement) {
+    case BsPlacement::kClusteredMatched: {
+      // Q_j from the same clustered model (reusing the MS cluster centers),
+      // then Y_j ~ φ(Y − Q_j): a stationary-shape jitter of scale 1/f.
+      auto qs = mobility::place_in_clusters(
+          k, net.ms_.cluster_centers,
+          params.cluster_free() ? 0.0 : params.r(), g_bs);
+      const double inv_f = 1.0 / params.f();
+      for (std::size_t j = 0; j < k; ++j) {
+        geom::Vec2 v = net.shape_.sample_displacement(g_bs) * inv_f;
+        net.bs_[j] = qs.points[j].displaced(v);
+        net.bs_cluster_[j] = qs.cluster_of[j];
+      }
+      break;
+    }
+    case BsPlacement::kUniform: {
+      for (auto& y : net.bs_) y = rng::uniform_point(g_bs);
+      break;
+    }
+    case BsPlacement::kRegularGrid: {
+      const auto side = static_cast<std::size_t>(
+          std::ceil(std::sqrt(static_cast<double>(k))));
+      for (std::size_t j = 0; j < k; ++j) {
+        const std::size_t row = j / side, col = j % side;
+        net.bs_[j] = {(static_cast<double>(col) + 0.5) / side,
+                      (static_cast<double>(row) + 0.5) / side};
+      }
+      break;
+    }
+    case BsPlacement::kClusterGrid: {
+      // Definition 13: k_i ≈ k/m BSs per cluster on a regular hexagonal
+      // lattice tiling the cluster disk, each BS a future cell center.
+      MANETCAP_CHECK_MSG(!params.cluster_free(),
+                         "cluster-grid BS placement needs clusters; use "
+                         "kRegularGrid for cluster-free layouts");
+      const std::size_t m = net.ms_.cluster_centers.size();
+      const double r = params.r();
+      std::size_t placed = 0;
+      for (std::size_t ci = 0; ci < m && placed < k; ++ci) {
+        const std::size_t quota =
+            k / m + (ci < k % m ? 1 : 0);  // even split of k over m
+        if (quota == 0) continue;
+        // Hex side such that ~quota cells tile the cluster disk; shrink
+        // until enough *centers* actually fall inside the disk (boundary
+        // effects can leave the nominal side one or two cells short).
+        double side = std::sqrt(
+            M_PI * r * r /
+            (1.5 * std::sqrt(3.0) * static_cast<double>(quota)));
+        side = std::max(side, 1e-9);
+        std::vector<geom::Hex> cells;
+        geom::HexGrid grid(side);
+        for (int attempt = 0; attempt < 64; ++attempt) {
+          cells = grid.cells_within(r);
+          if (cells.size() >= quota) break;
+          side *= 0.9;
+          grid = geom::HexGrid(side);
+        }
+        MANETCAP_CHECK_MSG(cells.size() >= quota,
+                           "could not tile cluster with " << quota
+                                                          << " hex cells");
+        // Center-out order gives a deterministic, compact fill.
+        std::sort(cells.begin(), cells.end(),
+                  [&grid](geom::Hex a, geom::Hex b) {
+                    return grid.center(a).norm2() < grid.center(b).norm2();
+                  });
+        const geom::Point base = net.ms_.cluster_centers[ci];
+        for (std::size_t q = 0; q < quota && placed < k; ++q) {
+          net.bs_[placed] = base.displaced(grid.center(cells[q]));
+          net.bs_cluster_[placed] = static_cast<std::uint32_t>(ci);
+          ++placed;
+        }
+      }
+      MANETCAP_CHECK(placed == k);
+      break;
+    }
+  }
+
+  // For non-matched placements, tag each BS with its nearest cluster so
+  // cluster-local schemes (weak/trivial regimes) can still find their BSs.
+  if (placement != BsPlacement::kClusteredMatched &&
+      placement != BsPlacement::kClusterGrid && !params.cluster_free()) {
+    for (std::size_t j = 0; j < k; ++j) {
+      double best = std::numeric_limits<double>::infinity();
+      std::uint32_t arg = 0;
+      for (std::uint32_t ci = 0; ci < net.ms_.cluster_centers.size(); ++ci) {
+        double d = geom::torus_dist2(net.bs_[j], net.ms_.cluster_centers[ci]);
+        if (d < best) {
+          best = d;
+          arg = ci;
+        }
+      }
+      net.bs_cluster_[j] = arg;
+    }
+  }
+  return net;
+}
+
+}  // namespace manetcap::net

@@ -1,0 +1,84 @@
+// A sampled network instance: MS home-points, BS positions, mobility shape.
+//
+// This is the substrate every scheme / estimator operates on. BS placement
+// implements the paper's three options: clustered-matched (Section II-A,
+// matching the user distribution), uniform, and deterministic regular grid —
+// Theorem 6 shows they are order-equivalent in the uniformly dense regime,
+// which bench/ablation_placement verifies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/point.h"
+#include "mobility/home_points.h"
+#include "mobility/shape.h"
+#include "net/params.h"
+#include "rng/rng.h"
+
+namespace manetcap::net {
+
+enum class BsPlacement {
+  kClusteredMatched,  // Q_j from the clustered model, Y_j ~ φ(Y − Q_j)
+  kUniform,           // i.i.d. uniform on the torus
+  kRegularGrid,       // deterministic ⌈√k⌉×⌈√k⌉ lattice
+  kClusterGrid,       // regular hexagonal lattice inside each cluster —
+                      // the scheme C prescription (Definition 13)
+};
+
+std::string to_string(BsPlacement p);
+
+/// An immutable sampled instance.
+class Network {
+ public:
+  /// Samples an instance for `params` with the given mobility shape family
+  /// and BS placement. Deterministic given `seed`.
+  static Network build(const ScalingParams& params,
+                       mobility::ShapeKind shape_kind, BsPlacement placement,
+                       std::uint64_t seed);
+
+  const ScalingParams& params() const { return params_; }
+  const mobility::Shape& shape() const { return shape_; }
+  BsPlacement bs_placement() const { return placement_; }
+
+  std::size_t num_ms() const { return ms_.points.size(); }
+  std::size_t num_bs() const { return bs_.size(); }
+
+  /// MS home-point layout (points, cluster centers, assignments).
+  const mobility::HomePointLayout& ms_layout() const { return ms_; }
+  const std::vector<geom::Point>& ms_home() const { return ms_.points; }
+
+  /// BS (static) positions; a BS's home-point is its position (Remark 2).
+  const std::vector<geom::Point>& bs_pos() const { return bs_; }
+
+  /// Cluster index of each BS under clustered-matched placement;
+  /// for other placements, the nearest cluster center.
+  const std::vector<std::uint32_t>& bs_cluster() const { return bs_cluster_; }
+
+  /// Mobility radius D/f(n) on the torus.
+  double mobility_radius() const { return params_.mobility_radius(); }
+
+  std::uint64_t seed() const { return seed_; }
+
+  /// Copy of this network keeping only the BSs with keep[j] == true —
+  /// failure-injection experiments (BS outages) use this to degrade the
+  /// infrastructure without resampling the MSs. ScalingParams (and hence
+  /// the per-edge wired bandwidth c(n)) are left untouched: surviving
+  /// wires keep their capacity, dead BSs take their wires down with them.
+  Network with_bs_subset(const std::vector<bool>& keep) const;
+
+ private:
+  Network(const ScalingParams& params, mobility::Shape shape,
+          BsPlacement placement, std::uint64_t seed);
+
+  ScalingParams params_;
+  mobility::Shape shape_;
+  BsPlacement placement_;
+  std::uint64_t seed_;
+  mobility::HomePointLayout ms_;
+  std::vector<geom::Point> bs_;
+  std::vector<std::uint32_t> bs_cluster_;
+};
+
+}  // namespace manetcap::net

@@ -1,0 +1,88 @@
+#include "net/params.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace manetcap::net {
+
+namespace {
+double npow(std::size_t n, double e) {
+  return std::pow(static_cast<double>(n), e);
+}
+}  // namespace
+
+double ScalingParams::f() const {
+  MANETCAP_CHECK(n >= 1);
+  return npow(n, alpha);
+}
+
+std::size_t ScalingParams::k() const {
+  if (!with_bs) return 0;
+  return static_cast<std::size_t>(std::max(1.0, std::round(npow(n, K))));
+}
+
+std::size_t ScalingParams::m() const {
+  if (cluster_free()) return n;
+  return static_cast<std::size_t>(std::max(1.0, std::round(npow(n, M))));
+}
+
+double ScalingParams::r() const {
+  if (cluster_free()) return 0.0;
+  return npow(n, -R);
+}
+
+double ScalingParams::c() const {
+  const std::size_t kk = k();
+  MANETCAP_CHECK_MSG(kk >= 1, "c(n) undefined without base stations");
+  return npow(n, phi) / static_cast<double>(kk);
+}
+
+double ScalingParams::gamma() const {
+  const double mm = static_cast<double>(m());
+  MANETCAP_CHECK(mm >= 2.0);
+  return std::log(mm) / mm;
+}
+
+double ScalingParams::gamma_tilde() const {
+  const double per = static_cast<double>(n) / static_cast<double>(m());
+  MANETCAP_CHECK_MSG(per > std::exp(1.0),
+                     "gamma_tilde needs n/m > e (log positive)");
+  const double rr = r();
+  return rr * rr * std::log(per) / per;
+}
+
+std::string ScalingParams::describe() const {
+  std::ostringstream os;
+  os << "n=" << n << " alpha=" << alpha;
+  if (with_bs) os << " K=" << K << " (k=" << k() << ") phi=" << phi;
+  if (cluster_free())
+    os << " cluster-free";
+  else
+    os << " M=" << M << " (m=" << m() << ") R=" << R << " (r=" << r() << ")";
+  return os.str();
+}
+
+std::vector<std::string> ScalingParams::assumption_violations() const {
+  std::vector<std::string> v;
+  if (alpha < 0.0 || alpha > 0.5)
+    v.push_back("alpha outside the paper's focus [0, 1/2] (Remark 1; "
+                "alpha > 1/2 is required to populate the trivial regime "
+                "with disjoint clusters — see DESIGN.md)");
+  if (!cluster_free()) {
+    if (R < 0.0 || R > alpha)
+      v.push_back("R outside [0, alpha] (clusters must not shrink slower "
+                  "than the network grows)");
+    if (M - 2.0 * R >= 0.0)
+      v.push_back("M - 2R >= 0: clusters overlap w.h.p. (model requires "
+                  "M - 2R < 0)");
+    if (with_bs && K <= M)
+      v.push_back("K <= M: k = omega(m) required so every cluster gets BSs");
+  }
+  if (with_bs && (K < 0.0 || K > 1.0))
+    v.push_back("K outside [0, 1]");
+  return v;
+}
+
+}  // namespace manetcap::net

@@ -1,0 +1,66 @@
+// Scaling parameters of the hybrid network (Section II).
+//
+// Everything in the paper is parameterized by exponents of n:
+//   f(n) = n^α      network side length (α ∈ [0, ½]; Remark 1)
+//   k    = n^K      number of base stations
+//   m    = n^M      number of home-point clusters (M = 1 ⇒ cluster-free)
+//   r    = n^-R     cluster radius (0 ≤ R ≤ α, M − 2R < 0)
+//   µ_c  = k·c = n^ϕ  aggregate wired bandwidth per BS (c = per-edge)
+//
+// ScalingParams maps a concrete n plus those exponents to concrete sizes,
+// and exposes the derived quantities the theory uses: γ(n) = log m / m,
+// γ̃(n) = r²·log(n/m)/(n/m), the mobility radius D/f, etc.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace manetcap::net {
+
+struct ScalingParams {
+  std::size_t n = 1024;  // number of mobile stations
+
+  double alpha = 0.0;  // f = n^alpha
+  bool with_bs = true;
+  double K = 0.5;      // k = n^K (ignored when !with_bs)
+  double M = 1.0;      // m = n^M; M == 1 means cluster-free (m = n, r = 0)
+  double R = 0.0;      // r = n^-R
+  double phi = 0.0;    // µ_c = k·c = n^phi
+
+  /// Mobility-shape support D (pre-normalization constant; Definition 2).
+  double shape_support = 1.0;
+
+  // --- derived concrete quantities -------------------------------------
+
+  double f() const;                 // n^alpha ≥ 1
+  std::size_t k() const;            // max(1, round(n^K)); 0 when !with_bs
+  std::size_t m() const;            // clusters; = n when cluster-free
+  double r() const;                 // cluster radius in torus units; 0 if
+                                    // cluster-free
+  bool cluster_free() const { return M >= 1.0; }
+
+  /// Per-edge wired bandwidth c(n) = n^phi / k (so that k·c = n^phi).
+  double c() const;
+
+  /// Mobility radius on the normalized torus: D/f(n).
+  double mobility_radius() const { return shape_support / f(); }
+
+  /// γ(n) = log m / m — squared critical transmission range for
+  /// connectivity among m uniform points (Theorem 1 / [18]).
+  double gamma() const;
+
+  /// γ̃(n) = r² · log(n/m) / (n/m) — the within-cluster analogue (§V).
+  double gamma_tilde() const;
+
+  /// Human-readable one-liner for harness output.
+  std::string describe() const;
+
+  /// Returns violated model assumptions (empty = all good): α ∈ [0, ½],
+  /// R ≤ α, M − 2R < 0 unless cluster-free, k = ω(m) when with_bs, …
+  /// Finite-n sweeps sometimes probe boundaries, so violations are
+  /// reported, not fatal.
+  std::vector<std::string> assumption_violations() const;
+};
+
+}  // namespace manetcap::net

@@ -1,0 +1,38 @@
+#include "net/traffic.h"
+
+#include <numeric>
+
+#include "util/check.h"
+
+namespace manetcap::net {
+
+std::vector<std::uint32_t> permutation_traffic(std::size_t n,
+                                               rng::Xoshiro256& g) {
+  MANETCAP_CHECK_MSG(n >= 2, "permutation traffic needs n >= 2");
+  std::vector<std::uint32_t> dest(n);
+  std::iota(dest.begin(), dest.end(), 0u);
+  rng::shuffle(g, dest);
+  // Repair fixed points by swapping with a cyclic neighbor; the neighbor
+  // cannot itself be a fixed point afterwards because dest[j] == j would
+  // have required two fixed points at adjacent slots, which the swap breaks.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (dest[i] == i) {
+      std::size_t j = (i + 1) % n;
+      std::swap(dest[i], dest[j]);
+    }
+  }
+  MANETCAP_DCHECK(is_valid_permutation_traffic(dest));
+  return dest;
+}
+
+bool is_valid_permutation_traffic(const std::vector<std::uint32_t>& dest) {
+  std::vector<bool> seen(dest.size(), false);
+  for (std::size_t i = 0; i < dest.size(); ++i) {
+    std::uint32_t d = dest[i];
+    if (d >= dest.size() || d == i || seen[d]) return false;
+    seen[d] = true;
+  }
+  return true;
+}
+
+}  // namespace manetcap::net

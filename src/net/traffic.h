@@ -1,0 +1,23 @@
+// Uniform permutation traffic (Section II-B).
+//
+// n source–destination pairs such that every MS is exactly one source and
+// one destination and never its own peer; all pairs carry equal rate λ.
+// BSs are pure relays and never appear as endpoints.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rng/rng.h"
+
+namespace manetcap::net {
+
+/// dest[i] = destination MS of source i; a fixed-point-free permutation
+/// of {0, …, n−1}. Deterministic given `g`'s state.
+std::vector<std::uint32_t> permutation_traffic(std::size_t n,
+                                               rng::Xoshiro256& g);
+
+/// True iff `dest` is a fixed-point-free permutation (test helper / guard).
+bool is_valid_permutation_traffic(const std::vector<std::uint32_t>& dest);
+
+}  // namespace manetcap::net

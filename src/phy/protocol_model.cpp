@@ -1,0 +1,43 @@
+#include "phy/protocol_model.h"
+
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace manetcap::phy {
+
+ProtocolModel::ProtocolModel(double range, double delta)
+    : range_(range), delta_(delta) {
+  MANETCAP_CHECK_MSG(range > 0.0, "transmission range must be positive");
+  MANETCAP_CHECK_MSG(delta >= 0.0, "guard factor must be non-negative");
+}
+
+bool ProtocolModel::in_range(geom::Point tx, geom::Point rx) const {
+  return geom::torus_dist2(tx, rx) <= range_ * range_;
+}
+
+bool ProtocolModel::guard_ok(geom::Point other_tx, geom::Point rx) const {
+  const double g = guard_radius();
+  return geom::torus_dist2(other_tx, rx) >= g * g;
+}
+
+bool ProtocolModel::feasible(const std::vector<geom::Point>& pos,
+                             const std::vector<Transmission>& txs) const {
+  std::unordered_set<std::uint32_t> busy;
+  for (const auto& t : txs) {
+    MANETCAP_CHECK(t.tx < pos.size() && t.rx < pos.size());
+    if (t.tx == t.rx) return false;
+    if (!busy.insert(t.tx).second) return false;  // half-duplex, one role
+    if (!busy.insert(t.rx).second) return false;
+    if (!in_range(pos[t.tx], pos[t.rx])) return false;
+  }
+  for (const auto& a : txs) {
+    for (const auto& b : txs) {
+      if (a.tx == b.tx) continue;
+      if (!guard_ok(pos[b.tx], pos[a.rx])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace manetcap::phy

@@ -1,0 +1,56 @@
+// The protocol interference model (Definition 4, Gupta–Kumar).
+//
+// A transmission i→j with common range R_T succeeds iff
+//   (1) ‖Z_i − Z_j‖ ≤ R_T, and
+//   (2) every other *simultaneously transmitting* node l satisfies
+//       ‖Z_l − Z_j‖ ≥ (1+Δ)·R_T.
+// The wireless channel carries W = 1 (normalized) when successful.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/point.h"
+
+namespace manetcap::phy {
+
+/// A directed wireless transmission between node ids (indices into the
+/// caller's position vector).
+struct Transmission {
+  std::uint32_t tx = 0;
+  std::uint32_t rx = 0;
+
+  friend bool operator==(Transmission a, Transmission b) {
+    return a.tx == b.tx && a.rx == b.rx;
+  }
+};
+
+/// Stateless checker for the protocol model with parameters (R_T, Δ).
+class ProtocolModel {
+ public:
+  ProtocolModel(double range, double delta);
+
+  double range() const { return range_; }
+  double delta() const { return delta_; }
+  double guard_radius() const { return (1.0 + delta_) * range_; }
+
+  /// Condition (1) for a single link.
+  bool in_range(geom::Point tx, geom::Point rx) const;
+
+  /// True iff an interferer at `other_tx` does NOT violate condition (2)
+  /// for a receiver at `rx`.
+  bool guard_ok(geom::Point other_tx, geom::Point rx) const;
+
+  /// Full feasibility of a simultaneous transmission set: every link
+  /// in range, no node transmits or receives twice, and every pair of
+  /// links respects the guard zone. O(|txs|²); used for validation, not
+  /// in the hot scheduling path.
+  bool feasible(const std::vector<geom::Point>& pos,
+                const std::vector<Transmission>& txs) const;
+
+ private:
+  double range_;
+  double delta_;
+};
+
+}  // namespace manetcap::phy

@@ -1,0 +1,81 @@
+#include "rng/rng.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace manetcap::rng {
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+Xoshiro256::result_type Xoshiro256::operator()() {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+Xoshiro256 Xoshiro256::split(std::uint64_t stream_id) {
+  std::uint64_t mix = (*this)() ^ (stream_id * 0xd1342543de82ef95ULL + 1);
+  return Xoshiro256(mix);
+}
+
+double uniform01(Xoshiro256& g) {
+  // 53 random mantissa bits → uniform in [0, 1).
+  return static_cast<double>(g() >> 11) * 0x1.0p-53;
+}
+
+double uniform(Xoshiro256& g, double lo, double hi) {
+  MANETCAP_DCHECK(lo <= hi);
+  return lo + (hi - lo) * uniform01(g);
+}
+
+std::uint64_t uniform_index(Xoshiro256& g, std::uint64_t n) {
+  MANETCAP_CHECK_MSG(n >= 1, "uniform_index needs n >= 1");
+  // 128-bit multiply-shift; bias is < 2^-64 per draw, negligible for
+  // Monte-Carlo use and far below our statistical tolerances.
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(g()) * n) >> 64);
+}
+
+geom::Point uniform_point(Xoshiro256& g) {
+  return {uniform01(g), uniform01(g)};
+}
+
+geom::Point uniform_in_disk(Xoshiro256& g, geom::Point center, double radius) {
+  MANETCAP_CHECK(radius >= 0.0);
+  // Inverse-CDF in polar coordinates.
+  double r = radius * std::sqrt(uniform01(g));
+  double theta = uniform(g, 0.0, 2.0 * M_PI);
+  return center.displaced({r * std::cos(theta), r * std::sin(theta)});
+}
+
+double normal(Xoshiro256& g) {
+  double u1 = uniform01(g);
+  double u2 = uniform01(g);
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+}  // namespace manetcap::rng

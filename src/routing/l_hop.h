@@ -1,0 +1,50 @@
+// L-maximum-hop hybrid resource allocation — the strategy of Li, Zhang &
+// Fang [9] that the paper's related-work section benchmarks against.
+//
+// Flows whose squarelet distance is at most L hops stay on the ad hoc
+// fabric (scheme A machinery); longer flows go through the infrastructure
+// (scheme B). The wireless channel is split between the two subsystems
+// with share `adhoc_share` vs (1 − adhoc_share); wires belong entirely to
+// the infrastructure side. Sweeping L interpolates between pure scheme B
+// (L = 0) and pure scheme A (L = ∞) and exposes the interior optimum.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "flow/constraints.h"
+#include "net/network.h"
+#include "routing/scheme_a.h"
+#include "routing/scheme_b.h"
+
+namespace manetcap::routing {
+
+struct LMaxHopResult {
+  /// Per-node rate every flow gets (the common λ of both flow classes):
+  /// min of the two subsystem rates, worst-case and typical variants.
+  double lambda = 0.0;
+  double lambda_symmetric = 0.0;
+  // Typical-flow rate bounds of the two classes (the inputs to
+  // lambda_symmetric's min); 0 when the class is empty or infeasible.
+  double lambda_adhoc_class = 0.0;   // ≤ L-hop class (scheme A side)
+  double lambda_infra_class = 0.0;   // > L-hop class (scheme B side)
+  std::size_t short_flows = 0;       // flows routed ad hoc
+  std::size_t long_flows = 0;        // flows routed via BSs
+  bool adhoc_degenerate = false;     // scheme A grid too small
+};
+
+class LMaxHop {
+ public:
+  /// `max_hops` = L; `adhoc_share` is the wireless-bandwidth fraction
+  /// granted to the ad hoc subsystem (default an even split).
+  explicit LMaxHop(int max_hops, double adhoc_share = 0.5);
+
+  LMaxHopResult evaluate(const net::Network& net,
+                         const std::vector<std::uint32_t>& dest) const;
+
+ private:
+  int max_hops_;
+  double adhoc_share_;
+};
+
+}  // namespace manetcap::routing

@@ -1,0 +1,247 @@
+#include "routing/multicast.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "backbone/backbone.h"
+#include "geom/spatial_hash.h"
+#include "geom/tessellation.h"
+#include "linkcap/link_capacity.h"
+#include "routing/scheme_a.h"
+#include "util/check.h"
+
+namespace manetcap::routing {
+
+namespace {
+std::uint64_t pair_key(int a, int b) {
+  const std::uint64_t lo = static_cast<std::uint32_t>(std::min(a, b));
+  const std::uint64_t hi = static_cast<std::uint32_t>(std::max(a, b));
+  return (hi << 32) | lo;
+}
+}  // namespace
+
+MulticastTraffic multicast_traffic(std::size_t n, std::size_t g,
+                                   rng::Xoshiro256& rng) {
+  MANETCAP_CHECK(n >= 2);
+  MANETCAP_CHECK_MSG(g >= 1 && g < n, "need 1 <= g < n destinations");
+  MulticastTraffic traffic;
+  traffic.dests.resize(n);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    std::unordered_set<std::uint32_t> chosen;
+    while (chosen.size() < g) {
+      const auto d = static_cast<std::uint32_t>(rng::uniform_index(rng, n));
+      if (d != s) chosen.insert(d);
+    }
+    traffic.dests[s].assign(chosen.begin(), chosen.end());
+  }
+  return traffic;
+}
+
+MulticastSchemeA::MulticastSchemeA(bool share_tree, double cell_side_factor)
+    : share_tree_(share_tree), cell_side_factor_(cell_side_factor) {
+  MANETCAP_CHECK(cell_side_factor > 0.0 &&
+                 cell_side_factor * std::sqrt(5.0) < 2.0);
+}
+
+MulticastResult MulticastSchemeA::evaluate(
+    const net::Network& net, const MulticastTraffic& traffic) const {
+  const auto& home = net.ms_home();
+  const std::size_t n = home.size();
+  MANETCAP_CHECK(traffic.dests.size() == n);
+
+  MulticastResult res;
+  const double side = cell_side_factor_ * net.mobility_radius();
+  geom::SquareTessellation tess =
+      geom::SquareTessellation::with_cell_side(std::min(side, 1.0));
+  if (tess.cells_per_side() < SchemeA::kMinGrid) {
+    res.degenerate = true;
+    return res;
+  }
+
+  linkcap::LinkCapacityModel mu(net.shape(), net.params().f(),
+                                n + net.num_bs());
+  const double contact = mu.max_contact_dist_ms_ms();
+
+  // Wireless capacity between nearby squarelet pairs + per-node airtime —
+  // identical substrate to unicast scheme A.
+  std::unordered_map<std::uint64_t, double> cap;
+  std::vector<double> airtime(n, 0.0);
+  std::vector<int> occupancy(tess.num_cells(), 0);
+  std::vector<int> cell_idx(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    cell_idx[i] = tess.index_of(tess.cell_of(home[i]));
+    ++occupancy[cell_idx[i]];
+  }
+  geom::SpatialHash hash(std::max(contact, 1e-4), n);
+  hash.build(home);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    hash.for_each_in_disk(home[i], contact, [&](std::uint32_t j) {
+      if (j <= i) return;
+      const double m = mu.mu_ms_ms(geom::torus_dist(home[i], home[j]));
+      if (m <= 0.0) return;
+      airtime[i] += m;
+      airtime[j] += m;
+      if (cell_idx[i] != cell_idx[j])
+        cap[pair_key(cell_idx[i], cell_idx[j])] += m;
+    });
+  }
+
+  // Loads: per flow, the union (tree) or multiset (unicast) of the H-V
+  // path edges to every destination, with empty-cell detours as in
+  // unicast scheme A.
+  std::unordered_map<std::uint64_t, double> load;
+  std::vector<double> endpoint_load(n, 0.0);
+  double tree_edges = 0.0, unicast_edges = 0.0;
+  std::unordered_set<std::uint64_t> flow_edges;
+  for (std::uint32_t s = 0; s < n; ++s) {
+    flow_edges.clear();
+    endpoint_load[s] += 1.0;
+    for (const std::uint32_t d : traffic.dests[s]) {
+      endpoint_load[d] += 1.0;
+      const auto path =
+          tess.hv_path(tess.cell_at(cell_idx[s]), tess.cell_at(cell_idx[d]));
+      int prev = tess.index_of(path.front());
+      for (std::size_t h = 1; h < path.size(); ++h) {
+        const int cur = tess.index_of(path[h]);
+        const bool last = h + 1 == path.size();
+        if (!last && occupancy[cur] == 0) continue;
+        const std::uint64_t key = pair_key(prev, cur);
+        unicast_edges += 1.0;
+        if (share_tree_) {
+          if (flow_edges.insert(key).second) {
+            load[key] += 1.0;
+            tree_edges += 1.0;
+          }
+        } else {
+          load[key] += 1.0;
+          tree_edges += 1.0;
+        }
+        prev = cur;
+      }
+    }
+  }
+  res.mean_tree_edges = tree_edges / static_cast<double>(n);
+  res.mean_unicast_edges = unicast_edges / static_cast<double>(n);
+
+  flow::ConstraintSet cs;
+  double cap_sum = 0.0, load_sum = 0.0;
+  for (const auto& [key, demanded] : load) {
+    auto it = cap.find(key);
+    const double capacity = it == cap.end() ? 0.0 : it->second;
+    cs.add(flow::Resource::kWirelessRelay, capacity, demanded);
+    cap_sum += capacity;
+    load_sum += demanded;
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (endpoint_load[i] > 0.0)
+      cs.add(flow::Resource::kWirelessRelay, airtime[i], endpoint_load[i]);
+  }
+  res.throughput = cs.solve();
+
+  std::vector<double> at = airtime;
+  std::nth_element(at.begin(), at.begin() + at.size() / 2, at.end());
+  flow::ConstraintSet sym;
+  if (load_sum > 0.0)
+    sym.add(flow::Resource::kWirelessRelay, cap_sum, load_sum);
+  sym.add(flow::Resource::kWirelessRelay, at[at.size() / 2],
+          1.0 + static_cast<double>(traffic.group_size()));
+  res.lambda_symmetric = sym.solve().lambda;
+  return res;
+}
+
+MulticastResult MulticastSchemeB::evaluate(
+    const net::Network& net, const MulticastTraffic& traffic) const {
+  const auto& home = net.ms_home();
+  const auto& bs = net.bs_pos();
+  const std::size_t n = home.size();
+  const std::size_t k = bs.size();
+  MANETCAP_CHECK(traffic.dests.size() == n);
+  MANETCAP_CHECK_MSG(k >= 1, "multicast scheme B needs base stations");
+  const std::size_t g = traffic.group_size();
+
+  MulticastResult res;
+  linkcap::LinkCapacityModel mu(net.shape(), net.params().f(), n + k);
+  const double contact = mu.max_contact_dist_ms_bs();
+  geom::SpatialHash bs_hash(std::max(contact, 1e-4), k);
+  bs_hash.build(bs);
+
+  // Access rates µ_i^A (Lemma 9 substrate).
+  std::vector<double> access(n, 0.0);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    bs_hash.for_each_in_disk(home[i], contact, [&](std::uint32_t l) {
+      access[i] += mu.mu_ms_bs(geom::torus_dist(home[i], bs[l]));
+    });
+  }
+
+  // Wireless demand: one uplink per source, one downlink per destination
+  // membership; wired demand: the flow crosses to every *distinct*
+  // destination squarelet group once (multicast fan-out on the wires).
+  geom::SquareTessellation tess(k >= 48 ? 4 : (k >= 8 ? 2 : 1));
+  std::vector<std::size_t> group_sizes(tess.num_cells(), 0);
+  std::vector<std::uint32_t> bs_group(k);
+  for (std::uint32_t l = 0; l < k; ++l) {
+    bs_group[l] =
+        static_cast<std::uint32_t>(tess.index_of(tess.cell_of(bs[l])));
+    ++group_sizes[bs_group[l]];
+  }
+  backbone::GroupedBackbone wired(group_sizes, net.params().c());
+
+  flow::ConstraintSet cs;
+  std::vector<double> demand(n, 0.0);
+  std::size_t uncovered = 0;
+  std::unordered_set<std::uint32_t> flow_groups;
+  double sum_access = 0.0;
+  std::size_t covered = 0;
+  for (std::uint32_t s = 0; s < n; ++s) {
+    demand[s] += 1.0;  // uplink
+    flow_groups.clear();
+    const auto gs = static_cast<std::uint32_t>(
+        tess.index_of(tess.cell_of(home[s])));
+    for (const std::uint32_t d : traffic.dests[s]) {
+      demand[d] += 1.0;  // downlink
+      const auto gd = static_cast<std::uint32_t>(
+          tess.index_of(tess.cell_of(home[d])));
+      if (gd != gs) flow_groups.insert(gd);
+    }
+    if (access[s] <= 0.0) {
+      ++uncovered;
+      continue;
+    }
+    for (const std::uint32_t gd : flow_groups) wired.add_load(gs, gd, 1.0);
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (access[i] <= 0.0) {
+      if (demand[i] > 0.0) ++uncovered;
+      continue;
+    }
+    sum_access += access[i];
+    ++covered;
+    cs.add(flow::Resource::kAccess, access[i], demand[i]);
+  }
+  if (wired.max_edge_load() > 0.0) {
+    if (wired.max_feasible_scale() == 0.0)
+      cs.add(flow::Resource::kBackbone, 0.0, 1.0, "empty BS group");
+    else
+      cs.add(flow::Resource::kBackbone, net.params().c(),
+             wired.max_edge_load());
+  }
+  res.throughput = cs.solve();
+
+  flow::ConstraintSet sym;
+  if (covered > 0)
+    sym.add(flow::Resource::kAccess,
+            sum_access / static_cast<double>(covered),
+            1.0 + static_cast<double>(g));
+  else
+    sym.add(flow::Resource::kAccess, 0.0, 1.0);
+  if (wired.max_edge_load() > 0.0 && wired.max_feasible_scale() > 0.0)
+    sym.add(flow::Resource::kBackbone, net.params().c(),
+            wired.max_edge_load());
+  res.lambda_symmetric = sym.solve().lambda;
+  return res;
+}
+
+}  // namespace manetcap::routing

@@ -1,0 +1,168 @@
+#include "routing/scheme_a.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "geom/spatial_hash.h"
+#include "geom/tessellation.h"
+#include "linkcap/link_capacity.h"
+#include "util/check.h"
+
+namespace manetcap::routing {
+
+namespace {
+/// Unordered cell-index pair key for the capacity/load maps.
+std::uint64_t pair_key(int a, int b) {
+  const std::uint64_t lo = static_cast<std::uint32_t>(std::min(a, b));
+  const std::uint64_t hi = static_cast<std::uint32_t>(std::max(a, b));
+  return (hi << 32) | lo;
+}
+}  // namespace
+
+SchemeA::SchemeA(double cell_side_factor)
+    : cell_side_factor_(cell_side_factor) {
+  MANETCAP_CHECK(cell_side_factor > 0.0);
+  // Adjacent squarelets must stay within the MS–MS contact range 2D/f:
+  // the worst-case home distance across a 4-adjacency is √5·side.
+  MANETCAP_CHECK_MSG(cell_side_factor * std::sqrt(5.0) < 2.0,
+                     "cell side too large: adjacent cells out of contact");
+}
+
+SchemeAResult SchemeA::evaluate(const net::Network& net,
+                                const std::vector<std::uint32_t>& dest,
+                                const std::vector<bool>* include_flow,
+                                double bandwidth_share) const {
+  const auto& home = net.ms_home();
+  const std::size_t n = home.size();
+  MANETCAP_CHECK(dest.size() == n);
+  MANETCAP_CHECK(bandwidth_share > 0.0 && bandwidth_share <= 1.0);
+  MANETCAP_CHECK(!include_flow || include_flow->size() == n);
+  auto included = [include_flow](std::uint32_t s) {
+    return !include_flow || (*include_flow)[s];
+  };
+
+  SchemeAResult res;
+  const double side = cell_side_factor_ * net.mobility_radius();
+  geom::SquareTessellation tess = geom::SquareTessellation::with_cell_side(
+      std::min(side, 1.0));
+  res.grid_side = tess.cells_per_side();
+  if (res.grid_side < kMinGrid) {
+    res.degenerate = true;
+    return res;
+  }
+
+  linkcap::LinkCapacityModel mu(net.shape(), net.params().f(),
+                                n + net.num_bs());
+  const double contact = mu.max_contact_dist_ms_ms();
+
+  // --- wireless capacity between nearby squarelet pairs -------------------
+  // cap[{A,B}] = Σ μ(i,j) over home-point pairs i∈A, j∈B within contact.
+  // Routing normally hops between 4-adjacent cells; when a path cell is
+  // empty the flow skips to the next occupied cell, so capacity is
+  // accumulated for every in-contact cell pair, not just adjacencies.
+  std::unordered_map<std::uint64_t, double> cap;
+  // Total contact airtime per node: Σ_j μ(i,j). Sources inject their flow
+  // directly into relays around them (Definition 11 forwards between
+  // contiguous squarelets) and destinations drain the same way.
+  std::vector<double> airtime(n, 0.0);
+  std::vector<int> occupancy(tess.num_cells(), 0);
+
+  std::vector<geom::Cell> cell_of(n);
+  std::vector<int> cell_idx(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    cell_of[i] = tess.cell_of(home[i]);
+    cell_idx[i] = tess.index_of(cell_of[i]);
+    ++occupancy[cell_idx[i]];
+  }
+
+  geom::SpatialHash hash(std::max(contact, 1e-4), n);
+  hash.build(home);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    hash.for_each_in_disk(home[i], contact, [&](std::uint32_t j) {
+      if (j <= i) return;
+      const double m =
+          bandwidth_share * mu.mu_ms_ms(geom::torus_dist(home[i], home[j]));
+      if (m <= 0.0) return;
+      airtime[i] += m;
+      airtime[j] += m;
+      if (cell_idx[i] != cell_idx[j])
+        cap[pair_key(cell_idx[i], cell_idx[j])] += m;
+    });
+  }
+
+  // --- loads from H-V routing of the permutation flows -------------------
+  // Empty cells on a path are skipped: the flow hops from the last
+  // occupied cell directly to the next occupied one (still within contact
+  // for a single empty cell, which is the w.h.p. worst case).
+  std::unordered_map<std::uint64_t, double> load;
+  double total_hops = 0.0;
+  std::size_t included_flows = 0;
+  for (std::uint32_t s = 0; s < n; ++s) {
+    if (!included(s)) continue;
+    ++included_flows;
+    const auto path = tess.hv_path(cell_of[s], cell_of[dest[s]]);
+    int prev = tess.index_of(path.front());
+    for (std::size_t h = 1; h < path.size(); ++h) {
+      const int cur = tess.index_of(path[h]);
+      const bool last = h + 1 == path.size();
+      if (!last && occupancy[cur] == 0) continue;  // detour over empty cell
+      load[pair_key(prev, cur)] += 1.0;
+      total_hops += 1.0;
+      prev = cur;
+    }
+  }
+  res.mean_hops =
+      included_flows ? total_hops / static_cast<double>(included_flows) : 0.0;
+
+  // --- assemble constraints ----------------------------------------------
+  flow::ConstraintSet cs;
+  double min_cap = std::numeric_limits<double>::infinity();
+  double max_load = 0.0;
+  for (const auto& [key, demanded] : load) {
+    auto it = cap.find(key);
+    const double capacity = it == cap.end() ? 0.0 : it->second;
+    cs.add(flow::Resource::kWirelessRelay, capacity, demanded);
+    min_cap = std::min(min_cap, capacity);
+    max_load = std::max(max_load, demanded);
+  }
+  // Endpoint constraints: node i must inject its flow (as source) and
+  // drain its inbound flow (as destination) within its own contact
+  // airtime; excluded flows impose no endpoint demand here.
+  std::vector<double> endpoint_load(n, 0.0);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    if (!included(s)) continue;
+    endpoint_load[s] += 1.0;
+    endpoint_load[dest[s]] += 1.0;
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (endpoint_load[i] > 0.0)
+      cs.add(flow::Resource::kWirelessRelay, airtime[i], endpoint_load[i]);
+  }
+
+  res.throughput = cs.solve();
+  res.min_intercell_capacity = std::isfinite(min_cap) ? min_cap : 0.0;
+  res.max_intercell_load = max_load;
+
+  // Typical-resource (symmetric) estimate.
+  {
+    double cap_sum = 0.0, load_sum = 0.0;
+    for (const auto& [key, demanded] : load) {
+      auto it = cap.find(key);
+      cap_sum += it == cap.end() ? 0.0 : it->second;
+      load_sum += demanded;
+    }
+    std::vector<double> at = airtime;
+    std::nth_element(at.begin(), at.begin() + at.size() / 2, at.end());
+    const double median_airtime = at[at.size() / 2];
+    flow::ConstraintSet sym;
+    if (load_sum > 0.0)
+      sym.add(flow::Resource::kWirelessRelay, cap_sum, load_sum);
+    sym.add(flow::Resource::kWirelessRelay, median_airtime, 2.0);
+    res.lambda_symmetric = sym.solve().lambda;
+  }
+  return res;
+}
+
+}  // namespace manetcap::routing

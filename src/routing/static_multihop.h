@@ -1,0 +1,53 @@
+// Static multihop baseline — the network with mobility switched off.
+//
+// Two variants, matching the paper's no-BS reference rows:
+//  * cluster-free: classical Gupta–Kumar random network. Cells of side
+//    R_T = Θ(√(log n / n)) tessellate the torus, flows route H-V through
+//    cells, cells are TDMA-activated → λ = Θ(1/(n·R_T)).
+//  * clustered (non-uniformly dense): connectivity needs
+//    R_T = Ω(√γ(n)) = Ω(√(log m / m)) (Lemma 10) — clusters act as
+//    super-nodes. Flows route over the cluster graph; per-cluster TDMA
+//    duty reflects the Θ(log m) overlapping clusters in interference
+//    range → λ = Θ(√(m / (n²·log m))) (Corollary 3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "flow/constraints.h"
+#include "net/network.h"
+
+namespace manetcap::routing {
+
+struct StaticMultihopResult {
+  flow::ThroughputResult throughput;
+  /// Typical-cell/cluster estimate (mean duty over mean load) — see
+  /// SchemeAResult::lambda_symmetric.
+  double lambda_symmetric = 0.0;
+  double transmission_range = 0.0;  // R_T used
+  bool connected = true;            // routing graph connected?
+  double mean_hops = 0.0;
+  double mean_duty_cycle = 0.0;
+};
+
+class StaticMultihop {
+ public:
+  /// `range_factor` scales R_T above the connectivity threshold (the
+  /// default 2 keeps finite-n instances connected w.h.p. without wasting
+  /// an order of spatial reuse).
+  explicit StaticMultihop(double range_factor = 2.0, double delta = 1.0);
+
+  StaticMultihopResult evaluate(const net::Network& net,
+                                const std::vector<std::uint32_t>& dest) const;
+
+ private:
+  StaticMultihopResult evaluate_uniform(
+      const net::Network& net, const std::vector<std::uint32_t>& dest) const;
+  StaticMultihopResult evaluate_clustered(
+      const net::Network& net, const std::vector<std::uint32_t>& dest) const;
+
+  double range_factor_;
+  double delta_;
+};
+
+}  // namespace manetcap::routing

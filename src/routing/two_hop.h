@@ -1,0 +1,36 @@
+// Two-hop relay (Grossglauser–Tse) — the classical MANET baseline.
+//
+// Source hands each packet to a random relay it meets; the relay delivers
+// when it meets the destination. Sustains Θ(1) per-node throughput when
+// every node's mobility mixes over the whole network (f(n) = Θ(1), m = n —
+// the paper recovers this as a special case, Remark 4/§I), and collapses to
+// zero as soon as source and destination mobility disks stop sharing
+// relays, which is why restricted mobility costs Θ(1/f(n)) (Lemma 4's
+// intuition).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "flow/constraints.h"
+#include "net/network.h"
+
+namespace manetcap::routing {
+
+struct TwoHopResult {
+  flow::ThroughputResult throughput;
+  /// Mean per-flow pool capacity (typical flow instead of the worst one).
+  double lambda_symmetric = 0.0;
+  double mean_relay_pool = 0.0;   // avg # of usable common relays per flow
+  std::size_t disconnected_flows = 0;  // flows with no common relay
+};
+
+class TwoHopRelay {
+ public:
+  /// Fluid capacity: per flow (s, d), relays j usable by both endpoints
+  /// contribute min(μ_sj, μ_jd)/2 (each bit is transmitted twice).
+  TwoHopResult evaluate(const net::Network& net,
+                        const std::vector<std::uint32_t>& dest) const;
+};
+
+}  // namespace manetcap::routing

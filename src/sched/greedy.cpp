@@ -1,0 +1,72 @@
+#include "sched/greedy.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace manetcap::sched {
+
+GreedyScheduler::GreedyScheduler(double range, double delta)
+    : range_(range), delta_(delta) {
+  MANETCAP_CHECK(range > 0.0);
+  MANETCAP_CHECK(delta >= 0.0);
+}
+
+std::vector<phy::Transmission> GreedyScheduler::schedule(
+    const std::vector<geom::Point>& pos,
+    std::vector<phy::Transmission> candidates) const {
+  const double r2 = range_ * range_;
+  const double guard = (1.0 + delta_) * range_;
+  const double guard2 = guard * guard;
+
+  // Shortest links first: more links fit, mirroring the nearest-neighbor
+  // forwarding the capacity constructions use.
+  std::sort(candidates.begin(), candidates.end(),
+            [&pos](const phy::Transmission& a, const phy::Transmission& b) {
+              return geom::torus_dist2(pos[a.tx], pos[a.rx]) <
+                     geom::torus_dist2(pos[b.tx], pos[b.rx]);
+            });
+
+  std::vector<bool> busy(pos.size(), false);
+  std::vector<phy::Transmission> chosen;
+  std::vector<geom::Point> chosen_tx;  // transmitter positions (guard checks)
+  std::vector<geom::Point> chosen_rx;
+
+  for (const auto& cand : candidates) {
+    if (cand.tx == cand.rx) continue;
+    if (busy[cand.tx] || busy[cand.rx]) continue;
+    if (geom::torus_dist2(pos[cand.tx], pos[cand.rx]) > r2) continue;
+
+    bool ok = true;
+    // New transmitter must not sit inside any chosen receiver's guard zone,
+    // and chosen transmitters must not cover the new receiver.
+    for (std::size_t s = 0; s < chosen.size() && ok; ++s) {
+      if (geom::torus_dist2(pos[cand.tx], chosen_rx[s]) < guard2) ok = false;
+      if (geom::torus_dist2(chosen_tx[s], pos[cand.rx]) < guard2) ok = false;
+    }
+    if (!ok) continue;
+
+    busy[cand.tx] = busy[cand.rx] = true;
+    chosen.push_back(cand);
+    chosen_tx.push_back(pos[cand.tx]);
+    chosen_rx.push_back(pos[cand.rx]);
+  }
+  return chosen;
+}
+
+std::vector<phy::Transmission> GreedyScheduler::nearest_neighbor_candidates(
+    const std::vector<geom::Point>& pos) const {
+  geom::SpatialHash hash(range_, pos.size());
+  hash.build(pos);
+  std::vector<phy::Transmission> cands;
+  cands.reserve(pos.size());
+  for (std::uint32_t i = 0; i < pos.size(); ++i) {
+    std::uint32_t j = hash.nearest(pos[i], i);
+    if (j >= pos.size()) continue;
+    // Deduplicate the symmetric pair: keep the orientation from the lower id.
+    if (j > i || hash.nearest(pos[j], j) != i) cands.push_back({i, j});
+  }
+  return cands;
+}
+
+}  // namespace manetcap::sched

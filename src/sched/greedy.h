@@ -1,0 +1,42 @@
+// Greedy maximal-link-set scheduler — a protocol-model baseline.
+//
+// Not part of the paper's constructions; used to sanity-check S* (Theorem 2
+// says S* is order-optimal, so a generic greedy scheduler must not beat it
+// by more than a constant factor) and as the scheduler for the static
+// multihop baseline where S*'s "lone neighbor" condition is too strict.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/spatial_hash.h"
+#include "phy/protocol_model.h"
+
+namespace manetcap::sched {
+
+/// Greedily packs protocol-model-feasible links, shortest first.
+class GreedyScheduler {
+ public:
+  GreedyScheduler(double range, double delta);
+
+  double range() const { return range_; }
+
+  /// Selects a maximal set from `candidates` (directed links) such that the
+  /// whole set is simultaneously protocol-model feasible; candidates are
+  /// taken shortest-first. Nodes participate in at most one link.
+  std::vector<phy::Transmission> schedule(
+      const std::vector<geom::Point>& pos,
+      std::vector<phy::Transmission> candidates) const;
+
+  /// Convenience candidate generator: each node paired with its nearest
+  /// neighbor (deduplicated).
+  std::vector<phy::Transmission> nearest_neighbor_candidates(
+      const std::vector<geom::Point>& pos) const;
+
+ private:
+  double range_;
+  double delta_;
+};
+
+}  // namespace manetcap::sched

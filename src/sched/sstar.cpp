@@ -1,0 +1,62 @@
+#include "sched/sstar.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace manetcap::sched {
+
+SStarScheduler::SStarScheduler(double ct, double delta)
+    : ct_(ct), delta_(delta) {
+  MANETCAP_CHECK(ct > 0.0);
+  MANETCAP_CHECK(delta >= 0.0);
+}
+
+double SStarScheduler::range_for(std::size_t population) const {
+  MANETCAP_CHECK(population >= 1);
+  return ct_ / std::sqrt(static_cast<double>(population));
+}
+
+std::vector<phy::Transmission> SStarScheduler::feasible_pairs(
+    const std::vector<geom::Point>& pos) const {
+  const double guard = (1.0 + delta_) * range_for(pos.size());
+  geom::SpatialHash hash(guard, pos.size());
+  hash.build(pos);
+  return feasible_pairs(pos, hash);
+}
+
+std::vector<phy::Transmission> SStarScheduler::feasible_pairs(
+    const std::vector<geom::Point>& pos,
+    const geom::SpatialHash& hash) const {
+  const std::size_t n = pos.size();
+  const double rt = range_for(n);
+  const double rt2 = rt * rt;
+  const double guard = (1.0 + delta_) * rt;
+
+  // lone_neighbor[i] = j when the guard disk around i contains exactly the
+  // single other node j; n when it contains zero or ≥2 others.
+  constexpr std::uint32_t kNone = ~std::uint32_t{0};
+  std::vector<std::uint32_t> lone(n, kNone);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::uint32_t found = kNone;
+    int count = 0;
+    hash.for_each_in_disk(pos[i], guard, [&](std::uint32_t id) {
+      if (id == i) return;
+      ++count;
+      found = id;
+    });
+    if (count == 1) lone[i] = found;
+  }
+
+  std::vector<phy::Transmission> out;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t j = lone[i];
+    if (j == kNone || j <= i) continue;   // report each pair once (i < j)
+    if (lone[j] != i) continue;           // guard must be mutual
+    if (geom::torus_dist2(pos[i], pos[j]) >= rt2) continue;  // d_ij < R_T
+    out.push_back({i, j});
+  }
+  return out;
+}
+
+}  // namespace manetcap::sched

@@ -1,0 +1,51 @@
+// Scheduling policy S* (Definition 10) — optimal in order (Theorem 2).
+//
+// At a time instant, a node pair (i, j) may communicate iff
+//   d_ij < R_T = c_T/√n   and
+//   every other node l (regardless of activity) satisfies
+//   min(d_lj, d_li) > (1+Δ)·R_T.
+// Equivalently: the guard disk of radius (1+Δ)R_T around each endpoint
+// contains only the other endpoint. The pair set selected this way is
+// automatically protocol-model feasible (S* is strictly stricter), and the
+// shared bandwidth is split equally between the two directions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/spatial_hash.h"
+#include "phy/protocol_model.h"
+
+namespace manetcap::sched {
+
+/// Computes the S*-feasible pair set for a position snapshot.
+class SStarScheduler {
+ public:
+  /// `ct` is the constant c_T of Definition 10; `delta` the guard factor Δ.
+  SStarScheduler(double ct, double delta);
+
+  double ct() const { return ct_; }
+  double delta() const { return delta_; }
+
+  /// R_T = c_T / √(population) for this snapshot size.
+  double range_for(std::size_t population) const;
+
+  /// All feasible unordered pairs {i, j} at this instant, reported with
+  /// i < j. `pos` holds every node (MSs and BSs alike — Definition 10
+  /// ranges over the whole population).
+  std::vector<phy::Transmission> feasible_pairs(
+      const std::vector<geom::Point>& pos) const;
+
+  /// Same, but reuses an already-built spatial hash over `pos`
+  /// (the slot simulator rebuilds the hash once per slot anyway).
+  std::vector<phy::Transmission> feasible_pairs(
+      const std::vector<geom::Point>& pos,
+      const geom::SpatialHash& hash) const;
+
+ private:
+  double ct_;
+  double delta_;
+};
+
+}  // namespace manetcap::sched

@@ -1,0 +1,55 @@
+#include "sched/tdma_cell.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace manetcap::sched {
+
+TdmaSchedule::TdmaSchedule(std::vector<int> cell_color, int num_colors)
+    : color_(std::move(cell_color)), num_colors_(num_colors) {
+  MANETCAP_CHECK(num_colors >= 1);
+  for (int c : color_)
+    MANETCAP_CHECK_MSG(c >= 0 && c < num_colors,
+                       "cell color " << c << " out of range");
+}
+
+bool TdmaSchedule::is_active(std::size_t cell, std::uint64_t slot) const {
+  MANETCAP_DCHECK(cell < color_.size());
+  return color_[cell] == active_color(slot);
+}
+
+int square_coloring_period(double cell_side, double range, double delta) {
+  MANETCAP_CHECK(cell_side > 0.0 && range > 0.0 && delta >= 0.0);
+  // Worst case: transmitter on one cell edge, victim receiver on the far
+  // edge of the other cell; center separation (p−1)·side must exceed the
+  // guard reach (1+Δ)·range plus one range for the in-cell geometry.
+  const double need = (2.0 + delta) * range;
+  const int p = static_cast<int>(std::ceil(need / cell_side)) + 1;
+  return std::max(2, p);
+}
+
+std::vector<int> color_square_tessellation(const geom::SquareTessellation& t,
+                                           int period) {
+  MANETCAP_CHECK(period >= 1);
+  std::vector<int> colors(t.num_cells());
+  for (int idx = 0; idx < t.num_cells(); ++idx) {
+    geom::Cell c = t.cell_at(idx);
+    colors[idx] = (c.row % period) * period + (c.col % period);
+  }
+  return colors;
+}
+
+int hex_coloring_period(double side, double delta) {
+  MANETCAP_CHECK(side > 0.0 && delta >= 0.0);
+  // In-cell range is the cell diameter 2·side; neighbor hex centers are
+  // √3·side apart, so p axial steps separate centers by ≥ p·√3·side·(√3/2).
+  const double range = 2.0 * side;
+  const double need = (2.0 + delta) * range;
+  const double per_step = 1.5 * side;  // minimal axial-step separation
+  const int p = static_cast<int>(std::ceil(need / per_step)) + 1;
+  return std::max(2, p);
+}
+
+}  // namespace manetcap::sched

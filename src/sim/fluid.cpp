@@ -1,0 +1,171 @@
+#include "sim/fluid.h"
+
+#include "net/traffic.h"
+#include "routing/scheme_a.h"
+#include "routing/scheme_b.h"
+#include "routing/scheme_c.h"
+#include "routing/static_multihop.h"
+#include "routing/two_hop.h"
+#include "util/check.h"
+
+namespace manetcap::sim {
+
+namespace {
+
+/// (strict, symmetric) λ pair of a scheme evaluation.
+struct Lambda {
+  double strict = 0.0;
+  double symmetric = 0.0;
+};
+
+/// Scheme A with automatic two-hop fallback when the grid degenerates.
+Lambda adhoc_lambda(const net::Network& net,
+                    const std::vector<std::uint32_t>& dest,
+                    std::string* label) {
+  routing::SchemeA a;
+  const auto ra = a.evaluate(net, dest);
+  if (!ra.degenerate) {
+    if (label) *label = "scheme-A";
+    return {ra.throughput.lambda, ra.lambda_symmetric};
+  }
+  routing::TwoHopRelay th;
+  const auto rt = th.evaluate(net, dest);
+  if (label) *label = "two-hop";
+  return {rt.throughput.lambda, rt.lambda_symmetric};
+}
+
+}  // namespace
+
+FluidOutcome evaluate_capacity(const net::ScalingParams& params,
+                               const FluidOptions& options) {
+  net::Network net = net::Network::build(params, options.shape,
+                                         options.placement, options.seed);
+  return evaluate_capacity(net, options);
+}
+
+FluidOutcome evaluate_capacity(const net::Network& net,
+                               const FluidOptions& options) {
+  const net::ScalingParams& params = net.params();
+  rng::Xoshiro256 g(options.seed ^ 0xa5a5a5a5a5a5a5a5ULL);
+  const auto dest = net::permutation_traffic(params.n, g);
+
+  FluidOutcome out;
+  out.regime = capacity::classify(params);
+
+  auto set_adhoc = [&out](Lambda l, flow::Resource bottleneck,
+                          std::string scheme) {
+    out.lambda = out.lambda_adhoc = l.strict;
+    out.lambda_symmetric = l.symmetric;
+    out.bottleneck = bottleneck;
+    out.scheme = std::move(scheme);
+  };
+  auto set_infra = [&out](Lambda l, flow::Resource bottleneck,
+                          std::string scheme) {
+    out.lambda = out.lambda_infra = l.strict;
+    out.lambda_symmetric = l.symmetric;
+    out.bottleneck = bottleneck;
+    out.scheme = std::move(scheme);
+  };
+
+  using Force = FluidOptions::ForceScheme;
+  if (options.force != Force::kAuto) {
+    switch (options.force) {
+      case Force::kA: {
+        routing::SchemeA a;
+        const auto r = a.evaluate(net, dest);
+        set_adhoc({r.degenerate ? 0.0 : r.throughput.lambda,
+                   r.degenerate ? 0.0 : r.lambda_symmetric},
+                  r.throughput.bottleneck, "scheme-A (forced)");
+        return out;
+      }
+      case Force::kB: {
+        routing::SchemeB b(out.regime == capacity::MobilityRegime::kWeak
+                               ? routing::BsGrouping::kCluster
+                               : routing::BsGrouping::kSquarelet);
+        const auto r = b.evaluate(net, dest);
+        set_infra({r.throughput.lambda, r.lambda_symmetric},
+                  r.throughput.bottleneck, "scheme-B (forced)");
+        return out;
+      }
+      case Force::kC: {
+        routing::SchemeC c;
+        const auto r = c.evaluate(net, dest);
+        set_infra({r.throughput.lambda, r.lambda_symmetric},
+                  r.throughput.bottleneck, "scheme-C (forced)");
+        return out;
+      }
+      case Force::kTwoHop: {
+        routing::TwoHopRelay th;
+        const auto r = th.evaluate(net, dest);
+        set_adhoc({r.throughput.lambda, r.lambda_symmetric},
+                  r.throughput.bottleneck, "two-hop (forced)");
+        return out;
+      }
+      case Force::kStaticMultihop: {
+        routing::StaticMultihop sm;
+        const auto r = sm.evaluate(net, dest);
+        set_adhoc({r.throughput.lambda, r.lambda_symmetric},
+                  r.throughput.bottleneck, "static-multihop (forced)");
+        return out;
+      }
+      case Force::kAuto:
+        break;
+    }
+  }
+
+  switch (out.regime) {
+    case capacity::MobilityRegime::kStrong: {
+      std::string adhoc_label;
+      const Lambda la = adhoc_lambda(net, dest, &adhoc_label);
+      out.lambda_adhoc = la.strict;
+      if (params.with_bs) {
+        routing::SchemeB b(routing::BsGrouping::kSquarelet);
+        const auto rb = b.evaluate(net, dest);
+        out.lambda_infra = rb.throughput.lambda;
+        out.scheme = adhoc_label + " + scheme-B";
+        out.bottleneck = la.strict >= rb.throughput.lambda
+                             ? flow::Resource::kWirelessRelay
+                             : rb.throughput.bottleneck;
+        out.lambda = la.strict + rb.throughput.lambda;
+        out.lambda_symmetric = la.symmetric + rb.lambda_symmetric;
+      } else {
+        out.scheme = adhoc_label;
+        out.bottleneck = flow::Resource::kWirelessRelay;
+        out.lambda = la.strict;
+        out.lambda_symmetric = la.symmetric;
+      }
+      break;
+    }
+    case capacity::MobilityRegime::kWeak: {
+      if (params.with_bs) {
+        routing::SchemeB b(routing::BsGrouping::kCluster);
+        const auto rb = b.evaluate(net, dest);
+        set_infra({rb.throughput.lambda, rb.lambda_symmetric},
+                  rb.throughput.bottleneck, "scheme-B (clusters as subnets)");
+      } else {
+        routing::StaticMultihop sm;
+        const auto r = sm.evaluate(net, dest);
+        set_adhoc({r.throughput.lambda, r.lambda_symmetric},
+                  r.throughput.bottleneck, "static-multihop (no BSs)");
+      }
+      break;
+    }
+    case capacity::MobilityRegime::kTrivial: {
+      if (params.with_bs) {
+        routing::SchemeC c;
+        const auto rc = c.evaluate(net, dest);
+        set_infra({rc.throughput.lambda, rc.lambda_symmetric},
+                  rc.throughput.bottleneck, "scheme-C (cellular TDMA)");
+      } else {
+        routing::StaticMultihop sm;
+        const auto r = sm.evaluate(net, dest);
+        set_adhoc({r.throughput.lambda, r.lambda_symmetric},
+                  r.throughput.bottleneck, "static-multihop (no BSs)");
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace manetcap::sim

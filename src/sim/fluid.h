@@ -1,0 +1,56 @@
+// End-to-end fluid capacity evaluation: sample an instance, pick the
+// paper's optimal scheme for its mobility regime, and measure the feasible
+// per-node rate λ.
+//
+// Scheme selection follows Sections IV–V:
+//   strong  → scheme A (mobility multihop) in parallel with scheme B over
+//             constant-area squarelets; λ = λ_A + λ_B (the two schemes
+//             time-share, matching Θ(1/f) + Θ(min(k²c/n, k/n))).
+//             When f(n) = Θ(1) scheme A degenerates to two-hop relay.
+//   weak    → scheme B with clusters as subnets (Theorem 7).
+//   trivial → scheme C cellular TDMA (Theorem 9).
+//   no BSs  → scheme A / two-hop (strong) or static cluster multihop
+//             (weak/trivial, Corollary 3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "capacity/regimes.h"
+#include "flow/constraints.h"
+#include "net/network.h"
+
+namespace manetcap::sim {
+
+struct FluidOptions {
+  mobility::ShapeKind shape = mobility::ShapeKind::kUniformDisk;
+  net::BsPlacement placement = net::BsPlacement::kClusteredMatched;
+  std::uint64_t seed = 1;
+
+  /// Force a scheme instead of regime-based selection (ablations).
+  enum class ForceScheme { kAuto, kA, kB, kC, kTwoHop, kStaticMultihop };
+  ForceScheme force = ForceScheme::kAuto;
+};
+
+struct FluidOutcome {
+  capacity::MobilityRegime regime = capacity::MobilityRegime::kStrong;
+  double lambda = 0.0;        // combined per-node rate (strict worst case)
+  double lambda_adhoc = 0.0;  // mobility-side component (scheme A/two-hop)
+  double lambda_infra = 0.0;  // infrastructure-side component (B or C)
+  /// Typical-resource estimate composed the same way as `lambda`
+  /// (see SchemeAResult::lambda_symmetric) — the quantity scaling fits
+  /// should use, free of extreme-value bias.
+  double lambda_symmetric = 0.0;
+  flow::Resource bottleneck = flow::Resource::kWirelessRelay;
+  std::string scheme;         // human-readable scheme description
+};
+
+/// Samples one instance for `params` and evaluates its fluid capacity.
+FluidOutcome evaluate_capacity(const net::ScalingParams& params,
+                               const FluidOptions& options);
+
+/// Same, on a pre-built network (placement ablations reuse instances).
+FluidOutcome evaluate_capacity(const net::Network& net,
+                               const FluidOptions& options);
+
+}  // namespace manetcap::sim

@@ -1,0 +1,472 @@
+#include "sim/slotsim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <map>
+#include <memory>
+
+#include "analysis/stats.h"
+#include "geom/spatial_hash.h"
+#include "geom/tessellation.h"
+#include "linkcap/link_capacity.h"
+#include "mobility/process.h"
+#include "sched/sstar.h"
+#include "util/check.h"
+
+namespace manetcap::sim {
+
+std::string to_string(SlotScheme s) {
+  switch (s) {
+    case SlotScheme::kSchemeA:
+      return "scheme-A";
+    case SlotScheme::kTwoHop:
+      return "two-hop";
+    case SlotScheme::kSchemeB:
+      return "scheme-B";
+    case SlotScheme::kSchemeC:
+      return "scheme-C";
+  }
+  return "?";
+}
+
+namespace {
+
+/// A packet in flight: `flow` identifies the (source, destination) pair;
+/// `hop` is the index into the flow's squarelet path (scheme A) or the
+/// wired-phase marker (scheme B); `born` is the injection slot (delay).
+struct Packet {
+  std::uint32_t flow = 0;
+  std::uint32_t hop = 0;
+  std::uint32_t born = 0;
+};
+
+std::unique_ptr<mobility::MobilityProcess> make_process(
+    const net::Network& net, SlotMobility kind, std::uint64_t seed) {
+  const double radius = net.mobility_radius();
+  switch (kind) {
+    case SlotMobility::kIid:
+      return std::make_unique<mobility::IidStationaryMobility>(
+          net.ms_home(), net.shape(), 1.0 / net.params().f(), seed);
+    case SlotMobility::kWalk:
+      return std::make_unique<mobility::BoundedRandomWalk>(net.ms_home(),
+                                                           radius, seed);
+    case SlotMobility::kPullHome:
+      return std::make_unique<mobility::PullHomeMobility>(net.ms_home(),
+                                                          radius, seed);
+    case SlotMobility::kBrownian:
+      return std::make_unique<mobility::BrownianTorusMobility>(net.ms_home(),
+                                                               seed);
+  }
+  MANETCAP_CHECK(false);
+  return nullptr;
+}
+
+/// Shared simulation state and per-scheme forwarding logic.
+class SlotSim {
+ public:
+  SlotSim(const net::Network& net, const std::vector<std::uint32_t>& dest,
+          const SlotSimOptions& opt)
+      : net_(net),
+        dest_(dest),
+        opt_(opt),
+        n_(net.num_ms()),
+        k_(net.num_bs()),
+        queues_(n_ + k_),
+        delivered_(n_, 0),
+        count_own_(n_, 0) {
+    MANETCAP_CHECK(dest.size() == n_);
+    MANETCAP_CHECK(opt.warmup < opt.slots);
+    if (opt_.scheme == SlotScheme::kSchemeA) init_scheme_a();
+    if (opt_.scheme == SlotScheme::kSchemeB) init_scheme_b();
+    if (opt_.scheme == SlotScheme::kSchemeC) init_scheme_c();
+  }
+
+  SlotSimResult run() {
+    auto process = make_process(net_, opt_.mobility, opt_.seed);
+    sched::SStarScheduler sstar(opt_.ct, opt_.delta);
+    std::uint64_t pair_count = 0;
+
+    for (std::size_t t = 0; t < opt_.slots; ++t) {
+      const bool measure = t >= opt_.warmup;
+      if (measure && !measuring_) {
+        measuring_ = true;
+        std::fill(delivered_.begin(), delivered_.end(), 0);
+      }
+
+      slot_ = static_cast<std::uint32_t>(t);
+      if (opt_.scheme == SlotScheme::kSchemeC) {
+        // Static cellular TDMA (Definition 13): no S* — the active color
+        // group serves; "pairs" counts active cells for reporting.
+        if (measure) pair_count += scheme_c_slot(t);
+        else scheme_c_slot(t);
+        wired_step(t);
+        process->step();
+        continue;
+      }
+
+      std::vector<geom::Point> pos = process->positions();
+      pos.insert(pos.end(), net_.bs_pos().begin(), net_.bs_pos().end());
+      const auto pairs = sstar.feasible_pairs(pos);
+      if (measure) pair_count += pairs.size();
+
+      for (const auto& pr : pairs) {
+        // Each S* meeting carries one packet per direction (the bandwidth
+        // is split equally between the two directions, Definition 10).
+        transfer(pr.tx, pr.rx);
+        transfer(pr.rx, pr.tx);
+      }
+      if (opt_.scheme == SlotScheme::kSchemeB) wired_step(t);
+      process->step();
+    }
+
+    SlotSimResult res;
+    res.measured_slots = opt_.slots - opt_.warmup;
+    std::vector<double> rates(n_);
+    std::uint64_t total = 0;
+    for (std::size_t f = 0; f < n_; ++f) {
+      total += delivered_[f];
+      rates[f] = static_cast<double>(delivered_[f]) /
+                 static_cast<double>(res.measured_slots);
+    }
+    res.total_delivered = total;
+    const auto summary = analysis::summarize(rates);
+    res.mean_flow_rate = summary.mean;
+    res.min_flow_rate = summary.min;
+    res.p10_flow_rate = analysis::quantile(rates, 0.10);
+    res.pairs_per_slot = static_cast<double>(pair_count) /
+                         static_cast<double>(res.measured_slots);
+    if (!delays_.empty()) {
+      res.mean_delay = analysis::summarize(delays_).mean;
+      res.p95_delay = analysis::quantile(delays_, 0.95);
+    }
+    return res;
+  }
+
+ private:
+  // --- scheme A ------------------------------------------------------------
+  void init_scheme_a() {
+    const double side = 0.8 * net_.mobility_radius();
+    tess_ = std::make_unique<geom::SquareTessellation>(
+        geom::SquareTessellation::with_cell_side(std::min(side, 1.0)));
+    home_cell_.resize(n_);
+    for (std::uint32_t i = 0; i < n_; ++i)
+      home_cell_[i] = tess_->index_of(tess_->cell_of(net_.ms_home()[i]));
+    paths_.resize(n_);
+    for (std::uint32_t s = 0; s < n_; ++s) {
+      const auto cells = tess_->hv_path(tess_->cell_at(home_cell_[s]),
+                                        tess_->cell_at(home_cell_[dest_[s]]));
+      paths_[s].reserve(cells.size());
+      for (const auto& c : cells)
+        paths_[s].push_back(static_cast<std::uint32_t>(tess_->index_of(c)));
+    }
+  }
+
+  // --- scheme B ------------------------------------------------------------
+  void init_scheme_b() {
+    MANETCAP_CHECK_MSG(k_ >= 1, "scheme B slot sim needs base stations");
+    linkcap::LinkCapacityModel mu(net_.shape(), net_.params().f(), n_ + k_,
+                                  opt_.ct, opt_.delta);
+    const double contact = mu.max_contact_dist_ms_bs();
+    geom::SpatialHash bs_hash(std::max(contact, 1e-4), k_);
+    bs_hash.build(net_.bs_pos());
+    serving_.resize(n_);
+    for (std::uint32_t i = 0; i < n_; ++i) {
+      bs_hash.for_each_in_disk(
+          net_.ms_home()[i], contact,
+          [&](std::uint32_t l) { serving_[i].push_back(l); });
+    }
+  }
+
+  // --- scheme C ------------------------------------------------------------
+  void init_scheme_c() {
+    MANETCAP_CHECK_MSG(k_ >= 1, "scheme C slot sim needs base stations");
+    // Association: nearest BS (with cluster-grid placement this is the
+    // hexagonal cell of Definition 13). serving_ holds one BS per MS so
+    // the wired phase can reuse the scheme-B machinery.
+    geom::SpatialHash bs_hash(
+        std::max(1.0 / std::sqrt(static_cast<double>(k_)), 1e-4), k_);
+    bs_hash.build(net_.bs_pos());
+    serving_.assign(n_, {});
+    std::vector<double> cell_radius(k_, 0.0);
+    cell_members_.assign(k_, {});
+    for (std::uint32_t i = 0; i < n_; ++i) {
+      const std::uint32_t l = bs_hash.nearest(net_.ms_home()[i],
+                                              ~std::uint32_t{0});
+      MANETCAP_CHECK(l < k_);
+      serving_[i].push_back(l);
+      cell_members_[l].push_back(i);
+      cell_radius[l] = std::max(
+          cell_radius[l],
+          geom::torus_dist(net_.ms_home()[i], net_.bs_pos()[l]));
+    }
+    const double wobble = 2.0 * net_.mobility_radius();
+    for (auto& r : cell_radius) r += wobble;
+
+    // Greedy coloring of the cell interference graph (Theorem 9's
+    // bounded-degree coloring).
+    cell_color_.assign(k_, 0);
+    num_colors_ = 1;
+    for (std::uint32_t a = 0; a < k_; ++a) {
+      std::vector<bool> used(num_colors_ + 1, false);
+      for (std::uint32_t b = 0; b < a; ++b) {
+        const double d = geom::torus_dist(net_.bs_pos()[a], net_.bs_pos()[b]);
+        if (d < cell_radius[a] + (1.0 + opt_.delta) * cell_radius[b] ||
+            d < cell_radius[b] + (1.0 + opt_.delta) * cell_radius[a]) {
+          if (cell_color_[b] < static_cast<int>(used.size()))
+            used[cell_color_[b]] = true;
+        }
+      }
+      int c = 0;
+      while (c < static_cast<int>(used.size()) && used[c]) ++c;
+      cell_color_[a] = c;
+      num_colors_ = std::max(num_colors_, static_cast<std::size_t>(c) + 1);
+    }
+    rr_cell_.assign(k_, 0);
+  }
+
+  /// One TDMA slot of scheme C: every cell of the active color serves one
+  /// uplink and one downlink on its two symmetric channels. Returns the
+  /// number of active cells (the concurrency statistic).
+  std::size_t scheme_c_slot(std::size_t t) {
+    const int active = static_cast<int>(t % num_colors_);
+    std::size_t served = 0;
+    for (std::uint32_t l = 0; l < k_; ++l) {
+      if (cell_color_[l] != active || cell_members_[l].empty()) continue;
+      ++served;
+      auto& q = queues_[n_ + l];
+      // Uplink channel: the round-robin member injects one packet.
+      const auto& members = cell_members_[l];
+      const std::uint32_t i = members[rr_cell_[l]++ % members.size()];
+      if (count_own_[i] < opt_.source_backlog && q.size() < opt_.max_queue) {
+        q.push_back({i, 0, slot_});
+        ++count_own_[i];
+      }
+      // Downlink channel: deliver one wired-arrived packet whose
+      // destination lives in this cell.
+      for (std::size_t idx = 0;
+           idx < std::min<std::size_t>(q.size(), kScanDepth); ++idx) {
+        if (q[idx].hop != 1) continue;
+        const std::uint32_t d = dest_[q[idx].flow];
+        if (serving_[d].front() == l) {
+          const Packet p = q[idx];
+          q.erase(q.begin() + static_cast<std::ptrdiff_t>(idx));
+          deliver(p);
+          break;
+        }
+      }
+    }
+    return served;
+  }
+
+  bool is_bs(std::uint32_t id) const { return id >= n_; }
+
+  /// Moves at most one packet from `from` to `to` for the active scheme.
+  void transfer(std::uint32_t from, std::uint32_t to) {
+    switch (opt_.scheme) {
+      case SlotScheme::kSchemeA:
+        transfer_scheme_a(from, to);
+        break;
+      case SlotScheme::kTwoHop:
+        transfer_two_hop(from, to);
+        break;
+      case SlotScheme::kSchemeB:
+        transfer_scheme_b(from, to);
+        break;
+      case SlotScheme::kSchemeC:
+        break;  // scheme C never uses S* pairs (static TDMA)
+    }
+  }
+
+  void deliver(const Packet& p) {
+    ++delivered_[p.flow];
+    --count_own_[p.flow];  // release the flow-control window slot
+    if (measuring_ && p.born >= opt_.warmup)
+      delays_.push_back(static_cast<double>(slot_ - p.born));
+  }
+
+  // Scheme A: a relay in squarelet path[h] hands the packet to a node whose
+  // home squarelet is path[h+1], or directly to the destination.
+  void transfer_scheme_a(std::uint32_t from, std::uint32_t to) {
+    if (is_bs(from) || is_bs(to)) return;  // pure ad hoc scheme
+    auto& q = queues_[from];
+
+    // Source injection: keep the head of the pipeline saturated.
+    if (count_own_[from] < opt_.source_backlog &&
+        q.size() < opt_.max_queue) {
+      q.push_back({from, 0, slot_});
+      ++count_own_[from];
+    }
+
+    const std::size_t scan = std::min<std::size_t>(q.size(), kScanDepth);
+    for (std::size_t idx = 0; idx < scan; ++idx) {
+      Packet p = q[idx];
+      const auto& path = paths_[p.flow];
+      const bool at_last_cell = p.hop + 1 >= path.size();
+      if (to == dest_[p.flow]) {
+        // The destination itself can take delivery from any path position
+        // at or next to its own squarelet; with H-V routing the packet is
+        // only ever co-located with the destination at the final cells, so
+        // accept delivery whenever they meet.
+        q.erase(q.begin() + static_cast<std::ptrdiff_t>(idx));
+        deliver(p);
+        return;
+      }
+      if (at_last_cell || is_bs(to)) continue;
+      if (home_cell_[to] == path[p.hop + 1] &&
+          queues_[to].size() < opt_.max_queue) {
+        q.erase(q.begin() + static_cast<std::ptrdiff_t>(idx));
+        queues_[to].push_back({p.flow, p.hop + 1, p.born});
+        return;
+      }
+    }
+  }
+
+  // Two-hop: source → any relay → destination.
+  void transfer_two_hop(std::uint32_t from, std::uint32_t to) {
+    if (is_bs(from) || is_bs(to)) return;
+    auto& q = queues_[from];
+    if (count_own_[from] < opt_.source_backlog && q.size() < opt_.max_queue) {
+      q.push_back({from, 0, slot_});
+      ++count_own_[from];
+    }
+    const std::size_t scan = std::min<std::size_t>(q.size(), kScanDepth);
+    for (std::size_t idx = 0; idx < scan; ++idx) {
+      Packet p = q[idx];
+      if (to == dest_[p.flow]) {
+        q.erase(q.begin() + static_cast<std::ptrdiff_t>(idx));
+        deliver(p);
+        return;
+      }
+      // Only the source hands off to a relay (exactly two hops).
+      if (p.flow == from && queues_[to].size() < opt_.max_queue) {
+        q.erase(q.begin() + static_cast<std::ptrdiff_t>(idx));
+        queues_[to].push_back(p);
+        return;
+      }
+    }
+  }
+
+  // Scheme B: MS→BS uplink; BS queues drain over the wired backbone in
+  // wired_step(); BS→MS downlink on meeting the destination.
+  void transfer_scheme_b(std::uint32_t from, std::uint32_t to) {
+    if (!is_bs(from) && is_bs(to)) {
+      // Uplink: inject one packet of `from`'s own flow (within the
+      // flow-control window).
+      if (count_own_[from] < opt_.source_backlog &&
+          queues_[to].size() < opt_.max_queue) {
+        queues_[to].push_back({from, 0, slot_});
+        ++count_own_[from];
+      }
+      return;
+    }
+    if (is_bs(from) && !is_bs(to)) {
+      // Downlink: deliver a packet destined to `to`, if this BS holds one.
+      auto& q = queues_[from];
+      const std::size_t scan = std::min<std::size_t>(q.size(), kScanDepth);
+      for (std::size_t idx = 0; idx < scan; ++idx) {
+        if (dest_[q[idx].flow] == to && q[idx].hop == 1) {
+          const Packet p = q[idx];
+          q.erase(q.begin() + static_cast<std::ptrdiff_t>(idx));
+          deliver(p);
+          return;
+        }
+      }
+    }
+  }
+
+  // Wired phase: every edge accrues c(n) units of credit per slot (lazily,
+  // from the slot of its last use); a BS forwards each uplink packet
+  // (hop 0) to a BS serving the destination once the edge holds a full
+  // unit of credit.
+  void wired_step(std::size_t slot) {
+    const double c = net_.params().c();
+    for (std::uint32_t l = 0; l < k_; ++l) {
+      auto& q = queues_[n_ + l];
+      for (std::size_t idx = 0; idx < q.size();) {
+        if (q[idx].hop != 0) {
+          ++idx;
+          continue;
+        }
+        const std::uint32_t d = dest_[q[idx].flow];
+        if (serving_[d].empty()) {
+          ++idx;
+          continue;
+        }
+        // Round-robin over the destination's serving BSs.
+        const std::uint32_t target =
+            serving_[d][rr_++ % serving_[d].size()];
+        if (target == l) {
+          q[idx].hop = 1;  // already at a serving BS
+          ++idx;
+          continue;
+        }
+        auto key = std::minmax(l, target);
+        WireState& wire = wire_credit_[{key.first, key.second}];
+        if (wire.last_topup < slot + 1) {
+          wire.credit += c * static_cast<double>(slot + 1 - wire.last_topup);
+          // Cap accumulated credit so an idle edge cannot burst
+          // arbitrarily later (token bucket with depth 4).
+          wire.credit = std::min(wire.credit, std::max(4.0, c));
+          wire.last_topup = slot + 1;
+        }
+        if (wire.credit >= 1.0 &&
+            queues_[n_ + target].size() < opt_.max_queue) {
+          wire.credit -= 1.0;
+          Packet p = q[idx];
+          p.hop = 1;
+          q.erase(q.begin() + static_cast<std::ptrdiff_t>(idx));
+          queues_[n_ + target].push_back(p);
+        } else {
+          ++idx;
+        }
+      }
+    }
+  }
+
+  static constexpr std::size_t kScanDepth = 16;
+
+  const net::Network& net_;
+  const std::vector<std::uint32_t>& dest_;
+  SlotSimOptions opt_;
+  std::size_t n_;
+  std::size_t k_;
+
+  std::vector<std::deque<Packet>> queues_;
+  std::vector<std::uint64_t> delivered_;
+  std::vector<std::size_t> count_own_;
+  std::vector<double> delays_;  // per delivered packet, measurement window
+  std::uint32_t slot_ = 0;      // current slot (delay bookkeeping)
+  bool measuring_ = false;
+
+  // Scheme A state.
+  std::unique_ptr<geom::SquareTessellation> tess_;
+  std::vector<std::uint32_t> home_cell_;
+  std::vector<std::vector<std::uint32_t>> paths_;
+
+  // Scheme B state.
+  struct WireState {
+    double credit = 0.0;
+    std::size_t last_topup = 0;
+  };
+  std::vector<std::vector<std::uint32_t>> serving_;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, WireState> wire_credit_;
+  std::size_t rr_ = 0;
+
+  // Scheme C state.
+  std::vector<std::vector<std::uint32_t>> cell_members_;
+  std::vector<int> cell_color_;
+  std::size_t num_colors_ = 1;
+  std::vector<std::size_t> rr_cell_;
+};
+
+}  // namespace
+
+SlotSimResult run_slot_sim(const net::Network& net,
+                           const std::vector<std::uint32_t>& dest,
+                           const SlotSimOptions& options) {
+  SlotSim sim(net, dest, options);
+  return sim.run();
+}
+
+}  // namespace manetcap::sim

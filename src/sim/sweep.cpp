@@ -1,0 +1,71 @@
+#include "sim/sweep.h"
+
+#include <cmath>
+
+#include "analysis/stats.h"
+#include "util/check.h"
+
+namespace manetcap::sim {
+
+std::vector<std::size_t> geometric_sizes(std::size_t n0, double ratio,
+                                         std::size_t count) {
+  MANETCAP_CHECK(n0 >= 2);
+  MANETCAP_CHECK(ratio > 1.0);
+  MANETCAP_CHECK(count >= 1);
+  std::vector<std::size_t> sizes;
+  sizes.reserve(count);
+  double v = static_cast<double>(n0);
+  for (std::size_t i = 0; i < count; ++i) {
+    sizes.push_back(static_cast<std::size_t>(std::llround(v)));
+    v *= ratio;
+  }
+  return sizes;
+}
+
+SweepResult run_sweep(const net::ScalingParams& base,
+                      const std::vector<std::size_t>& sizes,
+                      std::size_t trials, const Evaluator& eval,
+                      std::uint64_t seed0) {
+  MANETCAP_CHECK(!sizes.empty());
+  MANETCAP_CHECK(trials >= 1);
+
+  SweepResult result;
+  std::vector<double> xs, ys;
+  bool all_positive = true;
+
+  for (std::size_t si = 0; si < sizes.size(); ++si) {
+    net::ScalingParams p = base;
+    p.n = sizes[si];
+    std::vector<double> lambdas;
+    lambdas.reserve(trials);
+    for (std::size_t t = 0; t < trials; ++t) {
+      const std::uint64_t seed =
+          seed0 * 0x9e3779b97f4a7c15ULL + si * 1000003ULL + t * 7919ULL + 1;
+      lambdas.push_back(eval(p, seed));
+    }
+
+    SweepPoint point;
+    point.n = p.n;
+    point.trials = trials;
+    const auto summary = analysis::summarize(lambdas);
+    point.lambda_min = summary.min;
+    point.lambda_max = summary.max;
+    if (summary.min > 0.0) {
+      point.lambda_gm = analysis::geometric_mean(lambdas);
+      xs.push_back(static_cast<double>(p.n));
+      ys.push_back(point.lambda_gm);
+    } else {
+      point.lambda_gm = 0.0;
+      all_positive = false;
+    }
+    result.points.push_back(point);
+  }
+
+  if (all_positive && xs.size() >= 3) {
+    result.fit = analysis::fit_power_law(xs, ys);
+    result.fit_valid = true;
+  }
+  return result;
+}
+
+}  // namespace manetcap::sim

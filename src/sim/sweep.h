@@ -1,0 +1,44 @@
+// Scaling sweeps: measure λ(n) over geometrically spaced n, average over
+// seeds, and fit the scaling exponent — the measurement methodology behind
+// every Table I row and figure series.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "analysis/loglog_fit.h"
+#include "net/params.h"
+
+namespace manetcap::sim {
+
+/// Measures one instance: (params, seed) → per-node rate λ.
+using Evaluator =
+    std::function<double(const net::ScalingParams&, std::uint64_t seed)>;
+
+struct SweepPoint {
+  std::size_t n = 0;
+  double lambda_gm = 0.0;     // geometric mean over trials
+  double lambda_min = 0.0;
+  double lambda_max = 0.0;
+  std::size_t trials = 0;
+};
+
+struct SweepResult {
+  std::vector<SweepPoint> points;
+  analysis::PowerLawFit fit;  // slope of log λ vs log n
+  bool fit_valid = false;     // false when some point measured λ = 0
+};
+
+/// Geometrically spaced sizes: n₀·ratioⁱ, i = 0..count−1.
+std::vector<std::size_t> geometric_sizes(std::size_t n0, double ratio,
+                                         std::size_t count);
+
+/// Runs `eval` for every (n, trial) pair, with params = base except n.
+/// Deterministic given seed0.
+SweepResult run_sweep(const net::ScalingParams& base,
+                      const std::vector<std::size_t>& sizes,
+                      std::size_t trials, const Evaluator& eval,
+                      std::uint64_t seed0 = 1);
+
+}  // namespace manetcap::sim

@@ -1,0 +1,16 @@
+#include "util/artifacts.h"
+
+#include <filesystem>
+#include <system_error>
+
+namespace manetcap::util {
+
+std::string artifact_path(const std::string& name) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories("bench_csv", ec);
+  if (ec) return name + ".csv";
+  return (fs::path("bench_csv") / (name + ".csv")).string();
+}
+
+}  // namespace manetcap::util

@@ -1,0 +1,16 @@
+// Output-artifact helpers for the benchmark harness: every bench prints a
+// human-readable table AND drops a machine-readable CSV under
+// ./bench_csv/ so figures can be replotted without re-running.
+#pragma once
+
+#include <string>
+
+#include "util/csv.h"
+
+namespace manetcap::util {
+
+/// Ensures ./bench_csv exists and returns the path for `name`.csv.
+/// Falls back to the current directory if the directory cannot be made.
+std::string artifact_path(const std::string& name);
+
+}  // namespace manetcap::util

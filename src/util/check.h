@@ -1,0 +1,55 @@
+// Lightweight precondition / invariant checking.
+//
+// MANETCAP_CHECK is always on (cheap conditions guarding API misuse);
+// MANETCAP_DCHECK compiles out in NDEBUG builds (hot-loop invariants).
+// Violations throw manetcap::CheckError so tests can assert on them and
+// callers can recover; terminating the process is never the library's call.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace manetcap {
+
+/// Thrown when a MANETCAP_CHECK / MANETCAP_DCHECK condition fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* cond, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << cond << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace manetcap
+
+#define MANETCAP_CHECK(cond)                                              \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::manetcap::detail::check_failed(#cond, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define MANETCAP_CHECK_MSG(cond, msg)                                     \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::ostringstream os_;                                             \
+      os_ << msg;                                                         \
+      ::manetcap::detail::check_failed(#cond, __FILE__, __LINE__,         \
+                                       os_.str());                        \
+    }                                                                     \
+  } while (0)
+
+#ifdef NDEBUG
+#define MANETCAP_DCHECK(cond) \
+  do {                        \
+  } while (0)
+#else
+#define MANETCAP_DCHECK(cond) MANETCAP_CHECK(cond)
+#endif

@@ -1,0 +1,46 @@
+#include "util/csv.h"
+
+#include <stdexcept>
+
+#include "util/check.h"
+
+namespace manetcap::util {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char ch : field) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), cols_(header.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  MANETCAP_CHECK(cols_ > 0);
+  write_row(header);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& row) {
+  MANETCAP_CHECK_MSG(row.size() == cols_,
+                     "CSV row has " << row.size() << " cells, expected "
+                                    << cols_);
+  write_row(row);
+  ++rows_;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& row) {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << csv_escape(row[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace manetcap::util

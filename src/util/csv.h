@@ -1,0 +1,34 @@
+// Minimal CSV emission for experiment outputs (one file per figure series).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace manetcap::util {
+
+/// Writes rows of comma-separated values with RFC-4180-style quoting.
+/// The writer owns the output stream; the file is flushed on destruction.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  /// Throws std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Appends one data row; must match the header's column count.
+  void add_row(const std::vector<std::string>& row);
+
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  void write_row(const std::vector<std::string>& row);
+
+  std::ofstream out_;
+  std::size_t cols_ = 0;
+  std::size_t rows_ = 0;
+};
+
+/// Quotes a CSV field if it contains a comma, quote, or newline.
+std::string csv_escape(const std::string& field);
+
+}  // namespace manetcap::util

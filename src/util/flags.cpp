@@ -1,0 +1,71 @@
+#include "util/flags.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace manetcap::util {
+
+namespace {
+bool is_known(const std::vector<std::string>& known, const std::string& name) {
+  return std::find(known.begin(), known.end(), name) != known.end();
+}
+}  // namespace
+
+Flags::Flags(int argc, const char* const* argv,
+             const std::vector<std::string>& known) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    std::string name, value;
+    auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      // `--flag value` form: consume the next token unless it is a flag.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    if (!is_known(known, name))
+      throw std::runtime_error("unknown flag: --" + name);
+    values_[name] = value;
+  }
+}
+
+bool Flags::has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string Flags::get_string(const std::string& name,
+                              const std::string& def) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+long Flags::get_int(const std::string& name, long def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return std::stol(it->second);
+}
+
+double Flags::get_double(const std::string& name, double def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return std::stod(it->second);
+}
+
+bool Flags::get_bool(const std::string& name, bool def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace manetcap::util

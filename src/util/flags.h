@@ -1,0 +1,37 @@
+// Tiny command-line flag parser for examples and benches.
+//
+// Supports `--name=value`, `--name value` and boolean `--name` forms; any
+// unknown flag is an error so typos surface immediately.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace manetcap::util {
+
+/// Parses argv into a name→value map and exposes typed accessors with
+/// defaults. Construction throws std::runtime_error on malformed input.
+class Flags {
+ public:
+  Flags(int argc, const char* const* argv,
+        const std::vector<std::string>& known);
+
+  bool has(const std::string& name) const;
+
+  std::string get_string(const std::string& name,
+                         const std::string& def) const;
+  long get_int(const std::string& name, long def) const;
+  double get_double(const std::string& name, double def) const;
+  bool get_bool(const std::string& name, bool def) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace manetcap::util

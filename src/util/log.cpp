@@ -1,0 +1,34 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <iostream>
+
+namespace manetcap::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+const char* tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+void log(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  std::cerr << "[" << tag(level) << "] " << msg << '\n';
+}
+
+}  // namespace manetcap::util

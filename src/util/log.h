@@ -1,0 +1,39 @@
+// Leveled stderr logging with a global threshold. Deliberately minimal:
+// the library is single-process and logging is for harness progress only.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace manetcap::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global minimum level emitted (default: kInfo).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits `msg` to stderr with a level tag if `level` passes the threshold.
+void log(LogLevel level, const std::string& msg);
+
+namespace detail {
+/// Stream-style one-shot logger: `Logger(kInfo).stream() << ...;`
+class Logger {
+ public:
+  explicit Logger(LogLevel level) : level_(level) {}
+  ~Logger() { log(level_, os_.str()); }
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+  std::ostringstream& stream() { return os_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace manetcap::util
+
+#define MANETCAP_LOG(level)                                        \
+  ::manetcap::util::detail::Logger(::manetcap::util::LogLevel::level) \
+      .stream()

@@ -1,0 +1,27 @@
+// Wall-clock stopwatch for harness progress reporting.
+#pragma once
+
+#include <chrono>
+
+namespace manetcap::util {
+
+/// Measures elapsed wall time since construction or the last reset().
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds as a double.
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace manetcap::util

@@ -1,0 +1,78 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace manetcap::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  MANETCAP_CHECK(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  MANETCAP_CHECK_MSG(row.size() == header_.size(),
+                     "row has " << row.size() << " cells, header has "
+                                << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void Table::add_separator() { rows_.emplace_back(); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+  }
+
+  auto print_rule = [&] {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      os << std::string(width[c] + 2, '-');
+      if (c + 1 < width.size()) os << '+';
+    }
+    os << '\n';
+  };
+  auto print_cells = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      const std::string& s = c < cells.size() ? cells[c] : std::string();
+      os << ' ' << std::left << std::setw(static_cast<int>(width[c])) << s
+         << ' ';
+      if (c + 1 < width.size()) os << '|';
+    }
+    os << '\n';
+  };
+
+  print_cells(header_);
+  print_rule();
+  for (const auto& row : rows_) {
+    if (row.empty())
+      print_rule();
+    else
+      print_cells(row);
+  }
+}
+
+std::string Table::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+std::string fmt_double(double v, int digits) {
+  std::ostringstream os;
+  os << std::setprecision(digits) << v;
+  return os.str();
+}
+
+std::string fmt_sci(double v, int digits) {
+  std::ostringstream os;
+  os << std::scientific << std::setprecision(digits) << v;
+  return os.str();
+}
+
+}  // namespace manetcap::util

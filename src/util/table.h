@@ -1,0 +1,48 @@
+// Aligned plain-text table printer used by the benchmark harness to emit
+// paper-style tables (Table I, per-figure series) to stdout.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace manetcap::util {
+
+/// Builds a column-aligned text table incrementally and renders it.
+///
+/// Usage:
+///   Table t({"n", "lambda", "slope"});
+///   t.add_row({"1024", "0.031", "-0.52"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a data row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Appends a horizontal separator line at the current position.
+  void add_separator();
+
+  /// Renders the table with single-space-padded, column-aligned cells.
+  void print(std::ostream& os) const;
+
+  /// Renders to a string (convenience for tests).
+  std::string to_string() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return header_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  // A row is either a cell vector or empty (encoding a separator).
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant digits (benchmark output).
+std::string fmt_double(double v, int digits = 4);
+
+/// Formats a double in scientific notation with `digits` mantissa digits.
+std::string fmt_sci(double v, int digits = 3);
+
+}  // namespace manetcap::util

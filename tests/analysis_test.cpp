@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/density.h"
+#include "analysis/loglog_fit.h"
+#include "analysis/stats.h"
+#include "mobility/home_points.h"
+#include "rng/rng.h"
+#include "util/check.h"
+
+namespace manetcap::analysis {
+namespace {
+
+// ----------------------------------------------------------- power law --
+
+TEST(PowerLawFit, RecoversExactLaw) {
+  std::vector<double> x, y;
+  for (double v = 100.0; v <= 1e5; v *= 2.0) {
+    x.push_back(v);
+    y.push_back(3.5 * std::pow(v, -0.5));
+  }
+  auto fit = fit_power_law(x, y);
+  EXPECT_NEAR(fit.exponent, -0.5, 1e-9);
+  EXPECT_NEAR(std::exp(fit.log_prefactor), 3.5, 1e-6);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(fit.stderr_, 0.0, 1e-9);
+}
+
+TEST(PowerLawFit, PredictInterpolates) {
+  std::vector<double> x{10, 100, 1000};
+  std::vector<double> y{1.0, 0.1, 0.01};  // slope −1
+  auto fit = fit_power_law(x, y);
+  EXPECT_NEAR(fit.predict(316.2), 0.0316, 0.001);
+}
+
+TEST(PowerLawFit, NoisyDataHasPositiveStderr) {
+  rng::Xoshiro256 g(3);
+  std::vector<double> x, y;
+  for (double v = 64.0; v <= 65536.0; v *= 2.0) {
+    x.push_back(v);
+    y.push_back(std::pow(v, -0.7) * std::exp(0.2 * rng::normal(g)));
+  }
+  auto fit = fit_power_law(x, y);
+  EXPECT_NEAR(fit.exponent, -0.7, 0.15);
+  EXPECT_GT(fit.stderr_, 0.0);
+  EXPECT_LT(fit.r_squared, 1.0);
+  EXPECT_GT(fit.r_squared, 0.9);
+}
+
+TEST(PowerLawFit, RejectsBadInput) {
+  EXPECT_THROW(fit_power_law({1, 2}, {1, 2}), manetcap::CheckError);
+  EXPECT_THROW(fit_power_law({1, 2, 3}, {1, 2}), manetcap::CheckError);
+  EXPECT_THROW(fit_power_law({1, 2, 3}, {1, 0.0, 2}), manetcap::CheckError);
+  EXPECT_THROW(fit_power_law({1, 1, 1}, {1, 2, 3}), manetcap::CheckError);
+}
+
+// ---------------------------------------------------------------- stats --
+
+TEST(Stats, SummaryBasics) {
+  auto s = summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_EQ(s.count, 4u);
+}
+
+TEST(Stats, SingleValueHasZeroSpread) {
+  auto s = summarize({7.0});
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+}
+
+TEST(Stats, GeometricMean) {
+  EXPECT_NEAR(geometric_mean({1.0, 100.0}), 10.0, 1e-9);
+  EXPECT_NEAR(geometric_mean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+  EXPECT_THROW(geometric_mean({1.0, 0.0}), manetcap::CheckError);
+}
+
+TEST(Stats, Quantiles) {
+  std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.0);
+}
+
+// -------------------------------------------------------------- density --
+
+TEST(Density, UniformLayoutIsFlat) {
+  rng::Xoshiro256 g(7);
+  auto layout =
+      mobility::place_home_points(20000, mobility::ClusterSpec::uniform(20000),
+                                  g);
+  mobility::Shape shape(mobility::ShapeKind::kUniformDisk);
+  // f moderate: mobility disks overlap heavily → near-uniform ρ.
+  auto field = compute_density_field(layout.points, {}, shape, 4.0, 16);
+  EXPECT_LT(field.contrast(), 2.0);
+  // E[ρ] = population · π/population = π for the 1/√pop probe radius.
+  EXPECT_NEAR(field.mean, M_PI, 0.25);
+}
+
+TEST(Density, ClusteredLayoutWithTinyMobilityIsSpiky) {
+  rng::Xoshiro256 g(11);
+  auto layout =
+      mobility::place_home_points(20000, mobility::ClusterSpec{5, 0.02}, g);
+  mobility::Shape shape(mobility::ShapeKind::kUniformDisk);
+  // Large f: mobility disk ≪ cluster separation → empty regions.
+  auto field = compute_density_field(layout.points, {}, shape, 100.0, 16);
+  EXPECT_GT(field.contrast(), 50.0);
+}
+
+TEST(Density, MobilitySmoothsClusters) {
+  // Same clustered layout, strong mobility (small f) → flat again.
+  rng::Xoshiro256 g(13);
+  auto layout =
+      mobility::place_home_points(20000, mobility::ClusterSpec{32, 0.05}, g);
+  mobility::Shape shape(mobility::ShapeKind::kUniformDisk);
+  auto spiky = compute_density_field(layout.points, {}, shape, 50.0, 12);
+  auto smooth = compute_density_field(layout.points, {}, shape, 1.5, 12);
+  EXPECT_LT(smooth.contrast(), spiky.contrast());
+  EXPECT_LT(smooth.contrast(), 3.0);
+}
+
+TEST(Density, BsCountTowardDensity) {
+  mobility::Shape shape(mobility::ShapeKind::kUniformDisk);
+  std::vector<geom::Point> no_ms;
+  std::vector<geom::Point> bs = {{0.5, 0.5}};
+  auto field =
+      compute_density_field(no_ms, bs, shape, 2.0, 8, /*probe_radius=*/0.2);
+  // Probes within 0.2 of the BS see it.
+  EXPECT_GT(field.max, 0.99);
+  EXPECT_DOUBLE_EQ(field.min, 0.0);
+}
+
+TEST(Density, UniformDenseCheck) {
+  DensityField f;
+  f.grid = 2;
+  f.rho = {1.0, 1.2, 0.9, 1.1};
+  f.min = 0.9;
+  f.max = 1.2;
+  f.mean = 1.05;
+  EXPECT_TRUE(is_uniformly_dense(f, 0.5, 2.0));
+  EXPECT_FALSE(is_uniformly_dense(f, 0.95, 2.0));
+  EXPECT_FALSE(is_uniformly_dense(f, 0.5, 1.1));
+}
+
+}  // namespace
+}  // namespace manetcap::analysis

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "backbone/backbone.h"
+#include "rng/rng.h"
+#include "util/check.h"
+
+namespace manetcap::backbone {
+namespace {
+
+// -------------------------------------------------------- WiredBackbone --
+
+TEST(WiredBackbone, AccumulatesUndirectedLoad) {
+  WiredBackbone b(4, 2.0);
+  b.add_load(0, 1, 0.5);
+  b.add_load(1, 0, 0.25);  // same edge, opposite order
+  EXPECT_DOUBLE_EQ(b.load(0, 1), 0.75);
+  EXPECT_DOUBLE_EQ(b.load(1, 0), 0.75);
+  EXPECT_DOUBLE_EQ(b.load(2, 3), 0.0);
+}
+
+TEST(WiredBackbone, MaxFeasibleScale) {
+  WiredBackbone b(3, 4.0);
+  b.add_load(0, 1, 2.0);
+  b.add_load(1, 2, 1.0);
+  // Most loaded edge carries 2 against capacity 4 → scale 2.
+  EXPECT_DOUBLE_EQ(b.max_feasible_scale(), 2.0);
+  EXPECT_DOUBLE_EQ(b.max_edge_load(), 2.0);
+}
+
+TEST(WiredBackbone, UnloadedIsUnbounded) {
+  WiredBackbone b(2, 1.0);
+  EXPECT_TRUE(std::isinf(b.max_feasible_scale()));
+  EXPECT_EQ(b.num_loaded_edges(), 0u);
+}
+
+TEST(WiredBackbone, RejectsSelfEdgeAndBadIds) {
+  WiredBackbone b(2, 1.0);
+  EXPECT_THROW(b.add_load(0, 0, 1.0), manetcap::CheckError);
+  EXPECT_THROW(b.add_load(0, 5, 1.0), manetcap::CheckError);
+  EXPECT_THROW(b.add_load(0, 1, -1.0), manetcap::CheckError);
+}
+
+// ------------------------------------------------------ GroupedBackbone --
+
+TEST(GroupedBackbone, SpreadsOverCrossEdges) {
+  // Groups of 3 and 4 BSs → 12 edges between them.
+  GroupedBackbone b({3, 4}, 1.0);
+  b.add_load(0, 1, 6.0);
+  EXPECT_DOUBLE_EQ(b.group_load(0, 1), 6.0);
+  EXPECT_DOUBLE_EQ(b.max_edge_load(), 0.5);        // 6 / 12
+  EXPECT_DOUBLE_EQ(b.max_feasible_scale(), 2.0);   // 1.0 / 0.5
+}
+
+TEST(GroupedBackbone, IntraGroupUsesPairCount) {
+  GroupedBackbone b({4}, 1.0);
+  b.add_load(0, 0, 3.0);
+  // C(4,2) = 6 internal edges → per-edge 0.5.
+  EXPECT_DOUBLE_EQ(b.max_edge_load(), 0.5);
+}
+
+TEST(GroupedBackbone, OrderOfGroupsIrrelevant) {
+  GroupedBackbone b({2, 5}, 1.0);
+  b.add_load(0, 1, 1.0);
+  b.add_load(1, 0, 1.0);
+  EXPECT_DOUBLE_EQ(b.group_load(1, 0), 2.0);
+}
+
+TEST(GroupedBackbone, EmptyGroupIsStructurallyInfeasible) {
+  GroupedBackbone b({0, 3}, 1.0);
+  b.add_load(0, 1, 1.0);
+  EXPECT_DOUBLE_EQ(b.max_feasible_scale(), 0.0);
+}
+
+TEST(GroupedBackbone, SingletonIntraGroupInfeasible) {
+  GroupedBackbone b({1}, 1.0);
+  b.add_load(0, 0, 1.0);  // no internal edge exists
+  EXPECT_DOUBLE_EQ(b.max_feasible_scale(), 0.0);
+}
+
+TEST(GroupedBackbone, ZeroLoadIgnored) {
+  GroupedBackbone b({0, 2}, 1.0);
+  b.add_load(0, 1, 0.0);  // zero demand on an empty group: harmless
+  EXPECT_TRUE(std::isinf(b.max_feasible_scale()));
+}
+
+TEST(GroupedBackbone, CapacityScalesResult) {
+  GroupedBackbone lo({2, 2}, 0.5);
+  GroupedBackbone hi({2, 2}, 2.0);
+  lo.add_load(0, 1, 4.0);
+  hi.add_load(0, 1, 4.0);
+  EXPECT_DOUBLE_EQ(hi.max_feasible_scale() / lo.max_feasible_scale(), 4.0);
+}
+
+TEST(GroupedBackbone, SingletonGroupsMatchExactLedger) {
+  // Property: with every BS its own group, the grouped (fluid) ledger and
+  // the exact per-edge ledger agree on max edge load and feasible scale
+  // for any load pattern.
+  const std::size_t k = 12;
+  std::vector<std::size_t> sizes(k, 1);
+  GroupedBackbone grouped(sizes, 0.7);
+  WiredBackbone exact(k, 0.7);
+  rng::Xoshiro256 g(99);
+  for (int i = 0; i < 200; ++i) {
+    const auto a = static_cast<std::uint32_t>(rng::uniform_index(g, k));
+    auto b = static_cast<std::uint32_t>(rng::uniform_index(g, k));
+    if (a == b) b = (b + 1) % k;
+    const double load = rng::uniform(g, 0.0, 3.0);
+    grouped.add_load(a, b, load);
+    exact.add_load(a, b, load);
+  }
+  EXPECT_NEAR(grouped.max_edge_load(), exact.max_edge_load(), 1e-12);
+  EXPECT_NEAR(grouped.max_feasible_scale(), exact.max_feasible_scale(),
+              1e-12);
+}
+
+TEST(GroupedBackbone, MatchesTheoryShape) {
+  // k BSs in g groups, n flows uniformly over group pairs: per-edge load
+  // ≈ λ·n/k² and max scale ≈ c·k²/n — the k²c/n law of Lemma 7/Theorem 5.
+  const std::size_t k = 64, groups = 4;
+  const double c = 0.01;
+  std::vector<std::size_t> sizes(groups, k / groups);
+  GroupedBackbone b(sizes, c);
+  const std::size_t n = 1024;
+  std::size_t flows = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t gs = i % groups;
+    const std::uint32_t gd = (i / groups) % groups;
+    if (gs == gd) continue;
+    b.add_load(gs, gd, 1.0);
+    ++flows;
+  }
+  // Cross-group edges: 16·16 = 256 per pair; ~n·(3/4) flows over 6 pairs.
+  const double per_edge_expected =
+      static_cast<double>(flows) / 6.0 / 256.0;
+  EXPECT_NEAR(b.max_edge_load(), per_edge_expected,
+              per_edge_expected * 0.5);
+  EXPECT_NEAR(b.max_feasible_scale(), c / b.max_edge_load(), 1e-12);
+}
+
+}  // namespace
+}  // namespace manetcap::backbone

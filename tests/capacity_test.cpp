@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "capacity/formulas.h"
+#include "capacity/phase_diagram.h"
+#include "capacity/regimes.h"
+#include "util/check.h"
+
+namespace manetcap::capacity {
+namespace {
+
+net::ScalingParams params(double alpha, double M, double R, bool with_bs,
+                          double K = 0.7, double phi = 0.0,
+                          std::size_t n = 4096) {
+  net::ScalingParams p;
+  p.n = n;
+  p.alpha = alpha;
+  p.M = M;
+  p.R = R;
+  p.with_bs = with_bs;
+  p.K = K;
+  p.phi = phi;
+  return p;
+}
+
+// -------------------------------------------------------------- regimes --
+
+TEST(Regimes, UniformLayoutWithModerateAlphaIsStrong) {
+  // m = n ⇒ f√γ ~ n^(α−1/2): strong for all α < 1/2.
+  EXPECT_EQ(classify_exponents(0.3, 1.0, 0.0), MobilityRegime::kStrong);
+  EXPECT_EQ(classify_exponents(0.49, 1.0, 0.0), MobilityRegime::kStrong);
+}
+
+TEST(Regimes, BoundaryAlphaHalfIsNotStrong) {
+  // α = 1/2, M = 1: f√γ = √log n = ω(1) → not strong.
+  EXPECT_NE(classify_exponents(0.5, 1.0, 0.0), MobilityRegime::kStrong);
+}
+
+TEST(Regimes, HeavyClusteringWeakensMobility) {
+  // α = 0.45, M = 0.3: α − M/2 = 0.3 > 0 → not strong.
+  // Trivial statistic: α − R − (1−M)/2 = 0.45 − 0.4 − 0.35 < 0 → weak.
+  EXPECT_EQ(classify_exponents(0.45, 0.3, 0.4), MobilityRegime::kWeak);
+}
+
+TEST(Regimes, TrivialWhenMobilityTinyVsClusterScale) {
+  // α = 0.5, M = 0.2, R = 0.0: trivial statistic 0.5 − 0 − 0.4 = 0.1 > 0.
+  EXPECT_EQ(classify_exponents(0.5, 0.2, 0.0), MobilityRegime::kTrivial);
+}
+
+TEST(Regimes, StatisticsMatchConcreteValues) {
+  auto p = params(0.45, 0.3, 0.4, true, 0.6);
+  const double m = static_cast<double>(p.m());
+  EXPECT_NEAR(f_sqrt_gamma(p), p.f() * std::sqrt(std::log(m) / m), 1e-9);
+  EXPECT_NEAR(f_sqrt_gamma_tilde(p), p.f() * std::sqrt(p.gamma_tilde()),
+              1e-9);
+}
+
+TEST(Regimes, FiniteNStatisticsAgreeWithExponentClassification) {
+  // Deep in the strong regime the finite-n statistic is ≪ 1; deep in the
+  // trivial regime it is ≫ 1.
+  auto strong = params(0.2, 1.0, 0.0, true);
+  strong.n = 100000;
+  EXPECT_LT(f_sqrt_gamma(strong), 0.3);
+  auto trivial = params(0.5, 0.2, 0.0, true);
+  trivial.n = 100000;
+  EXPECT_GT(f_sqrt_gamma_tilde(trivial), 3.0);
+}
+
+TEST(Regimes, Names) {
+  EXPECT_EQ(to_string(MobilityRegime::kStrong), "strong");
+  EXPECT_EQ(to_string(MobilityRegime::kWeak), "weak");
+  EXPECT_EQ(to_string(MobilityRegime::kTrivial), "trivial");
+}
+
+// ------------------------------------------------------------- formulas --
+
+TEST(Formulas, MobilityExponent) {
+  EXPECT_DOUBLE_EQ(mobility_exponent(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(mobility_exponent(0.35), -0.35);
+}
+
+TEST(Formulas, InfrastructureExponentSwitchesAtPhiZero) {
+  // ϕ ≥ 0: access-limited k/n → K − 1.
+  EXPECT_DOUBLE_EQ(infrastructure_exponent(0.7, 0.0), -0.3);
+  EXPECT_DOUBLE_EQ(infrastructure_exponent(0.7, 0.5), -0.3);
+  // ϕ < 0: backbone-limited k²c/n → K + ϕ − 1.
+  EXPECT_DOUBLE_EQ(infrastructure_exponent(0.7, -0.5), -0.8);
+  EXPECT_TRUE(backbone_limited(-0.1));
+  EXPECT_FALSE(backbone_limited(0.0));
+}
+
+TEST(Formulas, MobilityDominance) {
+  // α = 0.2 vs K = 0.7, ϕ = 0: infra −0.3 < mobility −0.2 → mobility wins.
+  EXPECT_TRUE(mobility_dominant(0.2, 0.7, 0.0));
+  // K = 0.9: infra −0.1 > −0.2 → infrastructure wins.
+  EXPECT_FALSE(mobility_dominant(0.2, 0.9, 0.0));
+}
+
+TEST(Formulas, StrongRegimeLawCombinesBothTerms) {
+  auto law = capacity_law(params(0.3, 1.0, 0.0, true, 0.9, 0.0));
+  EXPECT_EQ(law.regime, MobilityRegime::kStrong);
+  EXPECT_DOUBLE_EQ(law.exponent, std::max(-0.3, 0.9 - 1.0));
+  EXPECT_DOUBLE_EQ(law.rt_exponent, -0.5);
+}
+
+TEST(Formulas, StrongRegimeNoBs) {
+  auto law = capacity_law(params(0.3, 1.0, 0.0, false));
+  EXPECT_DOUBLE_EQ(law.exponent, -0.3);
+  EXPECT_EQ(law.expression, "Th(1/f)");
+}
+
+TEST(Formulas, WeakRegimeWithBs) {
+  auto law = capacity_law(params(0.45, 0.3, 0.4, true, 0.6, 0.0));
+  EXPECT_EQ(law.regime, MobilityRegime::kWeak);
+  EXPECT_DOUBLE_EQ(law.exponent, 0.6 - 1.0);
+  // R_T = r√(m/n) ⇒ exponent −R + (M−1)/2 = −0.4 − 0.35 = −0.75.
+  EXPECT_NEAR(law.rt_exponent, -0.75, 1e-12);
+}
+
+TEST(Formulas, WeakRegimeNoBsIsClusteredLaw) {
+  auto law = capacity_law(params(0.45, 0.3, 0.4, false));
+  EXPECT_DOUBLE_EQ(law.exponent, 0.3 / 2.0 - 1.0);
+  EXPECT_NEAR(law.rt_exponent, -0.15, 1e-12);
+}
+
+TEST(Formulas, TrivialRegimeWithBs) {
+  auto law = capacity_law(params(0.5, 0.2, 0.0, true, 0.6, -0.5));
+  EXPECT_EQ(law.regime, MobilityRegime::kTrivial);
+  EXPECT_DOUBLE_EQ(law.exponent, 0.6 - 0.5 - 1.0);
+  // R_T = r√(m/k) ⇒ −R + (M−K)/2 = 0 + (0.2−0.6)/2 = −0.2.
+  EXPECT_NEAR(law.rt_exponent, -0.2, 1e-12);
+}
+
+TEST(Formulas, CapacityNeverExceedsConstant) {
+  // Per-node capacity exponent can never be positive (W = 1).
+  for (double alpha : {0.0, 0.25, 0.5}) {
+    for (double K : {0.0, 0.5, 1.0}) {
+      for (double phi : {-1.0, 0.0, 1.0}) {
+        auto law = capacity_law(params(alpha, 1.0, 0.0, true, K, phi));
+        EXPECT_LE(law.exponent, 1e-12)
+            << "alpha=" << alpha << " K=" << K << " phi=" << phi;
+      }
+    }
+  }
+}
+
+// -------------------------------------------------------- phase diagram --
+
+TEST(PhaseDiagram, GridShapeAndBounds) {
+  auto d = compute_phase_diagram(0.0, 6, 5);
+  EXPECT_EQ(d.grid.size(), 30u);
+  EXPECT_DOUBLE_EQ(d.at(0, 0).alpha, 0.0);
+  EXPECT_DOUBLE_EQ(d.at(5, 0).alpha, 0.5);
+  EXPECT_DOUBLE_EQ(d.at(0, 4).K, 1.0);
+}
+
+TEST(PhaseDiagram, FullInfrastructureAlwaysDominatesAtKOne) {
+  // K = 1, ϕ ≥ 0: infra exponent 0 ≥ any mobility exponent.
+  auto d = compute_phase_diagram(0.0, 11, 11);
+  for (std::size_t ai = 0; ai < 11; ++ai)
+    EXPECT_FALSE(d.at(ai, 10).mobility_dominant);
+}
+
+TEST(PhaseDiagram, MobilityDominatesSmallK) {
+  auto d = compute_phase_diagram(0.0, 11, 11);
+  // α = 0.25 (ai=5), K = 0.1 (ki=1): mobility −0.25 > infra −0.9.
+  EXPECT_TRUE(d.at(5, 1).mobility_dominant);
+}
+
+TEST(PhaseDiagram, BoundaryMatchesFormula) {
+  for (double alpha : {0.0, 0.2, 0.4}) {
+    for (double phi : {-0.5, 0.0}) {
+      const double Kb = dominance_boundary_K(alpha, phi);
+      EXPECT_DOUBLE_EQ(Kb, 1.0 - alpha - std::min(phi, 0.0));
+      // Just above the boundary infra dominates, just below mobility does.
+      EXPECT_GE(infrastructure_exponent(Kb + 0.01, phi),
+                mobility_exponent(alpha));
+      EXPECT_LT(infrastructure_exponent(Kb - 0.01, phi),
+                mobility_exponent(alpha));
+    }
+  }
+}
+
+TEST(PhaseDiagram, NegativePhiShrinksInfrastructureRegion) {
+  auto base = compute_phase_diagram(0.0, 11, 11);
+  auto neg = compute_phase_diagram(-0.5, 11, 11);
+  std::size_t base_infra = 0, neg_infra = 0;
+  for (const auto& p : base.grid)
+    if (!p.mobility_dominant) ++base_infra;
+  for (const auto& p : neg.grid)
+    if (!p.mobility_dominant) ++neg_infra;
+  EXPECT_GT(base_infra, neg_infra);
+}
+
+TEST(PhaseDiagram, AsciiRenderingHasGridRows) {
+  auto d = compute_phase_diagram(0.0, 11, 5);
+  const std::string art = render_ascii(d);
+  EXPECT_NE(art.find('M'), std::string::npos);
+  EXPECT_NE(art.find('I'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace manetcap::capacity

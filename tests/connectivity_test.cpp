@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/connectivity.h"
+#include "mobility/home_points.h"
+#include "rng/rng.h"
+#include "util/check.h"
+
+namespace manetcap::analysis {
+namespace {
+
+TEST(Connectivity, TwoPointsConnectAtTheirDistance) {
+  std::vector<geom::Point> pts = {{0.1, 0.1}, {0.4, 0.1}};
+  EXPECT_FALSE(is_connected(pts, 0.29));
+  EXPECT_TRUE(is_connected(pts, 0.31));
+  EXPECT_NEAR(critical_range(pts, 1e-5), 0.3, 1e-4);
+}
+
+TEST(Connectivity, WrapsAroundTheSeam) {
+  std::vector<geom::Point> pts = {{0.02, 0.5}, {0.97, 0.5}};
+  EXPECT_TRUE(is_connected(pts, 0.06));  // 0.05 across the seam
+}
+
+TEST(Connectivity, ComponentCount) {
+  std::vector<geom::Point> pts = {
+      {0.1, 0.1}, {0.12, 0.1},        // blob 1
+      {0.6, 0.6}, {0.62, 0.6},        // blob 2
+      {0.3, 0.85}};                   // singleton
+  EXPECT_EQ(count_components(pts, 0.05), 3u);
+  EXPECT_EQ(count_components(pts, 0.7072), 1u);
+  EXPECT_EQ(count_components({}, 0.1), 0u);
+}
+
+TEST(Connectivity, ChainConnectsExactlyAtSpacing) {
+  std::vector<geom::Point> pts;
+  for (int i = 0; i < 10; ++i) pts.push_back({0.08 * i, 0.5});
+  EXPECT_TRUE(is_connected(pts, 0.081));
+  EXPECT_FALSE(is_connected(pts, 0.079));
+}
+
+TEST(Connectivity, CriticalRangeIsMonotoneBoundary) {
+  rng::Xoshiro256 g(7);
+  std::vector<geom::Point> pts(200);
+  for (auto& p : pts) p = rng::uniform_point(g);
+  const double rc = critical_range(pts, 1e-4);
+  EXPECT_TRUE(is_connected(pts, rc + 1e-3));
+  EXPECT_FALSE(is_connected(pts, rc - 2e-3));
+}
+
+TEST(Connectivity, UniformPointsMatchGuptaKumarOrder) {
+  // The measured critical range of n uniform points sits within a small
+  // constant of √(log n/(πn)) — the [18] threshold Theorem 1 leans on.
+  rng::Xoshiro256 g(11);
+  for (std::size_t n : {500u, 2000u, 8000u}) {
+    std::vector<geom::Point> pts(n);
+    for (auto& p : pts) p = rng::uniform_point(g);
+    const double rc = critical_range(pts, 1e-4);
+    const double gk = gupta_kumar_range(n);
+    EXPECT_GT(rc, 0.4 * gk) << "n=" << n;
+    EXPECT_LT(rc, 3.0 * gk) << "n=" << n;
+  }
+}
+
+TEST(Connectivity, ClusteredLayoutNeedsClusterLevelRange) {
+  // Lemma 10's intuition: with m clusters the critical range is governed
+  // by the cluster centers, far above the n-point uniform threshold.
+  rng::Xoshiro256 g(13);
+  auto layout = mobility::place_home_points(
+      4000, mobility::ClusterSpec{16, 0.01}, g);
+  const double rc = critical_range(layout.points, 1e-4);
+  // Far above the uniform-4000 threshold…
+  EXPECT_GT(rc, 3.0 * gupta_kumar_range(4000));
+  // …and of the order of the 16-cluster threshold.
+  const double cluster_rc = critical_range(layout.cluster_centers, 1e-4);
+  EXPECT_NEAR(rc, cluster_rc, 0.35 * cluster_rc + 2.0 * 0.01);
+}
+
+TEST(Connectivity, InputValidation) {
+  EXPECT_THROW(critical_range({{0.1, 0.1}}), manetcap::CheckError);
+  EXPECT_THROW(gupta_kumar_range(1), manetcap::CheckError);
+  EXPECT_THROW(is_connected({{0.1, 0.1}}, -0.1), manetcap::CheckError);
+}
+
+TEST(Connectivity, GuptaKumarRangeFormula) {
+  EXPECT_NEAR(gupta_kumar_range(1000),
+              std::sqrt(std::log(1000.0) / (M_PI * 1000.0)), 1e-12);
+}
+
+}  // namespace
+}  // namespace manetcap::analysis

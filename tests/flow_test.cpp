@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "flow/constraints.h"
+#include "util/check.h"
+
+namespace manetcap::flow {
+namespace {
+
+TEST(ConstraintSet, EmptySetIsUnbounded) {
+  ConstraintSet cs;
+  auto r = cs.solve();
+  EXPECT_TRUE(std::isinf(r.lambda));
+}
+
+TEST(ConstraintSet, ZeroLoadIgnored) {
+  ConstraintSet cs;
+  cs.add(Resource::kAccess, 1.0, 0.0);
+  EXPECT_EQ(cs.size(), 0u);
+  EXPECT_TRUE(std::isinf(cs.solve().lambda));
+}
+
+TEST(ConstraintSet, SingleConstraintGivesRatio) {
+  ConstraintSet cs;
+  cs.add(Resource::kAccess, 2.0, 4.0);
+  auto r = cs.solve();
+  EXPECT_DOUBLE_EQ(r.lambda, 0.5);
+  EXPECT_EQ(r.bottleneck, Resource::kAccess);
+}
+
+TEST(ConstraintSet, MinAcrossConstraints) {
+  ConstraintSet cs;
+  cs.add(Resource::kWirelessRelay, 10.0, 1.0);
+  cs.add(Resource::kBackbone, 1.0, 1.0, "edge (a,b)");
+  cs.add(Resource::kAccess, 5.0, 1.0);
+  auto r = cs.solve();
+  EXPECT_DOUBLE_EQ(r.lambda, 1.0);
+  EXPECT_EQ(r.bottleneck, Resource::kBackbone);
+  EXPECT_EQ(r.bottleneck_label, "edge (a,b)");
+}
+
+TEST(ConstraintSet, PerResourceBoundsReported) {
+  ConstraintSet cs;
+  cs.add(Resource::kWirelessRelay, 8.0, 2.0);   // 4
+  cs.add(Resource::kAccess, 3.0, 1.0);          // 3
+  cs.add(Resource::kBackbone, 10.0, 1.0);       // 10
+  auto r = cs.solve();
+  EXPECT_DOUBLE_EQ(r.lambda_wireless, 4.0);
+  EXPECT_DOUBLE_EQ(r.lambda_access, 3.0);
+  EXPECT_DOUBLE_EQ(r.lambda_backbone, 10.0);
+  EXPECT_DOUBLE_EQ(r.lambda, 3.0);
+}
+
+TEST(ConstraintSet, ZeroCapacityWithLoadKillsThroughput) {
+  ConstraintSet cs;
+  cs.add(Resource::kAccess, 5.0, 1.0);
+  cs.add(Resource::kAccess, 0.0, 1.0, "unreachable");
+  auto r = cs.solve();
+  EXPECT_DOUBLE_EQ(r.lambda, 0.0);
+  EXPECT_EQ(r.bottleneck_label, "unreachable");
+}
+
+TEST(ConstraintSet, TightestOfSameResourceWins) {
+  ConstraintSet cs;
+  for (int i = 1; i <= 10; ++i)
+    cs.add(Resource::kWirelessRelay, 1.0, static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(cs.solve().lambda, 0.1);
+}
+
+TEST(ConstraintSet, NegativeInputsRejected) {
+  ConstraintSet cs;
+  EXPECT_THROW(cs.add(Resource::kAccess, -1.0, 1.0), manetcap::CheckError);
+  EXPECT_THROW(cs.add(Resource::kAccess, 1.0, -1.0), manetcap::CheckError);
+}
+
+TEST(Resource, Names) {
+  EXPECT_EQ(to_string(Resource::kWirelessRelay), "wireless-relay");
+  EXPECT_EQ(to_string(Resource::kAccess), "access");
+  EXPECT_EQ(to_string(Resource::kBackbone), "backbone");
+}
+
+}  // namespace
+}  // namespace manetcap::flow

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/network.h"
+#include "routing/multicast.h"
+#include "routing/scheme_a.h"
+#include "rng/rng.h"
+#include "util/check.h"
+
+namespace manetcap::routing {
+namespace {
+
+net::ScalingParams strong_params(std::size_t n, bool with_bs) {
+  net::ScalingParams p;
+  p.n = n;
+  p.alpha = 0.3;
+  p.with_bs = with_bs;
+  p.K = 0.7;
+  p.M = 1.0;
+  p.phi = 0.0;
+  return p;
+}
+
+// --------------------------------------------------------- traffic model --
+
+TEST(MulticastTraffic, DestinationsDistinctAndNotSelf) {
+  rng::Xoshiro256 g(3);
+  auto t = multicast_traffic(200, 8, g);
+  ASSERT_EQ(t.dests.size(), 200u);
+  EXPECT_EQ(t.group_size(), 8u);
+  for (std::uint32_t s = 0; s < 200; ++s) {
+    std::set<std::uint32_t> uniq(t.dests[s].begin(), t.dests[s].end());
+    EXPECT_EQ(uniq.size(), 8u);
+    EXPECT_EQ(uniq.count(s), 0u);
+    for (auto d : uniq) EXPECT_LT(d, 200u);
+  }
+}
+
+TEST(MulticastTraffic, RejectsBadGroupSizes) {
+  rng::Xoshiro256 g(5);
+  EXPECT_THROW(multicast_traffic(10, 0, g), manetcap::CheckError);
+  EXPECT_THROW(multicast_traffic(10, 10, g), manetcap::CheckError);
+}
+
+// ------------------------------------------------------------- scheme A --
+
+TEST(MulticastSchemeA, TreeNeverWorseThanUnicastBundle) {
+  auto net = net::Network::build(strong_params(4096, false),
+                                 mobility::ShapeKind::kUniformDisk,
+                                 net::BsPlacement::kUniform, 7);
+  rng::Xoshiro256 g(9);
+  auto traffic = multicast_traffic(net.num_ms(), 8, g);
+  MulticastSchemeA tree(/*share_tree=*/true);
+  MulticastSchemeA bundle(/*share_tree=*/false);
+  auto rt = tree.evaluate(net, traffic);
+  auto rb = bundle.evaluate(net, traffic);
+  ASSERT_FALSE(rt.degenerate);
+  EXPECT_GE(rt.lambda_symmetric, rb.lambda_symmetric);
+  // Sharing strictly reduces loaded edges.
+  EXPECT_LT(rt.mean_tree_edges, rb.mean_tree_edges);
+  // Both count the same underlying unicast edge total.
+  EXPECT_DOUBLE_EQ(rt.mean_unicast_edges, rb.mean_unicast_edges);
+}
+
+TEST(MulticastSchemeA, GroupOfOneMatchesUnicastSchemeA) {
+  // g = 1 multicast is plain unicast: the tree and the H-V path coincide.
+  auto net = net::Network::build(strong_params(2048, false),
+                                 mobility::ShapeKind::kUniformDisk,
+                                 net::BsPlacement::kUniform, 11);
+  rng::Xoshiro256 g(13);
+  auto traffic = multicast_traffic(net.num_ms(), 1, g);
+  // Multicast evaluation:
+  MulticastSchemeA mc;
+  auto rm = mc.evaluate(net, traffic);
+  ASSERT_FALSE(rm.degenerate);
+  // Same flows through the unicast evaluator (traffic is not a
+  // permutation, but scheme A only needs per-flow destinations).
+  std::vector<std::uint32_t> dest(net.num_ms());
+  for (std::uint32_t s = 0; s < net.num_ms(); ++s)
+    dest[s] = traffic.dests[s][0];
+  SchemeA a;
+  auto ru = a.evaluate(net, dest);
+  EXPECT_NEAR(rm.lambda_symmetric, ru.lambda_symmetric,
+              0.35 * ru.lambda_symmetric);
+  EXPECT_DOUBLE_EQ(rm.mean_tree_edges, rm.mean_unicast_edges);
+}
+
+TEST(MulticastSchemeA, SharingFactorGrowsWithGroupSize) {
+  auto net = net::Network::build(strong_params(4096, false),
+                                 mobility::ShapeKind::kUniformDisk,
+                                 net::BsPlacement::kUniform, 17);
+  MulticastSchemeA mc;
+  double prev_factor = 0.0;
+  for (std::size_t g_size : {2u, 8u, 32u}) {
+    rng::Xoshiro256 g(19);
+    auto traffic = multicast_traffic(net.num_ms(), g_size, g);
+    auto r = mc.evaluate(net, traffic);
+    const double factor = r.mean_unicast_edges / r.mean_tree_edges;
+    EXPECT_GT(factor, prev_factor) << "g=" << g_size;
+    prev_factor = factor;
+  }
+  EXPECT_GT(prev_factor, 1.5);  // large groups share a lot
+}
+
+TEST(MulticastSchemeA, DegeneratesWithFullMixing) {
+  auto p = strong_params(256, false);
+  p.alpha = 0.0;
+  auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
+                                 net::BsPlacement::kUniform, 21);
+  rng::Xoshiro256 g(23);
+  auto traffic = multicast_traffic(net.num_ms(), 4, g);
+  MulticastSchemeA mc;
+  EXPECT_TRUE(mc.evaluate(net, traffic).degenerate);
+}
+
+// ------------------------------------------------------------- scheme B --
+
+TEST(MulticastSchemeB, DeliversAndScalesDownWithGroupSize) {
+  auto net = net::Network::build(strong_params(8192, true),
+                                 mobility::ShapeKind::kUniformDisk,
+                                 net::BsPlacement::kClusteredMatched, 25);
+  MulticastSchemeB mc;
+  double prev = std::numeric_limits<double>::infinity();
+  for (std::size_t g_size : {1u, 4u, 16u}) {
+    rng::Xoshiro256 g(27);
+    auto traffic = multicast_traffic(net.num_ms(), g_size, g);
+    auto r = mc.evaluate(net, traffic);
+    EXPECT_GT(r.lambda_symmetric, 0.0) << "g=" << g_size;
+    // Each extra destination adds a downlink: λ must shrink with g.
+    EXPECT_LT(r.lambda_symmetric, prev) << "g=" << g_size;
+    prev = r.lambda_symmetric;
+  }
+}
+
+TEST(MulticastSchemeB, WiredFanOutBoundedByGroupCount) {
+  // A flow loads at most (#squarelet groups − 1) wired group pairs no
+  // matter how large g is: infrastructure multicast amortizes distance.
+  auto net = net::Network::build(strong_params(8192, true),
+                                 mobility::ShapeKind::kUniformDisk,
+                                 net::BsPlacement::kClusteredMatched, 29);
+  MulticastSchemeB mc;
+  rng::Xoshiro256 g1(31), g2(31);
+  auto small = mc.evaluate(net, multicast_traffic(net.num_ms(), 15, g1));
+  auto large = mc.evaluate(net, multicast_traffic(net.num_ms(), 60, g2));
+  // With 16 groups, g = 15 already touches most groups; quadrupling g
+  // cannot quadruple the backbone bound.
+  ASSERT_GT(large.throughput.lambda_backbone, 0.0);
+  EXPECT_LT(small.throughput.lambda_backbone /
+                large.throughput.lambda_backbone,
+            2.0);
+}
+
+}  // namespace
+}  // namespace manetcap::routing

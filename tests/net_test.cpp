@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "net/network.h"
+#include "net/params.h"
+#include "net/traffic.h"
+#include "rng/rng.h"
+#include "util/check.h"
+
+namespace manetcap::net {
+namespace {
+
+ScalingParams strong_params(std::size_t n = 1024) {
+  ScalingParams p;
+  p.n = n;
+  p.alpha = 0.3;
+  p.with_bs = true;
+  p.K = 0.7;
+  p.M = 1.0;  // cluster-free
+  p.phi = 0.0;
+  return p;
+}
+
+ScalingParams clustered_params(std::size_t n = 2048) {
+  ScalingParams p;
+  p.n = n;
+  p.alpha = 0.45;
+  p.with_bs = true;
+  p.K = 0.6;
+  p.M = 0.3;
+  p.R = 0.4;
+  p.phi = 0.0;
+  return p;
+}
+
+// --------------------------------------------------------------- params --
+
+TEST(ScalingParams, DerivedQuantities) {
+  ScalingParams p = strong_params(10000);
+  EXPECT_NEAR(p.f(), std::pow(10000.0, 0.3), 1e-9);
+  EXPECT_EQ(p.k(), static_cast<std::size_t>(std::round(std::pow(10000, 0.7))));
+  EXPECT_EQ(p.m(), 10000u);  // cluster-free
+  EXPECT_DOUBLE_EQ(p.r(), 0.0);
+  EXPECT_NEAR(p.c() * static_cast<double>(p.k()), 1.0, 1e-9);  // phi = 0
+}
+
+TEST(ScalingParams, GammaMatchesDefinition) {
+  ScalingParams p = clustered_params(4096);
+  const double m = static_cast<double>(p.m());
+  EXPECT_NEAR(p.gamma(), std::log(m) / m, 1e-12);
+  const double per = 4096.0 / m;
+  EXPECT_NEAR(p.gamma_tilde(), p.r() * p.r() * std::log(per) / per, 1e-12);
+}
+
+TEST(ScalingParams, MobilityRadiusIsSupportOverF) {
+  ScalingParams p = strong_params(4096);
+  p.shape_support = 2.0;
+  EXPECT_NEAR(p.mobility_radius(), 2.0 / p.f(), 1e-12);
+}
+
+TEST(ScalingParams, NoBsHasNoStations) {
+  ScalingParams p = strong_params();
+  p.with_bs = false;
+  EXPECT_EQ(p.k(), 0u);
+  EXPECT_THROW(p.c(), manetcap::CheckError);
+}
+
+TEST(ScalingParams, ValidConfigurationHasNoViolations) {
+  EXPECT_TRUE(strong_params().assumption_violations().empty());
+  EXPECT_TRUE(clustered_params().assumption_violations().empty());
+}
+
+TEST(ScalingParams, ViolationsDetected) {
+  ScalingParams p = clustered_params();
+  p.alpha = 0.7;  // outside [0, 1/2]
+  EXPECT_FALSE(p.assumption_violations().empty());
+
+  ScalingParams q = clustered_params();
+  q.R = 0.1;  // M − 2R = 0.3 − 0.2 > 0 ⇒ overlap
+  EXPECT_FALSE(q.assumption_violations().empty());
+
+  ScalingParams r = clustered_params();
+  r.K = 0.2;  // K <= M violates k = omega(m)
+  EXPECT_FALSE(r.assumption_violations().empty());
+}
+
+TEST(ScalingParams, DescribeMentionsKeyNumbers) {
+  const std::string d = clustered_params().describe();
+  EXPECT_NE(d.find("n=2048"), std::string::npos);
+  EXPECT_NE(d.find("alpha=0.45"), std::string::npos);
+}
+
+// -------------------------------------------------------------- network --
+
+TEST(Network, BuildsRequestedPopulation) {
+  auto net = Network::build(strong_params(), mobility::ShapeKind::kUniformDisk,
+                            BsPlacement::kClusteredMatched, 1);
+  EXPECT_EQ(net.num_ms(), 1024u);
+  EXPECT_EQ(net.num_bs(), strong_params().k());
+  EXPECT_EQ(net.ms_home().size(), 1024u);
+}
+
+TEST(Network, DeterministicGivenSeed) {
+  auto a = Network::build(clustered_params(), mobility::ShapeKind::kTriangular,
+                          BsPlacement::kClusteredMatched, 99);
+  auto b = Network::build(clustered_params(), mobility::ShapeKind::kTriangular,
+                          BsPlacement::kClusteredMatched, 99);
+  for (std::size_t i = 0; i < a.num_ms(); ++i) {
+    EXPECT_DOUBLE_EQ(a.ms_home()[i].x, b.ms_home()[i].x);
+    EXPECT_DOUBLE_EQ(a.ms_home()[i].y, b.ms_home()[i].y);
+  }
+  for (std::size_t j = 0; j < a.num_bs(); ++j)
+    EXPECT_DOUBLE_EQ(a.bs_pos()[j].x, b.bs_pos()[j].x);
+}
+
+TEST(Network, SeedsChangeLayout) {
+  auto a = Network::build(strong_params(), mobility::ShapeKind::kUniformDisk,
+                          BsPlacement::kUniform, 1);
+  auto b = Network::build(strong_params(), mobility::ShapeKind::kUniformDisk,
+                          BsPlacement::kUniform, 2);
+  EXPECT_GT(geom::torus_dist(a.ms_home()[0], b.ms_home()[0]), 0.0);
+}
+
+TEST(Network, ClusteredMatchedBsNearClusters) {
+  auto net = Network::build(clustered_params(),
+                            mobility::ShapeKind::kUniformDisk,
+                            BsPlacement::kClusteredMatched, 7);
+  const auto& layout = net.ms_layout();
+  const double tol = layout.cluster_radius + net.mobility_radius() + 1e-9;
+  for (std::size_t j = 0; j < net.num_bs(); ++j) {
+    const auto c = net.bs_cluster()[j];
+    EXPECT_LE(geom::torus_dist(net.bs_pos()[j], layout.cluster_centers[c]),
+              tol);
+  }
+}
+
+TEST(Network, RegularGridIsDeterministicLattice) {
+  auto p = strong_params();
+  auto a = Network::build(p, mobility::ShapeKind::kUniformDisk,
+                          BsPlacement::kRegularGrid, 1);
+  auto b = Network::build(p, mobility::ShapeKind::kUniformDisk,
+                          BsPlacement::kRegularGrid, 2);
+  // Lattice ignores the seed.
+  for (std::size_t j = 0; j < a.num_bs(); ++j) {
+    EXPECT_DOUBLE_EQ(a.bs_pos()[j].x, b.bs_pos()[j].x);
+    EXPECT_DOUBLE_EQ(a.bs_pos()[j].y, b.bs_pos()[j].y);
+  }
+}
+
+TEST(Network, EveryClusterGetsBs) {
+  // k = ω(m) should give every cluster at least one BS w.h.p.
+  auto net = Network::build(clustered_params(4096),
+                            mobility::ShapeKind::kUniformDisk,
+                            BsPlacement::kClusteredMatched, 3);
+  std::set<std::uint32_t> clusters_with_bs(net.bs_cluster().begin(),
+                                           net.bs_cluster().end());
+  EXPECT_EQ(clusters_with_bs.size(), net.ms_layout().num_clusters());
+}
+
+// -------------------------------------------------------------- traffic --
+
+TEST(Traffic, ProducesValidPermutation) {
+  rng::Xoshiro256 g(5);
+  for (std::size_t n : {2u, 3u, 10u, 1001u}) {
+    auto dest = permutation_traffic(n, g);
+    EXPECT_TRUE(is_valid_permutation_traffic(dest)) << "n=" << n;
+  }
+}
+
+TEST(Traffic, NoFixedPointsOverManySeeds) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    rng::Xoshiro256 g(seed);
+    auto dest = permutation_traffic(7, g);
+    for (std::size_t i = 0; i < 7; ++i) EXPECT_NE(dest[i], i);
+  }
+}
+
+TEST(Traffic, ValidatorRejectsBadInputs) {
+  EXPECT_FALSE(is_valid_permutation_traffic({0, 1}));      // fixed points
+  EXPECT_FALSE(is_valid_permutation_traffic({1, 1, 0}));   // duplicate
+  EXPECT_FALSE(is_valid_permutation_traffic({3, 0, 1}));   // out of range
+  EXPECT_TRUE(is_valid_permutation_traffic({1, 2, 0}));
+}
+
+TEST(Traffic, RequiresAtLeastTwoNodes) {
+  rng::Xoshiro256 g(1);
+  EXPECT_THROW(permutation_traffic(1, g), manetcap::CheckError);
+}
+
+}  // namespace
+}  // namespace manetcap::net

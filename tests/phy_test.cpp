@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "phy/protocol_model.h"
+#include "util/check.h"
+
+namespace manetcap::phy {
+namespace {
+
+TEST(ProtocolModel, RangeCheck) {
+  ProtocolModel pm(0.1, 1.0);
+  EXPECT_TRUE(pm.in_range({0.5, 0.5}, {0.55, 0.5}));
+  EXPECT_FALSE(pm.in_range({0.5, 0.5}, {0.65, 0.5}));
+  // Wraps around the torus seam.
+  EXPECT_TRUE(pm.in_range({0.98, 0.5}, {0.03, 0.5}));
+}
+
+TEST(ProtocolModel, GuardRadiusIsScaledRange) {
+  ProtocolModel pm(0.1, 0.5);
+  EXPECT_DOUBLE_EQ(pm.guard_radius(), 0.15);
+  EXPECT_FALSE(pm.guard_ok({0.5, 0.5}, {0.5, 0.6}));   // 0.1 < 0.15
+  EXPECT_TRUE(pm.guard_ok({0.5, 0.5}, {0.5, 0.66}));   // 0.16 ≥ 0.15
+}
+
+TEST(ProtocolModel, SingleLinkFeasible) {
+  ProtocolModel pm(0.1, 1.0);
+  std::vector<geom::Point> pos = {{0.1, 0.1}, {0.15, 0.1}};
+  EXPECT_TRUE(pm.feasible(pos, {{0, 1}}));
+}
+
+TEST(ProtocolModel, OutOfRangeLinkInfeasible) {
+  ProtocolModel pm(0.05, 1.0);
+  std::vector<geom::Point> pos = {{0.1, 0.1}, {0.3, 0.1}};
+  EXPECT_FALSE(pm.feasible(pos, {{0, 1}}));
+}
+
+TEST(ProtocolModel, InterferenceViolatesGuard) {
+  ProtocolModel pm(0.1, 1.0);  // guard = 0.2
+  // Transmitter 2 sits 0.15 from receiver 1: violates (1+Δ)R_T.
+  std::vector<geom::Point> pos = {
+      {0.10, 0.10}, {0.15, 0.10}, {0.30, 0.10}, {0.35, 0.10}};
+  EXPECT_FALSE(pm.feasible(pos, {{0, 1}, {2, 3}}));
+}
+
+TEST(ProtocolModel, WellSeparatedLinksCoexist) {
+  ProtocolModel pm(0.05, 1.0);  // guard = 0.1
+  std::vector<geom::Point> pos = {
+      {0.10, 0.10}, {0.13, 0.10}, {0.60, 0.60}, {0.63, 0.60}};
+  EXPECT_TRUE(pm.feasible(pos, {{0, 1}, {2, 3}}));
+}
+
+TEST(ProtocolModel, HalfDuplexEnforced) {
+  ProtocolModel pm(0.2, 0.1);
+  std::vector<geom::Point> pos = {{0.1, 0.1}, {0.2, 0.1}, {0.3, 0.1}};
+  // Node 1 cannot receive and transmit simultaneously.
+  EXPECT_FALSE(pm.feasible(pos, {{0, 1}, {1, 2}}));
+  // Nor receive twice.
+  EXPECT_FALSE(pm.feasible(pos, {{0, 1}, {2, 1}}));
+}
+
+TEST(ProtocolModel, SelfLoopRejected) {
+  ProtocolModel pm(0.1, 1.0);
+  std::vector<geom::Point> pos = {{0.1, 0.1}};
+  EXPECT_FALSE(pm.feasible(pos, {{0, 0}}));
+}
+
+TEST(ProtocolModel, EmptySetIsFeasible) {
+  ProtocolModel pm(0.1, 1.0);
+  std::vector<geom::Point> pos = {{0.1, 0.1}};
+  EXPECT_TRUE(pm.feasible(pos, {}));
+}
+
+TEST(ProtocolModel, InvalidParamsThrow) {
+  EXPECT_THROW(ProtocolModel(0.0, 1.0), manetcap::CheckError);
+  EXPECT_THROW(ProtocolModel(0.1, -0.5), manetcap::CheckError);
+}
+
+TEST(ProtocolModel, ZeroDeltaOnlyNeedsRange) {
+  ProtocolModel pm(0.1, 0.0);  // guard == range
+  std::vector<geom::Point> pos = {
+      {0.10, 0.10}, {0.15, 0.10}, {0.27, 0.10}, {0.32, 0.10}};
+  // Transmitter 2 is 0.12 > 0.1 from receiver 1 — fine with Δ = 0.
+  EXPECT_TRUE(pm.feasible(pos, {{0, 1}, {2, 3}}));
+}
+
+}  // namespace
+}  // namespace manetcap::phy

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "rng/rng.h"
+#include "util/check.h"
+
+namespace manetcap::rng {
+namespace {
+
+TEST(Xoshiro, DeterministicGivenSeed) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Xoshiro, SplitStreamsAreIndependentlySeeded) {
+  Xoshiro256 root(7);
+  Xoshiro256 c1 = root.split(1);
+  Xoshiro256 c2 = root.split(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (c1() == c2()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Uniform01, InHalfOpenUnitInterval) {
+  Xoshiro256 g(11);
+  for (int i = 0; i < 10000; ++i) {
+    double u = uniform01(g);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Uniform01, MeanIsHalf) {
+  Xoshiro256 g(13);
+  double sum = 0.0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) sum += uniform01(g);
+  EXPECT_NEAR(sum / trials, 0.5, 0.01);
+}
+
+TEST(UniformIndex, CoversRangeUniformly) {
+  Xoshiro256 g(17);
+  const std::uint64_t n = 7;
+  std::vector<int> counts(n, 0);
+  const int trials = 70000;
+  for (int i = 0; i < trials; ++i) ++counts[uniform_index(g, n)];
+  for (auto c : counts)
+    EXPECT_NEAR(c, trials / static_cast<double>(n), 600.0);
+}
+
+TEST(UniformIndex, SingletonAlwaysZero) {
+  Xoshiro256 g(19);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(uniform_index(g, 1), 0u);
+}
+
+TEST(UniformInDisk, StaysInDiskAndFillsIt) {
+  Xoshiro256 g(23);
+  const geom::Point c{0.5, 0.5};
+  const double r = 0.2;
+  int outer_half = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    geom::Point p = uniform_in_disk(g, c, r);
+    double d = geom::torus_dist(c, p);
+    EXPECT_LE(d, r + 1e-12);
+    if (d > r / std::sqrt(2.0)) ++outer_half;
+  }
+  // Uniform area ⇒ half the mass lies beyond r/√2.
+  EXPECT_NEAR(outer_half / static_cast<double>(trials), 0.5, 0.02);
+}
+
+TEST(UniformInDisk, WrapsAcrossSeam) {
+  Xoshiro256 g(29);
+  for (int i = 0; i < 100; ++i) {
+    geom::Point p = uniform_in_disk(g, {0.01, 0.01}, 0.05);
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LT(p.x, 1.0);
+    EXPECT_LE(geom::torus_dist(p, {0.01, 0.01}), 0.05 + 1e-12);
+  }
+}
+
+TEST(Normal, MeanZeroVarianceOne) {
+  Xoshiro256 g(31);
+  double sum = 0.0, sum2 = 0.0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    double x = normal(g);
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / trials, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / trials, 1.0, 0.03);
+}
+
+TEST(Shuffle, ProducesPermutation) {
+  Xoshiro256 g(37);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  shuffle(g, v);
+  auto copy = v;
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, sorted);
+}
+
+TEST(Shuffle, UniformOverPositions) {
+  // Element 0 should land in each slot equally often.
+  Xoshiro256 g(41);
+  const int n = 5, trials = 50000;
+  std::vector<int> counts(n, 0);
+  for (int t = 0; t < trials; ++t) {
+    std::vector<int> v(n);
+    for (int i = 0; i < n; ++i) v[i] = i;
+    shuffle(g, v);
+    for (int i = 0; i < n; ++i)
+      if (v[i] == 0) ++counts[i];
+  }
+  for (auto c : counts)
+    EXPECT_NEAR(c, trials / static_cast<double>(n), 500.0);
+}
+
+TEST(UniformRange, RespectsBounds) {
+  Xoshiro256 g(43);
+  for (int i = 0; i < 1000; ++i) {
+    double v = uniform(g, -2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+}  // namespace
+}  // namespace manetcap::rng

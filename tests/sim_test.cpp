@@ -1,0 +1,381 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "net/traffic.h"
+#include "rng/rng.h"
+#include "routing/scheme_c.h"
+#include "sim/fluid.h"
+#include "sim/slotsim.h"
+#include "sim/sweep.h"
+#include "util/check.h"
+
+namespace manetcap::sim {
+namespace {
+
+net::ScalingParams strong_params(std::size_t n, bool with_bs = true) {
+  net::ScalingParams p;
+  p.n = n;
+  p.alpha = 0.35;
+  p.with_bs = with_bs;
+  p.K = 0.75;
+  p.M = 1.0;
+  p.phi = 0.0;
+  return p;
+}
+
+net::ScalingParams weak_params(std::size_t n) {
+  net::ScalingParams p;
+  p.n = n;
+  p.alpha = 0.45;
+  p.with_bs = true;
+  p.K = 0.6;
+  p.M = 0.3;
+  p.R = 0.4;
+  p.phi = 0.0;
+  return p;
+}
+
+net::ScalingParams trivial_params(std::size_t n) {
+  // Trivial mobility needs α > ½ once clusters are disjoint (see
+  // DESIGN.md): the network outgrows the mobility radius so fast that
+  // within-cluster movement cannot even reach a neighbor.
+  net::ScalingParams p;
+  p.n = n;
+  p.alpha = 0.75;
+  p.with_bs = true;
+  p.K = 0.6;
+  p.M = 0.2;
+  p.R = 0.3;
+  p.phi = 0.0;
+  return p;
+}
+
+// ---------------------------------------------------------------- fluid --
+
+TEST(Fluid, StrongRegimeUsesHybridScheme) {
+  FluidOptions opt;
+  opt.seed = 3;
+  auto out = evaluate_capacity(strong_params(4096), opt);
+  EXPECT_EQ(out.regime, capacity::MobilityRegime::kStrong);
+  EXPECT_GT(out.lambda, 0.0);
+  EXPECT_GT(out.lambda_adhoc, 0.0);
+  EXPECT_GT(out.lambda_infra, 0.0);
+  EXPECT_NE(out.scheme.find("scheme-B"), std::string::npos);
+  EXPECT_DOUBLE_EQ(out.lambda, out.lambda_adhoc + out.lambda_infra);
+}
+
+TEST(Fluid, WeakRegimeUsesClusterSubnets) {
+  FluidOptions opt;
+  opt.seed = 5;
+  auto out = evaluate_capacity(weak_params(8192), opt);
+  EXPECT_EQ(out.regime, capacity::MobilityRegime::kWeak);
+  EXPECT_GT(out.lambda, 0.0);
+  EXPECT_DOUBLE_EQ(out.lambda_adhoc, 0.0);
+  EXPECT_NE(out.scheme.find("clusters"), std::string::npos);
+}
+
+TEST(Fluid, TrivialRegimeUsesSchemeC) {
+  FluidOptions opt;
+  opt.seed = 7;
+  auto out = evaluate_capacity(trivial_params(8192), opt);
+  EXPECT_EQ(out.regime, capacity::MobilityRegime::kTrivial);
+  EXPECT_GT(out.lambda, 0.0);
+  EXPECT_NE(out.scheme.find("scheme-C"), std::string::npos);
+}
+
+TEST(Fluid, NoBsStrongIsPureAdhoc) {
+  FluidOptions opt;
+  opt.seed = 9;
+  auto out = evaluate_capacity(strong_params(4096, /*with_bs=*/false), opt);
+  EXPECT_GT(out.lambda, 0.0);
+  EXPECT_DOUBLE_EQ(out.lambda_infra, 0.0);
+}
+
+TEST(Fluid, ForcedSchemeOverridesDispatch) {
+  FluidOptions opt;
+  opt.seed = 11;
+  opt.force = FluidOptions::ForceScheme::kB;
+  auto out = evaluate_capacity(strong_params(4096), opt);
+  EXPECT_NE(out.scheme.find("forced"), std::string::npos);
+  EXPECT_DOUBLE_EQ(out.lambda_adhoc, 0.0);
+  EXPECT_GT(out.lambda_infra, 0.0);
+}
+
+TEST(Fluid, DeterministicGivenSeed) {
+  FluidOptions opt;
+  opt.seed = 13;
+  auto a = evaluate_capacity(strong_params(2048), opt);
+  auto b = evaluate_capacity(strong_params(2048), opt);
+  EXPECT_DOUBLE_EQ(a.lambda, b.lambda);
+}
+
+TEST(Fluid, MoreBaseStationsNeverHurt) {
+  FluidOptions opt;
+  opt.seed = 15;
+  auto small_k = strong_params(4096);
+  small_k.K = 0.5;
+  auto big_k = strong_params(4096);
+  big_k.K = 0.9;
+  const double lo = evaluate_capacity(small_k, opt).lambda;
+  const double hi = evaluate_capacity(big_k, opt).lambda;
+  EXPECT_GT(hi, lo);
+}
+
+// ---------------------------------------------------------------- sweep --
+
+TEST(Sweep, GeometricSizes) {
+  auto sizes = geometric_sizes(100, 2.0, 4);
+  ASSERT_EQ(sizes.size(), 4u);
+  EXPECT_EQ(sizes[0], 100u);
+  EXPECT_EQ(sizes[3], 800u);
+}
+
+TEST(Sweep, RecoversAnalyticExponent) {
+  // Evaluator returns exactly n^{-0.5}: the fit must find −0.5.
+  auto eval = [](const net::ScalingParams& p, std::uint64_t) {
+    return std::pow(static_cast<double>(p.n), -0.5);
+  };
+  auto result = run_sweep(strong_params(0), geometric_sizes(256, 2.0, 5), 2,
+                          eval);
+  ASSERT_TRUE(result.fit_valid);
+  EXPECT_NEAR(result.fit.exponent, -0.5, 1e-9);
+  EXPECT_EQ(result.points.size(), 5u);
+}
+
+TEST(Sweep, ZeroMeasurementInvalidatesFit) {
+  auto eval = [](const net::ScalingParams& p, std::uint64_t) {
+    return p.n > 1000 ? 0.0 : 1.0;
+  };
+  auto result =
+      run_sweep(strong_params(0), geometric_sizes(256, 2.0, 4), 1, eval);
+  EXPECT_FALSE(result.fit_valid);
+}
+
+TEST(Sweep, DeterministicSeeds) {
+  std::vector<std::uint64_t> seen;
+  auto eval = [&seen](const net::ScalingParams&, std::uint64_t seed) {
+    seen.push_back(seed);
+    return 1.0;
+  };
+  run_sweep(strong_params(0), {128, 256, 512}, 2, eval, 42);
+  std::vector<std::uint64_t> seen2;
+  auto eval2 = [&seen2](const net::ScalingParams&, std::uint64_t seed) {
+    seen2.push_back(seed);
+    return 1.0;
+  };
+  run_sweep(strong_params(0), {128, 256, 512}, 2, eval2, 42);
+  EXPECT_EQ(seen, seen2);
+}
+
+// -------------------------------------------------------------- slotsim --
+
+TEST(SlotSim, SchemeADeliversPackets) {
+  auto p = strong_params(512, /*with_bs=*/false);
+  auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
+                                 net::BsPlacement::kUniform, 17);
+  rng::Xoshiro256 g(19);
+  auto dest = net::permutation_traffic(p.n, g);
+  SlotSimOptions opt;
+  opt.scheme = SlotScheme::kSchemeA;
+  opt.slots = 1500;
+  opt.warmup = 300;
+  opt.seed = 21;
+  auto r = run_slot_sim(net, dest, opt);
+  EXPECT_GT(r.total_delivered, 0u);
+  EXPECT_GT(r.pairs_per_slot, 0.0);
+  EXPECT_GT(r.mean_flow_rate, 0.0);
+}
+
+TEST(SlotSim, TwoHopDeliversUnderFullMixing) {
+  net::ScalingParams p;
+  p.n = 256;
+  p.alpha = 0.0;  // full mixing
+  p.with_bs = false;
+  p.M = 1.0;
+  auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
+                                 net::BsPlacement::kUniform, 23);
+  rng::Xoshiro256 g(29);
+  auto dest = net::permutation_traffic(p.n, g);
+  SlotSimOptions opt;
+  opt.scheme = SlotScheme::kTwoHop;
+  opt.slots = 1500;
+  opt.warmup = 300;
+  opt.seed = 31;
+  auto r = run_slot_sim(net, dest, opt);
+  EXPECT_GT(r.total_delivered, 0u);
+  EXPECT_GT(r.mean_flow_rate, 0.0);
+}
+
+TEST(SlotSim, SchemeBDeliversViaInfrastructure) {
+  auto p = strong_params(512);
+  auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
+                                 net::BsPlacement::kClusteredMatched, 37);
+  rng::Xoshiro256 g(41);
+  auto dest = net::permutation_traffic(p.n, g);
+  SlotSimOptions opt;
+  opt.scheme = SlotScheme::kSchemeB;
+  opt.slots = 2000;
+  opt.warmup = 400;
+  opt.seed = 43;
+  auto r = run_slot_sim(net, dest, opt);
+  EXPECT_GT(r.total_delivered, 0u);
+}
+
+TEST(SlotSim, DeterministicGivenSeed) {
+  auto p = strong_params(256, /*with_bs=*/false);
+  auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
+                                 net::BsPlacement::kUniform, 47);
+  rng::Xoshiro256 g(53);
+  auto dest = net::permutation_traffic(p.n, g);
+  SlotSimOptions opt;
+  opt.scheme = SlotScheme::kSchemeA;
+  opt.slots = 400;
+  opt.warmup = 100;
+  opt.seed = 59;
+  auto a = run_slot_sim(net, dest, opt);
+  auto b = run_slot_sim(net, dest, opt);
+  EXPECT_EQ(a.total_delivered, b.total_delivered);
+  EXPECT_DOUBLE_EQ(a.pairs_per_slot, b.pairs_per_slot);
+}
+
+TEST(SlotSim, SchemeCDeliversInTrivialRegime) {
+  auto p = trivial_params(1024);
+  auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
+                                 net::BsPlacement::kClusterGrid, 81);
+  rng::Xoshiro256 g(83);
+  auto dest = net::permutation_traffic(p.n, g);
+  SlotSimOptions opt;
+  opt.scheme = SlotScheme::kSchemeC;
+  opt.slots = 3000;
+  opt.warmup = 300;
+  opt.seed = 87;
+  auto r = run_slot_sim(net, dest, opt);
+  EXPECT_GT(r.total_delivered, 0u);
+  EXPECT_GT(r.mean_flow_rate, 0.0);
+  EXPECT_GT(r.pairs_per_slot, 0.0);  // active cells per slot
+  EXPECT_GT(r.mean_delay, 0.0);
+}
+
+TEST(SlotSim, SchemeCMatchesFluidOrder) {
+  // Slot-level scheme C against the fluid evaluator: same instance, ratio
+  // must be an O(1) constant.
+  auto p = trivial_params(1024);
+  auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
+                                 net::BsPlacement::kClusterGrid, 85);
+  rng::Xoshiro256 g(89);
+  auto dest = net::permutation_traffic(p.n, g);
+  routing::SchemeC c;
+  const double fluid = c.evaluate(net, dest).lambda_symmetric;
+  ASSERT_GT(fluid, 0.0);
+
+  SlotSimOptions opt;
+  opt.scheme = SlotScheme::kSchemeC;
+  opt.slots = 4000;
+  opt.warmup = 400;
+  opt.seed = 91;
+  auto r = run_slot_sim(net, dest, opt);
+  ASSERT_GT(r.mean_flow_rate, 0.0);
+  const double ratio = r.mean_flow_rate / fluid;
+  EXPECT_GT(ratio, 0.05);
+  EXPECT_LT(ratio, 20.0);
+}
+
+TEST(SlotSim, SchemeBDeliversInWeakRegime) {
+  // Theorem 7 at packet level: clusters as subnets, uplink within the
+  // cluster, wired across, downlink in the destination cluster.
+  auto p = weak_params(1024);
+  auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
+                                 net::BsPlacement::kClusteredMatched, 151);
+  rng::Xoshiro256 g(153);
+  auto dest = net::permutation_traffic(p.n, g);
+  SlotSimOptions opt;
+  opt.scheme = SlotScheme::kSchemeB;
+  opt.slots = 3000;
+  opt.warmup = 300;
+  opt.seed = 157;
+  auto r = run_slot_sim(net, dest, opt);
+  EXPECT_GT(r.total_delivered, 0u);
+  EXPECT_GT(r.mean_flow_rate, 0.0);
+}
+
+TEST(SlotSim, DeliveredPacketsHaveDelays) {
+  auto p = strong_params(256, /*with_bs=*/false);
+  auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
+                                 net::BsPlacement::kUniform, 91);
+  rng::Xoshiro256 g(93);
+  auto dest = net::permutation_traffic(p.n, g);
+  SlotSimOptions opt;
+  opt.scheme = SlotScheme::kSchemeA;
+  opt.slots = 1500;
+  opt.warmup = 300;
+  opt.seed = 97;
+  auto r = run_slot_sim(net, dest, opt);
+  ASSERT_GT(r.total_delivered, 0u);
+  EXPECT_GT(r.mean_delay, 0.0);
+  EXPECT_GE(r.p95_delay, r.mean_delay * 0.5);
+  EXPECT_LT(r.p95_delay, static_cast<double>(opt.slots));
+}
+
+TEST(SlotSim, TwoHopDelayShrinksWithFasterMixing) {
+  // Brownian mixing (full torus) delivers two-hop packets; the measured
+  // delay is the inter-meeting time, finite and well below the horizon.
+  net::ScalingParams p;
+  p.n = 128;
+  p.alpha = 0.0;
+  p.with_bs = false;
+  p.M = 1.0;
+  auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
+                                 net::BsPlacement::kUniform, 99);
+  rng::Xoshiro256 g(101);
+  auto dest = net::permutation_traffic(p.n, g);
+  SlotSimOptions opt;
+  opt.scheme = SlotScheme::kTwoHop;
+  opt.mobility = SlotMobility::kBrownian;
+  opt.slots = 3000;
+  opt.warmup = 300;
+  opt.seed = 103;
+  auto r = run_slot_sim(net, dest, opt);
+  EXPECT_GT(r.total_delivered, 0u);
+  EXPECT_GT(r.mean_delay, 0.0);
+}
+
+TEST(SlotSim, MobilityVariantsAllRun) {
+  auto p = strong_params(256, /*with_bs=*/false);
+  auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
+                                 net::BsPlacement::kUniform, 61);
+  rng::Xoshiro256 g(67);
+  auto dest = net::permutation_traffic(p.n, g);
+  for (auto mob : {SlotMobility::kIid, SlotMobility::kWalk,
+                   SlotMobility::kPullHome}) {
+    SlotSimOptions opt;
+    opt.scheme = SlotScheme::kSchemeA;
+    opt.mobility = mob;
+    opt.slots = 600;
+    opt.warmup = 150;
+    opt.seed = 71;
+    auto r = run_slot_sim(net, dest, opt);
+    EXPECT_GT(r.pairs_per_slot, 0.0);
+  }
+}
+
+TEST(SlotSim, WarmupMustPrecedeEnd) {
+  auto p = strong_params(64, /*with_bs=*/false);
+  auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
+                                 net::BsPlacement::kUniform, 73);
+  rng::Xoshiro256 g(79);
+  auto dest = net::permutation_traffic(p.n, g);
+  SlotSimOptions opt;
+  opt.slots = 100;
+  opt.warmup = 100;
+  EXPECT_THROW(run_slot_sim(net, dest, opt), manetcap::CheckError);
+}
+
+TEST(SlotSim, SchemeNames) {
+  EXPECT_EQ(to_string(SlotScheme::kSchemeA), "scheme-A");
+  EXPECT_EQ(to_string(SlotScheme::kTwoHop), "two-hop");
+  EXPECT_EQ(to_string(SlotScheme::kSchemeB), "scheme-B");
+}
+
+}  // namespace
+}  // namespace manetcap::sim

@@ -1,0 +1,249 @@
+// manetcap_cli — command-line front end to the library.
+//
+//   manetcap_cli classify  --alpha 0.45 --M 0.3 --R 0.4
+//   manetcap_cli capacity  --n 8192 --alpha 0.3 --K 0.7 --phi 0
+//   manetcap_cli sweep     --alpha 0.3 --K 0.7 --n0 2048 --count 4
+//   manetcap_cli simulate  --n 512 --scheme B --slots 2000
+//   manetcap_cli phase     --phi -0.5
+//
+// Every subcommand prints a self-contained report; `--help` lists flags.
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "capacity/formulas.h"
+#include "capacity/phase_diagram.h"
+#include "capacity/recommend.h"
+#include "capacity/regimes.h"
+#include "net/network.h"
+#include "net/traffic.h"
+#include "rng/rng.h"
+#include "sim/fluid.h"
+#include "sim/slotsim.h"
+#include "sim/sweep.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace manetcap;
+
+void usage() {
+  std::cout <<
+      R"(manetcap_cli — capacity scaling for hybrid mobile ad hoc networks
+
+subcommands:
+  classify   regime + capacity law from exponents
+             --alpha A [--M M --R R] [--K K --phi P] [--no-bs] [--n N]
+  capacity   sample an instance and measure its fluid capacity
+             --n N --alpha A [--K K --phi P --M M --R R]
+             [--no-bs] [--placement matched|uniform|grid|cluster-grid]
+             [--seed S]
+  sweep      lambda(n) scaling sweep + exponent fit
+             --alpha A [--K K --phi P --M M --R R] [--no-bs]
+             [--n0 N0 --count C --ratio R --trials T] [--seed S]
+  simulate   slot-level packet simulation
+             --n N --alpha A --scheme A|B|C|twohop [--K K --phi P]
+             [--slots S --warmup W] [--mobility iid|walk|pull|brownian]
+             [--seed S]
+  phase      Figure 3 phase-diagram panel for a given phi
+             --phi P
+)";
+}
+
+net::ScalingParams params_from(const util::Flags& f) {
+  net::ScalingParams p;
+  p.n = static_cast<std::size_t>(f.get_int("n", 4096));
+  p.alpha = f.get_double("alpha", 0.3);
+  p.with_bs = !f.get_bool("no-bs", false);
+  p.K = f.get_double("K", 0.7);
+  p.phi = f.get_double("phi", 0.0);
+  p.M = f.get_double("M", 1.0);
+  p.R = f.get_double("R", 0.0);
+  return p;
+}
+
+net::BsPlacement placement_from(const util::Flags& f) {
+  const std::string s = f.get_string("placement", "matched");
+  if (s == "matched") return net::BsPlacement::kClusteredMatched;
+  if (s == "uniform") return net::BsPlacement::kUniform;
+  if (s == "grid") return net::BsPlacement::kRegularGrid;
+  if (s == "cluster-grid") return net::BsPlacement::kClusterGrid;
+  throw std::runtime_error("unknown placement: " + s);
+}
+
+int cmd_classify(const util::Flags& f) {
+  net::ScalingParams p = params_from(f);
+  const auto regime = capacity::classify(p);
+  const auto law = capacity::capacity_law(p);
+  std::cout << "parameters: " << p.describe() << "\n";
+  for (const auto& v : p.assumption_violations())
+    std::cout << "  note: " << v << "\n";
+  std::cout << "regime:     " << to_string(regime) << "\n"
+            << "  f*sqrt(gamma)  = "
+            << util::fmt_double(capacity::f_sqrt_gamma(p), 4)
+            << (p.cluster_free()
+                    ? "\n"
+                    : "\n  f*sqrt(gamma~) = " +
+                          util::fmt_double(
+                              capacity::f_sqrt_gamma_tilde(p), 4) + "\n")
+            << "capacity:   " << law.expression << "  ~ n^"
+            << util::fmt_double(law.exponent, 4) << "\n"
+            << "optimal RT: " << law.rt_expression << "  ~ n^"
+            << util::fmt_double(law.rt_exponent, 4) << "\n";
+  if (p.with_bs) {
+    std::cout << "infra dominance boundary: K >= "
+              << util::fmt_double(
+                     capacity::infrastructure_worthwhile_K(p.alpha, p.phi),
+                     4)
+              << " (this network has K = " << p.K << ")\n";
+  }
+  return 0;
+}
+
+int cmd_capacity(const util::Flags& f) {
+  net::ScalingParams p = params_from(f);
+  sim::FluidOptions opt;
+  opt.seed = static_cast<std::uint64_t>(f.get_int("seed", 1));
+  opt.placement = placement_from(f);
+  const auto out = sim::evaluate_capacity(p, opt);
+  std::cout << "parameters:      " << p.describe() << "\n"
+            << "regime:          " << to_string(out.regime) << "\n"
+            << "scheme:          " << out.scheme << "\n"
+            << "lambda (worst):  " << util::fmt_sci(out.lambda, 4) << "\n"
+            << "lambda (typical):" << util::fmt_sci(out.lambda_symmetric, 4)
+            << "\n"
+            << "  ad hoc part:   " << util::fmt_sci(out.lambda_adhoc, 4)
+            << "\n"
+            << "  infra part:    " << util::fmt_sci(out.lambda_infra, 4)
+            << "\n"
+            << "bottleneck:      " << to_string(out.bottleneck) << "\n";
+  return 0;
+}
+
+int cmd_sweep(const util::Flags& f) {
+  net::ScalingParams p = params_from(f);
+  const auto sizes = sim::geometric_sizes(
+      static_cast<std::size_t>(f.get_int("n0", 2048)),
+      f.get_double("ratio", 2.0),
+      static_cast<std::size_t>(f.get_int("count", 4)));
+  const auto trials = static_cast<std::size_t>(f.get_int("trials", 2));
+  sim::Evaluator eval = [&f](const net::ScalingParams& pp,
+                             std::uint64_t seed) {
+    sim::FluidOptions opt;
+    opt.seed = seed;
+    opt.placement = placement_from(f);
+    return sim::evaluate_capacity(pp, opt).lambda_symmetric;
+  };
+  auto sweep = sim::run_sweep(
+      p, sizes, trials, eval,
+      static_cast<std::uint64_t>(f.get_int("seed", 1)));
+
+  util::Table t({"n", "lambda (gm)", "min", "max"});
+  for (const auto& pt : sweep.points)
+    t.add_row({std::to_string(pt.n), util::fmt_sci(pt.lambda_gm, 4),
+               util::fmt_sci(pt.lambda_min, 4),
+               util::fmt_sci(pt.lambda_max, 4)});
+  t.print(std::cout);
+  if (sweep.fit_valid) {
+    std::cout << "fitted exponent: "
+              << util::fmt_double(sweep.fit.exponent, 4) << " +- "
+              << util::fmt_double(sweep.fit.stderr_, 3)
+              << "  (R^2 = " << util::fmt_double(sweep.fit.r_squared, 4)
+              << ")\n"
+              << "theory exponent: "
+              << util::fmt_double(capacity::capacity_exponent(p), 4) << "\n";
+  } else {
+    std::cout << "fit unavailable (some sizes measured lambda = 0)\n";
+  }
+  return 0;
+}
+
+int cmd_simulate(const util::Flags& f) {
+  net::ScalingParams p = params_from(f);
+  const std::string scheme = f.get_string("scheme", "A");
+  sim::SlotSimOptions opt;
+  if (scheme == "A")
+    opt.scheme = sim::SlotScheme::kSchemeA;
+  else if (scheme == "B")
+    opt.scheme = sim::SlotScheme::kSchemeB;
+  else if (scheme == "C")
+    opt.scheme = sim::SlotScheme::kSchemeC;
+  else if (scheme == "twohop")
+    opt.scheme = sim::SlotScheme::kTwoHop;
+  else
+    throw std::runtime_error("unknown scheme: " + scheme);
+
+  const std::string mob = f.get_string("mobility", "iid");
+  if (mob == "iid")
+    opt.mobility = sim::SlotMobility::kIid;
+  else if (mob == "walk")
+    opt.mobility = sim::SlotMobility::kWalk;
+  else if (mob == "pull")
+    opt.mobility = sim::SlotMobility::kPullHome;
+  else if (mob == "brownian")
+    opt.mobility = sim::SlotMobility::kBrownian;
+  else
+    throw std::runtime_error("unknown mobility: " + mob);
+
+  opt.slots = static_cast<std::size_t>(f.get_int("slots", 2000));
+  opt.warmup = static_cast<std::size_t>(f.get_int("warmup",
+                                                  opt.slots / 10));
+  opt.seed = static_cast<std::uint64_t>(f.get_int("seed", 1));
+
+  auto placement = opt.scheme == sim::SlotScheme::kSchemeC && !p.cluster_free()
+                       ? net::BsPlacement::kClusterGrid
+                       : net::BsPlacement::kClusteredMatched;
+  if (!p.with_bs) placement = net::BsPlacement::kUniform;
+  auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
+                                 placement, opt.seed);
+  rng::Xoshiro256 g(opt.seed ^ 0x1234567ULL);
+  auto dest = net::permutation_traffic(p.n, g);
+  const auto r = sim::run_slot_sim(net, dest, opt);
+  std::cout << "scheme " << to_string(opt.scheme) << ", " << opt.slots
+            << " slots (" << opt.warmup << " warmup), mobility " << mob
+            << "\n"
+            << "  delivered total:    " << r.total_delivered << "\n"
+            << "  rate/flow/slot:     " << util::fmt_sci(r.mean_flow_rate, 4)
+            << " (p10 " << util::fmt_sci(r.p10_flow_rate, 4) << ")\n"
+            << "  mean delay:         " << util::fmt_double(r.mean_delay, 5)
+            << " slots (p95 " << util::fmt_double(r.p95_delay, 5) << ")\n"
+            << "  concurrency/slot:   "
+            << util::fmt_double(r.pairs_per_slot, 4) << "\n";
+  return 0;
+}
+
+int cmd_phase(const util::Flags& f) {
+  const double phi = f.get_double("phi", 0.0);
+  auto d = capacity::compute_phase_diagram(phi, 11, 11);
+  std::cout << capacity::render_ascii(d);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || std::strcmp(argv[1], "--help") == 0 ||
+      std::strcmp(argv[1], "help") == 0) {
+    usage();
+    return argc < 2 ? 1 : 0;
+  }
+  const std::string cmd = argv[1];
+  try {
+    util::Flags flags(argc - 1, argv + 1,
+                      {"n", "alpha", "K", "phi", "M", "R", "no-bs",
+                       "placement", "seed", "n0", "count", "ratio", "trials",
+                       "scheme", "slots", "warmup", "mobility"});
+    if (cmd == "classify") return cmd_classify(flags);
+    if (cmd == "capacity") return cmd_capacity(flags);
+    if (cmd == "sweep") return cmd_sweep(flags);
+    if (cmd == "simulate") return cmd_simulate(flags);
+    if (cmd == "phase") return cmd_phase(flags);
+    std::cerr << "unknown subcommand: " << cmd << "\n\n";
+    usage();
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
