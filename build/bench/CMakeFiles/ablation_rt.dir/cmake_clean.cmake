@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rt.dir/ablation_rt.cpp.o"
+  "CMakeFiles/ablation_rt.dir/ablation_rt.cpp.o.d"
+  "ablation_rt"
+  "ablation_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

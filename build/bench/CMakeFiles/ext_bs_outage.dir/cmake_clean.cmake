@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_bs_outage.dir/ext_bs_outage.cpp.o"
+  "CMakeFiles/ext_bs_outage.dir/ext_bs_outage.cpp.o.d"
+  "ext_bs_outage"
+  "ext_bs_outage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_bs_outage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_cutset_sandwich.dir/ext_cutset_sandwich.cpp.o"
+  "CMakeFiles/ext_cutset_sandwich.dir/ext_cutset_sandwich.cpp.o.d"
+  "ext_cutset_sandwich"
+  "ext_cutset_sandwich.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_cutset_sandwich.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

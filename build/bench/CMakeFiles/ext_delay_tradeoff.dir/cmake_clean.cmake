@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_delay_tradeoff.dir/ext_delay_tradeoff.cpp.o"
+  "CMakeFiles/ext_delay_tradeoff.dir/ext_delay_tradeoff.cpp.o.d"
+  "ext_delay_tradeoff"
+  "ext_delay_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_delay_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_l_hop.dir/ext_l_hop.cpp.o"
+  "CMakeFiles/ext_l_hop.dir/ext_l_hop.cpp.o.d"
+  "ext_l_hop"
+  "ext_l_hop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_l_hop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

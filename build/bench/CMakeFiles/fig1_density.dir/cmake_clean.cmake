@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_density.dir/fig1_density.cpp.o"
+  "CMakeFiles/fig1_density.dir/fig1_density.cpp.o.d"
+  "fig1_density"
+  "fig1_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

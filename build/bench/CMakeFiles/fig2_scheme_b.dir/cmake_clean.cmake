@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_scheme_b.dir/fig2_scheme_b.cpp.o"
+  "CMakeFiles/fig2_scheme_b.dir/fig2_scheme_b.cpp.o.d"
+  "fig2_scheme_b"
+  "fig2_scheme_b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_scheme_b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_phase_diagram.dir/fig3_phase_diagram.cpp.o"
+  "CMakeFiles/fig3_phase_diagram.dir/fig3_phase_diagram.cpp.o.d"
+  "fig3_phase_diagram"
+  "fig3_phase_diagram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_phase_diagram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

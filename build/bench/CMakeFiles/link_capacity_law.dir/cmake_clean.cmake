@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/link_capacity_law.dir/link_capacity_law.cpp.o"
+  "CMakeFiles/link_capacity_law.dir/link_capacity_law.cpp.o.d"
+  "link_capacity_law"
+  "link_capacity_law.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/link_capacity_law.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slotsim_validation.dir/slotsim_validation.cpp.o"
+  "CMakeFiles/slotsim_validation.dir/slotsim_validation.cpp.o.d"
+  "slotsim_validation"
+  "slotsim_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slotsim_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table1_regimes.cpp" "bench/CMakeFiles/table1_regimes.dir/table1_regimes.cpp.o" "gcc" "bench/CMakeFiles/table1_regimes.dir/table1_regimes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/manet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/linkcap/CMakeFiles/manet_linkcap.dir/DependInfo.cmake"
+  "/root/repo/build/src/capacity/CMakeFiles/manet_capacity.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/manet_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/manet_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/manet_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/manet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/manet_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/manet_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/manet_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/manet_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/manet_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/backbone/CMakeFiles/manet_backbone.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/manet_flow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_regimes.dir/table1_regimes.cpp.o"
+  "CMakeFiles/table1_regimes.dir/table1_regimes.cpp.o.d"
+  "table1_regimes"
+  "table1_regimes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_regimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

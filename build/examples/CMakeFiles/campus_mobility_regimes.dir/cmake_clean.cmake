@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campus_mobility_regimes.dir/campus_mobility_regimes.cpp.o"
+  "CMakeFiles/campus_mobility_regimes.dir/campus_mobility_regimes.cpp.o.d"
+  "campus_mobility_regimes"
+  "campus_mobility_regimes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campus_mobility_regimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delay_tolerant_fleet.dir/delay_tolerant_fleet.cpp.o"
+  "CMakeFiles/delay_tolerant_fleet.dir/delay_tolerant_fleet.cpp.o.d"
+  "delay_tolerant_fleet"
+  "delay_tolerant_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delay_tolerant_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infrastructure_planning.dir/infrastructure_planning.cpp.o"
+  "CMakeFiles/infrastructure_planning.dir/infrastructure_planning.cpp.o.d"
+  "infrastructure_planning"
+  "infrastructure_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infrastructure_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

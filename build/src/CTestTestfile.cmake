@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("geom")
+subdirs("rng")
+subdirs("mobility")
+subdirs("net")
+subdirs("phy")
+subdirs("sched")
+subdirs("linkcap")
+subdirs("backbone")
+subdirs("routing")
+subdirs("flow")
+subdirs("capacity")
+subdirs("analysis")
+subdirs("sim")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manet_analysis.dir/connectivity.cpp.o"
+  "CMakeFiles/manet_analysis.dir/connectivity.cpp.o.d"
+  "CMakeFiles/manet_analysis.dir/density.cpp.o"
+  "CMakeFiles/manet_analysis.dir/density.cpp.o.d"
+  "CMakeFiles/manet_analysis.dir/loglog_fit.cpp.o"
+  "CMakeFiles/manet_analysis.dir/loglog_fit.cpp.o.d"
+  "CMakeFiles/manet_analysis.dir/stats.cpp.o"
+  "CMakeFiles/manet_analysis.dir/stats.cpp.o.d"
+  "libmanet_analysis.a"
+  "libmanet_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manet_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmanet_analysis.a"
+)

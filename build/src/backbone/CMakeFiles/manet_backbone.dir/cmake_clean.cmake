@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manet_backbone.dir/backbone.cpp.o"
+  "CMakeFiles/manet_backbone.dir/backbone.cpp.o.d"
+  "libmanet_backbone.a"
+  "libmanet_backbone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manet_backbone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/capacity/cutset.cpp" "src/capacity/CMakeFiles/manet_capacity.dir/cutset.cpp.o" "gcc" "src/capacity/CMakeFiles/manet_capacity.dir/cutset.cpp.o.d"
+  "/root/repo/src/capacity/formulas.cpp" "src/capacity/CMakeFiles/manet_capacity.dir/formulas.cpp.o" "gcc" "src/capacity/CMakeFiles/manet_capacity.dir/formulas.cpp.o.d"
+  "/root/repo/src/capacity/phase_diagram.cpp" "src/capacity/CMakeFiles/manet_capacity.dir/phase_diagram.cpp.o" "gcc" "src/capacity/CMakeFiles/manet_capacity.dir/phase_diagram.cpp.o.d"
+  "/root/repo/src/capacity/recommend.cpp" "src/capacity/CMakeFiles/manet_capacity.dir/recommend.cpp.o" "gcc" "src/capacity/CMakeFiles/manet_capacity.dir/recommend.cpp.o.d"
+  "/root/repo/src/capacity/regimes.cpp" "src/capacity/CMakeFiles/manet_capacity.dir/regimes.cpp.o" "gcc" "src/capacity/CMakeFiles/manet_capacity.dir/regimes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/manet_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/manet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/manet_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/linkcap/CMakeFiles/manet_linkcap.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/manet_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/manet_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/manet_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/manet_phy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

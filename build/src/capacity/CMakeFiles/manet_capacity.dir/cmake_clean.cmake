@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manet_capacity.dir/cutset.cpp.o"
+  "CMakeFiles/manet_capacity.dir/cutset.cpp.o.d"
+  "CMakeFiles/manet_capacity.dir/formulas.cpp.o"
+  "CMakeFiles/manet_capacity.dir/formulas.cpp.o.d"
+  "CMakeFiles/manet_capacity.dir/phase_diagram.cpp.o"
+  "CMakeFiles/manet_capacity.dir/phase_diagram.cpp.o.d"
+  "CMakeFiles/manet_capacity.dir/recommend.cpp.o"
+  "CMakeFiles/manet_capacity.dir/recommend.cpp.o.d"
+  "CMakeFiles/manet_capacity.dir/regimes.cpp.o"
+  "CMakeFiles/manet_capacity.dir/regimes.cpp.o.d"
+  "libmanet_capacity.a"
+  "libmanet_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manet_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

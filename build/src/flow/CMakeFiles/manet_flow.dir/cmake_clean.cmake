@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manet_flow.dir/constraints.cpp.o"
+  "CMakeFiles/manet_flow.dir/constraints.cpp.o.d"
+  "libmanet_flow.a"
+  "libmanet_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manet_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/hex.cpp" "src/geom/CMakeFiles/manet_geom.dir/hex.cpp.o" "gcc" "src/geom/CMakeFiles/manet_geom.dir/hex.cpp.o.d"
+  "/root/repo/src/geom/spatial_hash.cpp" "src/geom/CMakeFiles/manet_geom.dir/spatial_hash.cpp.o" "gcc" "src/geom/CMakeFiles/manet_geom.dir/spatial_hash.cpp.o.d"
+  "/root/repo/src/geom/tessellation.cpp" "src/geom/CMakeFiles/manet_geom.dir/tessellation.cpp.o" "gcc" "src/geom/CMakeFiles/manet_geom.dir/tessellation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/manet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

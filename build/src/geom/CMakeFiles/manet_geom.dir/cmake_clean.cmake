@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manet_geom.dir/hex.cpp.o"
+  "CMakeFiles/manet_geom.dir/hex.cpp.o.d"
+  "CMakeFiles/manet_geom.dir/spatial_hash.cpp.o"
+  "CMakeFiles/manet_geom.dir/spatial_hash.cpp.o.d"
+  "CMakeFiles/manet_geom.dir/tessellation.cpp.o"
+  "CMakeFiles/manet_geom.dir/tessellation.cpp.o.d"
+  "libmanet_geom.a"
+  "libmanet_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manet_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manet_linkcap.dir/link_capacity.cpp.o"
+  "CMakeFiles/manet_linkcap.dir/link_capacity.cpp.o.d"
+  "CMakeFiles/manet_linkcap.dir/measure.cpp.o"
+  "CMakeFiles/manet_linkcap.dir/measure.cpp.o.d"
+  "libmanet_linkcap.a"
+  "libmanet_linkcap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manet_linkcap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mobility/home_points.cpp" "src/mobility/CMakeFiles/manet_mobility.dir/home_points.cpp.o" "gcc" "src/mobility/CMakeFiles/manet_mobility.dir/home_points.cpp.o.d"
+  "/root/repo/src/mobility/process.cpp" "src/mobility/CMakeFiles/manet_mobility.dir/process.cpp.o" "gcc" "src/mobility/CMakeFiles/manet_mobility.dir/process.cpp.o.d"
+  "/root/repo/src/mobility/shape.cpp" "src/mobility/CMakeFiles/manet_mobility.dir/shape.cpp.o" "gcc" "src/mobility/CMakeFiles/manet_mobility.dir/shape.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/manet_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/manet_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/manet_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manet_mobility.dir/home_points.cpp.o"
+  "CMakeFiles/manet_mobility.dir/home_points.cpp.o.d"
+  "CMakeFiles/manet_mobility.dir/process.cpp.o"
+  "CMakeFiles/manet_mobility.dir/process.cpp.o.d"
+  "CMakeFiles/manet_mobility.dir/shape.cpp.o"
+  "CMakeFiles/manet_mobility.dir/shape.cpp.o.d"
+  "libmanet_mobility.a"
+  "libmanet_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manet_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

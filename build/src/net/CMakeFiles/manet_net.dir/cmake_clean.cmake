@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manet_net.dir/network.cpp.o"
+  "CMakeFiles/manet_net.dir/network.cpp.o.d"
+  "CMakeFiles/manet_net.dir/params.cpp.o"
+  "CMakeFiles/manet_net.dir/params.cpp.o.d"
+  "CMakeFiles/manet_net.dir/traffic.cpp.o"
+  "CMakeFiles/manet_net.dir/traffic.cpp.o.d"
+  "libmanet_net.a"
+  "libmanet_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manet_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manet_phy.dir/protocol_model.cpp.o"
+  "CMakeFiles/manet_phy.dir/protocol_model.cpp.o.d"
+  "libmanet_phy.a"
+  "libmanet_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manet_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manet_rng.dir/rng.cpp.o"
+  "CMakeFiles/manet_rng.dir/rng.cpp.o.d"
+  "libmanet_rng.a"
+  "libmanet_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manet_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/l_hop.cpp" "src/routing/CMakeFiles/manet_routing.dir/l_hop.cpp.o" "gcc" "src/routing/CMakeFiles/manet_routing.dir/l_hop.cpp.o.d"
+  "/root/repo/src/routing/multicast.cpp" "src/routing/CMakeFiles/manet_routing.dir/multicast.cpp.o" "gcc" "src/routing/CMakeFiles/manet_routing.dir/multicast.cpp.o.d"
+  "/root/repo/src/routing/scheme_a.cpp" "src/routing/CMakeFiles/manet_routing.dir/scheme_a.cpp.o" "gcc" "src/routing/CMakeFiles/manet_routing.dir/scheme_a.cpp.o.d"
+  "/root/repo/src/routing/scheme_b.cpp" "src/routing/CMakeFiles/manet_routing.dir/scheme_b.cpp.o" "gcc" "src/routing/CMakeFiles/manet_routing.dir/scheme_b.cpp.o.d"
+  "/root/repo/src/routing/scheme_c.cpp" "src/routing/CMakeFiles/manet_routing.dir/scheme_c.cpp.o" "gcc" "src/routing/CMakeFiles/manet_routing.dir/scheme_c.cpp.o.d"
+  "/root/repo/src/routing/static_multihop.cpp" "src/routing/CMakeFiles/manet_routing.dir/static_multihop.cpp.o" "gcc" "src/routing/CMakeFiles/manet_routing.dir/static_multihop.cpp.o.d"
+  "/root/repo/src/routing/two_hop.cpp" "src/routing/CMakeFiles/manet_routing.dir/two_hop.cpp.o" "gcc" "src/routing/CMakeFiles/manet_routing.dir/two_hop.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/manet_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/manet_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/manet_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/manet_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/manet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/manet_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/manet_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/linkcap/CMakeFiles/manet_linkcap.dir/DependInfo.cmake"
+  "/root/repo/build/src/backbone/CMakeFiles/manet_backbone.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/manet_flow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

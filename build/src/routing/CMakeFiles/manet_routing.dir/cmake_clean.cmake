@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manet_routing.dir/l_hop.cpp.o"
+  "CMakeFiles/manet_routing.dir/l_hop.cpp.o.d"
+  "CMakeFiles/manet_routing.dir/multicast.cpp.o"
+  "CMakeFiles/manet_routing.dir/multicast.cpp.o.d"
+  "CMakeFiles/manet_routing.dir/scheme_a.cpp.o"
+  "CMakeFiles/manet_routing.dir/scheme_a.cpp.o.d"
+  "CMakeFiles/manet_routing.dir/scheme_b.cpp.o"
+  "CMakeFiles/manet_routing.dir/scheme_b.cpp.o.d"
+  "CMakeFiles/manet_routing.dir/scheme_c.cpp.o"
+  "CMakeFiles/manet_routing.dir/scheme_c.cpp.o.d"
+  "CMakeFiles/manet_routing.dir/static_multihop.cpp.o"
+  "CMakeFiles/manet_routing.dir/static_multihop.cpp.o.d"
+  "CMakeFiles/manet_routing.dir/two_hop.cpp.o"
+  "CMakeFiles/manet_routing.dir/two_hop.cpp.o.d"
+  "libmanet_routing.a"
+  "libmanet_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manet_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/greedy.cpp" "src/sched/CMakeFiles/manet_sched.dir/greedy.cpp.o" "gcc" "src/sched/CMakeFiles/manet_sched.dir/greedy.cpp.o.d"
+  "/root/repo/src/sched/sstar.cpp" "src/sched/CMakeFiles/manet_sched.dir/sstar.cpp.o" "gcc" "src/sched/CMakeFiles/manet_sched.dir/sstar.cpp.o.d"
+  "/root/repo/src/sched/tdma_cell.cpp" "src/sched/CMakeFiles/manet_sched.dir/tdma_cell.cpp.o" "gcc" "src/sched/CMakeFiles/manet_sched.dir/tdma_cell.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/manet_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/manet_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/manet_phy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

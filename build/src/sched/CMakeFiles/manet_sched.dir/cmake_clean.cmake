@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manet_sched.dir/greedy.cpp.o"
+  "CMakeFiles/manet_sched.dir/greedy.cpp.o.d"
+  "CMakeFiles/manet_sched.dir/sstar.cpp.o"
+  "CMakeFiles/manet_sched.dir/sstar.cpp.o.d"
+  "CMakeFiles/manet_sched.dir/tdma_cell.cpp.o"
+  "CMakeFiles/manet_sched.dir/tdma_cell.cpp.o.d"
+  "libmanet_sched.a"
+  "libmanet_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manet_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

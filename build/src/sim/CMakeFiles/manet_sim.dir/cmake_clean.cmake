@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manet_sim.dir/fluid.cpp.o"
+  "CMakeFiles/manet_sim.dir/fluid.cpp.o.d"
+  "CMakeFiles/manet_sim.dir/slotsim.cpp.o"
+  "CMakeFiles/manet_sim.dir/slotsim.cpp.o.d"
+  "CMakeFiles/manet_sim.dir/sweep.cpp.o"
+  "CMakeFiles/manet_sim.dir/sweep.cpp.o.d"
+  "libmanet_sim.a"
+  "libmanet_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manet_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

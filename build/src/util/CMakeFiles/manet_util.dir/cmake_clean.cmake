@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manet_util.dir/artifacts.cpp.o"
+  "CMakeFiles/manet_util.dir/artifacts.cpp.o.d"
+  "CMakeFiles/manet_util.dir/csv.cpp.o"
+  "CMakeFiles/manet_util.dir/csv.cpp.o.d"
+  "CMakeFiles/manet_util.dir/flags.cpp.o"
+  "CMakeFiles/manet_util.dir/flags.cpp.o.d"
+  "CMakeFiles/manet_util.dir/log.cpp.o"
+  "CMakeFiles/manet_util.dir/log.cpp.o.d"
+  "CMakeFiles/manet_util.dir/table.cpp.o"
+  "CMakeFiles/manet_util.dir/table.cpp.o.d"
+  "libmanet_util.a"
+  "libmanet_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manet_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

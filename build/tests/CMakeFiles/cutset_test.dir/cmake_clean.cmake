@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cutset_test.dir/cutset_test.cpp.o"
+  "CMakeFiles/cutset_test.dir/cutset_test.cpp.o.d"
+  "cutset_test"
+  "cutset_test.pdb"
+  "cutset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cutset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linkcap_test.dir/linkcap_test.cpp.o"
+  "CMakeFiles/linkcap_test.dir/linkcap_test.cpp.o.d"
+  "linkcap_test"
+  "linkcap_test.pdb"
+  "linkcap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linkcap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

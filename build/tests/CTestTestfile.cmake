@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/geom_test[1]_include.cmake")
+include("/root/repo/build/tests/rng_test[1]_include.cmake")
+include("/root/repo/build/tests/mobility_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/phy_test[1]_include.cmake")
+include("/root/repo/build/tests/sched_test[1]_include.cmake")
+include("/root/repo/build/tests/linkcap_test[1]_include.cmake")
+include("/root/repo/build/tests/backbone_test[1]_include.cmake")
+include("/root/repo/build/tests/flow_test[1]_include.cmake")
+include("/root/repo/build/tests/routing_test[1]_include.cmake")
+include("/root/repo/build/tests/capacity_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/theorems_test[1]_include.cmake")
+include("/root/repo/build/tests/cutset_test[1]_include.cmake")
+include("/root/repo/build/tests/connectivity_test[1]_include.cmake")
+include("/root/repo/build/tests/geom_property_test[1]_include.cmake")
+include("/root/repo/build/tests/routing_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/properties_test[1]_include.cmake")
+include("/root/repo/build/tests/umbrella_test[1]_include.cmake")
+include("/root/repo/build/tests/multicast_test[1]_include.cmake")

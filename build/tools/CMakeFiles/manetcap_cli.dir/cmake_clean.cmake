@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manetcap_cli.dir/manetcap_cli.cpp.o"
+  "CMakeFiles/manetcap_cli.dir/manetcap_cli.cpp.o.d"
+  "manetcap_cli"
+  "manetcap_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manetcap_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_help "/root/repo/build/tools/manetcap_cli" "help")
+set_tests_properties(cli_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_classify "/root/repo/build/tools/manetcap_cli" "classify" "--alpha" "0.45" "--M" "0.3" "--R" "0.4" "--K" "0.6")
+set_tests_properties(cli_classify PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_capacity "/root/repo/build/tools/manetcap_cli" "capacity" "--n" "1024" "--alpha" "0.3" "--K" "0.7")
+set_tests_properties(cli_capacity PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_sweep "/root/repo/build/tools/manetcap_cli" "sweep" "--alpha" "0.3" "--K" "0.7" "--n0" "512" "--count" "3" "--trials" "1")
+set_tests_properties(cli_sweep PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_simulate "/root/repo/build/tools/manetcap_cli" "simulate" "--n" "256" "--alpha" "0.3" "--scheme" "B" "--slots" "600")
+set_tests_properties(cli_simulate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_phase "/root/repo/build/tools/manetcap_cli" "phase" "--phi" "-0.5")
+set_tests_properties(cli_phase PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rejects_bad_subcommand "/root/repo/build/tools/manetcap_cli" "frobnicate")
+set_tests_properties(cli_rejects_bad_subcommand PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rejects_bad_flag "/root/repo/build/tools/manetcap_cli" "classify" "--bogus" "1")
+set_tests_properties(cli_rejects_bad_flag PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
