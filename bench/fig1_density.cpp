@@ -2,13 +2,17 @@
 // network (left panel of the paper's figure) vs a uniformly dense one
 // (right panel). We print ASCII density maps plus the min/max/contrast
 // statistics that Definition 8 bounds.
+#include <algorithm>
 #include <cmath>
 #include <iostream>
+#include <vector>
 
 #include "analysis/density.h"
 #include "capacity/regimes.h"
 #include "net/network.h"
+#include "util/flags.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -29,33 +33,40 @@ void render_map(const analysis::DensityField& field, std::ostream& os) {
   }
 }
 
-void panel(const char* title, const net::ScalingParams& p,
-           std::uint64_t seed, util::Table* summary) {
-  auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
-                                 p.with_bs ? net::BsPlacement::kClusteredMatched
-                                           : net::BsPlacement::kUniform,
-                                 seed);
-  auto field = analysis::compute_density_field(net.ms_home(), net.bs_pos(),
-                                               net.shape(), p.f(), 32);
-  std::cout << "--- " << title << " ---\n"
+struct Panel {
+  const char* title;
+  net::ScalingParams params;
+  std::uint64_t seed;
+  analysis::DensityField field;  // filled by compute
+};
+
+void render_panel(const Panel& panel, util::Table* summary) {
+  const auto& p = panel.params;
+  std::cout << "--- " << panel.title << " ---\n"
             << "    " << p.describe() << "\n"
             << "    regime: " << to_string(capacity::classify(p))
             << ", f*sqrt(gamma) = "
             << util::fmt_double(capacity::f_sqrt_gamma(p), 3) << "\n";
-  render_map(field, std::cout);
-  const bool uniform = analysis::is_uniformly_dense(field, 0.05, 50.0);
+  render_map(panel.field, std::cout);
+  const bool uniform = analysis::is_uniformly_dense(panel.field, 0.05, 50.0);
   std::cout << '\n';
   summary->add_row(
-      {title, util::fmt_double(field.min, 3), util::fmt_double(field.max, 3),
-       util::fmt_double(field.mean, 3),
-       std::isinf(field.contrast()) ? "inf"
-                                    : util::fmt_double(field.contrast(), 3),
+      {panel.title, util::fmt_double(panel.field.min, 3),
+       util::fmt_double(panel.field.max, 3),
+       util::fmt_double(panel.field.mean, 3),
+       std::isinf(panel.field.contrast())
+           ? "inf"
+           : util::fmt_double(panel.field.contrast(), 3),
        uniform ? "yes" : "no"});
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv, {"threads"});
+  const auto num_threads = static_cast<std::size_t>(
+      flags.get_int("threads",
+                    static_cast<long>(util::ThreadPool::default_num_threads())));
   std::cout << "=== Figure 1: uniformly dense vs non-uniformly dense ===\n"
             << "rho(X) per Definition 7 on a 32x32 probe grid ('@' = max).\n\n";
 
@@ -69,7 +80,6 @@ int main() {
   left.with_bs = false;
   left.M = 0.25;
   left.R = 0.35;
-  panel("non-uniformly dense (weak mobility)", left, 11, &summary);
 
   // Right panel: same population, strong mobility (Theorem 1 condition).
   net::ScalingParams right;
@@ -77,7 +87,6 @@ int main() {
   right.alpha = 0.25;
   right.with_bs = false;
   right.M = 1.0;
-  panel("uniformly dense (strong mobility)", right, 12, &summary);
 
   // Clustered home-points *with* strong mobility also smooth out —
   // mobility overcomes clustering (Remark 5).
@@ -87,7 +96,31 @@ int main() {
   smoothed.with_bs = false;
   smoothed.M = 0.25;
   smoothed.R = 0.1;
-  panel("clustered but smoothed by mobility", smoothed, 13, &summary);
+
+  std::vector<Panel> panels = {
+      {"non-uniformly dense (weak mobility)", left, 11, {}},
+      {"uniformly dense (strong mobility)", right, 12, {}},
+      {"clustered but smoothed by mobility", smoothed, 13, {}},
+  };
+
+  // Each panel samples its own instance — independent tasks; the rendering
+  // below stays serial, so output order is fixed for any thread count.
+  util::ThreadPool pool(std::min<std::size_t>(
+      num_threads == 0 ? util::ThreadPool::default_num_threads() : num_threads,
+      panels.size()));
+  pool.for_each_index(panels.size(), [&panels](std::size_t i) {
+    auto& panel = panels[i];
+    const auto& p = panel.params;
+    auto net = net::Network::build(
+        p, mobility::ShapeKind::kUniformDisk,
+        p.with_bs ? net::BsPlacement::kClusteredMatched
+                  : net::BsPlacement::kUniform,
+        panel.seed);
+    panel.field = analysis::compute_density_field(
+        net.ms_home(), net.bs_pos(), net.shape(), p.f(), 32);
+  });
+
+  for (const auto& panel : panels) render_panel(panel, &summary);
 
   summary.print(std::cout);
   std::cout << "\nDefinition 8 expects bounded contrast in the uniformly\n"

@@ -4,14 +4,18 @@
 // BSs→MS). We instrument a sampled instance and print, for several wired
 // bandwidth exponents ϕ, the sustainable rate of each phase and which one
 // binds — the quantitative content behind the picture.
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "geom/tessellation.h"
 #include "net/traffic.h"
 #include "routing/scheme_b.h"
 #include "rng/rng.h"
+#include "util/flags.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -71,7 +75,11 @@ void draw_instance() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv, {"threads"});
+  const auto num_threads = static_cast<std::size_t>(
+      flags.get_int("threads",
+                    static_cast<long>(util::ThreadPool::default_num_threads())));
   std::cout << "=== Figure 2: optimal routing scheme B, phase by phase ===\n"
             << "n = 8192, K = 0.7 (k = n^0.7), squarelet grouping; the\n"
             << "wired backbone carries mu_c = k*c = n^phi per BS.\n\n";
@@ -81,26 +89,36 @@ int main() {
                  "bottleneck", "min access", "mean access", "groups",
                  "uncovered MS"});
 
-  for (double phi : {-1.0, -0.5, -0.25, 0.0, 0.5, 1.0}) {
+  // Each phi row samples and evaluates its own instance — independent
+  // tasks writing pre-sized slots; rows are printed in phi order below.
+  const std::vector<double> phis = {-1.0, -0.5, -0.25, 0.0, 0.5, 1.0};
+  std::vector<routing::SchemeBResult> results(phis.size());
+  util::ThreadPool pool(std::min<std::size_t>(
+      num_threads == 0 ? util::ThreadPool::default_num_threads() : num_threads,
+      phis.size()));
+  pool.for_each_index(phis.size(), [&phis, &results](std::size_t i) {
     net::ScalingParams p;
     p.n = 8192;
     p.alpha = 0.3;
     p.with_bs = true;
     p.K = 0.7;
     p.M = 1.0;
-    p.phi = phi;
+    p.phi = phis[i];
 
     auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
                                    net::BsPlacement::kClusteredMatched, 21);
     rng::Xoshiro256 g(23);
     auto dest = net::permutation_traffic(p.n, g);
     routing::SchemeB b;
-    auto r = b.evaluate(net, dest);
+    results[i] = b.evaluate(net, dest);
+  });
 
+  for (std::size_t i = 0; i < phis.size(); ++i) {
+    const auto& r = results[i];
     auto bound = [](double v) {
       return std::isinf(v) ? std::string("-") : util::fmt_sci(v, 2);
     };
-    t.add_row({util::fmt_double(phi, 3),
+    t.add_row({util::fmt_double(phis[i], 3),
                util::fmt_sci(r.throughput.lambda, 3),
                bound(r.throughput.lambda_access),
                bound(r.throughput.lambda_backbone),

@@ -3,8 +3,10 @@
 // the packet simulator under saturation and compare delivered throughput
 // with the fluid λ of the same instance — the ratio should be an O(1)
 // constant, stable across sizes and mobility processes.
+#include <algorithm>
 #include <cmath>
 #include <iostream>
+#include <vector>
 
 #include "net/traffic.h"
 #include "routing/scheme_a.h"
@@ -13,7 +15,9 @@
 #include "routing/two_hop.h"
 #include "rng/rng.h"
 #include "sim/slotsim.h"
+#include "util/flags.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace {
 using namespace manetcap;
@@ -26,7 +30,11 @@ struct Case {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv, {"threads"});
+  const auto num_threads = static_cast<std::size_t>(
+      flags.get_int("threads",
+                    static_cast<long>(util::ThreadPool::default_num_threads())));
   std::cout << "=== slot-level schedule vs fluid capacity ===\n"
             << "saturated sources, S* scheduling, 4000 slots (400 warmup)\n\n";
 
@@ -81,60 +89,80 @@ int main() {
   util::Table t({"case", "fluid strict", "fluid symmetric", "slot mean rate",
                  "slot p10 rate", "slot/symmetric", "pairs/slot"});
 
-  for (const auto& c : cases) {
-    auto net = net::Network::build(
-        c.params, mobility::ShapeKind::kUniformDisk,
-        c.scheme == sim::SlotScheme::kSchemeC
-            ? net::BsPlacement::kClusterGrid
-            : net::BsPlacement::kClusteredMatched,
-        101);
-    rng::Xoshiro256 g(103);
-    auto dest = net::permutation_traffic(c.params.n, g);
-
+  // Every case is an independent instance + simulation: fan the cases out
+  // across the pool, then emit rows in declaration order.
+  struct CaseResult {
     double strict = 0.0, symmetric = 0.0;
-    switch (c.scheme) {
-      case sim::SlotScheme::kSchemeA: {
-        routing::SchemeA a;
-        auto r = a.evaluate(net, dest);
-        strict = r.throughput.lambda;
-        symmetric = r.lambda_symmetric;
-        break;
-      }
-      case sim::SlotScheme::kTwoHop: {
-        routing::TwoHopRelay th;
-        auto r = th.evaluate(net, dest);
-        strict = r.throughput.lambda;
-        symmetric = r.lambda_symmetric;
-        break;
-      }
-      case sim::SlotScheme::kSchemeB: {
-        routing::SchemeB b;
-        auto r = b.evaluate(net, dest);
-        strict = r.throughput.lambda;
-        symmetric = r.lambda_symmetric;
-        break;
-      }
-      case sim::SlotScheme::kSchemeC: {
-        routing::SchemeC c2;
-        auto r = c2.evaluate(net, dest);
-        strict = r.throughput.lambda;
-        symmetric = r.lambda_symmetric;
-        break;
-      }
-    }
+    sim::SlotSimResult slot;
+  };
+  std::vector<CaseResult> results(cases.size());
+  {
+    util::ThreadPool pool(std::min<std::size_t>(
+        num_threads == 0 ? util::ThreadPool::default_num_threads()
+                         : num_threads,
+        cases.size()));
+    pool.for_each_index(cases.size(), [&cases, &results](std::size_t i) {
+      const auto& c = cases[i];
+      auto net = net::Network::build(
+          c.params, mobility::ShapeKind::kUniformDisk,
+          c.scheme == sim::SlotScheme::kSchemeC
+              ? net::BsPlacement::kClusterGrid
+              : net::BsPlacement::kClusteredMatched,
+          101);
+      rng::Xoshiro256 g(103);
+      auto dest = net::permutation_traffic(c.params.n, g);
 
-    sim::SlotSimOptions opt;
-    opt.scheme = c.scheme;
-    opt.slots = 4000;
-    opt.warmup = 400;
-    opt.seed = 107;
-    auto r = sim::run_slot_sim(net, dest, opt);
+      double strict = 0.0, symmetric = 0.0;
+      switch (c.scheme) {
+        case sim::SlotScheme::kSchemeA: {
+          routing::SchemeA a;
+          auto r = a.evaluate(net, dest);
+          strict = r.throughput.lambda;
+          symmetric = r.lambda_symmetric;
+          break;
+        }
+        case sim::SlotScheme::kTwoHop: {
+          routing::TwoHopRelay th;
+          auto r = th.evaluate(net, dest);
+          strict = r.throughput.lambda;
+          symmetric = r.lambda_symmetric;
+          break;
+        }
+        case sim::SlotScheme::kSchemeB: {
+          routing::SchemeB b;
+          auto r = b.evaluate(net, dest);
+          strict = r.throughput.lambda;
+          symmetric = r.lambda_symmetric;
+          break;
+        }
+        case sim::SlotScheme::kSchemeC: {
+          routing::SchemeC c2;
+          auto r = c2.evaluate(net, dest);
+          strict = r.throughput.lambda;
+          symmetric = r.lambda_symmetric;
+          break;
+        }
+      }
 
-    t.add_row({c.name, util::fmt_sci(strict, 3), util::fmt_sci(symmetric, 3),
+      sim::SlotSimOptions opt;
+      opt.scheme = c.scheme;
+      opt.slots = 4000;
+      opt.warmup = 400;
+      opt.seed = 107;
+      results[i] = {strict, symmetric, sim::run_slot_sim(net, dest, opt)};
+    });
+  }
+
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const auto& c = cases[i];
+    const auto& res = results[i];
+    const auto& r = res.slot;
+    t.add_row({c.name, util::fmt_sci(res.strict, 3),
+               util::fmt_sci(res.symmetric, 3),
                util::fmt_sci(r.mean_flow_rate, 3),
                util::fmt_sci(r.p10_flow_rate, 3),
-               symmetric > 0.0
-                   ? util::fmt_double(r.mean_flow_rate / symmetric, 3)
+               res.symmetric > 0.0
+                   ? util::fmt_double(r.mean_flow_rate / res.symmetric, 3)
                    : "-",
                util::fmt_double(r.pairs_per_slot, 3)});
   }
@@ -154,18 +182,29 @@ int main() {
     rng::Xoshiro256 g(113);
     auto dest = net::permutation_traffic(p.n, g);
     util::Table t2({"mobility process", "slot mean rate", "pairs/slot"});
-    for (auto mob : {sim::SlotMobility::kIid, sim::SlotMobility::kWalk,
-                     sim::SlotMobility::kPullHome}) {
-      sim::SlotSimOptions opt;
-      opt.scheme = sim::SlotScheme::kSchemeA;
-      opt.mobility = mob;
-      opt.slots = 4000;
-      opt.warmup = 400;
-      opt.seed = 127;
-      auto r = sim::run_slot_sim(net, dest, opt);
-      const char* name = mob == sim::SlotMobility::kIid      ? "iid"
-                         : mob == sim::SlotMobility::kWalk   ? "bounded walk"
-                                                             : "AR(1) pull";
+    const std::vector<sim::SlotMobility> mobs = {sim::SlotMobility::kIid,
+                                                 sim::SlotMobility::kWalk,
+                                                 sim::SlotMobility::kPullHome};
+    std::vector<sim::SlotSimResult> mob_results(mobs.size());
+    util::ThreadPool pool(std::min<std::size_t>(
+        num_threads == 0 ? util::ThreadPool::default_num_threads()
+                         : num_threads,
+        mobs.size()));
+    pool.for_each_index(mobs.size(),
+                        [&mobs, &mob_results, &net, &dest](std::size_t i) {
+                          sim::SlotSimOptions opt;
+                          opt.scheme = sim::SlotScheme::kSchemeA;
+                          opt.mobility = mobs[i];
+                          opt.slots = 4000;
+                          opt.warmup = 400;
+                          opt.seed = 127;
+                          mob_results[i] = sim::run_slot_sim(net, dest, opt);
+                        });
+    for (std::size_t i = 0; i < mobs.size(); ++i) {
+      const auto& r = mob_results[i];
+      const char* name = mobs[i] == sim::SlotMobility::kIid    ? "iid"
+                         : mobs[i] == sim::SlotMobility::kWalk ? "bounded walk"
+                                                               : "AR(1) pull";
       t2.add_row({name, util::fmt_sci(r.mean_flow_rate, 3),
                   util::fmt_double(r.pairs_per_slot, 3)});
     }

@@ -5,8 +5,10 @@
 // scaling exponent. The paper's claim is the Θ(n^e) order — the fitted
 // slope should land near the theoretical e (log factors and finite-n
 // effects perturb it by ~0.1).
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
+#include <mutex>
 
 #include "analysis/loglog_fit.h"
 #include "capacity/formulas.h"
@@ -17,8 +19,10 @@
 #include "sim/fluid.h"
 #include "sim/sweep.h"
 #include "util/artifacts.h"
+#include "util/flags.h"
 #include "util/stopwatch.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -61,11 +65,17 @@ net::ScalingParams make(double alpha, bool with_bs, double K, double M,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const util::Flags flags(argc, argv, {"threads"});
+  const auto num_threads = static_cast<std::size_t>(
+      flags.get_int("threads",
+                    static_cast<long>(util::ThreadPool::default_num_threads())));
   std::cout << "=== Table I: capacity scaling in every mobility regime ===\n"
             << "lambda(n) measured by the fluid evaluator with the regime's\n"
             << "optimal scheme; slope of log lambda vs log n compared with\n"
-            << "the paper's exponent (Theorems 3, 5, 7, 9; Corollary 3).\n\n";
+            << "the paper's exponent (Theorems 3, 5, 7, 9; Corollary 3).\n"
+            << "sweep threads: " << num_threads
+            << " (results are thread-count independent)\n\n";
 
   // Parameter points sit deep inside each regime so that the asymptotic
   // law is visible at n ≤ 64k (boundaries converge only polylog-slowly).
@@ -108,13 +118,22 @@ int main() {
     const auto law = capacity::capacity_law(row.params);
     // Primary fit: the symmetric (typical-resource) capacity — the strict
     // worst-case λ carries a slowly-vanishing extreme-value bias at these
-    // sizes (its slope is reported alongside for reference).
-    std::vector<double> strict_n, strict_lambda;
+    // sizes (its slope is reported alongside for reference). Trials run
+    // concurrently, so strict samples are collected under a mutex and
+    // sorted into a schedule-independent order before fitting.
+    struct StrictSample {
+      double n;
+      std::uint64_t seed;
+      double lambda;
+    };
+    std::mutex strict_mu;
+    std::vector<StrictSample> strict_samples;
     const bool clustered_no_bs = !row.params.with_bs &&
                                  row.params.M < 1.0;
-    sim::Evaluator eval = [&row, &strict_n, &strict_lambda,
+    sim::Evaluator eval = [&row, &strict_mu, &strict_samples,
                            clustered_no_bs](const net::ScalingParams& p,
                                             std::uint64_t seed) {
+      double strict_lambda = 0.0, symmetric = 0.0;
       if (clustered_no_bs) {
         // Direct static-multihop evaluation with tight range constants —
         // the oversized defaults keep guard zones saturated at these m.
@@ -124,25 +143,33 @@ int main() {
         auto dest = net::permutation_traffic(p.n, g);
         routing::StaticMultihop sm(/*range_factor=*/1.2, /*delta=*/0.25);
         auto r = sm.evaluate(net, dest);
-        if (r.throughput.lambda > 0.0) {
-          strict_n.push_back(static_cast<double>(p.n));
-          strict_lambda.push_back(r.throughput.lambda);
-        }
-        return r.lambda_symmetric;
+        strict_lambda = r.throughput.lambda;
+        symmetric = r.lambda_symmetric;
+      } else {
+        sim::FluidOptions opt;
+        opt.seed = seed;
+        opt.placement = row.placement;
+        auto out = sim::evaluate_capacity(p, opt);
+        strict_lambda = out.lambda;
+        symmetric = out.lambda_symmetric;
       }
-      sim::FluidOptions opt;
-      opt.seed = seed;
-      opt.placement = row.placement;
-      auto out = sim::evaluate_capacity(p, opt);
-      if (out.lambda > 0.0) {
-        strict_n.push_back(static_cast<double>(p.n));
-        strict_lambda.push_back(out.lambda);
+      if (strict_lambda > 0.0) {
+        std::lock_guard<std::mutex> lock(strict_mu);
+        strict_samples.push_back(
+            {static_cast<double>(p.n), seed, strict_lambda});
       }
-      return out.lambda_symmetric;
+      return symmetric;
     };
+    sim::SweepOptions sopt;
+    sopt.num_threads = num_threads;
+    sopt.seed0 = 2026;
     auto sweep = sim::run_sweep(row.params,
                                 row.sizes.empty() ? sizes : row.sizes,
-                                trials, eval, /*seed0=*/2026);
+                                trials, eval, sopt);
+    std::sort(strict_samples.begin(), strict_samples.end(),
+              [](const StrictSample& a, const StrictSample& b) {
+                return a.n != b.n ? a.n < b.n : a.seed < b.seed;
+              });
 
     for (const auto& point : sweep.points) {
       csv.add_row({row.name, std::to_string(point.n),
@@ -161,7 +188,14 @@ int main() {
       verdict = gap < 0.12 ? "match" : (gap < 0.25 ? "close" : "off");
     }
     std::string strict = "n/a";
-    if (strict_n.size() >= 3) {
+    if (strict_samples.size() >= 3) {
+      std::vector<double> strict_n, strict_lambda;
+      strict_n.reserve(strict_samples.size());
+      strict_lambda.reserve(strict_samples.size());
+      for (const auto& s : strict_samples) {
+        strict_n.push_back(s.n);
+        strict_lambda.push_back(s.lambda);
+      }
       auto sf = analysis::fit_power_law(strict_n, strict_lambda);
       strict = util::fmt_double(sf.exponent, 3);
     }

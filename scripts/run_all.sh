@@ -3,10 +3,16 @@
 # artifact, and leave the transcripts next to the sources.
 #
 #   scripts/run_all.sh [build-dir]
+#
+# THREADS=N bounds the worker threads the parallel drivers (sweeps,
+# figure panels, slot-sim cases) fan out on; default: all cores. Results
+# are bit-identical for any value — only wall-clock changes.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-$repo/build}"
+
+export MANETCAP_THREADS="${THREADS:-$(nproc 2>/dev/null || echo 1)}"
 
 cmake -B "$build" -G Ninja -S "$repo"
 cmake --build "$build"

@@ -402,12 +402,19 @@ class SlotSim {
           continue;
         }
         auto key = std::minmax(l, target);
-        WireState& wire = wire_credit_[{key.first, key.second}];
+        auto [wit, first_use] =
+            wire_credit_.try_emplace({key.first, key.second});
+        WireState& wire = wit->second;
+        // A fresh edge starts accruing at its first-use slot — crediting
+        // retroactively from slot 0 would let low-c(n) edges burst a full
+        // bucket at first touch and inflate early infra throughput.
+        if (first_use) wire.last_topup = slot;
         if (wire.last_topup < slot + 1) {
           wire.credit += c * static_cast<double>(slot + 1 - wire.last_topup);
-          // Cap accumulated credit so an idle edge cannot burst
-          // arbitrarily later (token bucket with depth 4).
-          wire.credit = std::min(wire.credit, std::max(4.0, c));
+          // Token bucket with depth scaled to the wire rate (4 slots of
+          // credit, but never below one packet so low-c edges still
+          // transmit): an idle edge cannot burst arbitrarily later.
+          wire.credit = std::min(wire.credit, std::max(1.0, 4.0 * c));
           wire.last_topup = slot + 1;
         }
         if (wire.credit >= 1.0 &&

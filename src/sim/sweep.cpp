@@ -4,6 +4,7 @@
 
 #include "analysis/stats.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace manetcap::sim {
 
@@ -16,43 +17,84 @@ std::vector<std::size_t> geometric_sizes(std::size_t n0, double ratio,
   sizes.reserve(count);
   double v = static_cast<double>(n0);
   for (std::size_t i = 0; i < count; ++i) {
-    sizes.push_back(static_cast<std::size_t>(std::llround(v)));
+    const auto s = static_cast<std::size_t>(std::llround(v));
+    // llround is monotone in v, so collapsed points are adjacent; keeping
+    // the first occurrence dedupes the whole sequence.
+    if (sizes.empty() || sizes.back() != s) sizes.push_back(s);
     v *= ratio;
   }
   return sizes;
 }
 
+namespace {
+
+inline std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t trial_seed(std::uint64_t seed0, std::size_t size_index,
+                         std::size_t trial) {
+  // Feed each coordinate through its own SplitMix64 round so (seed0, si, t)
+  // tuples that differ in any coordinate diverge over the full 64-bit
+  // range — unlike a linear combination, where small strides collide.
+  std::uint64_t h = splitmix64(seed0);
+  h = splitmix64(h ^ static_cast<std::uint64_t>(size_index));
+  h = splitmix64(h ^ static_cast<std::uint64_t>(trial));
+  return h;
+}
+
 SweepResult run_sweep(const net::ScalingParams& base,
                       const std::vector<std::size_t>& sizes,
                       std::size_t trials, const Evaluator& eval,
-                      std::uint64_t seed0) {
+                      const SweepOptions& options) {
   MANETCAP_CHECK(!sizes.empty());
   MANETCAP_CHECK(trials >= 1);
 
+  std::size_t num_threads = options.num_threads == 0
+                                ? util::ThreadPool::default_num_threads()
+                                : options.num_threads;
+
+  // Fan-out: every (size, trial) cell is an independent task writing its
+  // own pre-allocated slot, so the measurement itself carries no ordering.
+  const std::size_t cells = sizes.size() * trials;
+  std::vector<double> lambdas(cells, 0.0);
+  auto run_cell = [&](std::size_t cell) {
+    const std::size_t si = cell / trials;
+    const std::size_t t = cell % trials;
+    net::ScalingParams p = base;
+    p.n = sizes[si];
+    lambdas[cell] = eval(p, trial_seed(options.seed0, si, t));
+  };
+  if (num_threads <= 1 || cells <= 1) {
+    for (std::size_t cell = 0; cell < cells; ++cell) run_cell(cell);
+  } else {
+    util::ThreadPool pool(std::min(num_threads, cells));
+    pool.for_each_index(cells, run_cell);
+  }
+
+  // Reduction: serial, fixed order — output is bit-identical to the
+  // serial path for any thread count.
   SweepResult result;
   std::vector<double> xs, ys;
   bool all_positive = true;
-
   for (std::size_t si = 0; si < sizes.size(); ++si) {
-    net::ScalingParams p = base;
-    p.n = sizes[si];
-    std::vector<double> lambdas;
-    lambdas.reserve(trials);
-    for (std::size_t t = 0; t < trials; ++t) {
-      const std::uint64_t seed =
-          seed0 * 0x9e3779b97f4a7c15ULL + si * 1000003ULL + t * 7919ULL + 1;
-      lambdas.push_back(eval(p, seed));
-    }
-
+    const std::vector<double> cell_lambdas(
+        lambdas.begin() + static_cast<std::ptrdiff_t>(si * trials),
+        lambdas.begin() + static_cast<std::ptrdiff_t>((si + 1) * trials));
     SweepPoint point;
-    point.n = p.n;
+    point.n = sizes[si];
     point.trials = trials;
-    const auto summary = analysis::summarize(lambdas);
+    const auto summary = analysis::summarize(cell_lambdas);
     point.lambda_min = summary.min;
     point.lambda_max = summary.max;
     if (summary.min > 0.0) {
-      point.lambda_gm = analysis::geometric_mean(lambdas);
-      xs.push_back(static_cast<double>(p.n));
+      point.lambda_gm = analysis::geometric_mean(cell_lambdas);
+      xs.push_back(static_cast<double>(point.n));
       ys.push_back(point.lambda_gm);
     } else {
       point.lambda_gm = 0.0;
@@ -66,6 +108,16 @@ SweepResult run_sweep(const net::ScalingParams& base,
     result.fit_valid = true;
   }
   return result;
+}
+
+SweepResult run_sweep(const net::ScalingParams& base,
+                      const std::vector<std::size_t>& sizes,
+                      std::size_t trials, const Evaluator& eval,
+                      std::uint64_t seed0) {
+  SweepOptions options;
+  options.num_threads = 1;
+  options.seed0 = seed0;
+  return run_sweep(base, sizes, trials, eval, options);
 }
 
 }  // namespace manetcap::sim

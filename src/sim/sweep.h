@@ -30,12 +30,38 @@ struct SweepResult {
   bool fit_valid = false;     // false when some point measured λ = 0
 };
 
-/// Geometrically spaced sizes: n₀·ratioⁱ, i = 0..count−1.
+struct SweepOptions {
+  /// Worker threads for the (size, trial) fan-out. 1 = serial on the
+  /// calling thread; 0 = util::ThreadPool::default_num_threads(). Results
+  /// are bit-identical for every value — trials are independent tasks and
+  /// the reduction runs serially in a fixed order.
+  std::size_t num_threads = 1;
+  std::uint64_t seed0 = 1;
+};
+
+/// Geometrically spaced sizes: n₀·ratioⁱ, i = 0..count−1, deduplicated —
+/// when llround collapses adjacent points (small n₀·(ratio−1)), each size
+/// appears once, so the result may hold fewer than `count` entries.
 std::vector<std::size_t> geometric_sizes(std::size_t n0, double ratio,
                                          std::size_t count);
 
+/// Per-trial seed for sweep cell (size_index, trial): a SplitMix64 mix of
+/// all three inputs, so nearby (seed0, si, t) tuples land on statistically
+/// independent seeds and no two cells of a sweep collide.
+std::uint64_t trial_seed(std::uint64_t seed0, std::size_t size_index,
+                         std::size_t trial);
+
 /// Runs `eval` for every (n, trial) pair, with params = base except n.
-/// Deterministic given seed0.
+/// Deterministic given options.seed0, for any num_threads. With
+/// num_threads != 1 the evaluator is called concurrently and must be
+/// thread-safe (pure functions of (params, seed) are; lambdas mutating
+/// captured state need their own synchronization).
+SweepResult run_sweep(const net::ScalingParams& base,
+                      const std::vector<std::size_t>& sizes,
+                      std::size_t trials, const Evaluator& eval,
+                      const SweepOptions& options);
+
+/// Serial convenience overload (num_threads = 1).
 SweepResult run_sweep(const net::ScalingParams& base,
                       const std::vector<std::size_t>& sizes,
                       std::size_t trials, const Evaluator& eval,

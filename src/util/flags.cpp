@@ -50,16 +50,41 @@ std::string Flags::get_string(const std::string& name,
   return it == values_.end() ? def : it->second;
 }
 
+namespace {
+[[noreturn]] void bad_value(const std::string& name,
+                            const std::string& value) {
+  throw std::runtime_error("bad value for --" + name + ": " + value);
+}
+}  // namespace
+
 long Flags::get_int(const std::string& name, long def) const {
   auto it = values_.find(name);
   if (it == values_.end()) return def;
-  return std::stol(it->second);
+  try {
+    std::size_t pos = 0;
+    const long v = std::stol(it->second, &pos);
+    if (pos != it->second.size()) bad_value(name, it->second);
+    return v;
+  } catch (const std::invalid_argument&) {
+    bad_value(name, it->second);
+  } catch (const std::out_of_range&) {
+    bad_value(name, it->second);
+  }
 }
 
 double Flags::get_double(const std::string& name, double def) const {
   auto it = values_.find(name);
   if (it == values_.end()) return def;
-  return std::stod(it->second);
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(it->second, &pos);
+    if (pos != it->second.size()) bad_value(name, it->second);
+    return v;
+  } catch (const std::invalid_argument&) {
+    bad_value(name, it->second);
+  } catch (const std::out_of_range&) {
+    bad_value(name, it->second);
+  }
 }
 
 bool Flags::get_bool(const std::string& name, bool def) const {

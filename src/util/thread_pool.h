@@ -1,0 +1,78 @@
+// Fixed-size worker pool for deterministic fan-out of independent tasks.
+//
+// Deliberately work-stealing-free: a single FIFO queue feeds the workers,
+// so tasks *start* in submission order and the pool adds no scheduling
+// randomness of its own. Determinism of results is the caller's contract:
+// tasks write to disjoint, pre-allocated slots and every reduction happens
+// serially in the caller, so numeric output is bit-identical for any pool
+// size (including 1).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace manetcap::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means default_num_threads().
+  explicit ThreadPool(std::size_t num_threads = 0);
+
+  /// Drains the queue (waits for every submitted task) and joins workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task. Tasks are dequeued FIFO, i.e. they begin executing
+  /// in submission order (completion order is up to the scheduler).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished. If any task threw,
+  /// rethrows the exception of the earliest-submitted failing task and
+  /// clears the stored exception.
+  void wait_idle();
+
+  /// Runs fn(0), …, fn(count-1) across the pool and blocks until all
+  /// complete. Every index runs even if an earlier one throws; afterwards
+  /// the exception of the lowest failing index is rethrown, so error
+  /// reporting does not depend on thread timing. A pool of size 1 executes
+  /// the indices in order on a single worker.
+  void for_each_index(std::size_t count,
+                      const std::function<void(std::size_t)>& fn);
+
+  /// Worker count to use when the caller does not care: the MANETCAP_THREADS
+  /// environment variable if set to a positive integer, otherwise
+  /// std::thread::hardware_concurrency() (minimum 1).
+  static std::size_t default_num_threads();
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+    std::uint64_t sequence = 0;
+  };
+
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_work_;   // queue became non-empty / shutdown
+  std::condition_variable cv_idle_;   // all tasks finished
+  std::deque<Task> queue_;
+  std::size_t in_flight_ = 0;         // queued + currently executing
+  std::uint64_t next_sequence_ = 0;
+  std::uint64_t first_error_sequence_ = 0;
+  std::exception_ptr first_error_;    // earliest-submitted failure
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace manetcap::util

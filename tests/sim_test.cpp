@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <set>
 
 #include "net/traffic.h"
 #include "rng/rng.h"
@@ -129,6 +130,111 @@ TEST(Sweep, GeometricSizes) {
   ASSERT_EQ(sizes.size(), 4u);
   EXPECT_EQ(sizes[0], 100u);
   EXPECT_EQ(sizes[3], 800u);
+}
+
+TEST(Sweep, GeometricSizesDeduplicatesCollapsedPoints) {
+  // 100·1.001ⁱ rounds to 100 for many consecutive i: collapsed points must
+  // appear once, leaving a strictly increasing sequence.
+  auto sizes = geometric_sizes(100, 1.001, 12);
+  EXPECT_LT(sizes.size(), 12u);
+  for (std::size_t i = 1; i < sizes.size(); ++i)
+    EXPECT_LT(sizes[i - 1], sizes[i]);
+}
+
+TEST(Sweep, TrialSeedsNeverCollide) {
+  // The pre-SplitMix64 linear formula collided across the (seed0, si, t)
+  // grid (e.g. seed0 strides of 1 alias si strides of 1000003·k). The
+  // mixed derivation must give pairwise-distinct seeds over a dense grid.
+  std::set<std::uint64_t> seen;
+  std::size_t total = 0;
+  for (std::uint64_t seed0 : {1ULL, 2ULL, 3ULL, 42ULL, 2026ULL,
+                              0x9e3779b97f4a7c15ULL}) {
+    for (std::size_t si = 0; si < 16; ++si) {
+      for (std::size_t t = 0; t < 64; ++t) {
+        seen.insert(trial_seed(seed0, si, t));
+        ++total;
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), total);
+}
+
+TEST(Sweep, TrialSeedMatchesRunSweepDerivation) {
+  std::vector<std::uint64_t> seen;
+  auto eval = [&seen](const net::ScalingParams&, std::uint64_t seed) {
+    seen.push_back(seed);
+    return 1.0;
+  };
+  run_sweep(strong_params(0), {128, 256}, 2, eval, 7);
+  ASSERT_EQ(seen.size(), 4u);
+  EXPECT_EQ(seen[0], trial_seed(7, 0, 0));
+  EXPECT_EQ(seen[1], trial_seed(7, 0, 1));
+  EXPECT_EQ(seen[2], trial_seed(7, 1, 0));
+  EXPECT_EQ(seen[3], trial_seed(7, 1, 1));
+}
+
+TEST(Sweep, ThreadCountDoesNotChangeResults) {
+  // A seed-sensitive evaluator: any reordering of trials across threads
+  // that leaked into the reduction would change the bits of the result.
+  auto eval = [](const net::ScalingParams& p, std::uint64_t seed) {
+    rng::Xoshiro256 g(seed);
+    return std::pow(static_cast<double>(p.n), -0.5) *
+           (0.5 + rng::uniform01(g));
+  };
+  const auto sizes = geometric_sizes(256, 2.0, 5);
+  SweepResult reference;
+  {
+    SweepOptions opt;
+    opt.num_threads = 1;
+    opt.seed0 = 2026;
+    reference = run_sweep(strong_params(0), sizes, 4, eval, opt);
+  }
+  ASSERT_TRUE(reference.fit_valid);
+  for (std::size_t threads : {2u, 8u}) {
+    SweepOptions opt;
+    opt.num_threads = threads;
+    opt.seed0 = 2026;
+    auto r = run_sweep(strong_params(0), sizes, 4, eval, opt);
+    ASSERT_EQ(r.points.size(), reference.points.size());
+    for (std::size_t i = 0; i < r.points.size(); ++i) {
+      EXPECT_EQ(r.points[i].n, reference.points[i].n);
+      EXPECT_EQ(r.points[i].trials, reference.points[i].trials);
+      // Bit-identical, not merely close.
+      EXPECT_DOUBLE_EQ(r.points[i].lambda_gm, reference.points[i].lambda_gm);
+      EXPECT_DOUBLE_EQ(r.points[i].lambda_min,
+                       reference.points[i].lambda_min);
+      EXPECT_DOUBLE_EQ(r.points[i].lambda_max,
+                       reference.points[i].lambda_max);
+    }
+    ASSERT_EQ(r.fit_valid, reference.fit_valid);
+    EXPECT_DOUBLE_EQ(r.fit.exponent, reference.fit.exponent);
+    EXPECT_DOUBLE_EQ(r.fit.stderr_, reference.fit.stderr_);
+    EXPECT_DOUBLE_EQ(r.fit.r_squared, reference.fit.r_squared);
+  }
+}
+
+TEST(Sweep, ParallelFluidEvaluationMatchesSerial) {
+  // End-to-end with the real fluid evaluator: sampled networks, scheme
+  // dispatch, the lot — still bit-identical across thread counts.
+  sim::Evaluator eval = [](const net::ScalingParams& p, std::uint64_t seed) {
+    FluidOptions opt;
+    opt.seed = seed;
+    return evaluate_capacity(p, opt).lambda_symmetric;
+  };
+  SweepOptions serial;
+  serial.num_threads = 1;
+  serial.seed0 = 11;
+  auto a = run_sweep(strong_params(0), {512, 1024, 2048}, 2, eval, serial);
+  SweepOptions parallel = serial;
+  parallel.num_threads = 4;
+  auto b = run_sweep(strong_params(0), {512, 1024, 2048}, 2, eval, parallel);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.points[i].lambda_gm, b.points[i].lambda_gm);
+  ASSERT_EQ(a.fit_valid, b.fit_valid);
+  if (a.fit_valid) {
+    EXPECT_DOUBLE_EQ(a.fit.exponent, b.fit.exponent);
+  }
 }
 
 TEST(Sweep, RecoversAnalyticExponent) {

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
+#include <vector>
 
 #include "util/check.h"
 #include "util/csv.h"
@@ -10,6 +13,7 @@
 #include "util/log.h"
 #include "util/stopwatch.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace manetcap {
 namespace {
@@ -138,6 +142,96 @@ TEST(Flags, PositionalArgumentsCollected) {
   ASSERT_EQ(f.positional().size(), 2u);
   EXPECT_EQ(f.positional()[0], "file1");
   EXPECT_EQ(f.positional()[1], "file2");
+}
+
+TEST(Flags, BadIntValueNamesFlagAndValue) {
+  const char* argv[] = {"prog", "--n=abc"};
+  util::Flags f(2, argv, {"n"});
+  try {
+    f.get_int("n", 0);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--n"), std::string::npos);
+    EXPECT_NE(what.find("abc"), std::string::npos);
+  }
+}
+
+TEST(Flags, BadDoubleValueNamesFlagAndValue) {
+  const char* argv[] = {"prog", "--alpha=zero"};
+  util::Flags f(2, argv, {"alpha"});
+  try {
+    f.get_double("alpha", 0.0);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--alpha"), std::string::npos);
+    EXPECT_NE(what.find("zero"), std::string::npos);
+  }
+}
+
+TEST(Flags, TrailingGarbageRejected) {
+  const char* argv[] = {"prog", "--n=12x", "--alpha=0.5y"};
+  util::Flags f(3, argv, {"n", "alpha"});
+  EXPECT_THROW(f.get_int("n", 0), std::runtime_error);
+  EXPECT_THROW(f.get_double("alpha", 0.0), std::runtime_error);
+}
+
+TEST(Flags, OutOfRangeIntRejected) {
+  const char* argv[] = {"prog", "--n=99999999999999999999999999"};
+  util::Flags f(2, argv, {"n"});
+  EXPECT_THROW(f.get_int("n", 0), std::runtime_error);
+}
+
+// ---------------------------------------------------------- thread pool --
+
+TEST(ThreadPool, ExecutesEveryIndexExactlyOnce) {
+  util::ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::atomic<int>> hits(257);
+  pool.for_each_index(hits.size(), [&hits](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SingleWorkerPreservesSubmissionOrder) {
+  // One worker + FIFO queue: execution order equals submission order.
+  util::ThreadPool pool(1);
+  std::vector<int> order;
+  for (int i = 0; i < 64; ++i)
+    pool.submit([&order, i] { order.push_back(i); });
+  pool.wait_idle();
+  ASSERT_EQ(order.size(), 64u);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(ThreadPool, PropagatesEarliestException) {
+  util::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(32);
+  try {
+    pool.for_each_index(hits.size(), [&hits](std::size_t i) {
+      ++hits[i];
+      if (i == 5 || i == 20)
+        throw std::runtime_error("task " + std::to_string(i));
+    });
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    // Deterministically the lowest failing index, not whichever thread
+    // happened to fail first.
+    EXPECT_STREQ(e.what(), "task 5");
+  }
+  // Every index still ran — one failure does not cancel the fan-out.
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, WaitIdleClearsStoredException) {
+  util::ThreadPool pool(2);
+  pool.submit([] { throw std::logic_error("boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::logic_error);
+  EXPECT_NO_THROW(pool.wait_idle());
+}
+
+TEST(ThreadPool, DefaultThreadCountIsPositive) {
+  EXPECT_GE(util::ThreadPool::default_num_threads(), 1u);
 }
 
 // ------------------------------------------------------------ stopwatch --

@@ -42,6 +42,7 @@ subcommands:
   sweep      lambda(n) scaling sweep + exponent fit
              --alpha A [--K K --phi P --M M --R R] [--no-bs]
              [--n0 N0 --count C --ratio R --trials T] [--seed S]
+             [--threads T]  (0 = all cores; results identical for any T)
   simulate   slot-level packet simulation
              --n N --alpha A --scheme A|B|C|twohop [--K K --phi P]
              [--slots S --warmup W] [--mobility iid|walk|pull|brownian]
@@ -135,9 +136,12 @@ int cmd_sweep(const util::Flags& f) {
     opt.placement = placement_from(f);
     return sim::evaluate_capacity(pp, opt).lambda_symmetric;
   };
-  auto sweep = sim::run_sweep(
-      p, sizes, trials, eval,
-      static_cast<std::uint64_t>(f.get_int("seed", 1)));
+  sim::SweepOptions sopt;
+  sopt.seed0 = static_cast<std::uint64_t>(f.get_int("seed", 1));
+  // 0 = util::ThreadPool::default_num_threads(); per-trial seeds make the
+  // result bit-identical for every thread count.
+  sopt.num_threads = static_cast<std::size_t>(f.get_int("threads", 0));
+  auto sweep = sim::run_sweep(p, sizes, trials, eval, sopt);
 
   util::Table t({"n", "lambda (gm)", "min", "max"});
   for (const auto& pt : sweep.points)
@@ -233,7 +237,7 @@ int main(int argc, char** argv) {
     util::Flags flags(argc - 1, argv + 1,
                       {"n", "alpha", "K", "phi", "M", "R", "no-bs",
                        "placement", "seed", "n0", "count", "ratio", "trials",
-                       "scheme", "slots", "warmup", "mobility"});
+                       "scheme", "slots", "warmup", "mobility", "threads"});
     if (cmd == "classify") return cmd_classify(flags);
     if (cmd == "capacity") return cmd_capacity(flags);
     if (cmd == "sweep") return cmd_sweep(flags);
