@@ -15,6 +15,8 @@
 #include "routing/two_hop.h"
 #include "rng/rng.h"
 #include "sim/slotsim.h"
+#include "util/artifacts.h"
+#include "util/csv.h"
 #include "util/flags.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
@@ -27,6 +29,16 @@ struct Case {
   net::ScalingParams params;
   sim::SlotScheme scheme;
 };
+
+// "scheme-A n=512" → "scheme-A_n512" (artifact file stem).
+std::string sanitize(const std::string& name) {
+  std::string out;
+  for (char c : name) {
+    if (c == ' ') out.push_back('_');
+    else if (c != '=') out.push_back(c);
+  }
+  return out;
+}
 
 }  // namespace
 
@@ -94,6 +106,7 @@ int main(int argc, char** argv) {
   struct CaseResult {
     double strict = 0.0, symmetric = 0.0;
     sim::SlotSimResult slot;
+    sim::Metrics metrics;  // per-case audit trail (counters + slot series)
   };
   std::vector<CaseResult> results(cases.size());
   {
@@ -149,7 +162,11 @@ int main(int argc, char** argv) {
       opt.slots = 4000;
       opt.warmup = 400;
       opt.seed = 107;
-      results[i] = {strict, symmetric, sim::run_slot_sim(net, dest, opt)};
+      results[i].strict = strict;
+      results[i].symmetric = symmetric;
+      results[i].metrics.enable_series(opt.slots);
+      opt.metrics = &results[i].metrics;
+      results[i].slot = sim::run_slot_sim(net, dest, opt);
     });
   }
 
@@ -167,6 +184,37 @@ int main(int argc, char** argv) {
                util::fmt_double(r.pairs_per_slot, 3)});
   }
   t.print(std::cout);
+
+  // Packet-conservation audit: every recorded run ships its accounting.
+  // The invariant injected == delivered + queued + dropped was already
+  // checked inside run_slot_sim; this table (and the CSVs under
+  // bench_csv/) make the flow visible — rejects and stalls are where
+  // throughput quietly leaks.
+  std::cout << "\n=== packet-conservation audit ===\n";
+  util::Table audit_table({"case", "injected", "delivered", "queued end",
+                           "inject rej", "relay rej", "wired stalls"});
+  {
+    util::CsvWriter audit_csv(util::artifact_path("slotsim_validation_audit"),
+                              {"case", "counter", "value"});
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      const auto& m = results[i].metrics;
+      const auto& r = results[i].slot;
+      audit_table.add_row(
+          {cases[i].name, std::to_string(r.injected),
+           std::to_string(r.delivered_lifetime), std::to_string(r.queued_end),
+           std::to_string(m.count(sim::Counter::kInjectRejectQueueFull)),
+           std::to_string(m.count(sim::Counter::kRelayRejectQueueFull)),
+           std::to_string(m.count(sim::Counter::kWiredCreditStall))});
+      for (std::size_t ci = 0; ci < sim::kNumCounters; ++ci) {
+        const auto counter = static_cast<sim::Counter>(ci);
+        audit_csv.add_row({cases[i].name, sim::to_string(counter),
+                           std::to_string(m.count(counter))});
+      }
+      results[i].metrics.write_series_csv("slotsim_validation_" +
+                                          sanitize(cases[i].name));
+    }
+  }
+  audit_table.print(std::cout);
 
   std::cout << "\n=== mobility-process insensitivity (Lemma 2) ===\n"
             << "same instance, three ergodic processes sharing the\n"

@@ -41,12 +41,20 @@ double geometric_mean(const std::vector<double>& values) {
 double quantile(std::vector<double> values, double p) {
   MANETCAP_CHECK_MSG(!values.empty(), "quantile needs data");
   MANETCAP_CHECK(p >= 0.0 && p <= 1.0);
-  std::sort(values.begin(), values.end());
+  // Selection instead of a full sort: the slot simulator calls this over
+  // whole delay vectors, where O(n) nth_element beats O(n log n). After
+  // placing the lo-th order statistic, the interpolation partner (the
+  // hi-th) is the minimum of the upper partition — identical, ties
+  // included, to what a full sort would put at hi.
   const double pos = p * static_cast<double>(values.size() - 1);
   const std::size_t lo = static_cast<std::size_t>(pos);
-  const std::size_t hi = std::min(lo + 1, values.size() - 1);
   const double frac = pos - static_cast<double>(lo);
-  return values[lo] * (1.0 - frac) + values[hi] * frac;
+  const auto lo_it = values.begin() + static_cast<std::ptrdiff_t>(lo);
+  std::nth_element(values.begin(), lo_it, values.end());
+  const double vlo = *lo_it;
+  if (frac <= 0.0 || lo + 1 >= values.size()) return vlo;
+  const double vhi = *std::min_element(lo_it + 1, values.end());
+  return vlo * (1.0 - frac) + vhi * frac;
 }
 
 }  // namespace manetcap::analysis

@@ -18,16 +18,16 @@ double SStarScheduler::range_for(std::size_t population) const {
 }
 
 std::vector<phy::Transmission> SStarScheduler::feasible_pairs(
-    const std::vector<geom::Point>& pos) const {
+    const std::vector<geom::Point>& pos, ScheduleStats* stats) const {
   const double guard = (1.0 + delta_) * range_for(pos.size());
   geom::SpatialHash hash(guard, pos.size());
   hash.build(pos);
-  return feasible_pairs(pos, hash);
+  return feasible_pairs(pos, hash, stats);
 }
 
 std::vector<phy::Transmission> SStarScheduler::feasible_pairs(
-    const std::vector<geom::Point>& pos,
-    const geom::SpatialHash& hash) const {
+    const std::vector<geom::Point>& pos, const geom::SpatialHash& hash,
+    ScheduleStats* stats) const {
   const std::size_t n = pos.size();
   const double rt = range_for(n);
   const double rt2 = rt * rt;
@@ -53,9 +53,14 @@ std::vector<phy::Transmission> SStarScheduler::feasible_pairs(
     const std::uint32_t j = lone[i];
     if (j == kNone || j <= i) continue;   // report each pair once (i < j)
     if (lone[j] != i) continue;           // guard must be mutual
-    if (geom::torus_dist2(pos[i], pos[j]) >= rt2) continue;  // d_ij < R_T
+    if (stats) ++stats->candidate_pairs;
+    if (geom::torus_dist2(pos[i], pos[j]) >= rt2) {  // d_ij < R_T
+      if (stats) ++stats->range_rejected;
+      continue;
+    }
     out.push_back({i, j});
   }
+  if (stats) stats->feasible_pairs += out.size();
   return out;
 }
 

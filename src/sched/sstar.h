@@ -19,6 +19,16 @@
 
 namespace manetcap::sched {
 
+/// Per-invocation scheduling statistics, filled when a caller passes a
+/// non-null pointer to feasible_pairs(). The slot simulator folds these
+/// into its sim::Metrics audit (this POD keeps sched free of a dependency
+/// on the sim layer); the increments are cheap enough to be always-on.
+struct ScheduleStats {
+  std::uint64_t candidate_pairs = 0;  // mutual-lone pairs before range check
+  std::uint64_t feasible_pairs = 0;   // pairs actually scheduled
+  std::uint64_t range_rejected = 0;   // mutual-lone pairs with d_ij ≥ R_T
+};
+
 /// Computes the S*-feasible pair set for a position snapshot.
 class SStarScheduler {
  public:
@@ -33,15 +43,17 @@ class SStarScheduler {
 
   /// All feasible unordered pairs {i, j} at this instant, reported with
   /// i < j. `pos` holds every node (MSs and BSs alike — Definition 10
-  /// ranges over the whole population).
+  /// ranges over the whole population). `stats`, when non-null, receives
+  /// the candidate/feasible/rejected pair counts for this snapshot.
   std::vector<phy::Transmission> feasible_pairs(
-      const std::vector<geom::Point>& pos) const;
+      const std::vector<geom::Point>& pos,
+      ScheduleStats* stats = nullptr) const;
 
   /// Same, but reuses an already-built spatial hash over `pos`
   /// (the slot simulator rebuilds the hash once per slot anyway).
   std::vector<phy::Transmission> feasible_pairs(
-      const std::vector<geom::Point>& pos,
-      const geom::SpatialHash& hash) const;
+      const std::vector<geom::Point>& pos, const geom::SpatialHash& hash,
+      ScheduleStats* stats = nullptr) const;
 
  private:
   double ct_;

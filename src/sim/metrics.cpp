@@ -1,0 +1,83 @@
+#include "sim/metrics.h"
+
+#include <utility>
+
+#include "util/artifacts.h"
+#include "util/csv.h"
+
+namespace manetcap::sim {
+
+const char* to_string(Counter c) {
+  switch (c) {
+    case Counter::kInjected:
+      return "injected";
+    case Counter::kDelivered:
+      return "delivered";
+    case Counter::kRelayed:
+      return "relayed";
+    case Counter::kInjectRejectQueueFull:
+      return "inject_reject_queue_full";
+    case Counter::kInjectRejectWindowFull:
+      return "inject_reject_window_full";
+    case Counter::kRelayRejectQueueFull:
+      return "relay_reject_queue_full";
+    case Counter::kWiredForwarded:
+      return "wired_forwarded";
+    case Counter::kWiredCreditStall:
+      return "wired_credit_stall";
+    case Counter::kWiredRejectQueueFull:
+      return "wired_reject_queue_full";
+    case Counter::kUndeliverable:
+      return "undeliverable";
+    case Counter::kDropped:
+      return "dropped";
+    case Counter::kSchedCandidatePairs:
+      return "sched_candidate_pairs";
+    case Counter::kSchedFeasiblePairs:
+      return "sched_feasible_pairs";
+    case Counter::kSchedRangeRejected:
+      return "sched_range_rejected";
+  }
+  return "?";
+}
+
+void Metrics::absorb(Metrics&& other) {
+  for (std::size_t i = 0; i < kNumCounters; ++i)
+    counters_[i] += other.counters_[i];
+  if (series_.empty()) {
+    series_ = std::move(other.series_);
+  } else {
+    series_.insert(series_.end(), other.series_.begin(), other.series_.end());
+  }
+  other.reset();
+}
+
+void Metrics::reset() {
+  counters_.fill(0);
+  series_.clear();
+}
+
+std::string Metrics::write_counters_csv(const std::string& name,
+                                        const std::string& scheme) const {
+  const std::string path = util::artifact_path(name + "_counters");
+  util::CsvWriter csv(path, {"scheme", "counter", "value"});
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    const auto c = static_cast<Counter>(i);
+    csv.add_row({scheme, to_string(c), std::to_string(count(c))});
+  }
+  return path;
+}
+
+std::string Metrics::write_series_csv(const std::string& name) const {
+  const std::string path = util::artifact_path(name + "_series");
+  util::CsvWriter csv(path,
+                      {"slot", "queued", "scheduled_pairs", "active_cells"});
+  for (const SlotSample& s : series_) {
+    csv.add_row({std::to_string(s.slot), std::to_string(s.queued),
+                 std::to_string(s.scheduled_pairs),
+                 std::to_string(s.active_cells)});
+  }
+  return path;
+}
+
+}  // namespace manetcap::sim

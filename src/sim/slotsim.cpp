@@ -77,6 +77,11 @@ class SlotSim {
         count_own_(n_, 0) {
     MANETCAP_CHECK(dest.size() == n_);
     MANETCAP_CHECK(opt.warmup < opt.slots);
+    // The audit always accumulates into the internal registry (the
+    // conservation check needs the counters even without a caller sink);
+    // the caller's Metrics absorbs it at end of run.
+    if (opt_.metrics != nullptr && opt_.metrics->series_enabled())
+      audit_.enable_series(opt_.slots);
     if (opt_.scheme == SlotScheme::kSchemeA) init_scheme_a();
     if (opt_.scheme == SlotScheme::kSchemeB) init_scheme_b();
     if (opt_.scheme == SlotScheme::kSchemeC) init_scheme_c();
@@ -98,16 +103,22 @@ class SlotSim {
       if (opt_.scheme == SlotScheme::kSchemeC) {
         // Static cellular TDMA (Definition 13): no S* — the active color
         // group serves; "pairs" counts active cells for reporting.
-        if (measure) pair_count += scheme_c_slot(t);
-        else scheme_c_slot(t);
+        const std::size_t served = scheme_c_slot(t);
+        if (measure) pair_count += served;
         wired_step(t);
         process->step();
+        audit_.sample_slot(slot_, in_network_, 0,
+                           static_cast<std::uint32_t>(served));
         continue;
       }
 
       std::vector<geom::Point> pos = process->positions();
       pos.insert(pos.end(), net_.bs_pos().begin(), net_.bs_pos().end());
-      const auto pairs = sstar.feasible_pairs(pos);
+      sched::ScheduleStats sstats;
+      const auto pairs = sstar.feasible_pairs(pos, &sstats);
+      audit_.add(Counter::kSchedCandidatePairs, sstats.candidate_pairs);
+      audit_.add(Counter::kSchedFeasiblePairs, sstats.feasible_pairs);
+      audit_.add(Counter::kSchedRangeRejected, sstats.range_rejected);
       if (measure) pair_count += pairs.size();
 
       for (const auto& pr : pairs) {
@@ -118,6 +129,8 @@ class SlotSim {
       }
       if (opt_.scheme == SlotScheme::kSchemeB) wired_step(t);
       process->step();
+      audit_.sample_slot(slot_, in_network_,
+                         static_cast<std::uint32_t>(pairs.size()), 0);
     }
 
     SlotSimResult res;
@@ -140,6 +153,28 @@ class SlotSim {
       res.mean_delay = analysis::summarize(delays_).mean;
       res.p95_delay = analysis::quantile(delays_, 0.95);
     }
+
+    std::uint64_t queued = 0;
+    for (const auto& q : queues_) queued += q.size();
+    res.injected = audit_.count(Counter::kInjected);
+    res.delivered_lifetime = audit_.count(Counter::kDelivered);
+    res.queued_end = queued;
+    res.dropped = audit_.count(Counter::kDropped);
+    if (opt_.check_conservation) {
+      MANETCAP_CHECK_MSG(in_network_ == queued,
+                         "packet accounting drift: in-network counter "
+                         "disagrees with actual queue occupancy");
+      MANETCAP_CHECK_MSG(
+          res.injected == res.delivered_lifetime + queued + res.dropped,
+          "packet conservation violated: injected != delivered + queued + "
+          "dropped");
+      std::uint64_t window = 0;
+      for (std::size_t w : count_own_) window += w;
+      MANETCAP_CHECK_MSG(window == res.injected - res.delivered_lifetime,
+                         "flow-control window drift: sum of per-flow "
+                         "windows != packets in flight");
+    }
+    if (opt_.metrics != nullptr) opt_.metrics->absorb(std::move(audit_));
     return res;
   }
 
@@ -175,6 +210,17 @@ class SlotSim {
       bs_hash.for_each_in_disk(
           net_.ms_home()[i], contact,
           [&](std::uint32_t l) { serving_[i].push_back(l); });
+      if (serving_[i].empty()) {
+        // Sparse-BS fallback: an MS whose home point sees no BS within the
+        // contact distance must still have a serving BS — packets addressed
+        // to it would otherwise sit at hop 0 in BS queues forever
+        // (wired_step has nowhere to forward them), permanently pinning
+        // max_queue slots and throttling every other flow through that BS.
+        const std::uint32_t l =
+            bs_hash.nearest(net_.ms_home()[i], ~std::uint32_t{0});
+        MANETCAP_CHECK(l < k_);
+        serving_[i].push_back(l);
+      }
     }
   }
 
@@ -238,10 +284,7 @@ class SlotSim {
       // Uplink channel: the round-robin member injects one packet.
       const auto& members = cell_members_[l];
       const std::uint32_t i = members[rr_cell_[l]++ % members.size()];
-      if (count_own_[i] < opt_.source_backlog && q.size() < opt_.max_queue) {
-        q.push_back({i, 0, slot_});
-        ++count_own_[i];
-      }
+      try_inject(i, q);
       // Downlink channel: deliver one wired-arrived packet whose
       // destination lives in this cell.
       for (std::size_t idx = 0;
@@ -281,8 +324,28 @@ class SlotSim {
   void deliver(const Packet& p) {
     ++delivered_[p.flow];
     --count_own_[p.flow];  // release the flow-control window slot
+    --in_network_;
+    audit_.inc(Counter::kDelivered);
     if (measuring_ && p.born >= opt_.warmup)
       delays_.push_back(static_cast<double>(slot_ - p.born));
+  }
+
+  /// Source injection under the flow-control window: pushes one packet of
+  /// `flow`'s own traffic into `q`, counting every rejection — a full
+  /// queue used to no-op silently, making the offered load unknowable.
+  void try_inject(std::uint32_t flow, std::deque<Packet>& q) {
+    if (count_own_[flow] >= opt_.source_backlog) {
+      audit_.inc(Counter::kInjectRejectWindowFull);
+      return;
+    }
+    if (q.size() >= opt_.max_queue) {
+      audit_.inc(Counter::kInjectRejectQueueFull);
+      return;
+    }
+    q.push_back({flow, 0, slot_});
+    ++count_own_[flow];
+    ++in_network_;
+    audit_.inc(Counter::kInjected);
   }
 
   // Scheme A: a relay in squarelet path[h] hands the packet to a node whose
@@ -292,11 +355,7 @@ class SlotSim {
     auto& q = queues_[from];
 
     // Source injection: keep the head of the pipeline saturated.
-    if (count_own_[from] < opt_.source_backlog &&
-        q.size() < opt_.max_queue) {
-      q.push_back({from, 0, slot_});
-      ++count_own_[from];
-    }
+    try_inject(from, q);
 
     const std::size_t scan = std::min<std::size_t>(q.size(), kScanDepth);
     for (std::size_t idx = 0; idx < scan; ++idx) {
@@ -312,12 +371,18 @@ class SlotSim {
         deliver(p);
         return;
       }
-      if (at_last_cell || is_bs(to)) continue;
-      if (home_cell_[to] == path[p.hop + 1] &&
-          queues_[to].size() < opt_.max_queue) {
-        q.erase(q.begin() + static_cast<std::ptrdiff_t>(idx));
-        queues_[to].push_back({p.flow, p.hop + 1, p.born});
-        return;
+      // At the last path cell only the destination itself can take the
+      // packet (handled above). `to` cannot be a BS here — the early
+      // return already excluded BS endpoints.
+      if (at_last_cell) continue;
+      if (home_cell_[to] == path[p.hop + 1]) {
+        if (queues_[to].size() < opt_.max_queue) {
+          q.erase(q.begin() + static_cast<std::ptrdiff_t>(idx));
+          queues_[to].push_back({p.flow, p.hop + 1, p.born});
+          audit_.inc(Counter::kRelayed);
+          return;
+        }
+        audit_.inc(Counter::kRelayRejectQueueFull);
       }
     }
   }
@@ -326,10 +391,7 @@ class SlotSim {
   void transfer_two_hop(std::uint32_t from, std::uint32_t to) {
     if (is_bs(from) || is_bs(to)) return;
     auto& q = queues_[from];
-    if (count_own_[from] < opt_.source_backlog && q.size() < opt_.max_queue) {
-      q.push_back({from, 0, slot_});
-      ++count_own_[from];
-    }
+    try_inject(from, q);
     const std::size_t scan = std::min<std::size_t>(q.size(), kScanDepth);
     for (std::size_t idx = 0; idx < scan; ++idx) {
       Packet p = q[idx];
@@ -339,10 +401,14 @@ class SlotSim {
         return;
       }
       // Only the source hands off to a relay (exactly two hops).
-      if (p.flow == from && queues_[to].size() < opt_.max_queue) {
-        q.erase(q.begin() + static_cast<std::ptrdiff_t>(idx));
-        queues_[to].push_back(p);
-        return;
+      if (p.flow == from) {
+        if (queues_[to].size() < opt_.max_queue) {
+          q.erase(q.begin() + static_cast<std::ptrdiff_t>(idx));
+          queues_[to].push_back(p);
+          audit_.inc(Counter::kRelayed);
+          return;
+        }
+        audit_.inc(Counter::kRelayRejectQueueFull);
       }
     }
   }
@@ -353,11 +419,7 @@ class SlotSim {
     if (!is_bs(from) && is_bs(to)) {
       // Uplink: inject one packet of `from`'s own flow (within the
       // flow-control window).
-      if (count_own_[from] < opt_.source_backlog &&
-          queues_[to].size() < opt_.max_queue) {
-        queues_[to].push_back({from, 0, slot_});
-        ++count_own_[from];
-      }
+      try_inject(from, queues_[to]);
       return;
     }
     if (is_bs(from) && !is_bs(to)) {
@@ -390,6 +452,10 @@ class SlotSim {
         }
         const std::uint32_t d = dest_[q[idx].flow];
         if (serving_[d].empty()) {
+          // Unreachable since init_scheme_b/_c guarantee a serving BS per
+          // MS; counted defensively so a future association change that
+          // reintroduces orphans fails the audit instead of stalling.
+          audit_.inc(Counter::kUndeliverable);
           ++idx;
           continue;
         }
@@ -417,15 +483,19 @@ class SlotSim {
           wire.credit = std::min(wire.credit, std::max(1.0, 4.0 * c));
           wire.last_topup = slot + 1;
         }
-        if (wire.credit >= 1.0 &&
-            queues_[n_ + target].size() < opt_.max_queue) {
+        if (wire.credit < 1.0) {
+          audit_.inc(Counter::kWiredCreditStall);
+          ++idx;
+        } else if (queues_[n_ + target].size() >= opt_.max_queue) {
+          audit_.inc(Counter::kWiredRejectQueueFull);
+          ++idx;
+        } else {
           wire.credit -= 1.0;
           Packet p = q[idx];
           p.hop = 1;
           q.erase(q.begin() + static_cast<std::ptrdiff_t>(idx));
           queues_[n_ + target].push_back(p);
-        } else {
-          ++idx;
+          audit_.inc(Counter::kWiredForwarded);
         }
       }
     }
@@ -445,6 +515,13 @@ class SlotSim {
   std::vector<double> delays_;  // per delivered packet, measurement window
   std::uint32_t slot_ = 0;      // current slot (delay bookkeeping)
   bool measuring_ = false;
+
+  // Audit state: the metrics registry (absorbed into opt_.metrics at end
+  // of run) and a running count of packets resident in any queue — kept
+  // incrementally so per-slot sampling is O(1), then cross-checked against
+  // the actual queue occupancy by the conservation invariant.
+  Metrics audit_;
+  std::uint64_t in_network_ = 0;
 
   // Scheme A state.
   std::unique_ptr<geom::SquareTessellation> tess_;

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "net/network.h"
+#include "sim/metrics.h"
 
 namespace manetcap::sim {
 
@@ -41,6 +42,17 @@ struct SlotSimOptions {
   /// lightly-loaded end-to-end delay without queueing.
   std::size_t source_backlog = 4;
   std::uint64_t seed = 1;
+  /// Optional audit sink. Counters (and, when metrics->enable_series() was
+  /// called before the run, the per-slot time series) are accumulated into
+  /// it at end of run. Null keeps the audit internal: the conservation
+  /// check below still runs, nothing is exported.
+  Metrics* metrics = nullptr;
+  /// End-of-run packet-conservation audit:
+  ///   injected == delivered + queued_end + dropped,
+  /// the running in-network count must match the actual queue occupancy,
+  /// and the flow-control windows must equal injected − delivered. One
+  /// O(n + k) pass; disable only to reproduce a historical buggy run.
+  bool check_conservation = true;
 };
 
 struct SlotSimResult {
@@ -56,6 +68,16 @@ struct SlotSimResult {
   // is the paper's companion axis (refs [9], [11], [12]).
   double mean_delay = 0.0;
   double p95_delay = 0.0;
+
+  // Lifetime packet audit (whole run, warmup included; total_delivered
+  // above counts the measurement window only). The conservation identity
+  //   injected == delivered_lifetime + queued_end + dropped
+  // holds for every scheme and is checked at end of run unless
+  // SlotSimOptions::check_conservation is false.
+  std::uint64_t injected = 0;
+  std::uint64_t delivered_lifetime = 0;
+  std::uint64_t queued_end = 0;  // packets resident in queues at the end
+  std::uint64_t dropped = 0;     // removed without delivery (always 0 today)
 };
 
 /// Runs the simulation for permutation traffic `dest` on `net`.

@@ -50,7 +50,7 @@ std::uint64_t trial_seed(std::uint64_t seed0, std::size_t size_index,
 
 SweepResult run_sweep(const net::ScalingParams& base,
                       const std::vector<std::size_t>& sizes,
-                      std::size_t trials, const Evaluator& eval,
+                      std::size_t trials, const MetricsEvaluator& eval,
                       const SweepOptions& options) {
   MANETCAP_CHECK(!sizes.empty());
   MANETCAP_CHECK(trials >= 1);
@@ -60,15 +60,18 @@ SweepResult run_sweep(const net::ScalingParams& base,
                                 : options.num_threads;
 
   // Fan-out: every (size, trial) cell is an independent task writing its
-  // own pre-allocated slot, so the measurement itself carries no ordering.
+  // own pre-allocated slot (λ and audit registry alike), so the
+  // measurement itself carries no ordering.
   const std::size_t cells = sizes.size() * trials;
   std::vector<double> lambdas(cells, 0.0);
+  std::vector<Metrics> cell_metrics(cells);
   auto run_cell = [&](std::size_t cell) {
     const std::size_t si = cell / trials;
     const std::size_t t = cell % trials;
     net::ScalingParams p = base;
     p.n = sizes[si];
-    lambdas[cell] = eval(p, trial_seed(options.seed0, si, t));
+    lambdas[cell] = eval(p, trial_seed(options.seed0, si, t),
+                         cell_metrics[cell]);
   };
   if (num_threads <= 1 || cells <= 1) {
     for (std::size_t cell = 0; cell < cells; ++cell) run_cell(cell);
@@ -79,6 +82,9 @@ SweepResult run_sweep(const net::ScalingParams& base,
 
   // Reduction: serial, fixed order — output is bit-identical to the
   // serial path for any thread count.
+  if (options.metrics != nullptr) {
+    for (Metrics& m : cell_metrics) options.metrics->absorb(std::move(m));
+  }
   SweepResult result;
   std::vector<double> xs, ys;
   bool all_positive = true;
@@ -108,6 +114,18 @@ SweepResult run_sweep(const net::ScalingParams& base,
     result.fit_valid = true;
   }
   return result;
+}
+
+SweepResult run_sweep(const net::ScalingParams& base,
+                      const std::vector<std::size_t>& sizes,
+                      std::size_t trials, const Evaluator& eval,
+                      const SweepOptions& options) {
+  return run_sweep(base, sizes, trials,
+                   MetricsEvaluator([&eval](const net::ScalingParams& p,
+                                            std::uint64_t seed, Metrics&) {
+                     return eval(p, seed);
+                   }),
+                   options);
 }
 
 SweepResult run_sweep(const net::ScalingParams& base,

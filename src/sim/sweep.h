@@ -9,12 +9,20 @@
 
 #include "analysis/loglog_fit.h"
 #include "net/params.h"
+#include "sim/metrics.h"
 
 namespace manetcap::sim {
 
 /// Measures one instance: (params, seed) → per-node rate λ.
 using Evaluator =
     std::function<double(const net::ScalingParams&, std::uint64_t seed)>;
+
+/// Same, but the evaluator also reports audit counters into a per-cell
+/// Metrics registry (e.g. by passing it to SlotSimOptions::metrics). Each
+/// (size, trial) cell owns a private registry — evaluators never share one,
+/// so the counters race-free even under a multi-threaded sweep.
+using MetricsEvaluator = std::function<double(const net::ScalingParams&,
+                                              std::uint64_t seed, Metrics&)>;
 
 struct SweepPoint {
   std::size_t n = 0;
@@ -37,6 +45,11 @@ struct SweepOptions {
   /// the reduction runs serially in a fixed order.
   std::size_t num_threads = 1;
   std::uint64_t seed0 = 1;
+  /// Optional aggregate audit sink for the MetricsEvaluator overload:
+  /// per-cell counters (and any series) are merged into it serially in
+  /// fixed cell order after the fan-out, so the aggregate is bit-identical
+  /// for any num_threads. Ignored by the plain Evaluator overloads.
+  Metrics* metrics = nullptr;
 };
 
 /// Geometrically spaced sizes: n₀·ratioⁱ, i = 0..count−1, deduplicated —
@@ -59,6 +72,13 @@ std::uint64_t trial_seed(std::uint64_t seed0, std::size_t size_index,
 SweepResult run_sweep(const net::ScalingParams& base,
                       const std::vector<std::size_t>& sizes,
                       std::size_t trials, const Evaluator& eval,
+                      const SweepOptions& options);
+
+/// MetricsEvaluator variant: every cell gets a fresh Metrics registry and
+/// options.metrics (when set) receives the aggregate of all cells.
+SweepResult run_sweep(const net::ScalingParams& base,
+                      const std::vector<std::size_t>& sizes,
+                      std::size_t trials, const MetricsEvaluator& eval,
                       const SweepOptions& options);
 
 /// Serial convenience overload (num_threads = 1).

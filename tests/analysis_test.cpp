@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "analysis/density.h"
@@ -84,6 +85,33 @@ TEST(Stats, Quantiles) {
   EXPECT_DOUBLE_EQ(quantile(v, 1.0), 5.0);
   EXPECT_DOUBLE_EQ(quantile(v, 0.5), 3.0);
   EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.0);
+}
+
+TEST(Stats, QuantileMatchesFullSortWithTies) {
+  // The selection-based quantile must reproduce the full-sort reference
+  // bit for bit, including on heavily tied data where nth_element's
+  // partition order differs from a stable sort's.
+  auto reference = [](std::vector<double> values, double p) {
+    std::sort(values.begin(), values.end());
+    const double pos = p * static_cast<double>(values.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, values.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+  };
+  rng::Xoshiro256 g(31);
+  for (std::size_t n : {1u, 2u, 3u, 7u, 64u, 1000u}) {
+    std::vector<double> v(n);
+    for (double& x : v) {
+      // Draw from a tiny support so duplicates dominate.
+      x = static_cast<double>(
+          static_cast<int>(rng::uniform01(g) * 7.0));
+    }
+    for (double p : {0.0, 0.1, 0.25, 0.5, 0.77, 0.9, 0.95, 1.0}) {
+      EXPECT_DOUBLE_EQ(quantile(v, p), reference(v, p))
+          << "n=" << n << " p=" << p;
+    }
+  }
 }
 
 // -------------------------------------------------------------- density --

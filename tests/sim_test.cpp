@@ -3,10 +3,13 @@
 #include <cmath>
 #include <set>
 
+#include "geom/point.h"
+#include "linkcap/link_capacity.h"
 #include "net/traffic.h"
 #include "rng/rng.h"
 #include "routing/scheme_c.h"
 #include "sim/fluid.h"
+#include "sim/metrics.h"
 #include "sim/slotsim.h"
 #include "sim/sweep.h"
 #include "util/check.h"
@@ -481,6 +484,233 @@ TEST(SlotSim, SchemeNames) {
   EXPECT_EQ(to_string(SlotScheme::kSchemeA), "scheme-A");
   EXPECT_EQ(to_string(SlotScheme::kTwoHop), "two-hop");
   EXPECT_EQ(to_string(SlotScheme::kSchemeB), "scheme-B");
+}
+
+// ------------------------------------------- packet-conservation audit --
+
+TEST(SlotSimAudit, ConservationHoldsForAllSchemes) {
+  // ≥10k-slot saturated runs: injected == delivered + queued + dropped
+  // must hold exactly for every scheme (the simulator also checks this
+  // internally; asserting on the result catches accounting drift between
+  // the counters and the returned totals).
+  struct SchemeCase {
+    SlotScheme scheme;
+    net::ScalingParams params;
+    net::BsPlacement placement;
+  };
+  net::ScalingParams two_hop = strong_params(256, /*with_bs=*/false);
+  two_hop.alpha = 0.0;  // full mixing
+  const std::vector<SchemeCase> cases = {
+      {SlotScheme::kSchemeA, strong_params(256, /*with_bs=*/false),
+       net::BsPlacement::kUniform},
+      {SlotScheme::kTwoHop, two_hop, net::BsPlacement::kUniform},
+      {SlotScheme::kSchemeB, strong_params(256),
+       net::BsPlacement::kClusteredMatched},
+      {SlotScheme::kSchemeC, trivial_params(512),
+       net::BsPlacement::kClusterGrid},
+  };
+  for (const auto& c : cases) {
+    auto net = net::Network::build(c.params, mobility::ShapeKind::kUniformDisk,
+                                   c.placement, 211);
+    rng::Xoshiro256 g(223);
+    auto dest = net::permutation_traffic(c.params.n, g);
+    SlotSimOptions opt;
+    opt.scheme = c.scheme;
+    opt.slots = 10000;
+    opt.warmup = 1000;
+    opt.seed = 227;
+    Metrics m;
+    opt.metrics = &m;
+    auto r = run_slot_sim(net, dest, opt);
+    SCOPED_TRACE(to_string(c.scheme));
+    EXPECT_GT(r.injected, 0u);
+    EXPECT_GT(r.delivered_lifetime, 0u);
+    EXPECT_EQ(r.dropped, 0u);
+    EXPECT_EQ(r.injected, r.delivered_lifetime + r.queued_end + r.dropped);
+    EXPECT_EQ(m.count(Counter::kInjected), r.injected);
+    EXPECT_EQ(m.count(Counter::kDelivered), r.delivered_lifetime);
+    EXPECT_EQ(m.count(Counter::kDropped), 0u);
+    EXPECT_EQ(m.count(Counter::kUndeliverable), 0u);
+  }
+}
+
+TEST(SlotSimAudit, MetricsSeriesTracksQueues) {
+  auto p = strong_params(256, /*with_bs=*/false);
+  auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
+                                 net::BsPlacement::kUniform, 229);
+  rng::Xoshiro256 g(233);
+  auto dest = net::permutation_traffic(p.n, g);
+  SlotSimOptions opt;
+  opt.scheme = SlotScheme::kSchemeA;
+  opt.slots = 1200;
+  opt.warmup = 200;
+  opt.seed = 239;
+  Metrics m;
+  m.enable_series(opt.slots);
+  opt.metrics = &m;
+  auto r = run_slot_sim(net, dest, opt);
+  ASSERT_EQ(m.series().size(), opt.slots);
+  // The last sample's queue gauge must equal the end-of-run occupancy.
+  EXPECT_EQ(m.series().back().queued, r.queued_end);
+  EXPECT_EQ(m.series().back().slot, opt.slots - 1);
+  // The scheduler stats were threaded through: candidates ≥ feasible, and
+  // candidates = feasible + range-rejected.
+  EXPECT_GT(m.count(Counter::kSchedFeasiblePairs), 0u);
+  EXPECT_EQ(m.count(Counter::kSchedCandidatePairs),
+            m.count(Counter::kSchedFeasiblePairs) +
+                m.count(Counter::kSchedRangeRejected));
+}
+
+TEST(SlotSimAudit, MetricsAttachmentDoesNotPerturbResults) {
+  auto p = strong_params(256, /*with_bs=*/false);
+  auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
+                                 net::BsPlacement::kUniform, 241);
+  rng::Xoshiro256 g(251);
+  auto dest = net::permutation_traffic(p.n, g);
+  SlotSimOptions opt;
+  opt.scheme = SlotScheme::kSchemeA;
+  opt.slots = 800;
+  opt.warmup = 200;
+  opt.seed = 257;
+  auto plain = run_slot_sim(net, dest, opt);
+  Metrics m;
+  m.enable_series(opt.slots);
+  opt.metrics = &m;
+  auto audited = run_slot_sim(net, dest, opt);
+  EXPECT_EQ(plain.total_delivered, audited.total_delivered);
+  EXPECT_DOUBLE_EQ(plain.pairs_per_slot, audited.pairs_per_slot);
+  EXPECT_EQ(plain.injected, audited.injected);
+  EXPECT_EQ(plain.queued_end, audited.queued_end);
+}
+
+TEST(SlotSimAudit, SchemeBSparseTopologyHasNoOrphans) {
+  // Regression for the scheme-B stall: with only a handful of BSs most
+  // home points have no BS within the contact distance. Before the
+  // nearest-BS fallback those flows' packets sat at hop 0 in BS queues
+  // forever (wired_step had nowhere to send them), permanently eating
+  // max_queue slots; the audit surfaced them as `undeliverable`.
+  net::ScalingParams p;
+  p.n = 1024;
+  p.alpha = 0.45;
+  p.with_bs = true;
+  p.K = 0.55;  // ~45 BSs: most home points uncovered, but enough coverage
+               // that covered flows still deliver within the horizon
+  p.M = 1.0;
+  p.phi = 0.0;
+  auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
+                                 net::BsPlacement::kClusteredMatched, 263);
+  ASSERT_GE(net.num_bs(), 1u);
+
+  // Precondition: the sparse layout really orphans some home points.
+  linkcap::LinkCapacityModel mu(net.shape(), net.params().f(),
+                                net.num_ms() + net.num_bs(), 0.3, 1.0);
+  const double contact = mu.max_contact_dist_ms_bs();
+  std::size_t orphans = 0;
+  for (const auto& home : net.ms_home()) {
+    bool covered = false;
+    for (const auto& bs : net.bs_pos())
+      covered = covered || geom::torus_dist(home, bs) <= contact;
+    if (!covered) ++orphans;
+  }
+  ASSERT_GT(orphans, 0u) << "topology not sparse enough to exercise the fix";
+
+  rng::Xoshiro256 g(269);
+  auto dest = net::permutation_traffic(p.n, g);
+  SlotSimOptions opt;
+  opt.scheme = SlotScheme::kSchemeB;
+  opt.slots = 4000;
+  opt.warmup = 400;
+  opt.seed = 271;
+  Metrics m;
+  opt.metrics = &m;
+  auto r = run_slot_sim(net, dest, opt);
+  // Every uplinked packet has a wired target (no stalled hop-0 packets)
+  // and conservation holds despite the orphaned home points.
+  EXPECT_EQ(m.count(Counter::kUndeliverable), 0u);
+  EXPECT_GT(r.delivered_lifetime, 0u);
+  EXPECT_EQ(r.injected, r.delivered_lifetime + r.queued_end + r.dropped);
+}
+
+TEST(SlotSimAudit, SchemeALastCellDeliversDirectly) {
+  // shape_support = 2 with α = 0 makes the mobility radius span the torus,
+  // so scheme A's tessellation collapses to a single cell: every flow's
+  // H-V path has length 1 and every packet is born at its last cell. Only
+  // direct source→destination delivery is possible — this pins the
+  // at-last-cell branch in transfer_scheme_a (where a dead BS re-check
+  // used to sit; BS endpoints are excluded before the scan).
+  net::ScalingParams p;
+  p.n = 128;
+  p.alpha = 0.0;
+  p.with_bs = false;
+  p.M = 1.0;
+  p.shape_support = 2.0;
+  auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
+                                 net::BsPlacement::kUniform, 277);
+  rng::Xoshiro256 g(281);
+  auto dest = net::permutation_traffic(p.n, g);
+  SlotSimOptions opt;
+  opt.scheme = SlotScheme::kSchemeA;
+  opt.slots = 3000;
+  opt.warmup = 300;
+  opt.seed = 283;
+  Metrics m;
+  opt.metrics = &m;
+  auto r = run_slot_sim(net, dest, opt);
+  EXPECT_GT(r.delivered_lifetime, 0u);
+  // No relay hand-off can ever fire on length-1 paths.
+  EXPECT_EQ(m.count(Counter::kRelayed), 0u);
+  EXPECT_EQ(m.count(Counter::kRelayRejectQueueFull), 0u);
+  EXPECT_EQ(r.injected, r.delivered_lifetime + r.queued_end + r.dropped);
+}
+
+TEST(SlotSimAudit, FullQueuesAreCountedNotSilent) {
+  // A queue bound of 1 with a deep source window forces injection
+  // rejections immediately — the audit must see them instead of the old
+  // silent no-op.
+  auto p = strong_params(256, /*with_bs=*/false);
+  auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
+                                 net::BsPlacement::kUniform, 293);
+  rng::Xoshiro256 g(307);
+  auto dest = net::permutation_traffic(p.n, g);
+  SlotSimOptions opt;
+  opt.scheme = SlotScheme::kSchemeA;
+  opt.slots = 1500;
+  opt.warmup = 300;
+  opt.seed = 311;
+  opt.max_queue = 1;
+  opt.source_backlog = 8;
+  Metrics m;
+  opt.metrics = &m;
+  auto r = run_slot_sim(net, dest, opt);
+  EXPECT_GT(m.count(Counter::kInjectRejectQueueFull), 0u);
+  EXPECT_EQ(r.injected, r.delivered_lifetime + r.queued_end + r.dropped);
+}
+
+TEST(Sweep, MetricsAggregateAcrossCellsAndThreads) {
+  // The MetricsEvaluator overload hands every (size, trial) cell a fresh
+  // registry and merges them in fixed order — the aggregate must be
+  // identical for any thread count.
+  const std::vector<std::size_t> sizes = {128, 256, 512};
+  const std::size_t trials = 3;
+  MetricsEvaluator eval = [](const net::ScalingParams& p, std::uint64_t,
+                             Metrics& m) {
+    m.add(Counter::kInjected, p.n);
+    m.inc(Counter::kDelivered);
+    return 1.0;
+  };
+  std::uint64_t expected_injected = 0;
+  for (std::size_t n : sizes) expected_injected += n * trials;
+
+  for (std::size_t threads : {1u, 4u}) {
+    SweepOptions opt;
+    opt.num_threads = threads;
+    opt.seed0 = 5;
+    Metrics agg;
+    opt.metrics = &agg;
+    run_sweep(strong_params(0), sizes, trials, eval, opt);
+    EXPECT_EQ(agg.count(Counter::kInjected), expected_injected);
+    EXPECT_EQ(agg.count(Counter::kDelivered), sizes.size() * trials);
+  }
 }
 
 }  // namespace

@@ -46,7 +46,9 @@ subcommands:
   simulate   slot-level packet simulation
              --n N --alpha A --scheme A|B|C|twohop [--K K --phi P]
              [--slots S --warmup W] [--mobility iid|walk|pull|brownian]
-             [--seed S]
+             [--seed S] [--metrics-out NAME]
+             (--metrics-out writes NAME_counters.csv + NAME_series.csv
+              under ./bench_csv — the packet-conservation audit trail)
   phase      Figure 3 phase-diagram panel for a given phi
              --phi P
 )";
@@ -195,6 +197,13 @@ int cmd_simulate(const util::Flags& f) {
                                                   opt.slots / 10));
   opt.seed = static_cast<std::uint64_t>(f.get_int("seed", 1));
 
+  const std::string metrics_out = f.get_string("metrics-out", "");
+  sim::Metrics metrics;
+  if (!metrics_out.empty()) {
+    metrics.enable_series(opt.slots);
+    opt.metrics = &metrics;
+  }
+
   auto placement = opt.scheme == sim::SlotScheme::kSchemeC && !p.cluster_free()
                        ? net::BsPlacement::kClusterGrid
                        : net::BsPlacement::kClusteredMatched;
@@ -213,7 +222,16 @@ int cmd_simulate(const util::Flags& f) {
             << "  mean delay:         " << util::fmt_double(r.mean_delay, 5)
             << " slots (p95 " << util::fmt_double(r.p95_delay, 5) << ")\n"
             << "  concurrency/slot:   "
-            << util::fmt_double(r.pairs_per_slot, 4) << "\n";
+            << util::fmt_double(r.pairs_per_slot, 4) << "\n"
+            << "  audit: injected " << r.injected << " = delivered "
+            << r.delivered_lifetime << " + queued " << r.queued_end
+            << " + dropped " << r.dropped << " (conserved)\n";
+  if (!metrics_out.empty()) {
+    const auto cpath =
+        metrics.write_counters_csv(metrics_out, to_string(opt.scheme));
+    const auto spath = metrics.write_series_csv(metrics_out);
+    std::cout << "  metrics: " << cpath << ", " << spath << "\n";
+  }
   return 0;
 }
 
@@ -237,7 +255,8 @@ int main(int argc, char** argv) {
     util::Flags flags(argc - 1, argv + 1,
                       {"n", "alpha", "K", "phi", "M", "R", "no-bs",
                        "placement", "seed", "n0", "count", "ratio", "trials",
-                       "scheme", "slots", "warmup", "mobility", "threads"});
+                       "scheme", "slots", "warmup", "mobility", "threads",
+                       "metrics-out"});
     if (cmd == "classify") return cmd_classify(flags);
     if (cmd == "capacity") return cmd_capacity(flags);
     if (cmd == "sweep") return cmd_sweep(flags);
