@@ -15,9 +15,11 @@
 #include "routing/two_hop.h"
 #include "rng/rng.h"
 #include "sim/slotsim.h"
+#include "sim/trace.h"
 #include "util/artifacts.h"
 #include "util/csv.h"
 #include "util/flags.h"
+#include "util/stopwatch.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
 
@@ -40,10 +42,67 @@ std::string sanitize(const std::string& name) {
   return out;
 }
 
+// CI gate: tracing must stay near-free. Runs one representative scheme-B
+// instance with and without a trace attached, interleaved min-of-3 per
+// variant (min absorbs scheduler noise; interleaving absorbs thermal
+// drift), and fails when the traced run is more than 10% slower.
+int run_trace_overhead_check() {
+  net::ScalingParams p;
+  p.alpha = 0.3;
+  p.with_bs = true;
+  p.K = 0.8;
+  p.M = 1.0;
+  p.phi = 0.0;
+  p.n = 512;
+  const auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
+                                       net::BsPlacement::kClusteredMatched,
+                                       101);
+  rng::Xoshiro256 g(103);
+  const auto dest = net::permutation_traffic(p.n, g);
+  sim::SlotSimOptions opt;
+  opt.scheme = sim::SlotScheme::kSchemeB;
+  opt.slots = 4000;
+  opt.warmup = 400;
+  opt.seed = 107;
+
+  constexpr int kReps = 3;
+  double best_off = 1e300, best_on = 1e300;
+  // Untimed warmup rep to fault in code and allocator pools.
+  sim::run_slot_sim(net, dest, opt);
+  for (int rep = 0; rep < kReps; ++rep) {
+    {
+      opt.trace = nullptr;
+      util::Stopwatch sw;
+      sim::run_slot_sim(net, dest, opt);
+      best_off = std::min(best_off, sw.seconds());
+    }
+    {
+      sim::Trace trace;
+      opt.trace = &trace;
+      util::Stopwatch sw;
+      sim::run_slot_sim(net, dest, opt);
+      best_on = std::min(best_on, sw.seconds());
+    }
+  }
+  const double ratio = best_on / best_off;
+  std::cout << "trace overhead: untraced " << best_off * 1e3 << " ms, traced "
+            << best_on * 1e3 << " ms, ratio " << ratio << " (limit 1.10)\n";
+  if (ratio > 1.10) {
+    std::cout << "FAIL: tracing-enabled run regressed more than 10%\n";
+    return 1;
+  }
+  std::cout << "PASS\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Flags flags(argc, argv, {"threads"});
+  const util::Flags flags(argc, argv,
+                          {"threads", "trace", "trace-overhead-check"});
+  if (flags.get_bool("trace-overhead-check", false))
+    return run_trace_overhead_check();
+  const bool with_trace = flags.get_bool("trace", false);
   const auto num_threads = static_cast<std::size_t>(
       flags.get_int("threads",
                     static_cast<long>(util::ThreadPool::default_num_threads())));
@@ -107,6 +166,7 @@ int main(int argc, char** argv) {
     double strict = 0.0, symmetric = 0.0;
     sim::SlotSimResult slot;
     sim::Metrics metrics;  // per-case audit trail (counters + slot series)
+    sim::Trace trace;      // captured only when --trace is set
   };
   std::vector<CaseResult> results(cases.size());
   {
@@ -114,7 +174,8 @@ int main(int argc, char** argv) {
         num_threads == 0 ? util::ThreadPool::default_num_threads()
                          : num_threads,
         cases.size()));
-    pool.for_each_index(cases.size(), [&cases, &results](std::size_t i) {
+    pool.for_each_index(cases.size(), [&cases, &results,
+                                       with_trace](std::size_t i) {
       const auto& c = cases[i];
       auto net = net::Network::build(
           c.params, mobility::ShapeKind::kUniformDisk,
@@ -166,8 +227,23 @@ int main(int argc, char** argv) {
       results[i].symmetric = symmetric;
       results[i].metrics.enable_series(opt.slots);
       opt.metrics = &results[i].metrics;
+      if (with_trace) opt.trace = &results[i].trace;
       results[i].slot = sim::run_slot_sim(net, dest, opt);
     });
+  }
+
+  // --trace: replay every captured event log through the invariant
+  // checker; a violation in any case fails the bench.
+  bool traces_ok = true;
+  if (with_trace) {
+    std::cout << "=== trace replay (sim::verify_trace) ===\n";
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      const auto verdict = sim::verify_trace(results[i].trace);
+      std::cout << cases[i].name << " [" << results[i].trace.events.size()
+                << " events]: " << verdict.summary();
+      traces_ok = traces_ok && verdict.ok;
+    }
+    std::cout << "\n";
   }
 
   for (std::size_t i = 0; i < cases.size(); ++i) {
@@ -258,5 +334,5 @@ int main(int argc, char** argv) {
     }
     t2.print(std::cout);
   }
-  return 0;
+  return traces_ok ? 0 : 1;
 }

@@ -94,20 +94,50 @@ std::size_t SpatialHash::count_in_disk(Point center, double r) const {
 }
 
 std::uint32_t SpatialHash::nearest(Point center, std::uint32_t exclude) const {
-  if (points_.empty()) return 0;
-  // Expanding-ring search; falls back to a full scan at the torus diameter.
+  if (points_.empty()) return kNone;
   double best2 = std::numeric_limits<double>::infinity();
-  std::uint32_t best = static_cast<std::uint32_t>(points_.size());
-  for (double r = 1.5 / g_; ; r *= 2.0) {
-    for_each_in_disk(center, std::min(r, 0.7072), [&](std::uint32_t id) {
-      if (id == exclude) return;
-      double d2 = torus_dist2(center, points_[id]);
+  std::uint32_t best = kNone;
+  const int cx = bucket_coord(center.x);
+  const int cy = bucket_coord(center.y);
+  const double side = 1.0 / g_;
+
+  auto visit = [&](int bx, int by) {
+    const int b = bucket_index(bx, by);
+    for (std::uint32_t k = bucket_start_[b]; k < bucket_start_[b + 1]; ++k) {
+      const std::uint32_t id = ids_[k];
+      if (id == exclude) continue;
+      const double d2 = torus_dist2(center, points_[id]);
       if (d2 < best2) {
         best2 = d2;
         best = id;
       }
-    });
-    if (best != points_.size() || r > 0.7072) break;
+    }
+  };
+
+  // Expanding square rings of buckets, each bucket visited exactly once
+  // (the old radius-doubling search re-scanned every inner bucket on each
+  // doubling). Every point in a ring-d bucket is ≥ (d−1)·side away, so
+  // once a candidate is closer than that lower bound no further ring can
+  // improve on it. Ring g_/2+1 wraps the whole torus (duplicate wrapped
+  // buckets in the last rings only cost redundant min() updates).
+  const int max_ring = g_ / 2 + 1;
+  for (int ring = 0; ring <= max_ring; ++ring) {
+    if (best != kNone) {
+      const double lower = static_cast<double>(ring - 1) * side;
+      if (lower > 0.0 && lower * lower > best2) break;
+    }
+    if (ring == 0) {
+      visit(cx, cy);
+      continue;
+    }
+    for (int dx = -ring; dx <= ring; ++dx) {
+      visit(cx + dx, cy - ring);
+      visit(cx + dx, cy + ring);
+    }
+    for (int dy = -ring + 1; dy <= ring - 1; ++dy) {
+      visit(cx - ring, cy + dy);
+      visit(cx + ring, cy + dy);
+    }
   }
   return best;
 }

@@ -16,6 +16,13 @@ namespace manetcap::geom {
 /// buckets. Rebuild per time slot; queries never allocate.
 class SpatialHash {
  public:
+  /// Sentinel returned by nearest() when no candidate exists (empty index
+  /// or everything excluded). Never a valid id — ids are indices into the
+  /// built point set, which holds fewer than 2³²−1 points. Callers must
+  /// check for it; it is deliberately NOT indexable (the previous contract
+  /// returned 0 or size(), both of which a caller could dereference).
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+
   /// `radius_hint` sizes the buckets (bucket side ≈ radius_hint); queries
   /// with radius near the hint touch a constant number of buckets.
   explicit SpatialHash(double radius_hint, std::size_t expected_points = 0);
@@ -38,8 +45,9 @@ class SpatialHash {
   std::size_t count_in_disk(Point center, double r) const;
 
   /// Id of the nearest indexed point to `center` excluding `exclude`
-  /// (pass size() to exclude nothing); size() if the index is empty.
-  std::uint32_t nearest(Point center, std::uint32_t exclude) const;
+  /// (pass kNone to exclude nothing). Returns kNone when the index is
+  /// empty or every indexed point is excluded.
+  std::uint32_t nearest(Point center, std::uint32_t exclude = kNone) const;
 
  private:
   int bucket_coord(double v) const;

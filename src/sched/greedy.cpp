@@ -62,7 +62,7 @@ std::vector<phy::Transmission> GreedyScheduler::nearest_neighbor_candidates(
   cands.reserve(pos.size());
   for (std::uint32_t i = 0; i < pos.size(); ++i) {
     std::uint32_t j = hash.nearest(pos[i], i);
-    if (j >= pos.size()) continue;
+    if (j == geom::SpatialHash::kNone) continue;
     // Deduplicate the symmetric pair: keep the orientation from the lower id.
     if (j > i || hash.nearest(pos[j], j) != i) cands.push_back({i, j});
   }

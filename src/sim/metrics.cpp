@@ -37,6 +37,8 @@ const char* to_string(Counter c) {
       return "sched_feasible_pairs";
     case Counter::kSchedRangeRejected:
       return "sched_range_rejected";
+    case Counter::kDownlinkStarved:
+      return "downlink_starved";
   }
   return "?";
 }

@@ -40,9 +40,12 @@ enum class Counter : std::size_t {
   kSchedCandidatePairs,    // mutual-lone S* pairs before the range check
   kSchedFeasiblePairs,     // pairs S* actually scheduled
   kSchedRangeRejected,     // mutual-lone pairs failing d < R_T
+  kDownlinkStarved,        // scheme C active cell whose downlink channel
+                           // found no deliverable hop-1 packet despite a
+                           // non-empty BS queue (wasted downlink slot)
 };
 
-inline constexpr std::size_t kNumCounters = 14;
+inline constexpr std::size_t kNumCounters = 15;
 
 /// Stable snake-case name used as the CSV `counter` column.
 const char* to_string(Counter c);

@@ -12,6 +12,7 @@
 #include "linkcap/link_capacity.h"
 #include "mobility/process.h"
 #include "sched/sstar.h"
+#include "sim/trace.h"
 #include "util/check.h"
 
 namespace manetcap::sim {
@@ -85,6 +86,7 @@ class SlotSim {
     if (opt_.scheme == SlotScheme::kSchemeA) init_scheme_a();
     if (opt_.scheme == SlotScheme::kSchemeB) init_scheme_b();
     if (opt_.scheme == SlotScheme::kSchemeC) init_scheme_c();
+    if (opt_.trace != nullptr) capture_context(*opt_.trace);
   }
 
   SlotSimResult run() {
@@ -175,10 +177,40 @@ class SlotSim {
                          "windows != packets in flight");
     }
     if (opt_.metrics != nullptr) opt_.metrics->absorb(std::move(audit_));
+    if (opt_.trace != nullptr) {
+      opt_.trace->footer.injected = res.injected;
+      opt_.trace->footer.delivered = res.delivered_lifetime;
+      opt_.trace->footer.dropped = res.dropped;
+    }
     return res;
   }
 
  private:
+  /// Copies the run configuration and the routing structure the forwarding
+  /// code will use into the trace, so verify_trace replays against exactly
+  /// the tables this run consulted (no network rebuild, no FP involved).
+  void capture_context(Trace& trace) const {
+    TraceContext& ctx = trace.context;
+    ctx.scheme = opt_.scheme;
+    ctx.mobility = opt_.mobility;
+    ctx.n = static_cast<std::uint32_t>(n_);
+    ctx.k = static_cast<std::uint32_t>(k_);
+    ctx.slots = static_cast<std::uint32_t>(opt_.slots);
+    ctx.warmup = static_cast<std::uint32_t>(opt_.warmup);
+    ctx.max_queue = static_cast<std::uint32_t>(opt_.max_queue);
+    ctx.source_backlog = static_cast<std::uint32_t>(opt_.source_backlog);
+    ctx.seed = opt_.seed;
+    ctx.wired_c = k_ > 0 ? net_.params().c() : 0.0;
+    ctx.dest = dest_;
+    ctx.home_cell = home_cell_;
+    ctx.paths = paths_;
+    ctx.serving.assign(serving_.size(), {});
+    for (std::size_t i = 0; i < serving_.size(); ++i) {
+      ctx.serving[i].reserve(serving_[i].size());
+      for (std::uint32_t l : serving_[i])
+        ctx.serving[i].push_back(static_cast<std::uint32_t>(n_) + l);
+    }
+  }
   // --- scheme A ------------------------------------------------------------
   void init_scheme_a() {
     const double side = 0.8 * net_.mobility_radius();
@@ -216,9 +248,9 @@ class SlotSim {
         // to it would otherwise sit at hop 0 in BS queues forever
         // (wired_step has nowhere to forward them), permanently pinning
         // max_queue slots and throttling every other flow through that BS.
-        const std::uint32_t l =
-            bs_hash.nearest(net_.ms_home()[i], ~std::uint32_t{0});
-        MANETCAP_CHECK(l < k_);
+        const std::uint32_t l = bs_hash.nearest(net_.ms_home()[i]);
+        MANETCAP_CHECK_MSG(l != geom::SpatialHash::kNone,
+                           "scheme B: nearest-BS fallback found no BS");
         serving_[i].push_back(l);
       }
     }
@@ -237,9 +269,9 @@ class SlotSim {
     std::vector<double> cell_radius(k_, 0.0);
     cell_members_.assign(k_, {});
     for (std::uint32_t i = 0; i < n_; ++i) {
-      const std::uint32_t l = bs_hash.nearest(net_.ms_home()[i],
-                                              ~std::uint32_t{0});
-      MANETCAP_CHECK(l < k_);
+      const std::uint32_t l = bs_hash.nearest(net_.ms_home()[i]);
+      MANETCAP_CHECK_MSG(l != geom::SpatialHash::kNone,
+                         "scheme C: BS association found no BS");
       serving_[i].push_back(l);
       cell_members_[l].push_back(i);
       cell_radius[l] = std::max(
@@ -284,20 +316,27 @@ class SlotSim {
       // Uplink channel: the round-robin member injects one packet.
       const auto& members = cell_members_[l];
       const std::uint32_t i = members[rr_cell_[l]++ % members.size()];
-      try_inject(i, q);
+      try_inject(i, static_cast<std::uint32_t>(n_ + l));
       // Downlink channel: deliver one wired-arrived packet whose
-      // destination lives in this cell.
-      for (std::size_t idx = 0;
-           idx < std::min<std::size_t>(q.size(), kScanDepth); ++idx) {
+      // destination lives in this cell. The scan must cover the whole
+      // queue, not a bounded prefix: hop-0 packets stalled on wired
+      // credit keep their positions at the head, so a kScanDepth-limited
+      // scan permanently starves every deliverable hop-1 packet queued
+      // behind ≥ kScanDepth of them.
+      bool delivered_one = false;
+      for (std::size_t idx = 0; idx < q.size(); ++idx) {
         if (q[idx].hop != 1) continue;
         const std::uint32_t d = dest_[q[idx].flow];
         if (serving_[d].front() == l) {
           const Packet p = q[idx];
           q.erase(q.begin() + static_cast<std::ptrdiff_t>(idx));
-          deliver(p);
+          deliver(p, static_cast<std::uint32_t>(n_ + l));
+          delivered_one = true;
           break;
         }
       }
+      if (!delivered_one && !q.empty())
+        audit_.inc(Counter::kDownlinkStarved);
     }
     return served;
   }
@@ -321,19 +360,24 @@ class SlotSim {
     }
   }
 
-  void deliver(const Packet& p) {
+  void deliver(const Packet& p, std::uint32_t holder) {
     ++delivered_[p.flow];
     --count_own_[p.flow];  // release the flow-control window slot
     --in_network_;
     audit_.inc(Counter::kDelivered);
+    if (opt_.trace != nullptr)
+      opt_.trace->record(TraceEventKind::kDeliver, slot_, p.flow, p.hop,
+                         holder, dest_[p.flow]);
     if (measuring_ && p.born >= opt_.warmup)
       delays_.push_back(static_cast<double>(slot_ - p.born));
   }
 
   /// Source injection under the flow-control window: pushes one packet of
-  /// `flow`'s own traffic into `q`, counting every rejection — a full
-  /// queue used to no-op silently, making the offered load unknowable.
-  void try_inject(std::uint32_t flow, std::deque<Packet>& q) {
+  /// `flow`'s own traffic into node `node`'s queue, counting every
+  /// rejection — a full queue used to no-op silently, making the offered
+  /// load unknowable.
+  void try_inject(std::uint32_t flow, std::uint32_t node) {
+    auto& q = queues_[node];
     if (count_own_[flow] >= opt_.source_backlog) {
       audit_.inc(Counter::kInjectRejectWindowFull);
       return;
@@ -346,6 +390,8 @@ class SlotSim {
     ++count_own_[flow];
     ++in_network_;
     audit_.inc(Counter::kInjected);
+    if (opt_.trace != nullptr)
+      opt_.trace->record(TraceEventKind::kInject, slot_, flow, 0, flow, node);
   }
 
   // Scheme A: a relay in squarelet path[h] hands the packet to a node whose
@@ -355,7 +401,7 @@ class SlotSim {
     auto& q = queues_[from];
 
     // Source injection: keep the head of the pipeline saturated.
-    try_inject(from, q);
+    try_inject(from, from);
 
     const std::size_t scan = std::min<std::size_t>(q.size(), kScanDepth);
     for (std::size_t idx = 0; idx < scan; ++idx) {
@@ -368,7 +414,7 @@ class SlotSim {
         // only ever co-located with the destination at the final cells, so
         // accept delivery whenever they meet.
         q.erase(q.begin() + static_cast<std::ptrdiff_t>(idx));
-        deliver(p);
+        deliver(p, from);
         return;
       }
       // At the last path cell only the destination itself can take the
@@ -380,6 +426,9 @@ class SlotSim {
           q.erase(q.begin() + static_cast<std::ptrdiff_t>(idx));
           queues_[to].push_back({p.flow, p.hop + 1, p.born});
           audit_.inc(Counter::kRelayed);
+          if (opt_.trace != nullptr)
+            opt_.trace->record(TraceEventKind::kRelay, slot_, p.flow,
+                               p.hop + 1, from, to);
           return;
         }
         audit_.inc(Counter::kRelayRejectQueueFull);
@@ -391,21 +440,26 @@ class SlotSim {
   void transfer_two_hop(std::uint32_t from, std::uint32_t to) {
     if (is_bs(from) || is_bs(to)) return;
     auto& q = queues_[from];
-    try_inject(from, q);
+    try_inject(from, from);
     const std::size_t scan = std::min<std::size_t>(q.size(), kScanDepth);
     for (std::size_t idx = 0; idx < scan; ++idx) {
       Packet p = q[idx];
       if (to == dest_[p.flow]) {
         q.erase(q.begin() + static_cast<std::ptrdiff_t>(idx));
-        deliver(p);
+        deliver(p, from);
         return;
       }
-      // Only the source hands off to a relay (exactly two hops).
+      // Only the source hands off to a relay (exactly two hops). The relay
+      // hand-off advances hop to 1, so "a third hop would be needed" is
+      // visible in the packet state (and in the trace).
       if (p.flow == from) {
         if (queues_[to].size() < opt_.max_queue) {
           q.erase(q.begin() + static_cast<std::ptrdiff_t>(idx));
-          queues_[to].push_back(p);
+          queues_[to].push_back({p.flow, 1, p.born});
           audit_.inc(Counter::kRelayed);
+          if (opt_.trace != nullptr)
+            opt_.trace->record(TraceEventKind::kRelay, slot_, p.flow, 1,
+                               from, to);
           return;
         }
         audit_.inc(Counter::kRelayRejectQueueFull);
@@ -419,7 +473,7 @@ class SlotSim {
     if (!is_bs(from) && is_bs(to)) {
       // Uplink: inject one packet of `from`'s own flow (within the
       // flow-control window).
-      try_inject(from, queues_[to]);
+      try_inject(from, to);
       return;
     }
     if (is_bs(from) && !is_bs(to)) {
@@ -430,7 +484,7 @@ class SlotSim {
         if (dest_[q[idx].flow] == to && q[idx].hop == 1) {
           const Packet p = q[idx];
           q.erase(q.begin() + static_cast<std::ptrdiff_t>(idx));
-          deliver(p);
+          deliver(p, from);
           return;
         }
       }
@@ -445,26 +499,41 @@ class SlotSim {
     const double c = net_.params().c();
     for (std::uint32_t l = 0; l < k_; ++l) {
       auto& q = queues_[n_ + l];
-      for (std::size_t idx = 0; idx < q.size();) {
-        if (q[idx].hop != 0) {
-          ++idx;
+      // Single compaction pass: read cursor `r` visits every packet in the
+      // original order (so the rr_ round-robin and credit decisions are
+      // made in exactly the sequence the old erase-in-place loop made
+      // them), write cursor `w` keeps the survivors. This turns a queue
+      // drain from O(|q|²) deque memmoves into O(|q|).
+      std::size_t w = 0;
+      for (std::size_t r = 0; r < q.size(); ++r) {
+        const auto keep = [&] {
+          if (w != r) q[w] = q[r];
+          ++w;
+        };
+        if (q[r].hop != 0) {
+          keep();
           continue;
         }
-        const std::uint32_t d = dest_[q[idx].flow];
+        const std::uint32_t d = dest_[q[r].flow];
         if (serving_[d].empty()) {
           // Unreachable since init_scheme_b/_c guarantee a serving BS per
           // MS; counted defensively so a future association change that
           // reintroduces orphans fails the audit instead of stalling.
           audit_.inc(Counter::kUndeliverable);
-          ++idx;
+          keep();
           continue;
         }
         // Round-robin over the destination's serving BSs.
         const std::uint32_t target =
             serving_[d][rr_++ % serving_[d].size()];
         if (target == l) {
-          q[idx].hop = 1;  // already at a serving BS
-          ++idx;
+          q[r].hop = 1;  // already at a serving BS
+          if (opt_.trace != nullptr)
+            opt_.trace->record(TraceEventKind::kWiredForward,
+                               static_cast<std::uint32_t>(slot), q[r].flow,
+                               1, static_cast<std::uint32_t>(n_ + l),
+                               static_cast<std::uint32_t>(n_ + l));
+          keep();
           continue;
         }
         auto key = std::minmax(l, target);
@@ -485,19 +554,24 @@ class SlotSim {
         }
         if (wire.credit < 1.0) {
           audit_.inc(Counter::kWiredCreditStall);
-          ++idx;
+          keep();
         } else if (queues_[n_ + target].size() >= opt_.max_queue) {
           audit_.inc(Counter::kWiredRejectQueueFull);
-          ++idx;
+          keep();
         } else {
           wire.credit -= 1.0;
-          Packet p = q[idx];
+          Packet p = q[r];
           p.hop = 1;
-          q.erase(q.begin() + static_cast<std::ptrdiff_t>(idx));
           queues_[n_ + target].push_back(p);
           audit_.inc(Counter::kWiredForwarded);
+          if (opt_.trace != nullptr)
+            opt_.trace->record(TraceEventKind::kWiredForward,
+                               static_cast<std::uint32_t>(slot), p.flow, 1,
+                               static_cast<std::uint32_t>(n_ + l),
+                               static_cast<std::uint32_t>(n_ + target));
         }
       }
+      q.erase(q.begin() + static_cast<std::ptrdiff_t>(w), q.end());
     }
   }
 

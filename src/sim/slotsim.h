@@ -23,6 +23,8 @@
 
 namespace manetcap::sim {
 
+class Trace;  // sim/trace.h — per-packet event capture
+
 enum class SlotScheme { kSchemeA, kTwoHop, kSchemeB, kSchemeC };
 
 std::string to_string(SlotScheme s);
@@ -47,6 +49,13 @@ struct SlotSimOptions {
   /// it at end of run. Null keeps the audit internal: the conservation
   /// check below still runs, nothing is exported.
   Metrics* metrics = nullptr;
+  /// Optional per-packet event sink (sim/trace.h). When set, every
+  /// inject / relay / wired-forward / delivery is appended with its slot,
+  /// flow, hop and endpoints, and the routing context (H-V paths, serving
+  /// sets, wired credit rate) is captured so verify_trace can replay the
+  /// run without rebuilding the network. Null (the default) costs one
+  /// untaken branch per event.
+  Trace* trace = nullptr;
   /// End-of-run packet-conservation audit:
   ///   injected == delivered + queued_end + dropped,
   /// the running in-network count must match the actual queue occupancy,

@@ -1,0 +1,785 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "net/traffic.h"
+#include "rng/rng.h"
+#include "sim/sweep.h"
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace manetcap::sim {
+
+const char* to_string(TraceEventKind k) {
+  switch (k) {
+    case TraceEventKind::kInject:
+      return "inject";
+    case TraceEventKind::kRelay:
+      return "relay";
+    case TraceEventKind::kWiredForward:
+      return "wired_forward";
+    case TraceEventKind::kDeliver:
+      return "deliver";
+    case TraceEventKind::kDrop:
+      return "drop";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'C', 'T', 'R', 'A', 'C', 'E', '1'};
+
+// --- varint codec ---------------------------------------------------------
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+/// ZigZag so event slots can be delta-encoded even for (invalid) traces a
+/// mutation test re-encodes with decreasing slots — the checker, not the
+/// codec, is where monotonicity is judged.
+std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
+}
+
+struct ByteReader {
+  const std::vector<std::uint8_t>& bytes;
+  std::size_t pos = 0;
+  std::size_t end = 0;  // exclusive; checksum trailer lives beyond it
+
+  std::uint8_t u8() {
+    MANETCAP_CHECK_MSG(pos < end, "trace: truncated buffer");
+    return bytes[pos++];
+  }
+
+  std::uint64_t varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+      MANETCAP_CHECK_MSG(pos < end, "trace: truncated varint");
+      const std::uint8_t b = bytes[pos++];
+      MANETCAP_CHECK_MSG(shift < 64, "trace: varint overflow");
+      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) return v;
+      shift += 7;
+    }
+  }
+
+  std::uint32_t u32v() {
+    const std::uint64_t v = varint();
+    MANETCAP_CHECK_MSG(v <= 0xffffffffULL, "trace: field exceeds 32 bits");
+    return static_cast<std::uint32_t>(v);
+  }
+};
+
+std::uint64_t fnv1a(const std::uint8_t* data, std::size_t size) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+void put_u64_fixed(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint64_t get_u64_fixed(const std::vector<std::uint8_t>& bytes,
+                            std::size_t pos) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(bytes[pos + i]) << (8 * i);
+  return v;
+}
+
+void put_id_list(std::vector<std::uint8_t>& out,
+                 const std::vector<std::uint32_t>& v) {
+  put_varint(out, v.size());
+  for (std::uint32_t x : v) put_varint(out, x);
+}
+
+std::vector<std::uint32_t> get_id_list(ByteReader& r) {
+  const std::uint64_t count = r.varint();
+  MANETCAP_CHECK_MSG(count <= (1ULL << 28), "trace: id list too large");
+  std::vector<std::uint32_t> v(count);
+  for (auto& x : v) x = r.u32v();
+  return v;
+}
+
+void put_id_lists(std::vector<std::uint8_t>& out,
+                  const std::vector<std::vector<std::uint32_t>>& vs) {
+  put_varint(out, vs.size());
+  for (const auto& v : vs) put_id_list(out, v);
+}
+
+std::vector<std::vector<std::uint32_t>> get_id_lists(ByteReader& r) {
+  const std::uint64_t count = r.varint();
+  MANETCAP_CHECK_MSG(count <= (1ULL << 28), "trace: id table too large");
+  std::vector<std::vector<std::uint32_t>> vs(count);
+  for (auto& v : vs) v = get_id_list(r);
+  return vs;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> Trace::encode() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(64 + events.size() * 6);
+  out.insert(out.end(), kMagic, kMagic + 8);
+  out.push_back(static_cast<std::uint8_t>(context.scheme));
+  out.push_back(static_cast<std::uint8_t>(context.mobility));
+  put_varint(out, context.n);
+  put_varint(out, context.k);
+  put_varint(out, context.slots);
+  put_varint(out, context.warmup);
+  put_varint(out, context.max_queue);
+  put_varint(out, context.source_backlog);
+  put_varint(out, context.seed);
+  put_u64_fixed(out, std::bit_cast<std::uint64_t>(context.wired_c));
+  put_id_list(out, context.dest);
+  put_id_list(out, context.home_cell);
+  put_id_lists(out, context.paths);
+  put_id_lists(out, context.serving);
+
+  put_varint(out, events.size());
+  std::uint32_t prev_slot = 0;
+  for (const TraceEvent& e : events) {
+    out.push_back(static_cast<std::uint8_t>(e.kind));
+    put_varint(out, zigzag(static_cast<std::int64_t>(e.slot) -
+                           static_cast<std::int64_t>(prev_slot)));
+    prev_slot = e.slot;
+    put_varint(out, e.flow);
+    put_varint(out, e.hop);
+    put_varint(out, e.from);
+    put_varint(out, e.to);
+  }
+  put_varint(out, footer.injected);
+  put_varint(out, footer.delivered);
+  put_varint(out, footer.dropped);
+  put_u64_fixed(out, fnv1a(out.data(), out.size()));
+  return out;
+}
+
+Trace Trace::decode(const std::vector<std::uint8_t>& bytes) {
+  MANETCAP_CHECK_MSG(bytes.size() >= 8 + 8, "trace: buffer too small");
+  MANETCAP_CHECK_MSG(std::memcmp(bytes.data(), kMagic, 8) == 0,
+                     "trace: bad magic (not an MCTRACE1 file)");
+  const std::size_t body = bytes.size() - 8;
+  MANETCAP_CHECK_MSG(get_u64_fixed(bytes, body) == fnv1a(bytes.data(), body),
+                     "trace: checksum mismatch (corrupted trace)");
+
+  Trace t;
+  ByteReader r{bytes, 8, body};
+  const std::uint8_t scheme = r.u8();
+  MANETCAP_CHECK_MSG(scheme <= 3, "trace: invalid scheme id");
+  t.context.scheme = static_cast<SlotScheme>(scheme);
+  const std::uint8_t mobility = r.u8();
+  MANETCAP_CHECK_MSG(mobility <= 3, "trace: invalid mobility id");
+  t.context.mobility = static_cast<SlotMobility>(mobility);
+  t.context.n = r.u32v();
+  t.context.k = r.u32v();
+  t.context.slots = r.u32v();
+  t.context.warmup = r.u32v();
+  t.context.max_queue = r.u32v();
+  t.context.source_backlog = r.u32v();
+  t.context.seed = r.varint();
+  t.context.wired_c = std::bit_cast<double>(get_u64_fixed(bytes, r.pos));
+  r.pos += 8;
+  t.context.dest = get_id_list(r);
+  t.context.home_cell = get_id_list(r);
+  t.context.paths = get_id_lists(r);
+  t.context.serving = get_id_lists(r);
+
+  const std::uint64_t count = r.varint();
+  MANETCAP_CHECK_MSG(count <= (1ULL << 32), "trace: event count too large");
+  t.events.resize(count);
+  std::int64_t prev_slot = 0;
+  for (auto& e : t.events) {
+    const std::uint8_t kind = r.u8();
+    MANETCAP_CHECK_MSG(kind <= 4, "trace: invalid event kind");
+    e.kind = static_cast<TraceEventKind>(kind);
+    const std::int64_t slot = prev_slot + unzigzag(r.varint());
+    MANETCAP_CHECK_MSG(slot >= 0 && slot <= 0xffffffffLL,
+                       "trace: event slot out of range");
+    e.slot = static_cast<std::uint32_t>(slot);
+    prev_slot = slot;
+    e.flow = r.u32v();
+    e.hop = r.u32v();
+    e.from = r.u32v();
+    e.to = r.u32v();
+  }
+  t.footer.injected = r.varint();
+  t.footer.delivered = r.varint();
+  t.footer.dropped = r.varint();
+  MANETCAP_CHECK_MSG(r.pos == r.end, "trace: trailing bytes after footer");
+  return t;
+}
+
+void Trace::save(const std::string& path) const {
+  const auto bytes = encode();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  MANETCAP_CHECK_MSG(out.good(), "trace: cannot open for write: " << path);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  MANETCAP_CHECK_MSG(out.good(), "trace: write failed: " << path);
+}
+
+Trace Trace::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  MANETCAP_CHECK_MSG(in.good(), "trace: cannot open for read: " << path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(bytes.data()), size);
+  MANETCAP_CHECK_MSG(in.good(), "trace: read failed: " << path);
+  return decode(bytes);
+}
+
+// --- replay checker -------------------------------------------------------
+
+namespace {
+
+/// Token-bucket slack: the simulator accrues credit incrementally across
+/// attempt slots while the checker accrues it in one step per forward, so
+/// the two sums can differ in the last few ulps. Any real infeasibility
+/// (double spend, burst past the bucket) differs by ≥ 1 full credit unit.
+constexpr double kCreditSlack = 1e-6;
+
+struct ViolationSink {
+  std::vector<TraceViolation>& out;
+  void add(const char* invariant, std::uint64_t event_index,
+           std::string detail) {
+    out.push_back({invariant, event_index, std::move(detail)});
+  }
+};
+
+std::string describe_event(const TraceEvent& e) {
+  std::ostringstream os;
+  os << to_string(e.kind) << " slot=" << e.slot << " flow=" << e.flow
+     << " hop=" << e.hop << " from=" << e.from << " to=" << e.to;
+  return os.str();
+}
+
+/// Context sanity: sizes and id ranges the rest of the checker indexes
+/// with. A trace failing here is rejected before replay.
+bool context_ok(const TraceContext& c, ViolationSink& sink) {
+  std::ostringstream os;
+  const auto fail = [&](const std::string& what) {
+    sink.add("context_invalid", 0, what);
+    return false;
+  };
+  if (c.n == 0) return fail("n == 0");
+  if (c.slots == 0 || c.warmup >= c.slots) return fail("bad slots/warmup");
+  if (c.max_queue == 0 || c.source_backlog == 0)
+    return fail("bad queue/backlog bounds");
+  if (c.dest.size() != c.n) return fail("dest size != n");
+  for (std::uint32_t d : c.dest)
+    if (d >= c.n) return fail("dest id out of range");
+  const bool infra =
+      c.scheme == SlotScheme::kSchemeB || c.scheme == SlotScheme::kSchemeC;
+  if (c.scheme == SlotScheme::kSchemeA) {
+    if (c.home_cell.size() != c.n) return fail("home_cell size != n");
+    if (c.paths.size() != c.n) return fail("paths size != n");
+    for (const auto& p : c.paths)
+      if (p.empty()) return fail("empty H-V path");
+  }
+  if (infra) {
+    if (c.k == 0) return fail("infrastructure scheme with k == 0");
+    if (c.serving.size() != c.n) return fail("serving size != n");
+    for (const auto& s : c.serving) {
+      if (s.empty()) return fail("MS with empty serving set");
+      for (std::uint32_t l : s)
+        if (l < c.n || l >= c.n + c.k) return fail("serving id not a BS");
+    }
+    if (c.scheme == SlotScheme::kSchemeC)
+      for (const auto& s : c.serving)
+        if (s.size() != 1) return fail("scheme C association must be 1 BS");
+  }
+  return true;
+}
+
+/// Serial structural replay: slot monotonicity, packet existence/location,
+/// queue bounds and wired-credit feasibility are global properties of the
+/// interleaved stream, so they run once on the calling thread.
+void replay_global(const Trace& trace, TraceVerdict& verdict,
+                   ViolationSink& sink) {
+  const TraceContext& c = trace.context;
+  const std::uint32_t num_nodes = c.n + c.k;
+
+  struct Pkt {
+    std::uint32_t flow;
+  };
+  std::vector<std::deque<Pkt>> queues(num_nodes);
+  struct Edge {
+    double credit = 0.0;
+    std::uint64_t last = 0;
+  };
+  std::map<std::pair<std::uint32_t, std::uint32_t>, Edge> wires;
+  const double cap = std::max(1.0, 4.0 * c.wired_c);
+
+  // Removes the FIFO-first packet of `flow` at `node`; false if absent.
+  const auto take = [&](std::uint32_t node, std::uint32_t flow) {
+    auto& q = queues[node];
+    for (auto it = q.begin(); it != q.end(); ++it) {
+      if (it->flow == flow) {
+        q.erase(it);
+        return true;
+      }
+    }
+    return false;
+  };
+  const auto put = [&](std::uint32_t node, std::uint32_t flow,
+                       std::uint64_t i) {
+    if (queues[node].size() >= c.max_queue)
+      sink.add("queue_overflow", i,
+               "queue at node " + std::to_string(node) + " exceeds max_queue");
+    queues[node].push_back({flow});
+  };
+
+  std::uint32_t prev_slot = 0;
+  for (std::uint64_t i = 0; i < trace.events.size(); ++i) {
+    const TraceEvent& e = trace.events[i];
+    if (e.slot < prev_slot)
+      sink.add("slot_monotone", i,
+               "slot " + std::to_string(e.slot) + " after slot " +
+                   std::to_string(prev_slot));
+    prev_slot = std::max(prev_slot, e.slot);
+    if (e.slot >= c.slots || e.flow >= c.n) {
+      sink.add("event_range", i, describe_event(e));
+      continue;
+    }
+    switch (e.kind) {
+      case TraceEventKind::kInject:
+        if (e.to >= num_nodes || e.from >= num_nodes) {
+          sink.add("event_range", i, describe_event(e));
+          break;
+        }
+        put(e.to, e.flow, i);
+        ++verdict.injected;
+        break;
+      case TraceEventKind::kRelay:
+        if (e.from >= c.n || e.to >= c.n) {
+          sink.add("event_range", i,
+                   "relay endpoint is not an MS: " + describe_event(e));
+          break;
+        }
+        if (!take(e.from, e.flow)) {
+          sink.add("packet_not_at_node", i, describe_event(e));
+          break;
+        }
+        put(e.to, e.flow, i);
+        ++verdict.relayed;
+        break;
+      case TraceEventKind::kWiredForward: {
+        if (e.from < c.n || e.from >= num_nodes || e.to < c.n ||
+            e.to >= num_nodes) {
+          sink.add("wired_endpoint", i,
+                   "wired endpoint is not a BS: " + describe_event(e));
+          break;
+        }
+        if (!take(e.from, e.flow)) {
+          sink.add("packet_not_at_node", i, describe_event(e));
+          break;
+        }
+        if (e.from != e.to) {
+          // Feasibility bound: the most credit the edge can legally hold
+          // is continuous accrual since slot 0, clamped by the bucket.
+          // The simulator is stricter (accrual starts at first use), so
+          // every honestly captured trace passes; a forward the bucket
+          // could never have funded fails.
+          auto key = std::minmax(e.from, e.to);
+          Edge& w = wires[{key.first, key.second}];
+          const std::uint64_t now = static_cast<std::uint64_t>(e.slot) + 1;
+          if (now > w.last) {
+            w.credit = std::min(
+                cap, w.credit + c.wired_c * static_cast<double>(now - w.last));
+            w.last = now;
+          }
+          if (w.credit < 1.0 - kCreditSlack) {
+            std::ostringstream os;
+            os << "edge (" << key.first << "," << key.second
+               << ") credit " << w.credit << " < 1 at " << describe_event(e);
+            sink.add("wired_credit", i, os.str());
+            w.credit = 0.0;
+          } else {
+            w.credit -= 1.0;
+          }
+          put(e.to, e.flow, i);
+        } else {
+          // In-place hop-0 → hop-1 promotion at a serving BS: no queue
+          // move, no credit spend.
+          queues[e.from].push_back({e.flow});
+        }
+        ++verdict.wired_forwarded;
+        break;
+      }
+      case TraceEventKind::kDeliver:
+        if (e.from >= num_nodes || e.to >= c.n) {
+          sink.add("event_range", i, describe_event(e));
+          break;
+        }
+        if (!take(e.from, e.flow)) {
+          sink.add("packet_not_at_node", i, describe_event(e));
+          break;
+        }
+        ++verdict.delivered;
+        break;
+      case TraceEventKind::kDrop:
+        sink.add("drop_forbidden", i,
+                 "the simulator models backpressure, never loss: " +
+                     describe_event(e));
+        take(e.from, e.flow);  // keep replaying past the corrupt event
+        break;
+    }
+  }
+
+  if (trace.footer.injected != verdict.injected ||
+      trace.footer.delivered != verdict.delivered ||
+      trace.footer.dropped != 0) {
+    std::ostringstream os;
+    os << "footer (injected=" << trace.footer.injected
+       << ", delivered=" << trace.footer.delivered
+       << ", dropped=" << trace.footer.dropped << ") vs replayed (injected="
+       << verdict.injected << ", delivered=" << verdict.delivered
+       << ", dropped=0)";
+    sink.add("footer_totals", trace.events.size(), os.str());
+  }
+}
+
+/// Per-flow lifecycle checks: hop-phase legality, path adjacency, the
+/// two-hop limit, serving-BS membership, flow-window and inject-location
+/// bounds are all functions of one flow's event subsequence, so flows
+/// verify independently (and in parallel).
+void check_flow(const Trace& trace, std::uint32_t f,
+                const std::vector<std::uint32_t>& event_ids,
+                std::vector<TraceViolation>& out) {
+  const TraceContext& c = trace.context;
+  ViolationSink sink{out};
+  const bool infra =
+      c.scheme == SlotScheme::kSchemeB || c.scheme == SlotScheme::kSchemeC;
+  const std::uint32_t dst = c.dest[f];
+
+  struct Pkt {
+    std::uint32_t hop = 0;
+    std::uint32_t node = 0;
+    std::uint32_t relays = 0;
+  };
+  std::vector<Pkt> live;  // FIFO by injection order
+
+  // FIFO-first packet of this flow at `node` whose hop matches the event's
+  // expected pre-hop. A flow can hold several packets at one node at
+  // different phases (e.g. a fresh hop-0 uplink next to an already-wired
+  // hop-1 packet), so matching must be hop-aware; when no packet matches
+  // the expected hop we fall back to any packet at the node so that a
+  // mutated-hop event is flagged against the packet it corrupts instead of
+  // cascading into packet_not_at_node noise.
+  const auto find_at = [&](std::uint32_t node, std::uint32_t want_hop) -> Pkt* {
+    Pkt* fallback = nullptr;
+    for (Pkt& p : live) {
+      if (p.node != node) continue;
+      if (p.hop == want_hop) return &p;
+      if (fallback == nullptr) fallback = &p;
+    }
+    return fallback;
+  };
+  const auto serving_has = [&](std::uint32_t ms, std::uint32_t bs) {
+    const auto& s = c.serving[ms];
+    return std::find(s.begin(), s.end(), bs) != s.end();
+  };
+
+  for (const std::uint32_t ei : event_ids) {
+    const TraceEvent& e = trace.events[ei];
+    if (e.flow >= c.n) continue;  // flagged by the global pass
+    switch (e.kind) {
+      case TraceEventKind::kInject: {
+        if (live.size() >= c.source_backlog)
+          sink.add("window_overflow", ei,
+                   "flow " + std::to_string(f) + " exceeds source_backlog=" +
+                       std::to_string(c.source_backlog));
+        bool loc_ok = e.from == f;
+        switch (c.scheme) {
+          case SlotScheme::kSchemeA:
+          case SlotScheme::kTwoHop:
+            // Ad hoc schemes: the source injects into its own queue.
+            loc_ok = loc_ok && e.to == f;
+            break;
+          case SlotScheme::kSchemeB:
+            // Uplink to whichever BS the S* meeting provided.
+            loc_ok = loc_ok && e.to >= c.n && e.to < c.n + c.k;
+            break;
+          case SlotScheme::kSchemeC:
+            // Static TDMA: uplink only to the cell's own BS.
+            loc_ok = loc_ok && e.to == c.serving[f][0];
+            break;
+        }
+        if (!loc_ok) sink.add("inject_location", ei, describe_event(e));
+        if (e.hop != 0)
+          sink.add("hop_monotone", ei,
+                   "inject must create a hop-0 packet: " + describe_event(e));
+        live.push_back({0, e.to, 0});
+        break;
+      }
+      case TraceEventKind::kRelay: {
+        if (infra) {
+          sink.add("relay_forbidden", ei,
+                   "MS relays do not exist in scheme " +
+                       sim::to_string(c.scheme) + ": " + describe_event(e));
+          break;
+        }
+        Pkt* p = find_at(e.from, e.hop == 0 ? 0 : e.hop - 1);
+        if (p == nullptr) break;  // global pass flags packet_not_at_node
+        if (c.scheme == SlotScheme::kSchemeA) {
+          const auto& path = c.paths[f];
+          if (e.hop != p->hop + 1)
+            sink.add("hop_monotone", ei,
+                     "H-V path position must advance by exactly 1 (was " +
+                         std::to_string(p->hop) + "): " + describe_event(e));
+          if (e.hop >= path.size())
+            sink.add("path_range", ei,
+                     "hop beyond the flow's H-V path (length " +
+                         std::to_string(path.size()) + "): " +
+                         describe_event(e));
+          else if (e.to < c.n && c.home_cell[e.to] != path[e.hop])
+            sink.add("path_adjacency", ei,
+                     "receiver's home squarelet " +
+                         std::to_string(c.home_cell[e.to]) +
+                         " is not path[" + std::to_string(e.hop) + "]=" +
+                         std::to_string(path[e.hop]) + ": " +
+                         describe_event(e));
+        } else {  // two-hop
+          if (e.from != f || p->relays != 0 || e.hop != 1)
+            sink.add("two_hop_limit", ei,
+                     "only source→relay→destination is legal: " +
+                         describe_event(e));
+          ++p->relays;
+        }
+        p->hop = e.hop;
+        p->node = e.to;
+        break;
+      }
+      case TraceEventKind::kWiredForward: {
+        if (!infra) {
+          sink.add("wired_forbidden", ei,
+                   "no wired backbone in scheme " + sim::to_string(c.scheme) +
+                       ": " + describe_event(e));
+          break;
+        }
+        Pkt* p = find_at(e.from, 0);
+        if (p == nullptr) break;
+        if (p->hop != 0 || e.hop != 1)
+          sink.add("wired_hop", ei,
+                   "wired phase must take the packet from hop 0 to hop 1 "
+                   "exactly once: " +
+                       describe_event(e));
+        if (!serving_has(dst, e.to))
+          sink.add("serving_bs", ei,
+                   "wired target does not serve destination " +
+                       std::to_string(dst) + ": " + describe_event(e));
+        p->hop = e.hop;
+        p->node = e.to;
+        break;
+      }
+      case TraceEventKind::kDeliver: {
+        if (e.to != dst)
+          sink.add("deliver_dest", ei,
+                   "flow " + std::to_string(f) + " terminates at MS " +
+                       std::to_string(dst) + ": " + describe_event(e));
+        Pkt* p = find_at(e.from, e.hop);
+        if (p == nullptr) break;
+        if (infra) {
+          if (p->hop != 1 || e.hop != 1)
+            sink.add("deliver_hop", ei,
+                     "infrastructure delivery is downlink-only (hop 1): " +
+                         describe_event(e));
+          const bool bs_ok =
+              c.scheme == SlotScheme::kSchemeC
+                  ? e.from == c.serving[dst][0]
+                  : e.from >= c.n && serving_has(dst, e.from);
+          if (!bs_ok)
+            sink.add("serving_bs", ei,
+                     "delivering BS does not serve destination " +
+                         std::to_string(dst) + ": " + describe_event(e));
+        }
+        live.erase(live.begin() + (p - live.data()));
+        break;
+      }
+      case TraceEventKind::kDrop: {
+        Pkt* p = find_at(e.from, e.hop);  // global pass flags drop_forbidden
+        if (p != nullptr) live.erase(live.begin() + (p - live.data()));
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::string TraceVerdict::summary() const {
+  std::ostringstream os;
+  os << (ok ? "PASS" : "FAIL") << " injected=" << injected
+     << " delivered=" << delivered << " relayed=" << relayed
+     << " wired_forwarded=" << wired_forwarded
+     << " violations=" << violations.size() << "\n";
+  for (const TraceViolation& v : violations)
+    os << "  " << v.invariant << " @event " << v.event_index << ": "
+       << v.detail << "\n";
+  return os.str();
+}
+
+TraceVerdict verify_trace(const Trace& trace,
+                          const TraceVerifyOptions& options) {
+  TraceVerdict verdict;
+  ViolationSink sink{verdict.violations};
+  if (!context_ok(trace.context, sink)) {
+    verdict.ok = false;
+    return verdict;
+  }
+
+  replay_global(trace, verdict, sink);
+
+  // Per-flow fan-out. Each flow writes a pre-allocated slot; the merge
+  // below runs serially in flow order (the same fixed-order absorb
+  // discipline run_sweep uses), so the verdict — order, text, everything —
+  // is bit-identical for any thread count.
+  const std::uint32_t n = trace.context.n;
+  std::vector<std::vector<std::uint32_t>> by_flow(n);
+  for (std::uint32_t i = 0; i < trace.events.size(); ++i) {
+    const std::uint32_t f = trace.events[i].flow;
+    if (f < n) by_flow[f].push_back(i);
+  }
+  std::vector<std::vector<TraceViolation>> flow_violations(n);
+  const auto check_one = [&](std::size_t f) {
+    check_flow(trace, static_cast<std::uint32_t>(f), by_flow[f],
+               flow_violations[f]);
+  };
+  const std::size_t num_threads =
+      options.num_threads == 0 ? util::ThreadPool::default_num_threads()
+                               : options.num_threads;
+  if (num_threads <= 1 || n <= 1) {
+    for (std::size_t f = 0; f < n; ++f) check_one(f);
+  } else {
+    util::ThreadPool pool(std::min<std::size_t>(num_threads, n));
+    pool.for_each_index(n, check_one);
+  }
+  for (auto& fv : flow_violations)
+    for (auto& v : fv) verdict.violations.push_back(std::move(v));
+
+  std::stable_sort(verdict.violations.begin(), verdict.violations.end(),
+                   [](const TraceViolation& a, const TraceViolation& b) {
+                     return a.event_index < b.event_index;
+                   });
+  verdict.ok = verdict.violations.empty();
+  if (verdict.violations.size() > options.max_violations)
+    verdict.violations.resize(options.max_violations);
+  return verdict;
+}
+
+// --- golden cases ---------------------------------------------------------
+
+std::vector<GoldenTraceSpec> golden_trace_specs() {
+  // All seeds derive from trial_seed over a fixed seed0, one "size index"
+  // per scheme — regeneration (tools/trace_check --gen) is deterministic.
+  constexpr std::uint64_t kSeed0 = 2026;
+  std::vector<GoldenTraceSpec> specs;
+
+  {
+    GoldenTraceSpec s;
+    s.name = "scheme_a";
+    s.scheme = SlotScheme::kSchemeA;
+    s.params.n = 192;
+    s.params.alpha = 0.3;
+    s.params.with_bs = false;
+    s.params.M = 1.0;
+    s.placement = net::BsPlacement::kUniform;
+    s.slots = 600;
+    s.warmup = 120;
+    specs.push_back(s);
+  }
+  {
+    GoldenTraceSpec s;
+    s.name = "two_hop";
+    s.scheme = SlotScheme::kTwoHop;
+    s.params.n = 128;
+    s.params.alpha = 0.0;  // full mixing
+    s.params.with_bs = false;
+    s.params.M = 1.0;
+    s.placement = net::BsPlacement::kUniform;
+    s.slots = 600;
+    s.warmup = 120;
+    specs.push_back(s);
+  }
+  {
+    GoldenTraceSpec s;
+    s.name = "scheme_b";
+    s.scheme = SlotScheme::kSchemeB;
+    s.params.n = 256;
+    s.params.alpha = 0.35;
+    s.params.with_bs = true;
+    s.params.K = 0.75;
+    s.params.M = 1.0;
+    s.params.phi = 0.0;
+    s.placement = net::BsPlacement::kClusteredMatched;
+    s.slots = 800;
+    s.warmup = 160;
+    specs.push_back(s);
+  }
+  {
+    GoldenTraceSpec s;
+    s.name = "scheme_c";
+    s.scheme = SlotScheme::kSchemeC;
+    s.params.n = 256;
+    s.params.alpha = 0.75;  // trivial regime (see DESIGN.md)
+    s.params.with_bs = true;
+    s.params.K = 0.6;
+    s.params.M = 0.2;
+    s.params.R = 0.3;
+    s.params.phi = 0.0;
+    s.placement = net::BsPlacement::kClusterGrid;
+    s.slots = 800;
+    s.warmup = 160;
+    specs.push_back(s);
+  }
+
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    specs[i].net_seed = trial_seed(kSeed0, i, 0);
+    specs[i].traffic_seed = trial_seed(kSeed0, i, 1);
+    specs[i].sim_seed = trial_seed(kSeed0, i, 2);
+  }
+  return specs;
+}
+
+Trace capture_trace(const GoldenTraceSpec& spec) {
+  const auto net =
+      net::Network::build(spec.params, mobility::ShapeKind::kUniformDisk,
+                          spec.placement, spec.net_seed);
+  rng::Xoshiro256 g(spec.traffic_seed);
+  const auto dest = net::permutation_traffic(spec.params.n, g);
+  Trace trace;
+  SlotSimOptions opt;
+  opt.scheme = spec.scheme;
+  opt.slots = spec.slots;
+  opt.warmup = spec.warmup;
+  opt.seed = spec.sim_seed;
+  opt.trace = &trace;
+  run_slot_sim(net, dest, opt);
+  return trace;
+}
+
+}  // namespace manetcap::sim

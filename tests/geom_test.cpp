@@ -269,8 +269,48 @@ TEST(SpatialHash, NearestHonorsExclusion) {
 TEST(SpatialHash, EmptyIndexReportsSentinel) {
   SpatialHash hash(0.1);
   hash.build({});
-  EXPECT_EQ(hash.nearest({0.5, 0.5}, 0), 0u);  // size() == 0 sentinel
+  // The old contract returned 0 here — an in-band id a caller could index
+  // with. kNone is out-of-band by construction.
+  EXPECT_EQ(hash.nearest({0.5, 0.5}, 0), SpatialHash::kNone);
+  EXPECT_EQ(hash.nearest({0.5, 0.5}), SpatialHash::kNone);
   EXPECT_EQ(hash.count_in_disk({0.5, 0.5}, 0.3), 0u);
+}
+
+TEST(SpatialHash, AllCandidatesExcludedReportsSentinel) {
+  // A single indexed point that is also the exclusion: the old contract
+  // returned points_.size() (= 1), which is an indexable id in any array
+  // sized like the candidate set plus one appended probe.
+  std::vector<Point> pts = {{0.25, 0.75}};
+  SpatialHash hash(0.1, pts.size());
+  hash.build(pts);
+  EXPECT_EQ(hash.nearest({0.5, 0.5}, 0), SpatialHash::kNone);
+  EXPECT_EQ(hash.nearest({0.5, 0.5}, SpatialHash::kNone), 0u);
+}
+
+TEST(SpatialHash, NearestMatchesBruteForceOnClusteredPoints) {
+  // The ring search must agree with brute force even when points are
+  // clustered far from the probe (many empty rings before the first hit)
+  // and when the best candidate sits just outside the first occupied ring.
+  std::vector<Point> pts;
+  for (int i = 0; i < 40; ++i)
+    pts.push_back({0.8 + 0.01 * (i % 7), 0.1 + 0.013 * (i % 5)});
+  pts.push_back({0.79, 0.12});
+  SpatialHash hash(0.05, pts.size());
+  hash.build(pts);
+  const std::vector<Point> probes = {{0.1, 0.9}, {0.5, 0.5}, {0.81, 0.11},
+                                     {0.99, 0.99}, {0.0, 0.0}};
+  for (const Point& probe : probes) {
+    std::uint32_t want = 0;
+    double best = 1e9;
+    for (std::uint32_t i = 0; i < pts.size(); ++i) {
+      const double d = torus_dist(probe, pts[i]);
+      if (d < best) {
+        best = d;
+        want = i;
+      }
+    }
+    EXPECT_EQ(hash.nearest(probe), want);
+  }
 }
 
 TEST(SpatialHash, FullTorusRadiusSeesEveryPoint) {
