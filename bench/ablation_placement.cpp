@@ -31,18 +31,19 @@ int main() {
   for (auto placement :
        {net::BsPlacement::kClusteredMatched, net::BsPlacement::kUniform,
         net::BsPlacement::kRegularGrid}) {
-    sim::Evaluator eval = [placement](const net::ScalingParams& p,
-                                      std::uint64_t seed) {
+    sim::SweepEvaluator eval = [placement](const sim::EvalContext& ctx) {
       auto net = net::Network::build(
-          p, mobility::ShapeKind::kUniformDisk, placement, seed);
-      rng::Xoshiro256 g(seed ^ 0x5bd1e995u);
-      auto dest = net::permutation_traffic(p.n, g);
+          ctx.params, mobility::ShapeKind::kUniformDisk, placement, ctx.seed);
+      rng::Xoshiro256 g(ctx.seed ^ 0x5bd1e995u);
+      auto dest = net::permutation_traffic(ctx.params.n, g);
       routing::SchemeB b;
       // Typical-MS capacity: the strict min over MSs is an extreme-value
       // statistic whose noise would drown the placement comparison.
       return b.evaluate(net, dest).lambda_symmetric;
     };
-    auto sweep = sim::run_sweep(base, sizes, 3, eval, 41);
+    sim::SweepOptions sopt;
+    sopt.seed0 = 41;
+    auto sweep = sim::run_sweep(base, sizes, 3, eval, sopt);
     first_lambdas.push_back(sweep.points.front().lambda_gm);
     t.add_row({to_string(placement),
                util::fmt_sci(sweep.points.front().lambda_gm, 3),

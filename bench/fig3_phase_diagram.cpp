@@ -79,14 +79,15 @@ int main(int argc, char** argv) {
     p.M = 1.0;
     p.phi = s.phi;
 
-    sim::Evaluator eval = [](const net::ScalingParams& pp,
-                             std::uint64_t seed) {
+    sim::SweepEvaluator eval = [](const sim::EvalContext& ctx) {
       sim::FluidOptions opt;
-      opt.seed = seed;
+      opt.seed = ctx.seed;
       opt.force = sim::FluidOptions::ForceScheme::kA;
-      const double la = sim::evaluate_capacity(pp, opt).lambda_symmetric;
+      const double la =
+          sim::evaluate_capacity(ctx.params, opt).lambda_symmetric;
       opt.force = sim::FluidOptions::ForceScheme::kB;
-      const double lb = sim::evaluate_capacity(pp, opt).lambda_symmetric;
+      const double lb =
+          sim::evaluate_capacity(ctx.params, opt).lambda_symmetric;
       return std::max(la, lb);
     };
     const auto sweep_sizes = sim::geometric_sizes(2048, 2.0, 4);

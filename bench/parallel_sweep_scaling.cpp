@@ -49,10 +49,10 @@ int main(int argc, char** argv) {
   p.M = 1.0;
   p.phi = 0.0;
 
-  sim::Evaluator eval = [](const net::ScalingParams& pp, std::uint64_t seed) {
+  sim::SweepEvaluator eval = [](const sim::EvalContext& ctx) {
     sim::FluidOptions opt;
-    opt.seed = seed;
-    return sim::evaluate_capacity(pp, opt).lambda_symmetric;
+    opt.seed = ctx.seed;
+    return sim::evaluate_capacity(ctx.params, opt).lambda_symmetric;
   };
   const auto sizes = sim::geometric_sizes(2048, 2.0, 4);  // 2048 .. 16384
   const std::size_t trials = 4;

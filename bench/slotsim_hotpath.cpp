@@ -1,0 +1,180 @@
+// Hot-path overhaul benchmark: the SoA slot simulator (run_slot_sim)
+// against the frozen pre-overhaul reference (run_slot_sim_reference) on
+// identical inputs. Reports wall-clock and slots/sec for both, verifies
+// the two results are identical, writes a CSV artifact, and with --check
+// gates on the speedup ratio against a checked-in baseline.
+//
+// The gate compares the *ratio* new/reference, not absolute slots/sec:
+// both implementations run back-to-back in one process on the same
+// hardware, so the ratio is stable across machines where raw throughput
+// is not. A >25% drop of the measured ratio below the baseline ratio
+// fails the run (exit 1) — that is the CI perf-smoke contract.
+//
+// Flags:
+//   --scheme A|B|C|twohop  routing scheme            (default B)
+//   --n N                  mobile-station count      (default 2000)
+//   --slots S              simulated slots           (default 4000)
+//   --smoke                pinned small case: scheme B, n=2000, 800 slots
+//   --check                gate against the baseline; exit 1 on regression
+//   --baseline PATH        baseline CSV
+//                          (default bench/slotsim_hotpath_baseline.csv)
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "net/network.h"
+#include "net/traffic.h"
+#include "rng/rng.h"
+#include "sim/slotsim.h"
+#include "sim/slotsim_reference.h"
+#include "util/artifacts.h"
+#include "util/csv.h"
+#include "util/flags.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace {
+using namespace manetcap;
+
+sim::SlotScheme scheme_from(const std::string& s) {
+  if (s == "A") return sim::SlotScheme::kSchemeA;
+  if (s == "B") return sim::SlotScheme::kSchemeB;
+  if (s == "C") return sim::SlotScheme::kSchemeC;
+  if (s == "twohop") return sim::SlotScheme::kTwoHop;
+  throw std::runtime_error("unknown scheme: " + s);
+}
+
+bool bits_equal(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+bool identical(const sim::SlotSimResult& a, const sim::SlotSimResult& b) {
+  return bits_equal(a.mean_flow_rate, b.mean_flow_rate) &&
+         bits_equal(a.min_flow_rate, b.min_flow_rate) &&
+         bits_equal(a.p10_flow_rate, b.p10_flow_rate) &&
+         bits_equal(a.pairs_per_slot, b.pairs_per_slot) &&
+         bits_equal(a.mean_delay, b.mean_delay) &&
+         bits_equal(a.p95_delay, b.p95_delay) &&
+         a.total_delivered == b.total_delivered &&
+         a.measured_slots == b.measured_slots && a.injected == b.injected &&
+         a.delivered_lifetime == b.delivered_lifetime &&
+         a.queued_end == b.queued_end && a.dropped == b.dropped;
+}
+
+/// Reads the baseline speedup for `case_name` from a CSV with columns
+/// case,scheme,n,slots,speedup. Returns 0 when the case is absent.
+double baseline_speedup(const std::string& path, const std::string& case_name) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open baseline: " + path);
+  std::string line;
+  std::getline(in, line);  // header
+  while (std::getline(in, line)) {
+    std::istringstream row(line);
+    std::string field;
+    std::vector<std::string> fields;
+    while (std::getline(row, field, ',')) fields.push_back(field);
+    if (fields.size() >= 5 && fields[0] == case_name)
+      return std::stod(fields[4]);
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Flags flags(
+      argc, argv, {"scheme", "n", "slots", "smoke", "check", "baseline"});
+  const bool smoke = flags.get_bool("smoke", false);
+  const std::string case_name = smoke ? "smoke" : "full";
+
+  net::ScalingParams p;
+  p.n = static_cast<std::size_t>(flags.get_int("n", 2000));
+  p.alpha = 0.35;
+  p.with_bs = true;
+  p.K = 0.7;
+  p.M = 1.0;
+
+  sim::SlotSimOptions opt;
+  opt.scheme = scheme_from(flags.get_string("scheme", "B"));
+  opt.slots = static_cast<std::size_t>(flags.get_int("slots",
+                                                     smoke ? 800 : 4000));
+  opt.warmup = opt.slots / 10;
+  opt.seed = 1;
+
+  auto placement = opt.scheme == sim::SlotScheme::kSchemeC && !p.cluster_free()
+                       ? net::BsPlacement::kClusterGrid
+                       : net::BsPlacement::kClusteredMatched;
+  auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
+                                 placement, opt.seed);
+  rng::Xoshiro256 g(opt.seed ^ 0x1234567ULL);
+  auto dest = net::permutation_traffic(p.n, g);
+
+  std::cout << "=== slot-simulator hot path: SoA rewrite vs reference ===\n"
+            << "case " << case_name << ": scheme "
+            << to_string(opt.scheme) << ", n = " << p.n << ", "
+            << opt.slots << " slots (seed 1)\n\n";
+
+  util::Stopwatch sw;
+  const auto ref = sim::run_slot_sim_reference(net, dest, opt);
+  const double t_ref = sw.seconds();
+  sw.reset();
+  const auto soa = sim::run_slot_sim(net, dest, opt);
+  const double t_soa = sw.seconds();
+
+  const double sps_ref = static_cast<double>(opt.slots) / t_ref;
+  const double sps_soa = static_cast<double>(opt.slots) / t_soa;
+  const double speedup = sps_soa / sps_ref;
+
+  util::Table t({"impl", "wall-clock [s]", "slots/sec", "speedup",
+                 "identical"});
+  t.add_row({"reference", util::fmt_double(t_ref, 3),
+             std::to_string(std::llround(sps_ref)), "1.00", "-"});
+  t.add_row({"SoA", util::fmt_double(t_soa, 3),
+             std::to_string(std::llround(sps_soa)),
+             util::fmt_double(speedup, 3),
+             identical(ref, soa) ? "yes" : "NO (BUG)"});
+  t.print(std::cout);
+
+  util::CsvWriter csv(util::artifact_path("slotsim_hotpath"),
+                      {"case", "scheme", "n", "slots", "impl", "wall_s",
+                       "slots_per_sec", "speedup_vs_reference"});
+  csv.add_row({case_name, to_string(opt.scheme), std::to_string(p.n),
+               std::to_string(opt.slots), "reference",
+               util::fmt_double(t_ref, 4),
+               std::to_string(std::llround(sps_ref)), "1.00"});
+  csv.add_row({case_name, to_string(opt.scheme), std::to_string(p.n),
+               std::to_string(opt.slots), "soa", util::fmt_double(t_soa, 4),
+               std::to_string(std::llround(sps_soa)),
+               util::fmt_double(speedup, 3)});
+
+  if (!identical(ref, soa)) {
+    std::cerr << "\nERROR: SoA simulator diverged from the reference\n";
+    return 1;
+  }
+
+  if (flags.get_bool("check", false)) {
+    const std::string path = flags.get_string(
+        "baseline", "bench/slotsim_hotpath_baseline.csv");
+    const double want = baseline_speedup(path, case_name);
+    if (want <= 0.0) {
+      std::cerr << "\nERROR: no baseline row for case '" << case_name
+                << "' in " << path << "\n";
+      return 1;
+    }
+    const double floor = 0.75 * want;
+    std::cout << "\nperf gate: measured speedup "
+              << util::fmt_double(speedup, 2) << "x vs baseline "
+              << util::fmt_double(want, 2) << "x (floor "
+              << util::fmt_double(floor, 2) << "x, 25% regression budget): "
+              << (speedup >= floor ? "OK" : "REGRESSION") << "\n";
+    if (speedup < floor) {
+      std::cerr << "ERROR: hot-path speedup regressed by more than 25%\n";
+      return 1;
+    }
+  }
+  return 0;
+}

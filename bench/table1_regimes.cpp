@@ -130,9 +130,10 @@ int main(int argc, char** argv) {
     std::vector<StrictSample> strict_samples;
     const bool clustered_no_bs = !row.params.with_bs &&
                                  row.params.M < 1.0;
-    sim::Evaluator eval = [&row, &strict_mu, &strict_samples,
-                           clustered_no_bs](const net::ScalingParams& p,
-                                            std::uint64_t seed) {
+    sim::SweepEvaluator eval = [&row, &strict_mu, &strict_samples,
+                                clustered_no_bs](const sim::EvalContext& ctx) {
+      const net::ScalingParams& p = ctx.params;
+      const std::uint64_t seed = ctx.seed;
       double strict_lambda = 0.0, symmetric = 0.0;
       if (clustered_no_bs) {
         // Direct static-multihop evaluation with tight range constants —

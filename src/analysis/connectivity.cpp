@@ -28,7 +28,7 @@ std::size_t bfs_components(const std::vector<geom::Point>& points,
     while (!stack.empty()) {
       const std::uint32_t u = stack.back();
       stack.pop_back();
-      hash.for_each_in_disk(points[u], range, [&](std::uint32_t v) {
+      hash.visit_disk(points[u], range, [&](std::uint32_t v) {
         if (!visited[v]) {
           visited[v] = true;
           stack.push_back(v);

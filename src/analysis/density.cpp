@@ -49,7 +49,7 @@ DensityField compute_density_field(const std::vector<geom::Point>& ms_home,
       double rho = 0.0;
       // Mobile stations: probability mass of φ_i on the probe disk,
       // φ_i(X) = f²·s(f·‖X − X_i^h‖)/S₀ evaluated at the probe center.
-      ms_hash.for_each_in_disk(probe, reach, [&](std::uint32_t i) {
+      ms_hash.visit_disk(probe, reach, [&](std::uint32_t i) {
         const double d = geom::torus_dist(probe, ms_home[i]);
         rho += disk * f * f * shape.density(f * d) / s0;
       });

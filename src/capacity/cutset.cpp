@@ -46,7 +46,7 @@ CutBound evaluate_strip_cut(const net::Network& net,
   hash.build(home);
   for (std::uint32_t i = 0; i < n; ++i) {
     if (!ms_in[i]) continue;
-    hash.for_each_in_disk(home[i], contact, [&](std::uint32_t j) {
+    hash.visit_disk(home[i], contact, [&](std::uint32_t j) {
       if (ms_in[j]) return;
       cut.wireless_capacity +=
           mu.mu_ms_ms(geom::torus_dist(home[i], home[j]));
@@ -60,7 +60,7 @@ CutBound evaluate_strip_cut(const net::Network& net,
     bs_hash.build(bs);
     for (std::uint32_t i = 0; i < n; ++i) {
       const bool inside = ms_in[i];
-      bs_hash.for_each_in_disk(home[i], bs_contact, [&](std::uint32_t l) {
+      bs_hash.visit_disk(home[i], bs_contact, [&](std::uint32_t l) {
         if (in_band(bs[l], x0) != inside)
           cut.access_capacity +=
               mu.mu_ms_bs(geom::torus_dist(home[i], bs[l]));
@@ -101,7 +101,7 @@ HopCountBound hop_count_bound(const net::Network& net,
   geom::SpatialHash hash(std::max(contact, 1e-4), n);
   hash.build(home);
   for (std::uint32_t i = 0; i < n; ++i) {
-    hash.for_each_in_disk(home[i], contact, [&](std::uint32_t j) {
+    hash.visit_disk(home[i], contact, [&](std::uint32_t j) {
       if (j == i) return;
       bound.total_budget +=
           mu.mu_ms_ms(geom::torus_dist(home[i], home[j])) / 2.0;

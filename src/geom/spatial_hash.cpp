@@ -23,73 +23,79 @@ SpatialHash::SpatialHash(double radius_hint, std::size_t expected_points) {
 
 void SpatialHash::build(const std::vector<Point>& points) {
   points_ = points;
+  incremental_ = false;
   const std::size_t nb = static_cast<std::size_t>(g_) * g_;
   bucket_start_.assign(nb + 1, 0);
   ids_.resize(points_.size());
 
-  // Counting sort into buckets (CSR).
-  for (const Point& p : points_) {
-    int b = bucket_index(bucket_coord(p.x), bucket_coord(p.y));
-    ++bucket_start_[b + 1];
-  }
+  // Counting sort into buckets (CSR). The sort is stable, so ids within a
+  // bucket come out ascending — the iteration order to_incremental() and
+  // every query preserves.
+  for (const Point& p : points_) ++bucket_start_[bucket_of(p) + 1];
   for (std::size_t b = 0; b < nb; ++b) bucket_start_[b + 1] += bucket_start_[b];
   std::vector<std::uint32_t> cursor(bucket_start_.begin(),
                                     bucket_start_.end() - 1);
-  for (std::uint32_t id = 0; id < points_.size(); ++id) {
-    const Point& p = points_[id];
-    int b = bucket_index(bucket_coord(p.x), bucket_coord(p.y));
-    ids_[cursor[b]++] = id;
+  for (std::uint32_t id = 0; id < points_.size(); ++id)
+    ids_[cursor[bucket_of(points_[id])]++] = id;
+}
+
+void SpatialHash::to_incremental() {
+  const std::size_t nb = static_cast<std::size_t>(g_) * g_;
+  head_.assign(nb, kNone);
+  next_.assign(points_.size(), kNone);
+  prev_.assign(points_.size(), kNone);
+  // Walk each CSR run back-to-front, pushing to the bucket head: the chain
+  // then iterates in exactly the CSR (ascending-id) order.
+  for (std::size_t b = 0; b < nb; ++b) {
+    for (std::uint32_t k = bucket_start_[b + 1]; k-- > bucket_start_[b];) {
+      const std::uint32_t id = ids_[k];
+      next_[id] = head_[b];
+      prev_[id] = kNone;
+      if (head_[b] != kNone) prev_[head_[b]] = id;
+      head_[b] = id;
+    }
   }
+  incremental_ = true;
 }
 
-int SpatialHash::bucket_coord(double v) const {
-  int c = static_cast<int>(v * g_);
-  return std::min(c, g_ - 1);
-}
+void SpatialHash::move(std::uint32_t id, Point old_pos, Point new_pos) {
+  MANETCAP_DCHECK(id < points_.size());
+  if (!incremental_) to_incremental();
+  const int ob = bucket_of(old_pos);
+  MANETCAP_DCHECK(ob == bucket_of(points_[id]));
+  points_[id] = new_pos;
+  const int nb = bucket_of(new_pos);
+  if (ob == nb) return;  // same bucket: position update only
 
-int SpatialHash::bucket_index(int bx, int by) const {
-  auto m = [this](int v) {
-    int w = v % g_;
-    return w < 0 ? w + g_ : w;
-  };
-  return m(by) * g_ + m(bx);
+  // Unlink from the old bucket's chain…
+  if (prev_[id] != kNone)
+    next_[prev_[id]] = next_[id];
+  else
+    head_[ob] = next_[id];
+  if (next_[id] != kNone) prev_[next_[id]] = prev_[id];
+  // …and push-front into the new bucket's.
+  next_[id] = head_[nb];
+  prev_[id] = kNone;
+  if (head_[nb] != kNone) prev_[head_[nb]] = id;
+  head_[nb] = id;
 }
 
 void SpatialHash::for_each_in_disk(
     Point center, double r,
     const std::function<void(std::uint32_t)>& fn) const {
-  MANETCAP_CHECK(r >= 0.0);
-  const double r2 = r * r;
-  // Covering bucket range (torus-wrapped). When r spans the whole torus the
-  // range collapses to a single full sweep.
-  int span = static_cast<int>(std::ceil(r * g_)) + 1;
-  span = std::min(span, g_ / 2 + 1);
-  const int cx = bucket_coord(center.x);
-  const int cy = bucket_coord(center.y);
-
-  // Avoid visiting a wrapped bucket twice when 2·span+1 ≥ g_.
-  const int lo = -span, hi = (2 * span + 1 >= g_) ? g_ - 1 - span : span;
-  for (int dy = lo; dy <= hi; ++dy) {
-    for (int dx = lo; dx <= hi; ++dx) {
-      int b = bucket_index(cx + dx, cy + dy);
-      for (std::uint32_t k = bucket_start_[b]; k < bucket_start_[b + 1]; ++k) {
-        std::uint32_t id = ids_[k];
-        if (torus_dist2(center, points_[id]) <= r2) fn(id);
-      }
-    }
-  }
+  visit_disk(center, r, fn);
 }
 
 std::vector<std::uint32_t> SpatialHash::query_disk(Point center,
                                                    double r) const {
   std::vector<std::uint32_t> out;
-  for_each_in_disk(center, r, [&out](std::uint32_t id) { out.push_back(id); });
+  visit_disk(center, r, [&out](std::uint32_t id) { out.push_back(id); });
   return out;
 }
 
 std::size_t SpatialHash::count_in_disk(Point center, double r) const {
   std::size_t n = 0;
-  for_each_in_disk(center, r, [&n](std::uint32_t) { ++n; });
+  visit_disk(center, r, [&n](std::uint32_t) { ++n; });
   return n;
 }
 
@@ -102,16 +108,14 @@ std::uint32_t SpatialHash::nearest(Point center, std::uint32_t exclude) const {
   const double side = 1.0 / g_;
 
   auto visit = [&](int bx, int by) {
-    const int b = bucket_index(bx, by);
-    for (std::uint32_t k = bucket_start_[b]; k < bucket_start_[b + 1]; ++k) {
-      const std::uint32_t id = ids_[k];
-      if (id == exclude) continue;
+    visit_bucket(bx, by, [&](std::uint32_t id) {
+      if (id == exclude) return;
       const double d2 = torus_dist2(center, points_[id]);
       if (d2 < best2) {
         best2 = d2;
         best = id;
       }
-    }
+    });
   };
 
   // Expanding square rings of buckets, each bucket visited exactly once

@@ -8,12 +8,26 @@
 #include <vector>
 
 #include "geom/point.h"
+#include "util/check.h"
 
 namespace manetcap::geom {
 
 /// Buckets point ids into a g×g grid (g chosen from a query-radius hint) and
 /// answers "all ids within distance r of X" by scanning the covering
-/// buckets. Rebuild per time slot; queries never allocate.
+/// buckets. Queries never allocate.
+///
+/// Two maintenance modes share one query path:
+///  * snapshot — build() counting-sorts every point into a CSR layout
+///    (contiguous per-bucket id runs, ids ascending within a bucket);
+///  * incremental — the first move() converts the CSR runs into intrusive
+///    per-bucket lists; further moves rebucket only ids that crossed a
+///    bucket boundary (O(1) each). Under restricted mobility most nodes
+///    stay inside their bucket per slot, so a full per-slot rebuild
+///    becomes a handful of pointer swaps.
+/// The conversion reproduces the CSR iteration order exactly; after a
+/// move, within-bucket order for moved ids is unspecified (disk queries
+/// whose callers are order-insensitive — S* lone-neighbor counting — are
+/// unaffected; tie-breaking in nearest() may differ from a fresh build()).
 class SpatialHash {
  public:
   /// Sentinel returned by nearest() when no candidate exists (empty index
@@ -28,13 +42,60 @@ class SpatialHash {
   explicit SpatialHash(double radius_hint, std::size_t expected_points = 0);
 
   /// Replaces the indexed set with `points`; ids are indices into `points`.
+  /// Always (re)enters snapshot mode.
   void build(const std::vector<Point>& points);
+
+  /// Re-registers point `id` at `new_pos`. `old_pos` must be the position
+  /// the id is currently indexed under (checked in debug builds); the id is
+  /// rebucketed only when the two positions fall in different buckets.
+  /// The first call converts the index to incremental mode.
+  void move(std::uint32_t id, Point old_pos, Point new_pos);
 
   std::size_t size() const { return points_.size(); }
   const Point& point(std::uint32_t id) const { return points_[id]; }
 
   /// Invokes `fn(id)` for every indexed point with torus_dist(X, point) ≤ r.
   /// The center itself is reported if indexed (callers filter self-matches).
+  /// Template form: the callback inlines, so the hot S* scan pays no
+  /// std::function dispatch per candidate.
+  template <class Fn>
+  void visit_disk(Point center, double r, Fn&& fn) const {
+    MANETCAP_CHECK(r >= 0.0);
+    const double r2 = r * r;
+    // Covering bucket range (torus-wrapped). A center in bucket cx has
+    // x < (cx+1)/g, so every point within distance r lies within
+    // ceil(r·g) buckets per axis — the covering needs no extra ring.
+    // When r spans the whole torus the range collapses to a full sweep.
+    int span = static_cast<int>(std::ceil(r * g_));
+    span = std::min(span, g_ / 2 + 1);
+    const int cx = bucket_coord(center.x);
+    const int cy = bucket_coord(center.y);
+
+    // Avoid visiting a wrapped bucket twice when 2·span+1 ≥ g_.
+    const int lo = -span, hi = (2 * span + 1 >= g_) ? g_ - 1 - span : span;
+    auto wrap = [this](int v) {
+      int w = v % g_;
+      return w < 0 ? w + g_ : w;
+    };
+    for (int dy = lo; dy <= hi; ++dy) {
+      const int row = wrap(cy + dy) * g_;
+      for (int dx = lo; dx <= hi; ++dx) {
+        const int b = row + wrap(cx + dx);
+        if (incremental_) {
+          for (std::uint32_t id = head_[b]; id != kNone; id = next_[id])
+            if (torus_dist2(center, points_[id]) <= r2) fn(id);
+        } else {
+          for (std::uint32_t k = bucket_start_[b]; k < bucket_start_[b + 1];
+               ++k) {
+            const std::uint32_t id = ids_[k];
+            if (torus_dist2(center, points_[id]) <= r2) fn(id);
+          }
+        }
+      }
+    }
+  }
+
+  /// Type-erased convenience wrapper over visit_disk.
   void for_each_in_disk(Point center, double r,
                         const std::function<void(std::uint32_t)>& fn) const;
 
@@ -50,14 +111,48 @@ class SpatialHash {
   std::uint32_t nearest(Point center, std::uint32_t exclude = kNone) const;
 
  private:
-  int bucket_coord(double v) const;
-  int bucket_index(int bx, int by) const;
+  int bucket_coord(double v) const {
+    int c = static_cast<int>(v * g_);
+    return std::min(c, g_ - 1);
+  }
+  int bucket_index(int bx, int by) const {
+    auto m = [this](int v) {
+      int w = v % g_;
+      return w < 0 ? w + g_ : w;
+    };
+    return m(by) * g_ + m(bx);
+  }
+  int bucket_of(Point p) const {
+    return bucket_index(bucket_coord(p.x), bucket_coord(p.y));
+  }
+
+  /// Converts the CSR runs into per-bucket intrusive lists, preserving the
+  /// within-bucket iteration order at the moment of conversion.
+  void to_incremental();
+
+  template <class Fn>
+  void visit_bucket(int bx, int by, Fn&& fn) const {
+    const int b = bucket_index(bx, by);
+    if (incremental_) {
+      for (std::uint32_t id = head_[b]; id != kNone; id = next_[id]) fn(id);
+    } else {
+      for (std::uint32_t k = bucket_start_[b]; k < bucket_start_[b + 1]; ++k)
+        fn(ids_[k]);
+    }
+  }
 
   int g_;  // buckets per side
   std::vector<Point> points_;
-  // CSR layout: bucket_start_[b]..bucket_start_[b+1] indexes into ids_.
+  // Snapshot (CSR) layout: bucket_start_[b]..bucket_start_[b+1] indexes
+  // into ids_. Valid while !incremental_.
   std::vector<std::uint32_t> bucket_start_;
   std::vector<std::uint32_t> ids_;
+  // Incremental layout: doubly-linked id list per bucket. Valid while
+  // incremental_.
+  bool incremental_ = false;
+  std::vector<std::uint32_t> head_;  // per bucket, kNone-terminated
+  std::vector<std::uint32_t> next_;  // per id
+  std::vector<std::uint32_t> prev_;  // per id
 };
 
 }  // namespace manetcap::geom

@@ -78,7 +78,7 @@ MulticastResult MulticastSchemeA::evaluate(
   geom::SpatialHash hash(std::max(contact, 1e-4), n);
   hash.build(home);
   for (std::uint32_t i = 0; i < n; ++i) {
-    hash.for_each_in_disk(home[i], contact, [&](std::uint32_t j) {
+    hash.visit_disk(home[i], contact, [&](std::uint32_t j) {
       if (j <= i) return;
       const double m = mu.mu_ms_ms(geom::torus_dist(home[i], home[j]));
       if (m <= 0.0) return;
@@ -171,7 +171,7 @@ MulticastResult MulticastSchemeB::evaluate(
   // Access rates µ_i^A (Lemma 9 substrate).
   std::vector<double> access(n, 0.0);
   for (std::uint32_t i = 0; i < n; ++i) {
-    bs_hash.for_each_in_disk(home[i], contact, [&](std::uint32_t l) {
+    bs_hash.visit_disk(home[i], contact, [&](std::uint32_t l) {
       access[i] += mu.mu_ms_bs(geom::torus_dist(home[i], bs[l]));
     });
   }

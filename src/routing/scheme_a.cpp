@@ -80,7 +80,7 @@ SchemeAResult SchemeA::evaluate(const net::Network& net,
   geom::SpatialHash hash(std::max(contact, 1e-4), n);
   hash.build(home);
   for (std::uint32_t i = 0; i < n; ++i) {
-    hash.for_each_in_disk(home[i], contact, [&](std::uint32_t j) {
+    hash.visit_disk(home[i], contact, [&](std::uint32_t j) {
       if (j <= i) return;
       const double m =
           bandwidth_share * mu.mu_ms_ms(geom::torus_dist(home[i], home[j]));

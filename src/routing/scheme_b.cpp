@@ -77,7 +77,7 @@ SchemeBResult SchemeB::evaluate(const net::Network& net,
   std::vector<std::vector<std::pair<std::uint32_t, double>>> reach(n);
   for (std::uint32_t i = 0; i < n; ++i) {
     double best = 0.0;
-    bs_hash.for_each_in_disk(home[i], contact, [&](std::uint32_t l) {
+    bs_hash.visit_disk(home[i], contact, [&](std::uint32_t l) {
       const double m = bandwidth_share *
                        mu.mu_ms_bs(geom::torus_dist(home[i], bs[l]));
       if (m <= 0.0) return;

@@ -91,7 +91,7 @@ SchemeCResult SchemeC::evaluate(const net::Network& net,
     if (cell_pop[a] == 0.0) continue;
     std::size_t degree = 0;
     const double scan = cell_radius[a] + (1.0 + delta_) * max_reach;
-    bs_hash.for_each_in_disk(bs[a], scan, [&](std::uint32_t b) {
+    bs_hash.visit_disk(bs[a], scan, [&](std::uint32_t b) {
       if (b == a || cell_pop[b] == 0.0) return;
       const double d = geom::torus_dist(bs[a], bs[b]);
       if (d < cell_radius[a] + (1.0 + delta_) * cell_radius[b] ||

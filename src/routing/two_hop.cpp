@@ -25,7 +25,7 @@ TwoHopResult TwoHopRelay::evaluate(
   // most one pair at a time, so this caps both injection and drain rates.
   std::vector<double> airtime(n, 0.0);
   for (std::uint32_t i = 0; i < n; ++i) {
-    hash.for_each_in_disk(home[i], contact, [&](std::uint32_t j) {
+    hash.visit_disk(home[i], contact, [&](std::uint32_t j) {
       if (j == i) return;
       airtime[i] += mu.mu_ms_ms(geom::torus_dist(home[i], home[j]));
     });
@@ -45,7 +45,7 @@ TwoHopResult TwoHopRelay::evaluate(
     std::size_t pool = 0;
     // Direct source→destination contact also counts (one-hop delivery).
     pool_cap += mu.mu_ms_ms(geom::torus_dist(home[s], home[d]));
-    hash.for_each_in_disk(home[s], contact, [&](std::uint32_t j) {
+    hash.visit_disk(home[s], contact, [&](std::uint32_t j) {
       if (j == s || j == d) return;
       const double m_sj = mu.mu_ms_ms(geom::torus_dist(home[s], home[j]));
       if (m_sj <= 0.0) return;

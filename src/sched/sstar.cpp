@@ -1,6 +1,7 @@
 #include "sched/sstar.h"
 
 #include <cmath>
+#include <utility>
 
 #include "util/check.h"
 
@@ -28,19 +29,30 @@ std::vector<phy::Transmission> SStarScheduler::feasible_pairs(
 std::vector<phy::Transmission> SStarScheduler::feasible_pairs(
     const std::vector<geom::Point>& pos, const geom::SpatialHash& hash,
     ScheduleStats* stats) const {
+  Workspace ws;
+  feasible_pairs_into(pos, hash, ws, stats);
+  return std::move(ws.pairs);
+}
+
+const std::vector<phy::Transmission>& SStarScheduler::feasible_pairs_into(
+    const std::vector<geom::Point>& pos, const geom::SpatialHash& hash,
+    Workspace& ws, ScheduleStats* stats) const {
   const std::size_t n = pos.size();
   const double rt = range_for(n);
   const double rt2 = rt * rt;
   const double guard = (1.0 + delta_) * rt;
 
-  // lone_neighbor[i] = j when the guard disk around i contains exactly the
-  // single other node j; n when it contains zero or ≥2 others.
+  // lone[i] = j when the guard disk around i contains exactly the single
+  // other node j; kNone when it contains zero or ≥2 others. (The value for
+  // the ≥2 case is whatever candidate was seen last — the count filter
+  // makes it irrelevant, so the scan never needs an early exit.)
   constexpr std::uint32_t kNone = ~std::uint32_t{0};
-  std::vector<std::uint32_t> lone(n, kNone);
+  ws.lone.assign(n, kNone);
+  std::uint32_t* lone = ws.lone.data();
   for (std::uint32_t i = 0; i < n; ++i) {
     std::uint32_t found = kNone;
     int count = 0;
-    hash.for_each_in_disk(pos[i], guard, [&](std::uint32_t id) {
+    hash.visit_disk(pos[i], guard, [&](std::uint32_t id) {
       if (id == i) return;
       ++count;
       found = id;
@@ -48,7 +60,7 @@ std::vector<phy::Transmission> SStarScheduler::feasible_pairs(
     if (count == 1) lone[i] = found;
   }
 
-  std::vector<phy::Transmission> out;
+  ws.pairs.clear();
   for (std::uint32_t i = 0; i < n; ++i) {
     const std::uint32_t j = lone[i];
     if (j == kNone || j <= i) continue;   // report each pair once (i < j)
@@ -58,10 +70,10 @@ std::vector<phy::Transmission> SStarScheduler::feasible_pairs(
       if (stats) ++stats->range_rejected;
       continue;
     }
-    out.push_back({i, j});
+    ws.pairs.push_back({i, j});
   }
-  if (stats) stats->feasible_pairs += out.size();
-  return out;
+  if (stats) stats->feasible_pairs += ws.pairs.size();
+  return ws.pairs;
 }
 
 }  // namespace manetcap::sched

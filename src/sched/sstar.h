@@ -32,6 +32,14 @@ struct ScheduleStats {
 /// Computes the S*-feasible pair set for a position snapshot.
 class SStarScheduler {
  public:
+  /// Per-slot scratch reused across feasible_pairs_into() calls: the
+  /// lone-neighbor table and the output pair list keep their capacity, so
+  /// a steady-state slot loop allocates nothing.
+  struct Workspace {
+    std::vector<std::uint32_t> lone;
+    std::vector<phy::Transmission> pairs;
+  };
+
   /// `ct` is the constant c_T of Definition 10; `delta` the guard factor Δ.
   SStarScheduler(double ct, double delta);
 
@@ -49,11 +57,20 @@ class SStarScheduler {
       const std::vector<geom::Point>& pos,
       ScheduleStats* stats = nullptr) const;
 
-  /// Same, but reuses an already-built spatial hash over `pos`
-  /// (the slot simulator rebuilds the hash once per slot anyway).
+  /// Same, but reuses an already-built spatial hash over `pos`.
   std::vector<phy::Transmission> feasible_pairs(
       const std::vector<geom::Point>& pos, const geom::SpatialHash& hash,
       ScheduleStats* stats = nullptr) const;
+
+  /// Hot-path form: reuses both an externally maintained spatial hash
+  /// (which the slot simulator updates incrementally) and the caller's
+  /// Workspace. Returns ws.pairs by reference; the pair set and order are
+  /// identical to the allocating overloads. Zero allocations at steady
+  /// state, and the inner guard-disk scan runs through the inlined
+  /// SpatialHash::visit_disk rather than a std::function callback.
+  const std::vector<phy::Transmission>& feasible_pairs_into(
+      const std::vector<geom::Point>& pos, const geom::SpatialHash& hash,
+      Workspace& ws, ScheduleStats* stats = nullptr) const;
 
  private:
   double ct_;

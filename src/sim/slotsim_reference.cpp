@@ -1,7 +1,15 @@
-#include "sim/slotsim.h"
+// Frozen copy of the pre-overhaul simulator (see slotsim_reference.h).
+// Deliberately byte-for-byte the legacy algorithm: deque queues, per-slot
+// spatial-hash rebuild inside S*, std::map wired credit. Do not "improve"
+// this file — its whole value is staying behaviorally identical to the
+// simulator the golden traces were captured with.
+#include "sim/slotsim_reference.h"
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
+#include <functional>
+#include <map>
 #include <memory>
 
 #include "analysis/stats.h"
@@ -15,21 +23,112 @@
 
 namespace manetcap::sim {
 
-std::string to_string(SlotScheme s) {
-  switch (s) {
-    case SlotScheme::kSchemeA:
-      return "scheme-A";
-    case SlotScheme::kTwoHop:
-      return "two-hop";
-    case SlotScheme::kSchemeB:
-      return "scheme-B";
-    case SlotScheme::kSchemeC:
-      return "scheme-C";
-  }
-  return "?";
-}
-
 namespace {
+
+/// A packet in flight: `flow` identifies the (source, destination) pair;
+/// `hop` is the index into the flow's squarelet path (scheme A) or the
+/// wired-phase marker (scheme B); `born` is the injection slot (delay).
+struct Packet {
+  std::uint32_t flow = 0;
+  std::uint32_t hop = 0;
+  std::uint32_t born = 0;
+};
+
+/// Frozen copy of the pre-overhaul spatial query + S* pair selection: CSR
+/// grid rebuilt from scratch on every call, type-erased per-candidate
+/// callback, and the old one-extra-ring covering span. The shared
+/// geom::SpatialHash has since tightened all three; keeping the legacy
+/// profile here is what makes bench/slotsim_hotpath's before/after an
+/// honest measurement. The pair list and stats are identical to
+/// SStarScheduler::feasible_pairs — only the constant factors differ.
+class LegacyPairFinder {
+ public:
+  LegacyPairFinder(double ct, double delta) : ct_(ct), delta_(delta) {}
+
+  std::vector<phy::Transmission> feasible_pairs(
+      const std::vector<geom::Point>& pos,
+      sched::ScheduleStats* stats) const {
+    const std::size_t n = pos.size();
+    const double rt = ct_ / std::sqrt(static_cast<double>(n));
+    const double rt2 = rt * rt;
+    const double guard = (1.0 + delta_) * rt;
+
+    // Per-slot grid rebuild (the pre-overhaul cadence).
+    int g = static_cast<int>(std::floor(1.0 / guard));
+    g = std::max(1, std::min(g, 4096));
+    const int cap =
+        static_cast<int>(std::ceil(std::sqrt(static_cast<double>(n)))) * 2;
+    g = std::min(g, std::max(1, cap));
+    const std::size_t nb = static_cast<std::size_t>(g) * g;
+    auto coord = [g](double v) {
+      return std::min(static_cast<int>(v * g), g - 1);
+    };
+    auto bidx = [g](int bx, int by) {
+      auto m = [g](int v) {
+        int w = v % g;
+        return w < 0 ? w + g : w;
+      };
+      return m(by) * g + m(bx);
+    };
+    std::vector<std::uint32_t> start(nb + 1, 0), ids(n);
+    for (const auto& p : pos) ++start[bidx(coord(p.x), coord(p.y)) + 1];
+    for (std::size_t b = 0; b < nb; ++b) start[b + 1] += start[b];
+    std::vector<std::uint32_t> cursor(start.begin(), start.end() - 1);
+    for (std::uint32_t id = 0; id < n; ++id)
+      ids[cursor[bidx(coord(pos[id].x), coord(pos[id].y))]++] = id;
+
+    const std::function<void(geom::Point, std::uint32_t, std::uint32_t&,
+                             int&)>
+        scan = [&](geom::Point center, std::uint32_t self,
+                   std::uint32_t& found, int& count) {
+          const double r2 = guard * guard;
+          int span = static_cast<int>(std::ceil(guard * g)) + 1;
+          span = std::min(span, g / 2 + 1);
+          const int cx = coord(center.x), cy = coord(center.y);
+          const int lo = -span,
+                    hi = (2 * span + 1 >= g) ? g - 1 - span : span;
+          for (int dy = lo; dy <= hi; ++dy) {
+            for (int dx = lo; dx <= hi; ++dx) {
+              const int b = bidx(cx + dx, cy + dy);
+              for (std::uint32_t k = start[b]; k < start[b + 1]; ++k) {
+                const std::uint32_t id = ids[k];
+                if (torus_dist2(center, pos[id]) > r2 || id == self) continue;
+                ++count;
+                found = id;
+              }
+            }
+          }
+        };
+
+    constexpr std::uint32_t kNone = ~std::uint32_t{0};
+    std::vector<std::uint32_t> lone(n, kNone);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      std::uint32_t found = kNone;
+      int count = 0;
+      scan(pos[i], i, found, count);
+      if (count == 1) lone[i] = found;
+    }
+
+    std::vector<phy::Transmission> out;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const std::uint32_t j = lone[i];
+      if (j == kNone || j <= i) continue;
+      if (lone[j] != i) continue;
+      if (stats) ++stats->candidate_pairs;
+      if (geom::torus_dist2(pos[i], pos[j]) >= rt2) {
+        if (stats) ++stats->range_rejected;
+        continue;
+      }
+      out.push_back({i, j});
+    }
+    if (stats) stats->feasible_pairs += out.size();
+    return out;
+  }
+
+ private:
+  double ct_;
+  double delta_;
+};
 
 std::unique_ptr<mobility::MobilityProcess> make_process(
     const net::Network& net, SlotMobility kind, std::uint64_t seed) {
@@ -52,98 +151,7 @@ std::unique_ptr<mobility::MobilityProcess> make_process(
   return nullptr;
 }
 
-/// Validates a run configuration up front with named errors — a zero
-/// max_queue or inverted warmup/slots used to surface as undefined
-/// behavior (or a cryptic check) deep inside the run.
-void validate_options(const SlotSimOptions& opt) {
-  MANETCAP_CHECK_MSG(opt.warmup < opt.slots,
-                     "SlotSimOptions: warmup (" << opt.warmup
-                         << ") must be < slots (" << opt.slots << ")");
-  MANETCAP_CHECK_MSG(opt.max_queue >= 1,
-                     "SlotSimOptions: max_queue must be >= 1");
-  MANETCAP_CHECK_MSG(opt.ct > 0.0, "SlotSimOptions: ct must be > 0");
-  MANETCAP_CHECK_MSG(opt.delta > 0.0, "SlotSimOptions: delta must be > 0");
-  MANETCAP_CHECK_MSG(opt.source_backlog >= 1,
-                     "SlotSimOptions: source_backlog must be >= 1");
-}
-
-/// Wired-edge token-bucket state, keyed by the unordered BS pair.
-struct WireState {
-  double credit = 0.0;
-  std::size_t last_topup = 0;
-};
-
-/// Open-addressing map from a packed (min BS, max BS) edge key to its
-/// WireState. The legacy simulator kept this in a std::map — a pointer
-/// chase plus an O(log E) walk per hop-0 packet per slot. Behavior is
-/// keyed state only (the map is never iterated), so probing order cannot
-/// leak into results.
-class WireCreditMap {
- public:
-  void reserve_edges(std::size_t expected) {
-    std::size_t cap = 16;
-    while (cap < 2 * expected + 1) cap <<= 1;
-    keys_.assign(cap, kEmpty);
-    vals_.assign(cap, WireState{});
-  }
-
-  /// Returns the slot for `key`, default-constructing it when absent;
-  /// second is true on first use (the try_emplace contract).
-  std::pair<WireState*, bool> try_emplace(std::uint64_t key) {
-    if (keys_.empty()) reserve_edges(8);
-    if (2 * (count_ + 1) > keys_.size()) grow();
-    std::size_t i = slot_of(key, keys_.size());
-    while (keys_[i] != kEmpty) {
-      if (keys_[i] == key) return {&vals_[i], false};
-      i = (i + 1) & (keys_.size() - 1);
-    }
-    keys_[i] = key;
-    ++count_;
-    return {&vals_[i], true};
-  }
-
- private:
-  static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
-
-  static std::size_t slot_of(std::uint64_t key, std::size_t cap) {
-    // SplitMix64 finalizer: edge keys are dense low-entropy pairs.
-    std::uint64_t x = key + 0x9e3779b97f4a7c15ULL;
-    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-    return static_cast<std::size_t>((x ^ (x >> 31)) & (cap - 1));
-  }
-
-  void grow() {
-    std::vector<std::uint64_t> old_keys = std::move(keys_);
-    std::vector<WireState> old_vals = std::move(vals_);
-    keys_.assign(old_keys.size() * 2, kEmpty);
-    vals_.assign(old_keys.size() * 2, WireState{});
-    for (std::size_t i = 0; i < old_keys.size(); ++i) {
-      if (old_keys[i] == kEmpty) continue;
-      std::size_t j = slot_of(old_keys[i], keys_.size());
-      while (keys_[j] != kEmpty) j = (j + 1) & (keys_.size() - 1);
-      keys_[j] = old_keys[i];
-      vals_[j] = old_vals[i];
-    }
-  }
-
-  std::vector<std::uint64_t> keys_;
-  std::vector<WireState> vals_;
-  std::size_t count_ = 0;
-};
-
 /// Shared simulation state and per-scheme forwarding logic.
-///
-/// All mutable per-packet state is structure-of-arrays: every node's queue
-/// is a fixed-capacity run inside three flat slabs (flow / hop / born),
-/// FIFO order preserved by in-run compaction, so a slot touches contiguous
-/// memory and allocates nothing. Routing structure (H-V paths, serving
-/// sets, cell members) is flattened to CSR. Node positions live in one
-/// persistent buffer indexed [0, n) for MSs and [n, n+k) for BSs, and the
-/// S* spatial hash is maintained incrementally across slots
-/// (SpatialHash::move) instead of rebuilt. Event order — and therefore
-/// every golden trace byte — is identical to the legacy implementation
-/// preserved in slotsim_reference.cpp.
 class SlotSim {
  public:
   SlotSim(const net::Network& net, const std::vector<std::uint32_t>& dest,
@@ -153,19 +161,11 @@ class SlotSim {
         opt_(opt),
         n_(net.num_ms()),
         k_(net.num_bs()),
-        cap_(opt.max_queue),
-        q_flow_((n_ + k_) * cap_),
-        q_hop_((n_ + k_) * cap_),
-        q_born_((n_ + k_) * cap_),
-        q_size_(n_ + k_, 0),
+        queues_(n_ + k_),
         delivered_(n_, 0),
-        count_own_(n_, 0),
-        pos_all_(n_ + k_) {
-    validate_options(opt);
-    MANETCAP_CHECK_MSG(dest.size() == n_,
-                       "SlotSimOptions: dest must hold one entry per MS");
-    std::copy(net_.bs_pos().begin(), net_.bs_pos().end(),
-              pos_all_.begin() + static_cast<std::ptrdiff_t>(n_));
+        count_own_(n_, 0) {
+    MANETCAP_CHECK(dest.size() == n_);
+    MANETCAP_CHECK(opt.warmup < opt.slots);
     // The audit always accumulates into the internal registry (the
     // conservation check needs the counters even without a caller sink);
     // the caller's Metrics absorbs it at end of run.
@@ -179,13 +179,7 @@ class SlotSim {
 
   SlotSimResult run() {
     auto process = make_process(net_, opt_.mobility, opt_.seed);
-    sched::SStarScheduler sstar(opt_.ct, opt_.delta);
-    sched::SStarScheduler::Workspace ws;
-    // Same bucket geometry the legacy per-slot rebuild chose: hint = the
-    // S* guard radius over the whole population.
-    geom::SpatialHash hash((1.0 + opt_.delta) * sstar.range_for(n_ + k_),
-                           n_ + k_);
-    bool hash_ready = false;
+    LegacyPairFinder sstar(opt_.ct, opt_.delta);
     std::uint64_t pair_count = 0;
 
     for (std::size_t t = 0; t < opt_.slots; ++t) {
@@ -208,22 +202,10 @@ class SlotSim {
         continue;
       }
 
-      const std::vector<geom::Point>& mpos = process->positions();
-      if (!hash_ready) {
-        std::copy(mpos.begin(), mpos.end(), pos_all_.begin());
-        hash.build(pos_all_);
-        hash_ready = true;
-      } else {
-        // Only MSs move; each slot rebuckets just the ids that crossed a
-        // bucket boundary. BS entries never change.
-        for (std::uint32_t i = 0; i < n_; ++i) {
-          hash.move(i, pos_all_[i], mpos[i]);
-          pos_all_[i] = mpos[i];
-        }
-      }
+      std::vector<geom::Point> pos = process->positions();
+      pos.insert(pos.end(), net_.bs_pos().begin(), net_.bs_pos().end());
       sched::ScheduleStats sstats;
-      const auto& pairs = sstar.feasible_pairs_into(pos_all_, hash, ws,
-                                                    &sstats);
+      const auto pairs = sstar.feasible_pairs(pos, &sstats);
       audit_.add(Counter::kSchedCandidatePairs, sstats.candidate_pairs);
       audit_.add(Counter::kSchedFeasiblePairs, sstats.feasible_pairs);
       audit_.add(Counter::kSchedRangeRejected, sstats.range_rejected);
@@ -263,7 +245,7 @@ class SlotSim {
     }
 
     std::uint64_t queued = 0;
-    for (std::size_t q : q_size_) queued += q;
+    for (const auto& q : queues_) queued += q.size();
     res.injected = audit_.count(Counter::kInjected);
     res.delivered_lifetime = audit_.count(Counter::kDelivered);
     res.queued_end = queued;
@@ -295,7 +277,6 @@ class SlotSim {
   /// Copies the run configuration and the routing structure the forwarding
   /// code will use into the trace, so verify_trace replays against exactly
   /// the tables this run consulted (no network rebuild, no FP involved).
-  /// The CSR tables are re-expanded to the nested form the codec stores.
   void capture_context(Trace& trace) const {
     TraceContext& ctx = trace.context;
     ctx.scheme = opt_.scheme;
@@ -310,44 +291,14 @@ class SlotSim {
     ctx.wired_c = k_ > 0 ? net_.params().c() : 0.0;
     ctx.dest = dest_;
     ctx.home_cell = home_cell_;
-    if (!path_start_.empty()) {
-      ctx.paths.assign(n_, {});
-      for (std::uint32_t s = 0; s < n_; ++s)
-        ctx.paths[s].assign(path_cells_.begin() + path_start_[s],
-                            path_cells_.begin() + path_start_[s + 1]);
-    }
-    const std::size_t ns = serving_start_.empty() ? 0 : n_;
-    ctx.serving.assign(ns, {});
-    for (std::size_t i = 0; i < ns; ++i) {
-      ctx.serving[i].reserve(serving_start_[i + 1] - serving_start_[i]);
-      for (std::uint32_t s = serving_start_[i]; s < serving_start_[i + 1];
-           ++s)
-        ctx.serving[i].push_back(static_cast<std::uint32_t>(n_) +
-                                 serving_ids_[s]);
+    ctx.paths = paths_;
+    ctx.serving.assign(serving_.size(), {});
+    for (std::size_t i = 0; i < serving_.size(); ++i) {
+      ctx.serving[i].reserve(serving_[i].size());
+      for (std::uint32_t l : serving_[i])
+        ctx.serving[i].push_back(static_cast<std::uint32_t>(n_) + l);
     }
   }
-
-  // --- queue slabs ---------------------------------------------------------
-  void push_packet(std::uint32_t node, std::uint32_t flow, std::uint32_t hop,
-                   std::uint32_t born) {
-    const std::size_t at = node * cap_ + q_size_[node]++;
-    q_flow_[at] = flow;
-    q_hop_[at] = hop;
-    q_born_[at] = born;
-  }
-
-  /// Removes the packet at queue position `idx`, shifting the tail down —
-  /// exactly the deque::erase order semantics, on contiguous storage.
-  void erase_packet(std::uint32_t node, std::size_t idx) {
-    const std::size_t base = node * cap_;
-    const std::size_t last = --q_size_[node];
-    for (std::size_t j = idx; j < last; ++j) {
-      q_flow_[base + j] = q_flow_[base + j + 1];
-      q_hop_[base + j] = q_hop_[base + j + 1];
-      q_born_[base + j] = q_born_[base + j + 1];
-    }
-  }
-
   // --- scheme A ------------------------------------------------------------
   void init_scheme_a() {
     const double side = 0.8 * net_.mobility_radius();
@@ -356,14 +307,13 @@ class SlotSim {
     home_cell_.resize(n_);
     for (std::uint32_t i = 0; i < n_; ++i)
       home_cell_[i] = tess_->index_of(tess_->cell_of(net_.ms_home()[i]));
-    path_start_.assign(n_ + 1, 0);
+    paths_.resize(n_);
     for (std::uint32_t s = 0; s < n_; ++s) {
       const auto cells = tess_->hv_path(tess_->cell_at(home_cell_[s]),
                                         tess_->cell_at(home_cell_[dest_[s]]));
-      path_start_[s + 1] =
-          path_start_[s] + static_cast<std::uint32_t>(cells.size());
+      paths_[s].reserve(cells.size());
       for (const auto& c : cells)
-        path_cells_.push_back(static_cast<std::uint32_t>(tess_->index_of(c)));
+        paths_[s].push_back(static_cast<std::uint32_t>(tess_->index_of(c)));
     }
   }
 
@@ -375,13 +325,12 @@ class SlotSim {
     const double contact = mu.max_contact_dist_ms_bs();
     geom::SpatialHash bs_hash(std::max(contact, 1e-4), k_);
     bs_hash.build(net_.bs_pos());
-    serving_start_.assign(n_ + 1, 0);
+    serving_.resize(n_);
     for (std::uint32_t i = 0; i < n_; ++i) {
-      const std::size_t before = serving_ids_.size();
-      bs_hash.visit_disk(
+      bs_hash.for_each_in_disk(
           net_.ms_home()[i], contact,
-          [this](std::uint32_t l) { serving_ids_.push_back(l); });
-      if (serving_ids_.size() == before) {
+          [&](std::uint32_t l) { serving_[i].push_back(l); });
+      if (serving_[i].empty()) {
         // Sparse-BS fallback: an MS whose home point sees no BS within the
         // contact distance must still have a serving BS — packets addressed
         // to it would otherwise sit at hop 0 in BS queues forever
@@ -390,9 +339,8 @@ class SlotSim {
         const std::uint32_t l = bs_hash.nearest(net_.ms_home()[i]);
         MANETCAP_CHECK_MSG(l != geom::SpatialHash::kNone,
                            "scheme B: nearest-BS fallback found no BS");
-        serving_ids_.push_back(l);
+        serving_[i].push_back(l);
       }
-      serving_start_[i + 1] = static_cast<std::uint32_t>(serving_ids_.size());
     }
   }
 
@@ -400,37 +348,24 @@ class SlotSim {
   void init_scheme_c() {
     MANETCAP_CHECK_MSG(k_ >= 1, "scheme C slot sim needs base stations");
     // Association: nearest BS (with cluster-grid placement this is the
-    // hexagonal cell of Definition 13). The serving table holds one BS per
-    // MS so the wired phase can reuse the scheme-B machinery.
+    // hexagonal cell of Definition 13). serving_ holds one BS per MS so
+    // the wired phase can reuse the scheme-B machinery.
     geom::SpatialHash bs_hash(
         std::max(1.0 / std::sqrt(static_cast<double>(k_)), 1e-4), k_);
     bs_hash.build(net_.bs_pos());
-    serving_start_.assign(n_ + 1, 0);
-    serving_ids_.resize(n_);
+    serving_.assign(n_, {});
     std::vector<double> cell_radius(k_, 0.0);
-    std::vector<std::uint32_t> member_count(k_, 0);
+    cell_members_.assign(k_, {});
     for (std::uint32_t i = 0; i < n_; ++i) {
       const std::uint32_t l = bs_hash.nearest(net_.ms_home()[i]);
       MANETCAP_CHECK_MSG(l != geom::SpatialHash::kNone,
                          "scheme C: BS association found no BS");
-      serving_ids_[i] = l;
-      serving_start_[i + 1] = i + 1;
-      ++member_count[l];
+      serving_[i].push_back(l);
+      cell_members_[l].push_back(i);
       cell_radius[l] = std::max(
           cell_radius[l],
           geom::torus_dist(net_.ms_home()[i], net_.bs_pos()[l]));
     }
-    // Members per cell, CSR, in ascending MS order (the order the legacy
-    // push_back construction produced).
-    members_start_.assign(k_ + 1, 0);
-    for (std::uint32_t l = 0; l < k_; ++l)
-      members_start_[l + 1] = members_start_[l] + member_count[l];
-    members_ids_.resize(n_);
-    std::vector<std::uint32_t> cursor(members_start_.begin(),
-                                      members_start_.end() - 1);
-    for (std::uint32_t i = 0; i < n_; ++i)
-      members_ids_[cursor[serving_ids_[i]]++] = i;
-
     const double wobble = 2.0 * net_.mobility_radius();
     for (auto& r : cell_radius) r += wobble;
 
@@ -463,14 +398,13 @@ class SlotSim {
     const int active = static_cast<int>(t % num_colors_);
     std::size_t served = 0;
     for (std::uint32_t l = 0; l < k_; ++l) {
-      const std::uint32_t mb = members_start_[l], me = members_start_[l + 1];
-      if (cell_color_[l] != active || mb == me) continue;
+      if (cell_color_[l] != active || cell_members_[l].empty()) continue;
       ++served;
-      const std::uint32_t node = static_cast<std::uint32_t>(n_) + l;
-      const std::size_t base = node * cap_;
+      auto& q = queues_[n_ + l];
       // Uplink channel: the round-robin member injects one packet.
-      const std::uint32_t i = members_ids_[mb + rr_cell_[l]++ % (me - mb)];
-      try_inject(i, node);
+      const auto& members = cell_members_[l];
+      const std::uint32_t i = members[rr_cell_[l]++ % members.size()];
+      try_inject(i, static_cast<std::uint32_t>(n_ + l));
       // Downlink channel: deliver one wired-arrived packet whose
       // destination lives in this cell. The scan must cover the whole
       // queue, not a bounded prefix: hop-0 packets stalled on wired
@@ -478,20 +412,18 @@ class SlotSim {
       // scan permanently starves every deliverable hop-1 packet queued
       // behind ≥ kScanDepth of them.
       bool delivered_one = false;
-      for (std::size_t idx = 0; idx < q_size_[node]; ++idx) {
-        if (q_hop_[base + idx] != 1) continue;
-        const std::uint32_t d = dest_[q_flow_[base + idx]];
-        if (serving_ids_[serving_start_[d]] == l) {
-          const std::uint32_t flow = q_flow_[base + idx];
-          const std::uint32_t hop = q_hop_[base + idx];
-          const std::uint32_t born = q_born_[base + idx];
-          erase_packet(node, idx);
-          deliver(flow, hop, born, node);
+      for (std::size_t idx = 0; idx < q.size(); ++idx) {
+        if (q[idx].hop != 1) continue;
+        const std::uint32_t d = dest_[q[idx].flow];
+        if (serving_[d].front() == l) {
+          const Packet p = q[idx];
+          q.erase(q.begin() + static_cast<std::ptrdiff_t>(idx));
+          deliver(p, static_cast<std::uint32_t>(n_ + l));
           delivered_one = true;
           break;
         }
       }
-      if (!delivered_one && q_size_[node] > 0)
+      if (!delivered_one && !q.empty())
         audit_.inc(Counter::kDownlinkStarved);
     }
     return served;
@@ -516,17 +448,16 @@ class SlotSim {
     }
   }
 
-  void deliver(std::uint32_t flow, std::uint32_t hop, std::uint32_t born,
-               std::uint32_t holder) {
-    ++delivered_[flow];
-    --count_own_[flow];  // release the flow-control window slot
+  void deliver(const Packet& p, std::uint32_t holder) {
+    ++delivered_[p.flow];
+    --count_own_[p.flow];  // release the flow-control window slot
     --in_network_;
     audit_.inc(Counter::kDelivered);
     if (opt_.trace != nullptr)
-      opt_.trace->record(TraceEventKind::kDeliver, slot_, flow, hop, holder,
-                         dest_[flow]);
-    if (measuring_ && born >= opt_.warmup)
-      delays_.push_back(static_cast<double>(slot_ - born));
+      opt_.trace->record(TraceEventKind::kDeliver, slot_, p.flow, p.hop,
+                         holder, dest_[p.flow]);
+    if (measuring_ && p.born >= opt_.warmup)
+      delays_.push_back(static_cast<double>(slot_ - p.born));
   }
 
   /// Source injection under the flow-control window: pushes one packet of
@@ -534,15 +465,16 @@ class SlotSim {
   /// rejection — a full queue used to no-op silently, making the offered
   /// load unknowable.
   void try_inject(std::uint32_t flow, std::uint32_t node) {
+    auto& q = queues_[node];
     if (count_own_[flow] >= opt_.source_backlog) {
       audit_.inc(Counter::kInjectRejectWindowFull);
       return;
     }
-    if (q_size_[node] >= cap_) {
+    if (q.size() >= opt_.max_queue) {
       audit_.inc(Counter::kInjectRejectQueueFull);
       return;
     }
-    push_packet(node, flow, 0, slot_);
+    q.push_back({flow, 0, slot_});
     ++count_own_[flow];
     ++in_network_;
     audit_.inc(Counter::kInjected);
@@ -554,38 +486,37 @@ class SlotSim {
   // home squarelet is path[h+1], or directly to the destination.
   void transfer_scheme_a(std::uint32_t from, std::uint32_t to) {
     if (is_bs(from) || is_bs(to)) return;  // pure ad hoc scheme
+    auto& q = queues_[from];
 
     // Source injection: keep the head of the pipeline saturated.
     try_inject(from, from);
 
-    const std::size_t base = from * cap_;
-    const std::size_t scan = std::min<std::size_t>(q_size_[from], kScanDepth);
+    const std::size_t scan = std::min<std::size_t>(q.size(), kScanDepth);
     for (std::size_t idx = 0; idx < scan; ++idx) {
-      const std::uint32_t flow = q_flow_[base + idx];
-      const std::uint32_t hop = q_hop_[base + idx];
-      if (to == dest_[flow]) {
+      Packet p = q[idx];
+      const auto& path = paths_[p.flow];
+      const bool at_last_cell = p.hop + 1 >= path.size();
+      if (to == dest_[p.flow]) {
         // The destination itself can take delivery from any path position
         // at or next to its own squarelet; with H-V routing the packet is
         // only ever co-located with the destination at the final cells, so
         // accept delivery whenever they meet.
-        const std::uint32_t born = q_born_[base + idx];
-        erase_packet(from, idx);
-        deliver(flow, hop, born, from);
+        q.erase(q.begin() + static_cast<std::ptrdiff_t>(idx));
+        deliver(p, from);
         return;
       }
       // At the last path cell only the destination itself can take the
       // packet (handled above). `to` cannot be a BS here — the early
       // return already excluded BS endpoints.
-      if (hop + 1 >= path_start_[flow + 1] - path_start_[flow]) continue;
-      if (home_cell_[to] == path_cells_[path_start_[flow] + hop + 1]) {
-        if (q_size_[to] < cap_) {
-          const std::uint32_t born = q_born_[base + idx];
-          erase_packet(from, idx);
-          push_packet(to, flow, hop + 1, born);
+      if (at_last_cell) continue;
+      if (home_cell_[to] == path[p.hop + 1]) {
+        if (queues_[to].size() < opt_.max_queue) {
+          q.erase(q.begin() + static_cast<std::ptrdiff_t>(idx));
+          queues_[to].push_back({p.flow, p.hop + 1, p.born});
           audit_.inc(Counter::kRelayed);
           if (opt_.trace != nullptr)
-            opt_.trace->record(TraceEventKind::kRelay, slot_, flow, hop + 1,
-                               from, to);
+            opt_.trace->record(TraceEventKind::kRelay, slot_, p.flow,
+                               p.hop + 1, from, to);
           return;
         }
         audit_.inc(Counter::kRelayRejectQueueFull);
@@ -596,30 +527,27 @@ class SlotSim {
   // Two-hop: source → any relay → destination.
   void transfer_two_hop(std::uint32_t from, std::uint32_t to) {
     if (is_bs(from) || is_bs(to)) return;
+    auto& q = queues_[from];
     try_inject(from, from);
-    const std::size_t base = from * cap_;
-    const std::size_t scan = std::min<std::size_t>(q_size_[from], kScanDepth);
+    const std::size_t scan = std::min<std::size_t>(q.size(), kScanDepth);
     for (std::size_t idx = 0; idx < scan; ++idx) {
-      const std::uint32_t flow = q_flow_[base + idx];
-      if (to == dest_[flow]) {
-        const std::uint32_t hop = q_hop_[base + idx];
-        const std::uint32_t born = q_born_[base + idx];
-        erase_packet(from, idx);
-        deliver(flow, hop, born, from);
+      Packet p = q[idx];
+      if (to == dest_[p.flow]) {
+        q.erase(q.begin() + static_cast<std::ptrdiff_t>(idx));
+        deliver(p, from);
         return;
       }
       // Only the source hands off to a relay (exactly two hops). The relay
       // hand-off advances hop to 1, so "a third hop would be needed" is
       // visible in the packet state (and in the trace).
-      if (flow == from) {
-        if (q_size_[to] < cap_) {
-          const std::uint32_t born = q_born_[base + idx];
-          erase_packet(from, idx);
-          push_packet(to, flow, 1, born);
+      if (p.flow == from) {
+        if (queues_[to].size() < opt_.max_queue) {
+          q.erase(q.begin() + static_cast<std::ptrdiff_t>(idx));
+          queues_[to].push_back({p.flow, 1, p.born});
           audit_.inc(Counter::kRelayed);
           if (opt_.trace != nullptr)
-            opt_.trace->record(TraceEventKind::kRelay, slot_, flow, 1, from,
-                               to);
+            opt_.trace->record(TraceEventKind::kRelay, slot_, p.flow, 1,
+                               from, to);
           return;
         }
         audit_.inc(Counter::kRelayRejectQueueFull);
@@ -638,15 +566,13 @@ class SlotSim {
     }
     if (is_bs(from) && !is_bs(to)) {
       // Downlink: deliver a packet destined to `to`, if this BS holds one.
-      const std::size_t base = from * cap_;
-      const std::size_t scan =
-          std::min<std::size_t>(q_size_[from], kScanDepth);
+      auto& q = queues_[from];
+      const std::size_t scan = std::min<std::size_t>(q.size(), kScanDepth);
       for (std::size_t idx = 0; idx < scan; ++idx) {
-        if (dest_[q_flow_[base + idx]] == to && q_hop_[base + idx] == 1) {
-          const std::uint32_t flow = q_flow_[base + idx];
-          const std::uint32_t born = q_born_[base + idx];
-          erase_packet(from, idx);
-          deliver(flow, 1, born, from);
+        if (dest_[q[idx].flow] == to && q[idx].hop == 1) {
+          const Packet p = q[idx];
+          q.erase(q.begin() + static_cast<std::ptrdiff_t>(idx));
+          deliver(p, from);
           return;
         }
       }
@@ -660,31 +586,24 @@ class SlotSim {
   void wired_step(std::size_t slot) {
     const double c = net_.params().c();
     for (std::uint32_t l = 0; l < k_; ++l) {
-      const std::uint32_t node = static_cast<std::uint32_t>(n_) + l;
-      const std::size_t base = node * cap_;
+      auto& q = queues_[n_ + l];
       // Single compaction pass: read cursor `r` visits every packet in the
       // original order (so the rr_ round-robin and credit decisions are
       // made in exactly the sequence the old erase-in-place loop made
-      // them), write cursor `w` keeps the survivors.
-      const std::size_t qs = q_size_[node];
+      // them), write cursor `w` keeps the survivors. This turns a queue
+      // drain from O(|q|²) deque memmoves into O(|q|).
       std::size_t w = 0;
-      for (std::size_t r = 0; r < qs; ++r) {
+      for (std::size_t r = 0; r < q.size(); ++r) {
         const auto keep = [&] {
-          if (w != r) {
-            q_flow_[base + w] = q_flow_[base + r];
-            q_hop_[base + w] = q_hop_[base + r];
-            q_born_[base + w] = q_born_[base + r];
-          }
+          if (w != r) q[w] = q[r];
           ++w;
         };
-        if (q_hop_[base + r] != 0) {
+        if (q[r].hop != 0) {
           keep();
           continue;
         }
-        const std::uint32_t flow = q_flow_[base + r];
-        const std::uint32_t d = dest_[flow];
-        const std::uint32_t sb = serving_start_[d], se = serving_start_[d + 1];
-        if (se == sb) {
+        const std::uint32_t d = dest_[q[r].flow];
+        if (serving_[d].empty()) {
           // Unreachable since init_scheme_b/_c guarantee a serving BS per
           // MS; counted defensively so a future association change that
           // reintroduces orphans fails the audit instead of stalling.
@@ -693,52 +612,54 @@ class SlotSim {
           continue;
         }
         // Round-robin over the destination's serving BSs.
-        const std::uint32_t target = serving_ids_[sb + rr_++ % (se - sb)];
+        const std::uint32_t target =
+            serving_[d][rr_++ % serving_[d].size()];
         if (target == l) {
-          q_hop_[base + r] = 1;  // already at a serving BS
+          q[r].hop = 1;  // already at a serving BS
           if (opt_.trace != nullptr)
             opt_.trace->record(TraceEventKind::kWiredForward,
-                               static_cast<std::uint32_t>(slot), flow, 1,
-                               node, node);
+                               static_cast<std::uint32_t>(slot), q[r].flow,
+                               1, static_cast<std::uint32_t>(n_ + l),
+                               static_cast<std::uint32_t>(n_ + l));
           keep();
           continue;
         }
-        const std::uint64_t key =
-            (static_cast<std::uint64_t>(std::min(l, target)) << 32) |
-            std::max(l, target);
-        auto [wire, first_use] = wire_credit_.try_emplace(key);
+        auto key = std::minmax(l, target);
+        auto [wit, first_use] =
+            wire_credit_.try_emplace({key.first, key.second});
+        WireState& wire = wit->second;
         // A fresh edge starts accruing at its first-use slot — crediting
         // retroactively from slot 0 would let low-c(n) edges burst a full
         // bucket at first touch and inflate early infra throughput.
-        if (first_use) wire->last_topup = slot;
-        if (wire->last_topup < slot + 1) {
-          wire->credit +=
-              c * static_cast<double>(slot + 1 - wire->last_topup);
+        if (first_use) wire.last_topup = slot;
+        if (wire.last_topup < slot + 1) {
+          wire.credit += c * static_cast<double>(slot + 1 - wire.last_topup);
           // Token bucket with depth scaled to the wire rate (4 slots of
           // credit, but never below one packet so low-c edges still
           // transmit): an idle edge cannot burst arbitrarily later.
-          wire->credit = std::min(wire->credit, std::max(1.0, 4.0 * c));
-          wire->last_topup = slot + 1;
+          wire.credit = std::min(wire.credit, std::max(1.0, 4.0 * c));
+          wire.last_topup = slot + 1;
         }
-        if (wire->credit < 1.0) {
+        if (wire.credit < 1.0) {
           audit_.inc(Counter::kWiredCreditStall);
           keep();
-        } else if (q_size_[n_ + target] >= cap_) {
+        } else if (queues_[n_ + target].size() >= opt_.max_queue) {
           audit_.inc(Counter::kWiredRejectQueueFull);
           keep();
         } else {
-          wire->credit -= 1.0;
-          push_packet(static_cast<std::uint32_t>(n_) + target, flow, 1,
-                      q_born_[base + r]);
+          wire.credit -= 1.0;
+          Packet p = q[r];
+          p.hop = 1;
+          queues_[n_ + target].push_back(p);
           audit_.inc(Counter::kWiredForwarded);
           if (opt_.trace != nullptr)
             opt_.trace->record(TraceEventKind::kWiredForward,
-                               static_cast<std::uint32_t>(slot), flow, 1,
-                               node,
+                               static_cast<std::uint32_t>(slot), p.flow, 1,
+                               static_cast<std::uint32_t>(n_ + l),
                                static_cast<std::uint32_t>(n_ + target));
         }
       }
-      q_size_[node] = w;
+      q.erase(q.begin() + static_cast<std::ptrdiff_t>(w), q.end());
     }
   }
 
@@ -750,23 +671,12 @@ class SlotSim {
   std::size_t n_;
   std::size_t k_;
 
-  // Queue slabs (SoA): node q's packets occupy [q·cap_, q·cap_+q_size_[q])
-  // in each of the three parallel arrays, in FIFO order.
-  std::size_t cap_;
-  std::vector<std::uint32_t> q_flow_;
-  std::vector<std::uint32_t> q_hop_;
-  std::vector<std::uint32_t> q_born_;
-  std::vector<std::size_t> q_size_;
-
+  std::vector<std::deque<Packet>> queues_;
   std::vector<std::uint64_t> delivered_;
   std::vector<std::size_t> count_own_;
   std::vector<double> delays_;  // per delivered packet, measurement window
   std::uint32_t slot_ = 0;      // current slot (delay bookkeeping)
   bool measuring_ = false;
-
-  // Persistent position buffer: MSs at [0, n), BSs at [n, n+k). The BS
-  // tail never changes after construction.
-  std::vector<geom::Point> pos_all_;
 
   // Audit state: the metrics registry (absorbed into opt_.metrics at end
   // of run) and a running count of packets resident in any queue — kept
@@ -775,22 +685,22 @@ class SlotSim {
   Metrics audit_;
   std::uint64_t in_network_ = 0;
 
-  // Scheme A state (paths in CSR: flow s's squarelet path is
-  // path_cells_[path_start_[s] .. path_start_[s+1])).
+  // Scheme A state.
   std::unique_ptr<geom::SquareTessellation> tess_;
   std::vector<std::uint32_t> home_cell_;
-  std::vector<std::uint32_t> path_start_;
-  std::vector<std::uint32_t> path_cells_;
+  std::vector<std::vector<std::uint32_t>> paths_;
 
-  // Scheme B/C serving sets in CSR (BS indices 0..k).
-  std::vector<std::uint32_t> serving_start_;
-  std::vector<std::uint32_t> serving_ids_;
-  WireCreditMap wire_credit_;
+  // Scheme B state.
+  struct WireState {
+    double credit = 0.0;
+    std::size_t last_topup = 0;
+  };
+  std::vector<std::vector<std::uint32_t>> serving_;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, WireState> wire_credit_;
   std::size_t rr_ = 0;
 
-  // Scheme C state (cell members in CSR).
-  std::vector<std::uint32_t> members_start_;
-  std::vector<std::uint32_t> members_ids_;
+  // Scheme C state.
+  std::vector<std::vector<std::uint32_t>> cell_members_;
   std::vector<int> cell_color_;
   std::size_t num_colors_ = 1;
   std::vector<std::size_t> rr_cell_;
@@ -798,9 +708,9 @@ class SlotSim {
 
 }  // namespace
 
-SlotSimResult run_slot_sim(const net::Network& net,
-                           const std::vector<std::uint32_t>& dest,
-                           const SlotSimOptions& options) {
+SlotSimResult run_slot_sim_reference(const net::Network& net,
+                                     const std::vector<std::uint32_t>& dest,
+                                     const SlotSimOptions& options) {
   SlotSim sim(net, dest, options);
   return sim.run();
 }

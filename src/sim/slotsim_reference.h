@@ -1,0 +1,19 @@
+// Frozen pre-overhaul slot simulator (AoS state, per-slot spatial-hash
+// rebuild, map-based wired credit). Kept as the behavioral oracle for the
+// SoA hot-path rewrite: bench/slotsim_hotpath measures the before/after
+// slots/sec ratio against it, and the equivalence tests assert that both
+// implementations produce identical results and byte-identical traces on
+// the same inputs. Not part of the public umbrella header; new code should
+// call sim::run_slot_sim.
+#pragma once
+
+#include "sim/slotsim.h"
+
+namespace manetcap::sim {
+
+/// Runs the legacy (pre-SoA) simulator. Same contract as run_slot_sim.
+SlotSimResult run_slot_sim_reference(const net::Network& net,
+                                     const std::vector<std::uint32_t>& dest,
+                                     const SlotSimOptions& options);
+
+}  // namespace manetcap::sim

@@ -50,7 +50,7 @@ std::uint64_t trial_seed(std::uint64_t seed0, std::size_t size_index,
 
 SweepResult run_sweep(const net::ScalingParams& base,
                       const std::vector<std::size_t>& sizes,
-                      std::size_t trials, const MetricsEvaluator& eval,
+                      std::size_t trials, const SweepEvaluator& eval,
                       const SweepOptions& options) {
   MANETCAP_CHECK(!sizes.empty());
   MANETCAP_CHECK(trials >= 1);
@@ -61,28 +61,35 @@ SweepResult run_sweep(const net::ScalingParams& base,
 
   // Fan-out: every (size, trial) cell is an independent task writing its
   // own pre-allocated slot (λ and audit registry alike), so the
-  // measurement itself carries no ordering.
+  // measurement itself carries no ordering. Per-cell registries exist only
+  // when the caller asked for the aggregate.
+  const bool want_metrics = options.metrics != nullptr;
   const std::size_t cells = sizes.size() * trials;
   std::vector<double> lambdas(cells, 0.0);
-  std::vector<Metrics> cell_metrics(cells);
+  std::vector<Metrics> cell_metrics(want_metrics ? cells : 0);
   auto run_cell = [&](std::size_t cell) {
     const std::size_t si = cell / trials;
     const std::size_t t = cell % trials;
-    net::ScalingParams p = base;
-    p.n = sizes[si];
-    lambdas[cell] = eval(p, trial_seed(options.seed0, si, t),
-                         cell_metrics[cell]);
+    EvalContext ctx;
+    ctx.params = base;
+    ctx.params.n = sizes[si];
+    ctx.seed = trial_seed(options.seed0, si, t);
+    ctx.metrics = want_metrics ? &cell_metrics[cell] : nullptr;
+    lambdas[cell] = eval(ctx);
   };
   if (num_threads <= 1 || cells <= 1) {
     for (std::size_t cell = 0; cell < cells; ++cell) run_cell(cell);
   } else {
-    util::ThreadPool pool(std::min(num_threads, cells));
-    pool.for_each_index(cells, run_cell);
+    // Persistent executor: the shared pool's workers outlive this call, so
+    // repeated sweeps (every bench loop, every CLI invocation doing
+    // several sweeps) pay no thread create/join churn. num_threads only
+    // caps this group's concurrency.
+    util::ThreadPool::shared().parallel_for(cells, run_cell, num_threads);
   }
 
   // Reduction: serial, fixed order — output is bit-identical to the
   // serial path for any thread count.
-  if (options.metrics != nullptr) {
+  if (want_metrics) {
     for (Metrics& m : cell_metrics) options.metrics->absorb(std::move(m));
   }
   SweepResult result;
@@ -116,14 +123,33 @@ SweepResult run_sweep(const net::ScalingParams& base,
   return result;
 }
 
+// Deprecated shims: adapt the legacy callables to the EvalContext
+// signature and forward. The definitions themselves intentionally do not
+// repeat the [[deprecated]] attribute (GCC/Clang would warn on the
+// declaration-definition mismatch otherwise, not on use).
 SweepResult run_sweep(const net::ScalingParams& base,
                       const std::vector<std::size_t>& sizes,
                       std::size_t trials, const Evaluator& eval,
                       const SweepOptions& options) {
   return run_sweep(base, sizes, trials,
-                   MetricsEvaluator([&eval](const net::ScalingParams& p,
-                                            std::uint64_t seed, Metrics&) {
-                     return eval(p, seed);
+                   SweepEvaluator([&eval](const EvalContext& ctx) {
+                     return eval(ctx.params, ctx.seed);
+                   }),
+                   options);
+}
+
+SweepResult run_sweep(const net::ScalingParams& base,
+                      const std::vector<std::size_t>& sizes,
+                      std::size_t trials, const MetricsEvaluator& eval,
+                      const SweepOptions& options) {
+  // A legacy MetricsEvaluator always received a registry; hand it a
+  // throwaway when the sweep isn't aggregating.
+  return run_sweep(base, sizes, trials,
+                   SweepEvaluator([&eval](const EvalContext& ctx) {
+                     if (ctx.metrics != nullptr)
+                       return eval(ctx.params, ctx.seed, *ctx.metrics);
+                     Metrics scratch;
+                     return eval(ctx.params, ctx.seed, scratch);
                    }),
                    options);
 }
@@ -135,7 +161,11 @@ SweepResult run_sweep(const net::ScalingParams& base,
   SweepOptions options;
   options.num_threads = 1;
   options.seed0 = seed0;
-  return run_sweep(base, sizes, trials, eval, options);
+  return run_sweep(base, sizes, trials,
+                   SweepEvaluator([&eval](const EvalContext& ctx) {
+                     return eval(ctx.params, ctx.seed);
+                   }),
+                   options);
 }
 
 }  // namespace manetcap::sim

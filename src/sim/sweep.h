@@ -13,14 +13,31 @@
 
 namespace manetcap::sim {
 
-/// Measures one instance: (params, seed) → per-node rate λ.
+/// Everything an evaluator gets about its (size, trial) sweep cell.
+///
+/// `params` is the base parameter set with n overridden to the cell's
+/// size; `seed` is the cell's trial_seed(). `metrics` is non-null exactly
+/// when the sweep was asked to aggregate audit counters
+/// (SweepOptions::metrics) — it then points at a registry private to this
+/// cell (evaluators never share one, so the counters stay race-free under
+/// a multi-threaded sweep); wire it to SlotSimOptions::metrics or ignore
+/// it.
+struct EvalContext {
+  net::ScalingParams params;
+  std::uint64_t seed = 0;
+  Metrics* metrics = nullptr;
+};
+
+/// Measures one instance: cell context → per-node rate λ. The single
+/// evaluator signature for run_sweep; new fields reach evaluators by
+/// growing EvalContext instead of multiplying overloads.
+using SweepEvaluator = std::function<double(const EvalContext&)>;
+
+/// Deprecated pre-EvalContext signatures, kept so out-of-tree callers
+/// keep compiling through one release; wrapped into SweepEvaluator by the
+/// shim overloads below.
 using Evaluator =
     std::function<double(const net::ScalingParams&, std::uint64_t seed)>;
-
-/// Same, but the evaluator also reports audit counters into a per-cell
-/// Metrics registry (e.g. by passing it to SlotSimOptions::metrics). Each
-/// (size, trial) cell owns a private registry — evaluators never share one,
-/// so the counters race-free even under a multi-threaded sweep.
 using MetricsEvaluator = std::function<double(const net::ScalingParams&,
                                               std::uint64_t seed, Metrics&)>;
 
@@ -39,10 +56,13 @@ struct SweepResult {
 };
 
 struct SweepOptions {
-  /// Worker threads for the (size, trial) fan-out. 1 = serial on the
-  /// calling thread; 0 = util::ThreadPool::default_num_threads(). Results
-  /// are bit-identical for every value — trials are independent tasks and
-  /// the reduction runs serially in a fixed order.
+  /// Concurrency cap for the (size, trial) fan-out. 1 = serial on the
+  /// calling thread; 0 = util::ThreadPool::default_num_threads(). The
+  /// fan-out runs on the process-wide persistent executor
+  /// (util::ThreadPool::shared()) — no threads are created per call.
+  /// Results are bit-identical for every value — trials are independent
+  /// tasks writing pre-allocated slots and the reduction runs serially in
+  /// a fixed order.
   std::size_t num_threads = 1;
   std::uint64_t seed0 = 1;
   /// Optional aggregate audit sink for the MetricsEvaluator overload:
@@ -64,24 +84,35 @@ std::vector<std::size_t> geometric_sizes(std::size_t n0, double ratio,
 std::uint64_t trial_seed(std::uint64_t seed0, std::size_t size_index,
                          std::size_t trial);
 
-/// Runs `eval` for every (n, trial) pair, with params = base except n.
-/// Deterministic given options.seed0, for any num_threads. With
-/// num_threads != 1 the evaluator is called concurrently and must be
-/// thread-safe (pure functions of (params, seed) are; lambdas mutating
-/// captured state need their own synchronization).
+/// Runs `eval` for every (n, trial) cell; each call receives an
+/// EvalContext with params = base except n. Deterministic given
+/// options.seed0, for any num_threads. With num_threads != 1 the
+/// evaluator is called concurrently and must be thread-safe (pure
+/// functions of the context are; lambdas mutating captured state need
+/// their own synchronization). When options.metrics is set it receives
+/// the aggregate of every cell's private registry, merged serially in
+/// fixed cell order.
+SweepResult run_sweep(const net::ScalingParams& base,
+                      const std::vector<std::size_t>& sizes,
+                      std::size_t trials, const SweepEvaluator& eval,
+                      const SweepOptions& options = {});
+
+/// Deprecated shims for the pre-EvalContext signatures. Thin: each wraps
+/// the legacy callable into a SweepEvaluator and forwards. Will be
+/// removed once out-of-tree callers have migrated.
+[[deprecated("wrap the evaluator as SweepEvaluator(const EvalContext&)")]]
 SweepResult run_sweep(const net::ScalingParams& base,
                       const std::vector<std::size_t>& sizes,
                       std::size_t trials, const Evaluator& eval,
                       const SweepOptions& options);
 
-/// MetricsEvaluator variant: every cell gets a fresh Metrics registry and
-/// options.metrics (when set) receives the aggregate of all cells.
+[[deprecated("wrap the evaluator as SweepEvaluator(const EvalContext&)")]]
 SweepResult run_sweep(const net::ScalingParams& base,
                       const std::vector<std::size_t>& sizes,
                       std::size_t trials, const MetricsEvaluator& eval,
                       const SweepOptions& options);
 
-/// Serial convenience overload (num_threads = 1).
+[[deprecated("wrap the evaluator as SweepEvaluator(const EvalContext&)")]]
 SweepResult run_sweep(const net::ScalingParams& base,
                       const std::vector<std::size_t>& sizes,
                       std::size_t trials, const Evaluator& eval,

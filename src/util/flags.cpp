@@ -12,7 +12,12 @@ bool is_known(const std::vector<std::string>& known, const std::string& name) {
 }  // namespace
 
 Flags::Flags(int argc, const char* const* argv,
-             const std::vector<std::string>& known) {
+             const std::vector<std::string>& known)
+    : Flags(argc, argv, known, std::string()) {}
+
+Flags::Flags(int argc, const char* const* argv,
+             const std::vector<std::string>& known,
+             const std::string& context) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) {
@@ -34,8 +39,11 @@ Flags::Flags(int argc, const char* const* argv,
         value = "true";
       }
     }
-    if (!is_known(known, name))
-      throw std::runtime_error("unknown flag: --" + name);
+    if (!is_known(known, name)) {
+      if (context.empty())
+        throw std::runtime_error("unknown flag: --" + name);
+      throw std::runtime_error("unknown flag --" + name + " for " + context);
+    }
     values_[name] = value;
   }
 }

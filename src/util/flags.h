@@ -18,6 +18,12 @@ class Flags {
   Flags(int argc, const char* const* argv,
         const std::vector<std::string>& known);
 
+  /// Same, with an error context: an unknown flag is reported as
+  /// "unknown flag --<name> for <context>", so a CLI with per-subcommand
+  /// flag sets can tell the user which subcommand rejected the flag.
+  Flags(int argc, const char* const* argv,
+        const std::vector<std::string>& known, const std::string& context);
+
   bool has(const std::string& name) const;
 
   std::string get_string(const std::string& name,

@@ -1,5 +1,7 @@
 #include "util/thread_pool.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <string>
 #include <utility>
@@ -49,6 +51,65 @@ void ThreadPool::for_each_index(std::size_t count,
                                 const std::function<void(std::size_t)>& fn) {
   for (std::size_t i = 0; i < count; ++i) submit([&fn, i] { fn(i); });
   wait_idle();
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn,
+                              std::size_t width) {
+  if (count == 0) return;
+
+  // Private completion state on the caller's stack: the group is done when
+  // every runner (caller included) has drained the shared index counter.
+  // The caller cannot return before `running` hits zero, so the runners'
+  // reference to this frame never dangles.
+  struct Group {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::atomic<std::size_t> next{0};
+    std::size_t running = 0;
+    std::exception_ptr first_error;
+    std::size_t first_error_index = 0;
+  } group;
+
+  const auto drain = [&] {
+    for (;;) {
+      const std::size_t i = group.next.fetch_add(1);
+      if (i >= count) break;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(group.mu);
+        if (!group.first_error || i < group.first_error_index) {
+          group.first_error = std::current_exception();
+          group.first_error_index = i;
+        }
+      }
+    }
+  };
+
+  std::size_t runners = workers_.size() + 1;  // pool + the calling thread
+  if (width != 0) runners = std::min(runners, width);
+  runners = std::min(runners, count);
+  {
+    std::lock_guard<std::mutex> lock(group.mu);
+    group.running = runners;
+  }
+  for (std::size_t r = 1; r < runners; ++r)
+    submit([&group, &drain] {
+      drain();
+      std::lock_guard<std::mutex> lock(group.mu);
+      if (--group.running == 0) group.cv.notify_all();
+    });
+  drain();
+  std::unique_lock<std::mutex> lock(group.mu);
+  --group.running;
+  group.cv.wait(lock, [&group] { return group.running == 0; });
+  if (group.first_error) std::rethrow_exception(group.first_error);
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(default_num_threads());
+  return pool;
 }
 
 std::size_t ThreadPool::default_num_threads() {

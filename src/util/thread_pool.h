@@ -50,6 +50,26 @@ class ThreadPool {
   void for_each_index(std::size_t count,
                       const std::function<void(std::size_t)>& fn);
 
+  /// Group-scoped fan-out: runs fn(0), …, fn(count-1) with at most `width`
+  /// indices executing concurrently (0 = no extra cap beyond the pool),
+  /// and blocks until exactly these indices finish — unlike wait_idle(),
+  /// which waits for everything in the pool, so concurrent parallel_for
+  /// groups (from different callers sharing one pool) cannot observe each
+  /// other. The calling thread participates as one of the runners, so a
+  /// shared pool of W workers sustains W+1-wide groups and a fan-out on a
+  /// fully busy pool still makes progress on the caller. Error contract
+  /// matches for_each_index: every index runs; the exception of the lowest
+  /// failing index is rethrown.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn,
+                    std::size_t width = 0);
+
+  /// Process-wide persistent pool (default_num_threads() workers, created
+  /// on first use). Callers that fan out repeatedly — run_sweep above all —
+  /// share these workers instead of paying thread creation and teardown
+  /// per call. Use parallel_for (never wait_idle) on the shared pool.
+  static ThreadPool& shared();
+
   /// Worker count to use when the caller does not care: the MANETCAP_THREADS
   /// environment variable if set to a positive integer, otherwise
   /// std::thread::hardware_concurrency() (minimum 1).

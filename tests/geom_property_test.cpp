@@ -173,6 +173,99 @@ TEST(SpatialHashProperty, RebuildReplacesContents) {
   EXPECT_EQ(hash.count_in_disk({0.1, 0.1}, 0.01), 0u);
 }
 
+// --------------------------------------------- incremental maintenance --
+
+TEST(SpatialHashMove, AcrossBucketBoundary) {
+  // radius_hint 0.1 → 10 buckets per side: (0.05, 0.05) and (0.55, 0.55)
+  // are far apart in bucket space.
+  SpatialHash hash(0.1);
+  hash.build({{0.05, 0.05}, {0.95, 0.5}});
+  ASSERT_EQ(hash.count_in_disk({0.05, 0.05}, 0.02), 1u);
+
+  hash.move(0, {0.05, 0.05}, {0.55, 0.55});
+  EXPECT_EQ(hash.count_in_disk({0.05, 0.05}, 0.02), 0u);
+  EXPECT_EQ(hash.count_in_disk({0.55, 0.55}, 0.02), 1u);
+  EXPECT_EQ(hash.point(0).x, 0.55);
+  // The unmoved point is unaffected.
+  EXPECT_EQ(hash.count_in_disk({0.95, 0.5}, 0.02), 1u);
+}
+
+TEST(SpatialHashMove, TorusWrap) {
+  SpatialHash hash(0.1);
+  hash.build({{0.995, 0.5}});
+  // Wrap across the x = 1 seam: old and new positions are 0.01 apart on
+  // the torus but land in the first/last bucket columns.
+  hash.move(0, {0.995, 0.5}, {0.005, 0.5});
+  EXPECT_EQ(hash.count_in_disk({0.005, 0.5}, 0.001), 1u);
+  EXPECT_EQ(hash.count_in_disk({0.995, 0.5}, 0.011), 1u);  // still close
+  EXPECT_EQ(hash.count_in_disk({0.995, 0.5}, 0.001), 0u);
+}
+
+TEST(SpatialHashMove, NoOpMoveWithinBucketUpdatesPosition) {
+  SpatialHash hash(0.1);
+  hash.build({{0.51, 0.51}});
+  // Same bucket — no relinking — but the stored position must refine.
+  hash.move(0, {0.51, 0.51}, {0.52, 0.52});
+  EXPECT_EQ(hash.count_in_disk({0.52, 0.52}, 1e-6), 1u);
+  EXPECT_EQ(hash.count_in_disk({0.51, 0.51}, 1e-6), 0u);
+  // Moving a point onto its existing position is also fine.
+  hash.move(0, {0.52, 0.52}, {0.52, 0.52});
+  EXPECT_EQ(hash.count_in_disk({0.52, 0.52}, 1e-6), 1u);
+}
+
+TEST(SpatialHashMove, NearestAndExcludeAfterMoves) {
+  SpatialHash hash(0.05);
+  hash.build({{0.1, 0.1}, {0.2, 0.2}, {0.8, 0.8}});
+  hash.move(2, {0.8, 0.8}, {0.11, 0.1});  // now the closest to (0.1, 0.1)
+  EXPECT_EQ(hash.nearest({0.1, 0.1}), 0u);
+  EXPECT_EQ(hash.nearest({0.1, 0.1}, 0), 2u);
+  // kNone as `exclude` excludes nothing; a single-point index excluding
+  // that point yields kNone.
+  EXPECT_EQ(hash.nearest({0.12, 0.1}, SpatialHash::kNone), 2u);
+  SpatialHash lone(0.1);
+  lone.build({{0.3, 0.3}});
+  lone.move(0, {0.3, 0.3}, {0.6, 0.6});
+  EXPECT_EQ(lone.nearest({0.3, 0.3}, 0), SpatialHash::kNone);
+}
+
+TEST(SpatialHashMove, RandomWalkMatchesFreshBuildOracle) {
+  // After arbitrary interleavings of boundary-crossing and in-bucket
+  // moves, every disk query must agree (as an id set) with a hash freshly
+  // built from the current positions.
+  rng::Xoshiro256 g(99);
+  const std::size_t n = 300;
+  const double radius = 0.06;
+  std::vector<Point> pts(n);
+  for (auto& p : pts) p = rng::uniform_point(g);
+  SpatialHash inc(radius, n);
+  inc.build(pts);
+
+  for (int round = 0; round < 10; ++round) {
+    for (std::uint32_t id = 0; id < n; ++id) {
+      if (rng::uniform01(g) < 0.5) continue;  // unmoved points must persist
+      Point next = pts[id];
+      // Mix of tiny (same-bucket) and large (multi-bucket, often wrapping)
+      // displacements.
+      const double step = rng::uniform01(g) < 0.5 ? 0.004 : 0.3;
+      next.x = wrap01(next.x + (rng::uniform01(g) - 0.5) * step);
+      next.y = wrap01(next.y + (rng::uniform01(g) - 0.5) * step);
+      inc.move(id, pts[id], next);
+      pts[id] = next;
+    }
+    SpatialHash fresh(radius, n);
+    fresh.build(pts);
+    for (int probe = 0; probe < 20; ++probe) {
+      const Point c = rng::uniform_point(g);
+      auto got = inc.query_disk(c, radius);
+      auto want = fresh.query_disk(c, radius);
+      std::set<std::uint32_t> got_set(got.begin(), got.end());
+      std::set<std::uint32_t> want_set(want.begin(), want.end());
+      EXPECT_EQ(got.size(), got_set.size()) << "duplicate ids after moves";
+      EXPECT_EQ(got_set, want_set) << "round " << round;
+    }
+  }
+}
+
 // ------------------------------------------------------- hex round trips --
 
 class HexRoundTrip : public ::testing::TestWithParam<double> {};

@@ -192,13 +192,14 @@ TEST(SweepProperty, GeometricMeanBetweenMinAndMax) {
   p.alpha = 0.3;
   p.with_bs = false;
   p.M = 1.0;
-  sim::Evaluator eval = [](const net::ScalingParams& pp,
-                           std::uint64_t seed) {
+  sim::SweepEvaluator eval = [](const sim::EvalContext& ctx) {
     sim::FluidOptions opt;
-    opt.seed = seed;
-    return sim::evaluate_capacity(pp, opt).lambda_symmetric;
+    opt.seed = ctx.seed;
+    return sim::evaluate_capacity(ctx.params, opt).lambda_symmetric;
   };
-  auto sweep = sim::run_sweep(p, {1024, 2048, 4096}, 3, eval, 29);
+  sim::SweepOptions sopt;
+  sopt.seed0 = 29;
+  auto sweep = sim::run_sweep(p, {1024, 2048, 4096}, 3, eval, sopt);
   for (const auto& pt : sweep.points) {
     EXPECT_GE(pt.lambda_gm, pt.lambda_min - 1e-15);
     EXPECT_LE(pt.lambda_gm, pt.lambda_max + 1e-15);

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <set>
+#include <string>
 
 #include "geom/point.h"
 #include "linkcap/link_capacity.h"
@@ -11,7 +12,9 @@
 #include "sim/fluid.h"
 #include "sim/metrics.h"
 #include "sim/slotsim.h"
+#include "sim/slotsim_reference.h"
 #include "sim/sweep.h"
+#include "sim/trace.h"
 #include "util/check.h"
 
 namespace manetcap::sim {
@@ -164,11 +167,13 @@ TEST(Sweep, TrialSeedsNeverCollide) {
 
 TEST(Sweep, TrialSeedMatchesRunSweepDerivation) {
   std::vector<std::uint64_t> seen;
-  auto eval = [&seen](const net::ScalingParams&, std::uint64_t seed) {
-    seen.push_back(seed);
+  auto eval = [&seen](const EvalContext& ctx) {
+    seen.push_back(ctx.seed);
     return 1.0;
   };
-  run_sweep(strong_params(0), {128, 256}, 2, eval, 7);
+  SweepOptions opt;
+  opt.seed0 = 7;
+  run_sweep(strong_params(0), {128, 256}, 2, eval, opt);
   ASSERT_EQ(seen.size(), 4u);
   EXPECT_EQ(seen[0], trial_seed(7, 0, 0));
   EXPECT_EQ(seen[1], trial_seed(7, 0, 1));
@@ -179,9 +184,9 @@ TEST(Sweep, TrialSeedMatchesRunSweepDerivation) {
 TEST(Sweep, ThreadCountDoesNotChangeResults) {
   // A seed-sensitive evaluator: any reordering of trials across threads
   // that leaked into the reduction would change the bits of the result.
-  auto eval = [](const net::ScalingParams& p, std::uint64_t seed) {
-    rng::Xoshiro256 g(seed);
-    return std::pow(static_cast<double>(p.n), -0.5) *
+  auto eval = [](const EvalContext& ctx) {
+    rng::Xoshiro256 g(ctx.seed);
+    return std::pow(static_cast<double>(ctx.params.n), -0.5) *
            (0.5 + rng::uniform01(g));
   };
   const auto sizes = geometric_sizes(256, 2.0, 5);
@@ -219,10 +224,10 @@ TEST(Sweep, ThreadCountDoesNotChangeResults) {
 TEST(Sweep, ParallelFluidEvaluationMatchesSerial) {
   // End-to-end with the real fluid evaluator: sampled networks, scheme
   // dispatch, the lot — still bit-identical across thread counts.
-  sim::Evaluator eval = [](const net::ScalingParams& p, std::uint64_t seed) {
+  SweepEvaluator eval = [](const EvalContext& ctx) {
     FluidOptions opt;
-    opt.seed = seed;
-    return evaluate_capacity(p, opt).lambda_symmetric;
+    opt.seed = ctx.seed;
+    return evaluate_capacity(ctx.params, opt).lambda_symmetric;
   };
   SweepOptions serial;
   serial.num_threads = 1;
@@ -242,8 +247,8 @@ TEST(Sweep, ParallelFluidEvaluationMatchesSerial) {
 
 TEST(Sweep, RecoversAnalyticExponent) {
   // Evaluator returns exactly n^{-0.5}: the fit must find −0.5.
-  auto eval = [](const net::ScalingParams& p, std::uint64_t) {
-    return std::pow(static_cast<double>(p.n), -0.5);
+  auto eval = [](const EvalContext& ctx) {
+    return std::pow(static_cast<double>(ctx.params.n), -0.5);
   };
   auto result = run_sweep(strong_params(0), geometric_sizes(256, 2.0, 5), 2,
                           eval);
@@ -253,8 +258,8 @@ TEST(Sweep, RecoversAnalyticExponent) {
 }
 
 TEST(Sweep, ZeroMeasurementInvalidatesFit) {
-  auto eval = [](const net::ScalingParams& p, std::uint64_t) {
-    return p.n > 1000 ? 0.0 : 1.0;
+  auto eval = [](const EvalContext& ctx) {
+    return ctx.params.n > 1000 ? 0.0 : 1.0;
   };
   auto result =
       run_sweep(strong_params(0), geometric_sizes(256, 2.0, 4), 1, eval);
@@ -262,19 +267,67 @@ TEST(Sweep, ZeroMeasurementInvalidatesFit) {
 }
 
 TEST(Sweep, DeterministicSeeds) {
+  SweepOptions opt;
+  opt.seed0 = 42;
   std::vector<std::uint64_t> seen;
-  auto eval = [&seen](const net::ScalingParams&, std::uint64_t seed) {
-    seen.push_back(seed);
+  auto eval = [&seen](const EvalContext& ctx) {
+    seen.push_back(ctx.seed);
     return 1.0;
   };
-  run_sweep(strong_params(0), {128, 256, 512}, 2, eval, 42);
+  run_sweep(strong_params(0), {128, 256, 512}, 2, eval, opt);
   std::vector<std::uint64_t> seen2;
-  auto eval2 = [&seen2](const net::ScalingParams&, std::uint64_t seed) {
-    seen2.push_back(seed);
+  auto eval2 = [&seen2](const EvalContext& ctx) {
+    seen2.push_back(ctx.seed);
     return 1.0;
   };
-  run_sweep(strong_params(0), {128, 256, 512}, 2, eval2, 42);
+  run_sweep(strong_params(0), {128, 256, 512}, 2, eval2, opt);
   EXPECT_EQ(seen, seen2);
+}
+
+TEST(Sweep, DeprecatedShimsMatchPrimarySignature) {
+  // The pre-EvalContext overloads are thin wrappers: same cells, same
+  // seeds, same aggregation as the primary signature.
+  const std::vector<std::size_t> sizes{128, 256};
+  SweepOptions opt;
+  opt.seed0 = 11;
+  SweepEvaluator eval_new = [](const EvalContext& ctx) {
+    return 1e-3 * static_cast<double>(ctx.params.n) +
+           static_cast<double>(ctx.seed % 97);
+  };
+  auto want = run_sweep(strong_params(0), sizes, 2, eval_new, opt);
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  Evaluator legacy = [](const net::ScalingParams& p, std::uint64_t seed) {
+    return 1e-3 * static_cast<double>(p.n) + static_cast<double>(seed % 97);
+  };
+  auto got = run_sweep(strong_params(0), sizes, 2, legacy, opt);
+  auto got_seed0 =
+      run_sweep(strong_params(0), sizes, 2, legacy, std::uint64_t{11});
+
+  MetricsEvaluator legacy_m = [](const net::ScalingParams& p,
+                                 std::uint64_t seed, Metrics& m) {
+    m.inc(Counter::kDelivered);
+    return 1e-3 * static_cast<double>(p.n) + static_cast<double>(seed % 97);
+  };
+  Metrics agg;
+  SweepOptions mopt = opt;
+  mopt.metrics = &agg;
+  auto got_m = run_sweep(strong_params(0), sizes, 2, legacy_m, mopt);
+#pragma GCC diagnostic pop
+
+  ASSERT_EQ(want.points.size(), 2u);
+  for (const auto* r : {&got, &got_seed0, &got_m}) {
+    ASSERT_EQ(r->points.size(), want.points.size());
+    for (std::size_t i = 0; i < want.points.size(); ++i) {
+      EXPECT_EQ(r->points[i].n, want.points[i].n);
+      EXPECT_DOUBLE_EQ(r->points[i].lambda_gm, want.points[i].lambda_gm);
+      EXPECT_DOUBLE_EQ(r->points[i].lambda_min, want.points[i].lambda_min);
+      EXPECT_DOUBLE_EQ(r->points[i].lambda_max, want.points[i].lambda_max);
+    }
+  }
+  // The metrics shim hands each cell a live registry: 2 sizes × 2 trials.
+  EXPECT_EQ(agg.count(Counter::kDelivered), 4u);
 }
 
 // -------------------------------------------------------------- slotsim --
@@ -486,6 +539,125 @@ TEST(SlotSim, SchemeNames) {
   EXPECT_EQ(to_string(SlotScheme::kSchemeB), "scheme-B");
 }
 
+// ------------------------------------------ options validation (names) --
+
+TEST(SlotSimValidation, EachBadOptionThrowsItsNamedError) {
+  auto p = strong_params(64, /*with_bs=*/false);
+  auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
+                                 net::BsPlacement::kUniform, 201);
+  rng::Xoshiro256 g(203);
+  auto dest = net::permutation_traffic(p.n, g);
+  auto expect_error = [&](const SlotSimOptions& opt,
+                          const std::string& needle) {
+    try {
+      run_slot_sim(net, dest, opt);
+      FAIL() << "expected CheckError mentioning: " << needle;
+    } catch (const manetcap::CheckError& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << "got: " << e.what();
+    }
+  };
+  SlotSimOptions opt;
+  opt.slots = 100;
+  opt.warmup = 100;
+  expect_error(opt, "warmup (100) must be < slots (100)");
+  opt = {};
+  opt.max_queue = 0;
+  expect_error(opt, "max_queue must be >= 1");
+  opt = {};
+  opt.ct = 0.0;
+  expect_error(opt, "ct must be > 0");
+  opt = {};
+  opt.delta = -0.5;
+  expect_error(opt, "delta must be > 0");
+  opt = {};
+  opt.source_backlog = 0;
+  expect_error(opt, "source_backlog must be >= 1");
+}
+
+// --------------------------------- SoA simulator vs frozen reference --
+
+// The SoA hot-path rewrite must be behaviorally invisible: identical
+// result structs and byte-identical traces on the same inputs, for every
+// scheme and a non-i.i.d. mobility mix (incremental spatial-hash moves
+// only happen under walk/pull/brownian mobility).
+void expect_matches_reference(const net::ScalingParams& p,
+                              net::BsPlacement placement,
+                              std::uint64_t build_seed, SlotSimOptions opt) {
+  auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
+                                 placement, build_seed);
+  rng::Xoshiro256 g(build_seed + 1);
+  auto dest = net::permutation_traffic(p.n, g);
+
+  Trace trace_new, trace_ref;
+  opt.trace = &trace_new;
+  auto got = run_slot_sim(net, dest, opt);
+  opt.trace = &trace_ref;
+  auto want = run_slot_sim_reference(net, dest, opt);
+
+  EXPECT_DOUBLE_EQ(got.mean_flow_rate, want.mean_flow_rate);
+  EXPECT_DOUBLE_EQ(got.min_flow_rate, want.min_flow_rate);
+  EXPECT_DOUBLE_EQ(got.p10_flow_rate, want.p10_flow_rate);
+  EXPECT_DOUBLE_EQ(got.pairs_per_slot, want.pairs_per_slot);
+  EXPECT_EQ(got.total_delivered, want.total_delivered);
+  EXPECT_EQ(got.measured_slots, want.measured_slots);
+  EXPECT_DOUBLE_EQ(got.mean_delay, want.mean_delay);
+  EXPECT_DOUBLE_EQ(got.p95_delay, want.p95_delay);
+  EXPECT_EQ(got.injected, want.injected);
+  EXPECT_EQ(got.delivered_lifetime, want.delivered_lifetime);
+  EXPECT_EQ(got.queued_end, want.queued_end);
+  EXPECT_EQ(got.dropped, want.dropped);
+  EXPECT_EQ(trace_new.encode(), trace_ref.encode())
+      << "per-packet event streams diverged";
+}
+
+TEST(SlotSimEquivalence, SchemeAWalkMatchesReference) {
+  SlotSimOptions opt;
+  opt.scheme = SlotScheme::kSchemeA;
+  opt.mobility = SlotMobility::kWalk;
+  opt.slots = 600;
+  opt.warmup = 150;
+  opt.seed = 211;
+  expect_matches_reference(strong_params(256, /*with_bs=*/false),
+                           net::BsPlacement::kUniform, 209, opt);
+}
+
+TEST(SlotSimEquivalence, TwoHopBrownianMatchesReference) {
+  net::ScalingParams p;
+  p.n = 128;
+  p.alpha = 0.0;  // full mixing
+  p.with_bs = false;
+  p.M = 1.0;
+  SlotSimOptions opt;
+  opt.scheme = SlotScheme::kTwoHop;
+  opt.mobility = SlotMobility::kBrownian;
+  opt.slots = 800;
+  opt.warmup = 200;
+  opt.seed = 223;
+  expect_matches_reference(p, net::BsPlacement::kUniform, 221, opt);
+}
+
+TEST(SlotSimEquivalence, SchemeBMatchesReference) {
+  SlotSimOptions opt;
+  opt.scheme = SlotScheme::kSchemeB;
+  opt.slots = 800;
+  opt.warmup = 200;
+  opt.seed = 227;
+  expect_matches_reference(strong_params(512),
+                           net::BsPlacement::kClusteredMatched, 229, opt);
+}
+
+TEST(SlotSimEquivalence, SchemeCPullHomeMatchesReference) {
+  SlotSimOptions opt;
+  opt.scheme = SlotScheme::kSchemeC;
+  opt.mobility = SlotMobility::kPullHome;
+  opt.slots = 1000;
+  opt.warmup = 200;
+  opt.seed = 233;
+  expect_matches_reference(trivial_params(1024),
+                           net::BsPlacement::kClusterGrid, 231, opt);
+}
+
 // ------------------------------------------- packet-conservation audit --
 
 TEST(SlotSimAudit, ConservationHoldsForAllSchemes) {
@@ -687,15 +859,16 @@ TEST(SlotSimAudit, FullQueuesAreCountedNotSilent) {
 }
 
 TEST(Sweep, MetricsAggregateAcrossCellsAndThreads) {
-  // The MetricsEvaluator overload hands every (size, trial) cell a fresh
-  // registry and merges them in fixed order — the aggregate must be
-  // identical for any thread count.
+  // When the sweep aggregates audit counters, every (size, trial) cell
+  // receives a fresh registry via EvalContext::metrics and the registries
+  // merge in fixed order — the aggregate must be identical for any thread
+  // count.
   const std::vector<std::size_t> sizes = {128, 256, 512};
   const std::size_t trials = 3;
-  MetricsEvaluator eval = [](const net::ScalingParams& p, std::uint64_t,
-                             Metrics& m) {
-    m.add(Counter::kInjected, p.n);
-    m.inc(Counter::kDelivered);
+  SweepEvaluator eval = [](const EvalContext& ctx) {
+    EXPECT_NE(ctx.metrics, nullptr);
+    ctx.metrics->add(Counter::kInjected, ctx.params.n);
+    ctx.metrics->inc(Counter::kDelivered);
     return 1.0;
   };
   std::uint64_t expected_injected = 0;

@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "util/check.h"
@@ -232,6 +234,80 @@ TEST(ThreadPool, WaitIdleClearsStoredException) {
 
 TEST(ThreadPool, DefaultThreadCountIsPositive) {
   EXPECT_GE(util::ThreadPool::default_num_threads(), 1u);
+}
+
+TEST(ThreadPool, ParallelForExecutesEveryIndexExactlyOnce) {
+  util::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(hits.size(), [&hits](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  // Zero-count fan-out is a no-op, not a hang.
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ThreadPool, ParallelForRespectsWidthCap) {
+  util::ThreadPool pool(4);
+  std::atomic<int> active{0}, peak{0};
+  pool.parallel_for(
+      64,
+      [&](std::size_t) {
+        const int now = ++active;
+        int prev = peak.load();
+        while (now > prev && !peak.compare_exchange_weak(prev, now)) {
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        --active;
+      },
+      /*width=*/2);
+  EXPECT_LE(peak.load(), 2);
+}
+
+TEST(ThreadPool, ParallelForThrowsLowestFailingIndex) {
+  util::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(32);
+  try {
+    pool.parallel_for(hits.size(), [&hits](std::size_t i) {
+      ++hits[i];
+      if (i == 7 || i == 21)
+        throw std::runtime_error("task " + std::to_string(i));
+    });
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task 7");
+  }
+  // Every index still ran, and the group's error does not linger: a
+  // following fan-out on the same pool is clean.
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_NO_THROW(pool.parallel_for(8, [](std::size_t) {}));
+}
+
+TEST(ThreadPool, ParallelForGroupsAreIndependent) {
+  // Two interleaved groups on one pool must each complete exactly their
+  // own indices — the group barrier must not wait on (or steal errors
+  // from) foreign tasks. Driven from two threads sharing the pool.
+  util::ThreadPool pool(2);
+  std::atomic<int> a_sum{0}, b_sum{0};
+  std::thread other([&] {
+    pool.parallel_for(100, [&a_sum](std::size_t i) {
+      a_sum += static_cast<int>(i);
+    });
+  });
+  pool.parallel_for(50, [&b_sum](std::size_t i) {
+    b_sum += static_cast<int>(i);
+  });
+  other.join();
+  EXPECT_EQ(a_sum.load(), 99 * 100 / 2);
+  EXPECT_EQ(b_sum.load(), 49 * 50 / 2);
+}
+
+TEST(ThreadPool, SharedPoolIsPersistentAndUsable) {
+  auto& pool = util::ThreadPool::shared();
+  EXPECT_EQ(&pool, &util::ThreadPool::shared());  // one instance
+  std::atomic<int> sum{0};
+  pool.parallel_for(16, [&sum](std::size_t i) {
+    sum += static_cast<int>(i);
+  });
+  EXPECT_EQ(sum.load(), 15 * 16 / 2);
 }
 
 // ------------------------------------------------------------ stopwatch --

@@ -9,7 +9,9 @@
 // Every subcommand prints a self-contained report; `--help` lists flags.
 #include <cstring>
 #include <iostream>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "capacity/formulas.h"
 #include "capacity/phase_diagram.h"
@@ -28,30 +30,115 @@ namespace {
 
 using namespace manetcap;
 
-void usage() {
-  std::cout <<
-      R"(manetcap_cli — capacity scaling for hybrid mobile ad hoc networks
+// ------------------------------------------------------------ flag specs --
+// One shared table describes every flag once (value placeholder + help
+// line); each subcommand lists the names it accepts. Per-subcommand --help
+// and the Flags known-set are both generated from here, so the parser and
+// the documentation cannot drift apart.
+struct FlagSpec {
+  const char* name;
+  const char* arg;  // value placeholder; "" for boolean flags
+  const char* help;
+};
 
-subcommands:
-  classify   regime + capacity law from exponents
-             --alpha A [--M M --R R] [--K K --phi P] [--no-bs] [--n N]
-  capacity   sample an instance and measure its fluid capacity
-             --n N --alpha A [--K K --phi P --M M --R R]
-             [--no-bs] [--placement matched|uniform|grid|cluster-grid]
-             [--seed S]
-  sweep      lambda(n) scaling sweep + exponent fit
-             --alpha A [--K K --phi P --M M --R R] [--no-bs]
-             [--n0 N0 --count C --ratio R --trials T] [--seed S]
-             [--threads T]  (0 = all cores; results identical for any T)
-  simulate   slot-level packet simulation
-             --n N --alpha A --scheme A|B|C|twohop [--K K --phi P]
-             [--slots S --warmup W] [--mobility iid|walk|pull|brownian]
-             [--seed S] [--metrics-out NAME]
-             (--metrics-out writes NAME_counters.csv + NAME_series.csv
-              under ./bench_csv — the packet-conservation audit trail)
-  phase      Figure 3 phase-diagram panel for a given phi
-             --phi P
-)";
+constexpr FlagSpec kFlagSpecs[] = {
+    {"n", "N", "number of mobile stations (default 4096)"},
+    {"alpha", "A", "mobility exponent: f(n) = n^alpha (default 0.3)"},
+    {"K", "K", "base-station exponent: k = n^K (default 0.7)"},
+    {"phi", "P", "wired-bandwidth exponent: c = n^phi / k (default 0)"},
+    {"M", "M", "cluster count exponent: m = n^M (default 1 = cluster-free)"},
+    {"R", "R", "cluster radius exponent (default 0)"},
+    {"no-bs", "", "pure ad hoc network (no base stations)"},
+    {"placement", "matched|uniform|grid|cluster-grid",
+     "base-station placement (default matched)"},
+    {"seed", "S", "RNG seed (default 1)"},
+    {"n0", "N0", "smallest sweep size (default 2048)"},
+    {"count", "C", "number of geometrically spaced sizes (default 4)"},
+    {"ratio", "R", "geometric ratio between sizes (default 2.0)"},
+    {"trials", "T", "trials per size (default 2)"},
+    {"threads", "T",
+     "sweep concurrency cap; 0 = all cores, bit-identical for any value"},
+    {"scheme", "A|B|C|twohop", "forwarding scheme (default A)"},
+    {"slots", "S", "simulated slots (default 2000)"},
+    {"warmup", "W", "warmup slots excluded from rates (default slots/10)"},
+    {"mobility", "iid|walk|pull|brownian", "mobility process (default iid)"},
+    {"metrics-out", "NAME",
+     "write NAME_counters.csv + NAME_series.csv under ./bench_csv"},
+};
+
+const FlagSpec& spec_of(const std::string& name) {
+  for (const FlagSpec& s : kFlagSpecs)
+    if (name == s.name) return s;
+  throw std::logic_error("flag missing from kFlagSpecs: " + name);
+}
+
+int cmd_classify(const util::Flags& f);
+int cmd_capacity(const util::Flags& f);
+int cmd_sweep(const util::Flags& f);
+int cmd_simulate(const util::Flags& f);
+int cmd_phase(const util::Flags& f);
+
+struct Subcommand {
+  const char* name;
+  const char* summary;
+  std::vector<std::string> flags;  // names into kFlagSpecs
+  int (*run)(const util::Flags&);
+};
+
+// params_from() reads the scaling-exponent flags, so every subcommand that
+// builds ScalingParams accepts them all.
+const std::vector<std::string> kParamFlags = {"n",   "alpha", "K",    "phi",
+                                              "M",   "R",     "no-bs"};
+
+std::vector<std::string> with_params(std::vector<std::string> extra) {
+  std::vector<std::string> all = kParamFlags;
+  all.insert(all.end(), extra.begin(), extra.end());
+  return all;
+}
+
+const std::vector<Subcommand>& subcommands() {
+  static const std::vector<Subcommand> kSubcommands = {
+      {"classify", "regime + capacity law from exponents", with_params({}),
+       &cmd_classify},
+      {"capacity", "sample an instance and measure its fluid capacity",
+       with_params({"placement", "seed"}), &cmd_capacity},
+      {"sweep", "lambda(n) scaling sweep + exponent fit",
+       with_params({"placement", "n0", "count", "ratio", "trials", "seed",
+                    "threads"}),
+       &cmd_sweep},
+      {"simulate", "slot-level packet simulation",
+       with_params({"scheme", "slots", "warmup", "mobility", "seed",
+                    "metrics-out"}),
+       &cmd_simulate},
+      {"phase", "Figure 3 phase-diagram panel for a given phi",
+       {"phi"}, &cmd_phase},
+  };
+  return kSubcommands;
+}
+
+void print_subcommand_help(const Subcommand& sc) {
+  std::cout << "manetcap_cli " << sc.name << " — " << sc.summary << "\n\n"
+            << "flags:\n";
+  for (const std::string& name : sc.flags) {
+    const FlagSpec& s = spec_of(name);
+    std::string head = "  --" + std::string(s.name);
+    if (s.arg[0] != '\0') head += " " + std::string(s.arg);
+    std::cout << head << ' ';
+    for (std::size_t pad = head.size() + 1; pad < 34; ++pad) std::cout << ' ';
+    std::cout << s.help << "\n";
+  }
+}
+
+void usage() {
+  std::cout << "manetcap_cli — capacity scaling for hybrid mobile ad hoc "
+               "networks\n\nsubcommands:\n";
+  for (const Subcommand& sc : subcommands()) {
+    std::string head = "  " + std::string(sc.name);
+    for (std::size_t pad = head.size(); pad < 13; ++pad) head += ' ';
+    std::cout << head << sc.summary << "\n";
+  }
+  std::cout << "\nrun `manetcap_cli <subcommand> --help` for that "
+               "subcommand's flags.\n";
 }
 
 net::ScalingParams params_from(const util::Flags& f) {
@@ -131,12 +218,11 @@ int cmd_sweep(const util::Flags& f) {
       f.get_double("ratio", 2.0),
       static_cast<std::size_t>(f.get_int("count", 4)));
   const auto trials = static_cast<std::size_t>(f.get_int("trials", 2));
-  sim::Evaluator eval = [&f](const net::ScalingParams& pp,
-                             std::uint64_t seed) {
+  sim::SweepEvaluator eval = [&f](const sim::EvalContext& ctx) {
     sim::FluidOptions opt;
-    opt.seed = seed;
+    opt.seed = ctx.seed;
     opt.placement = placement_from(f);
-    return sim::evaluate_capacity(pp, opt).lambda_symmetric;
+    return sim::evaluate_capacity(ctx.params, opt).lambda_symmetric;
   };
   sim::SweepOptions sopt;
   sopt.seed0 = static_cast<std::uint64_t>(f.get_int("seed", 1));
@@ -251,20 +337,23 @@ int main(int argc, char** argv) {
     return argc < 2 ? 1 : 0;
   }
   const std::string cmd = argv[1];
-  try {
-    util::Flags flags(argc - 1, argv + 1,
-                      {"n", "alpha", "K", "phi", "M", "R", "no-bs",
-                       "placement", "seed", "n0", "count", "ratio", "trials",
-                       "scheme", "slots", "warmup", "mobility", "threads",
-                       "metrics-out"});
-    if (cmd == "classify") return cmd_classify(flags);
-    if (cmd == "capacity") return cmd_capacity(flags);
-    if (cmd == "sweep") return cmd_sweep(flags);
-    if (cmd == "simulate") return cmd_simulate(flags);
-    if (cmd == "phase") return cmd_phase(flags);
+  const Subcommand* sc = nullptr;
+  for (const Subcommand& s : subcommands())
+    if (cmd == s.name) sc = &s;
+  if (sc == nullptr) {
     std::cerr << "unknown subcommand: " << cmd << "\n\n";
     usage();
     return 1;
+  }
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0) {
+      print_subcommand_help(*sc);
+      return 0;
+    }
+  }
+  try {
+    util::Flags flags(argc - 1, argv + 1, sc->flags, sc->name);
+    return sc->run(flags);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
