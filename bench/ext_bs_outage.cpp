@@ -53,8 +53,8 @@ int main() {
     t1.add_row({util::fmt_double(frac, 3),
                 std::to_string(net.num_bs() - killed),
                 util::fmt_sci(r.lambda_symmetric, 3),
-                util::fmt_double(
-                    r.lambda_symmetric / baseline.lambda_symmetric, 3),
+                util::fmt_ratio(r.lambda_symmetric,
+                                baseline.lambda_symmetric, 3),
                 util::fmt_double(1.0 - frac, 3)});
   }
   t1.print(std::cout);

@@ -1,5 +1,6 @@
 #include "mobility/process.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/check.h"
@@ -95,8 +96,15 @@ PullHomeMobility::PullHomeMobility(std::vector<geom::Point> home_points,
     offset_[i] = {0.0, 0.0};
     pos_[i] = home_[i];
   }
-  // Mix to (approximate) stationarity; the AR(1) memory decays as ρ^t.
-  for (int t = 0; t < 32; ++t) step();
+  // Mix to (approximate) stationarity; the AR(1) memory decays as ρ^t, so
+  // the burn-in must scale with the mixing time: ρ^T ≤ ε needs
+  // T ≥ log ε / log ρ. A fixed 32 steps (the historical choice) leaves
+  // ρ = 0.99 at 0.99³² ≈ 0.72 of its initial bias — nowhere near
+  // stationary. Floor 32 keeps the default ρ = 0.8 bit-identical
+  // (⌈log 1e−3 / log 0.8⌉ = 31 < 32); the cap bounds pathological ρ → 1.
+  const int burn_in = static_cast<int>(std::clamp(
+      std::ceil(std::log(1e-3) / std::log(rho_)), 32.0, 2048.0));
+  for (int t = 0; t < burn_in; ++t) step();
 }
 
 void PullHomeMobility::step() {

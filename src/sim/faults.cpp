@@ -1,0 +1,189 @@
+#include "sim/faults.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace manetcap::sim {
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kBsDown:
+      return "down";
+    case FaultKind::kBsUp:
+      return "up";
+    case FaultKind::kWireScale:
+      return "wire";
+    case FaultKind::kRegional:
+      return "region";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Parses one full numeric field; the whole substring must be consumed —
+/// "12x" silently parsing as 12 is how a typo'd spec corrupts a run.
+std::uint64_t parse_u64(const std::string& s, const std::string& token) {
+  MANETCAP_CHECK_MSG(!s.empty(), "FaultPlan: missing number in '" << token
+                                     << "'");
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  MANETCAP_CHECK_MSG(end == s.c_str() + s.size() && s[0] != '-',
+                     "FaultPlan: bad number '" << s << "' in '" << token
+                                               << "'");
+  return static_cast<std::uint64_t>(v);
+}
+
+double parse_f64(const std::string& s, const std::string& token) {
+  MANETCAP_CHECK_MSG(!s.empty(), "FaultPlan: missing number in '" << token
+                                     << "'");
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  MANETCAP_CHECK_MSG(end == s.c_str() + s.size() && std::isfinite(v),
+                     "FaultPlan: bad number '" << s << "' in '" << token
+                                               << "'");
+  return v;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t')) --e;
+  return s.substr(b, e - b);
+}
+
+}  // namespace
+
+void FaultPlan::validate(std::size_t k, std::size_t slots) const {
+  std::uint32_t prev = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const FaultEvent& e = events[i];
+    MANETCAP_CHECK_MSG(e.slot >= prev,
+                       "FaultPlan: events must be in non-decreasing slot "
+                       "order (event "
+                           << i << " at slot " << e.slot << " after slot "
+                           << prev << ")");
+    prev = e.slot;
+    MANETCAP_CHECK_MSG(e.slot < slots, "FaultPlan: event " << i << " at slot "
+                                           << e.slot << " >= slots ("
+                                           << slots << ")");
+    switch (e.kind) {
+      case FaultKind::kBsDown:
+      case FaultKind::kBsUp:
+        MANETCAP_CHECK_MSG(e.bs < k, "FaultPlan: BS index " << e.bs
+                                         << " >= k (" << k << ")");
+        break;
+      case FaultKind::kWireScale:
+        MANETCAP_CHECK_MSG(e.bs < k && e.bs2 < k,
+                           "FaultPlan: wired edge (" << e.bs << "," << e.bs2
+                                                     << ") out of range, k = "
+                                                     << k);
+        MANETCAP_CHECK_MSG(e.bs != e.bs2,
+                           "FaultPlan: wired edge endpoints must differ");
+        MANETCAP_CHECK_MSG(
+            std::isfinite(e.scale) && e.scale >= 0.0 && e.scale <= 1.0,
+            "FaultPlan: wire scale " << e.scale << " outside [0, 1]");
+        break;
+      case FaultKind::kRegional:
+        MANETCAP_CHECK_MSG(std::isfinite(e.radius) && e.radius >= 0.0,
+                           "FaultPlan: regional radius must be >= 0");
+        MANETCAP_CHECK_MSG(std::isfinite(e.center.x) &&
+                               std::isfinite(e.center.y),
+                           "FaultPlan: regional center must be finite");
+        break;
+    }
+  }
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  for (const std::string& raw : split(spec, ';')) {
+    const std::string token = trim(raw);
+    if (token.empty()) continue;
+    const std::size_t at = token.find('@');
+    const std::size_t colon = token.find(':', at == std::string::npos ? 0 : at);
+    MANETCAP_CHECK_MSG(at != std::string::npos && colon != std::string::npos,
+                       "FaultPlan: expected KIND@SLOT:ARGS, got '" << token
+                                                                   << "'");
+    const std::string kind = token.substr(0, at);
+    const std::string slot_s = token.substr(at + 1, colon - at - 1);
+    const std::string args = token.substr(colon + 1);
+
+    FaultEvent e;
+    e.slot = static_cast<std::uint32_t>(parse_u64(slot_s, token));
+    if (kind == "down" || kind == "up") {
+      e.kind = kind == "down" ? FaultKind::kBsDown : FaultKind::kBsUp;
+      e.bs = static_cast<std::uint32_t>(parse_u64(args, token));
+    } else if (kind == "wire") {
+      // wire@SLOT:A-BxS — edge (A, B) scaled to S.
+      e.kind = FaultKind::kWireScale;
+      const std::size_t dash = args.find('-');
+      const std::size_t x = args.find('x', dash == std::string::npos ? 0
+                                                                    : dash);
+      MANETCAP_CHECK_MSG(dash != std::string::npos && x != std::string::npos,
+                         "FaultPlan: expected wire@SLOT:A-BxSCALE, got '"
+                             << token << "'");
+      e.bs = static_cast<std::uint32_t>(
+          parse_u64(args.substr(0, dash), token));
+      e.bs2 = static_cast<std::uint32_t>(
+          parse_u64(args.substr(dash + 1, x - dash - 1), token));
+      e.scale = parse_f64(args.substr(x + 1), token);
+    } else if (kind == "region") {
+      // region@SLOT:X,Y,R — disk of radius R around (X, Y).
+      e.kind = FaultKind::kRegional;
+      const auto parts = split(args, ',');
+      MANETCAP_CHECK_MSG(parts.size() == 3,
+                         "FaultPlan: expected region@SLOT:X,Y,R, got '"
+                             << token << "'");
+      e.center.x = parse_f64(trim(parts[0]), token);
+      e.center.y = parse_f64(trim(parts[1]), token);
+      e.radius = parse_f64(trim(parts[2]), token);
+    } else {
+      MANETCAP_CHECK_MSG(false, "FaultPlan: unknown fault kind '"
+                                    << kind << "' in '" << token << "'");
+    }
+    plan.events.push_back(e);
+  }
+  return plan;
+}
+
+std::string FaultPlan::describe() const {
+  std::ostringstream os;
+  for (const FaultEvent& e : events) {
+    os << "  slot " << e.slot << ": ";
+    switch (e.kind) {
+      case FaultKind::kBsDown:
+        os << "BS " << e.bs << " down";
+        break;
+      case FaultKind::kBsUp:
+        os << "BS " << e.bs << " up";
+        break;
+      case FaultKind::kWireScale:
+        os << "wire (" << e.bs << "," << e.bs2 << ") scale " << e.scale;
+        break;
+      case FaultKind::kRegional:
+        os << "regional outage, radius " << e.radius << " at ("
+           << e.center.x << "," << e.center.y << ")";
+        break;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace manetcap::sim

@@ -1,0 +1,75 @@
+// Runtime fault injection for the slot simulator: timed base-station
+// outages and wired-backbone degradation.
+//
+// The paper's infrastructure-mode results (Table I: λ = Θ(min(k²c/n, k/n)))
+// assume all k base stations and every wired edge stay up. A FaultPlan
+// attaches a timeline of infrastructure faults to a SlotSim run
+// (SlotSimOptions::faults): BSs die and revive at named slots, wired edges
+// lose bandwidth or are severed, and a regional outage kills every BS in a
+// disk at once. Schemes B and C degrade gracefully instead of stalling —
+// affected MSs are re-homed to the nearest live BS, scheme-C cells are
+// re-colored over the live set, and packets queued at a dead BS are
+// dropped with an explicit dropped_bs_outage counter so the packet
+// conservation identity (injected == delivered + queued + dropped) still
+// closes under every plan. See docs/FAULTS.md for the spec grammar and
+// the full semantics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/point.h"
+
+namespace manetcap::sim {
+
+enum class FaultKind : std::uint8_t {
+  kBsDown = 0,     // BS `bs` dies at `slot` (queued packets are dropped)
+  kBsUp = 1,       // BS `bs` revives at `slot`
+  kWireScale = 2,  // wired edge (bs, bs2) bandwidth scaled by `scale`;
+                   // scale 0 severs the edge and zeroes buffered credit
+  kRegional = 3,   // every live BS within `radius` of `center` dies
+};
+
+const char* to_string(FaultKind k);
+
+/// One timed fault. Faults take effect at the START of `slot`, before that
+/// slot's scheduling/TDMA phase.
+struct FaultEvent {
+  std::uint32_t slot = 0;
+  FaultKind kind = FaultKind::kBsDown;
+  std::uint32_t bs = 0;    // BS index in [0, k): target (down/up), or the
+                           // first wired-edge endpoint
+  std::uint32_t bs2 = 0;   // second wired-edge endpoint (kWireScale)
+  double scale = 1.0;      // kWireScale bandwidth factor, in [0, 1]
+  geom::Point center{};    // kRegional disk center (torus coordinates)
+  double radius = 0.0;     // kRegional disk radius
+};
+
+/// A validated, slot-ordered fault timeline. Attach via
+/// SlotSimOptions::faults; an empty plan is exactly equivalent to no plan
+/// (byte-identical traces, identical results).
+struct FaultPlan {
+  std::vector<FaultEvent> events;  // non-decreasing slot order
+
+  bool empty() const { return events.empty(); }
+
+  /// Validates the plan against a run shape with named errors (the
+  /// SlotSimOptions discipline): events must be slot-ordered, BS indices
+  /// < k, wired endpoints distinct, scales in [0, 1], slots < `slots`.
+  /// Throws manetcap::CheckError on the first violation.
+  void validate(std::size_t k, std::size_t slots) const;
+
+  /// Parses the docs/FAULTS.md spec grammar. Events are ';'-separated:
+  ///   down@SLOT:BS        BS outage
+  ///   up@SLOT:BS          BS revival
+  ///   wire@SLOT:A-BxS     wired edge (A,B) scaled to S (0 severs)
+  ///   region@SLOT:X,Y,R   regional outage, disk of radius R at (X, Y)
+  /// Throws manetcap::CheckError naming the offending token.
+  static FaultPlan parse(const std::string& spec);
+
+  /// One line per event, for CLI/bench echoes.
+  std::string describe() const;
+};
+
+}  // namespace manetcap::sim

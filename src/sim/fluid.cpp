@@ -73,9 +73,15 @@ FluidOutcome evaluate_capacity(const net::Network& net,
       case Force::kA: {
         routing::SchemeA a;
         const auto r = a.evaluate(net, dest);
+        // A degenerate grid (side < kMinGrid) means scheme A cannot run at
+        // this size at all. Forcing it used to return the evaluator's
+        // defaults as if they were a real λ — surface the degeneracy
+        // instead: λ = 0 and a labeled outcome the caller can test for.
         set_adhoc({r.degenerate ? 0.0 : r.throughput.lambda,
                    r.degenerate ? 0.0 : r.lambda_symmetric},
-                  r.throughput.bottleneck, "scheme-A (forced)");
+                  r.throughput.bottleneck,
+                  r.degenerate ? "scheme-A (forced, degenerate)"
+                               : "scheme-A (forced)");
         return out;
       }
       case Force::kB: {

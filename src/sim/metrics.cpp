@@ -39,6 +39,14 @@ const char* to_string(Counter c) {
       return "sched_range_rejected";
     case Counter::kDownlinkStarved:
       return "downlink_starved";
+    case Counter::kDroppedBsOutage:
+      return "dropped_bs_outage";
+    case Counter::kMsRehomed:
+      return "ms_rehomed";
+    case Counter::kHop1Demoted:
+      return "hop1_demoted";
+    case Counter::kUplinkBlockedBsDown:
+      return "uplink_blocked_bs_down";
   }
   return "?";
 }
@@ -72,12 +80,13 @@ std::string Metrics::write_counters_csv(const std::string& name,
 
 std::string Metrics::write_series_csv(const std::string& name) const {
   const std::string path = util::artifact_path(name + "_series");
-  util::CsvWriter csv(path,
-                      {"slot", "queued", "scheduled_pairs", "active_cells"});
+  util::CsvWriter csv(path, {"slot", "queued", "scheduled_pairs",
+                             "active_cells", "live_bs"});
   for (const SlotSample& s : series_) {
     csv.add_row({std::to_string(s.slot), std::to_string(s.queued),
                  std::to_string(s.scheduled_pairs),
-                 std::to_string(s.active_cells)});
+                 std::to_string(s.active_cells),
+                 std::to_string(s.live_bs)});
   }
   return path;
 }

@@ -43,9 +43,19 @@ enum class Counter : std::size_t {
   kDownlinkStarved,        // scheme C active cell whose downlink channel
                            // found no deliverable hop-1 packet despite a
                            // non-empty BS queue (wasted downlink slot)
+  kDroppedBsOutage,        // packets lost with a dying BS's queue (the only
+                           // drop source; also counted under kDropped so
+                           // the conservation identity stays one equation)
+  kMsRehomed,              // MS serving-set recomputations after a BS
+                           // outage/revival (failover events)
+  kHop1Demoted,            // hop-1 packets demoted to hop 0 because their
+                           // BS stopped serving the destination (they
+                           // re-forward over the wired backbone)
+  kUplinkBlockedBsDown,    // S* scheduled an uplink to a dead BS (wasted
+                           // meeting under an active fault)
 };
 
-inline constexpr std::size_t kNumCounters = 15;
+inline constexpr std::size_t kNumCounters = 19;
 
 /// Stable snake-case name used as the CSV `counter` column.
 const char* to_string(Counter c);
@@ -56,6 +66,7 @@ struct SlotSample {
   std::uint64_t queued = 0;           // packets resident in any queue
   std::uint32_t scheduled_pairs = 0;  // S* pairs this slot (0 for scheme C)
   std::uint32_t active_cells = 0;     // scheme C active cells (0 otherwise)
+  std::uint32_t live_bs = 0;          // BSs alive this slot (fault injection)
 };
 
 /// Counter registry plus optional per-slot time series. Cheap to construct,
@@ -78,9 +89,10 @@ class Metrics {
   bool series_enabled() const { return series_enabled_; }
 
   void sample_slot(std::uint32_t slot, std::uint64_t queued,
-                   std::uint32_t scheduled_pairs, std::uint32_t active_cells) {
+                   std::uint32_t scheduled_pairs, std::uint32_t active_cells,
+                   std::uint32_t live_bs = 0) {
     if (!series_enabled_) return;
-    series_.push_back({slot, queued, scheduled_pairs, active_cells});
+    series_.push_back({slot, queued, scheduled_pairs, active_cells, live_bs});
   }
   const std::vector<SlotSample>& series() const { return series_; }
 

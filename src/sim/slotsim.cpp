@@ -68,9 +68,12 @@ void validate_options(const SlotSimOptions& opt) {
 }
 
 /// Wired-edge token-bucket state, keyed by the unordered BS pair.
+/// `scale` is the fault-injection bandwidth factor (1 when healthy, 0 when
+/// severed); the accrual rate is c(n)·scale.
 struct WireState {
   double credit = 0.0;
   std::size_t last_topup = 0;
+  double scale = 1.0;
 };
 
 /// Open-addressing map from a packed (min BS, max BS) edge key to its
@@ -164,6 +167,18 @@ class SlotSim {
     validate_options(opt);
     MANETCAP_CHECK_MSG(dest.size() == n_,
                        "SlotSimOptions: dest must hold one entry per MS");
+    if (opt_.faults != nullptr && !opt_.faults->empty()) {
+      opt_.faults->validate(k_, opt_.slots);
+      MANETCAP_CHECK_MSG(opt_.scheme == SlotScheme::kSchemeB ||
+                             opt_.scheme == SlotScheme::kSchemeC,
+                         "FaultPlan: BS/wired faults require an "
+                         "infrastructure scheme (B or C)");
+      // Every fault branch below guards on faults_ — a null (or empty)
+      // plan takes exactly the pre-fault code path, byte for byte.
+      faults_ = opt_.faults;
+      bs_alive_.assign(k_, 1);
+    }
+    live_bs_ = k_;
     std::copy(net_.bs_pos().begin(), net_.bs_pos().end(),
               pos_all_.begin() + static_cast<std::ptrdiff_t>(n_));
     // The audit always accumulates into the internal registry (the
@@ -196,6 +211,9 @@ class SlotSim {
       }
 
       slot_ = static_cast<std::uint32_t>(t);
+      // Faults take effect at the start of the slot, before scheduling /
+      // TDMA: a BS downed at slot t serves nothing at slot t.
+      if (faults_ != nullptr) apply_faults(t);
       if (opt_.scheme == SlotScheme::kSchemeC) {
         // Static cellular TDMA (Definition 13): no S* — the active color
         // group serves; "pairs" counts active cells for reporting.
@@ -204,7 +222,8 @@ class SlotSim {
         wired_step(t);
         process->step();
         audit_.sample_slot(slot_, in_network_, 0,
-                           static_cast<std::uint32_t>(served));
+                           static_cast<std::uint32_t>(served),
+                           static_cast<std::uint32_t>(live_bs_));
         continue;
       }
 
@@ -238,7 +257,8 @@ class SlotSim {
       if (opt_.scheme == SlotScheme::kSchemeB) wired_step(t);
       process->step();
       audit_.sample_slot(slot_, in_network_,
-                         static_cast<std::uint32_t>(pairs.size()), 0);
+                         static_cast<std::uint32_t>(pairs.size()), 0,
+                         static_cast<std::uint32_t>(live_bs_));
     }
 
     SlotSimResult res;
@@ -268,6 +288,7 @@ class SlotSim {
     res.delivered_lifetime = audit_.count(Counter::kDelivered);
     res.queued_end = queued;
     res.dropped = audit_.count(Counter::kDropped);
+    res.dropped_bs_outage = audit_.count(Counter::kDroppedBsOutage);
     if (opt_.check_conservation) {
       MANETCAP_CHECK_MSG(in_network_ == queued,
                          "packet accounting drift: in-network counter "
@@ -278,9 +299,10 @@ class SlotSim {
           "dropped");
       std::uint64_t window = 0;
       for (std::size_t w : count_own_) window += w;
-      MANETCAP_CHECK_MSG(window == res.injected - res.delivered_lifetime,
-                         "flow-control window drift: sum of per-flow "
-                         "windows != packets in flight");
+      MANETCAP_CHECK_MSG(
+          window == res.injected - res.delivered_lifetime - res.dropped,
+          "flow-control window drift: sum of per-flow "
+          "windows != packets in flight");
     }
     if (opt_.metrics != nullptr) opt_.metrics->absorb(std::move(audit_));
     if (opt_.trace != nullptr) {
@@ -373,9 +395,11 @@ class SlotSim {
     linkcap::LinkCapacityModel mu(net_.shape(), net_.params().f(), n_ + k_,
                                   opt_.ct, opt_.delta);
     const double contact = mu.max_contact_dist_ms_bs();
+    contact_ = contact;  // re-homing under faults reuses the same rule
     geom::SpatialHash bs_hash(std::max(contact, 1e-4), k_);
     bs_hash.build(net_.bs_pos());
     serving_start_.assign(n_ + 1, 0);
+    serving_is_fallback_.assign(n_, 0);
     for (std::uint32_t i = 0; i < n_; ++i) {
       const std::size_t before = serving_ids_.size();
       bs_hash.visit_disk(
@@ -391,6 +415,7 @@ class SlotSim {
         MANETCAP_CHECK_MSG(l != geom::SpatialHash::kNone,
                            "scheme B: nearest-BS fallback found no BS");
         serving_ids_.push_back(l);
+        serving_is_fallback_[i] = 1;
       }
       serving_start_[i + 1] = static_cast<std::uint32_t>(serving_ids_.size());
     }
@@ -407,14 +432,27 @@ class SlotSim {
     bs_hash.build(net_.bs_pos());
     serving_start_.assign(n_ + 1, 0);
     serving_ids_.resize(n_);
-    std::vector<double> cell_radius(k_, 0.0);
-    std::vector<std::uint32_t> member_count(k_, 0);
+    serving_is_fallback_.assign(n_, 0);
     for (std::uint32_t i = 0; i < n_; ++i) {
       const std::uint32_t l = bs_hash.nearest(net_.ms_home()[i]);
       MANETCAP_CHECK_MSG(l != geom::SpatialHash::kNone,
                          "scheme C: BS association found no BS");
       serving_ids_[i] = l;
       serving_start_[i + 1] = i + 1;
+    }
+    rebuild_members_and_colors();
+    rr_cell_.assign(k_, 0);
+  }
+
+  /// Rebuilds the member CSR, cell radii and TDMA coloring from the
+  /// current association (serving_ids_). Called at init (all cells live)
+  /// and after every fault-driven re-association; dead cells get color −1
+  /// so the rotation never activates them.
+  void rebuild_members_and_colors() {
+    std::vector<double> cell_radius(k_, 0.0);
+    std::vector<std::uint32_t> member_count(k_, 0);
+    for (std::uint32_t i = 0; i < n_; ++i) {
+      const std::uint32_t l = serving_ids_[serving_start_[i]];
       ++member_count[l];
       cell_radius[l] = std::max(
           cell_radius[l],
@@ -429,18 +467,20 @@ class SlotSim {
     std::vector<std::uint32_t> cursor(members_start_.begin(),
                                       members_start_.end() - 1);
     for (std::uint32_t i = 0; i < n_; ++i)
-      members_ids_[cursor[serving_ids_[i]]++] = i;
+      members_ids_[cursor[serving_ids_[serving_start_[i]]]++] = i;
 
     const double wobble = 2.0 * net_.mobility_radius();
     for (auto& r : cell_radius) r += wobble;
 
     // Greedy coloring of the cell interference graph (Theorem 9's
-    // bounded-degree coloring).
-    cell_color_.assign(k_, 0);
+    // bounded-degree coloring), restricted to live cells.
+    cell_color_.assign(k_, -1);
     num_colors_ = 1;
     for (std::uint32_t a = 0; a < k_; ++a) {
+      if (!bs_is_live(a)) continue;
       std::vector<bool> used(num_colors_ + 1, false);
       for (std::uint32_t b = 0; b < a; ++b) {
+        if (!bs_is_live(b)) continue;
         const double d = geom::torus_dist(net_.bs_pos()[a], net_.bs_pos()[b]);
         if (d < cell_radius[a] + (1.0 + opt_.delta) * cell_radius[b] ||
             d < cell_radius[b] + (1.0 + opt_.delta) * cell_radius[a]) {
@@ -453,7 +493,257 @@ class SlotSim {
       cell_color_[a] = c;
       num_colors_ = std::max(num_colors_, static_cast<std::size_t>(c) + 1);
     }
-    rr_cell_.assign(k_, 0);
+  }
+
+  // --- fault injection -----------------------------------------------------
+  /// True when BS `l` is serving. Without a fault plan bs_alive_ stays
+  /// empty and every BS is live (the branch predicts perfectly).
+  bool bs_is_live(std::uint32_t l) const {
+    return bs_alive_.empty() || bs_alive_[l] != 0;
+  }
+
+  std::uint32_t node_of_bs(std::uint32_t l) const {
+    return static_cast<std::uint32_t>(n_) + l;
+  }
+
+  /// Applies every fault event scheduled at or before slot `t`. Events are
+  /// validated non-decreasing, so this is a cursor walk.
+  void apply_faults(std::size_t t) {
+    const auto& ev = faults_->events;
+    while (next_fault_ < ev.size() && ev[next_fault_].slot <= t) {
+      apply_fault(ev[next_fault_]);
+      ++next_fault_;
+    }
+  }
+
+  void apply_fault(const FaultEvent& e) {
+    switch (e.kind) {
+      case FaultKind::kBsDown:
+        apply_bs_down({e.bs});
+        break;
+      case FaultKind::kBsUp:
+        apply_bs_up(e.bs);
+        break;
+      case FaultKind::kWireScale:
+        apply_wire_scale(e);
+        break;
+      case FaultKind::kRegional: {
+        // Resolve the disk to concrete BS ids sim-side, so the trace
+        // timeline (and therefore the replay checker) never touches
+        // geometry or floating point.
+        std::vector<std::uint32_t> downs;
+        for (std::uint32_t l = 0; l < k_; ++l)
+          if (bs_alive_[l] != 0 &&
+              geom::torus_dist(net_.bs_pos()[l], e.center) < e.radius)
+            downs.push_back(l);
+        apply_bs_down(downs);
+        break;
+      }
+    }
+  }
+
+  /// Opens a timeline entry in the trace context (null when not tracing).
+  TraceFault* open_trace_fault(std::uint8_t kind) {
+    if (opt_.trace == nullptr) return nullptr;
+    opt_.trace->context.faults.push_back({});
+    TraceFault& tf = opt_.trace->context.faults.back();
+    tf.slot = slot_;
+    tf.kind = kind;
+    return &tf;
+  }
+
+  /// Kills every (still live) BS in `downs`: stream markers, queue drops,
+  /// re-homing, hop-1 demotions, scheme-C recoloring — in that order, all
+  /// deterministic (BSs ascending, queues FIFO).
+  void apply_bs_down(const std::vector<std::uint32_t>& downs) {
+    std::vector<std::uint32_t> fresh;
+    for (std::uint32_t l : downs)
+      if (bs_alive_[l] != 0) fresh.push_back(l);  // down on dead BS: no-op
+    if (fresh.empty()) return;
+    MANETCAP_CHECK_MSG(live_bs_ > fresh.size(),
+                       "FaultPlan: fault plan leaves no live base station "
+                       "at slot " << slot_);
+    TraceFault* tf = open_trace_fault(TraceFault::kKindBsDown);
+    for (std::uint32_t l : fresh) {
+      bs_alive_[l] = 0;
+      --live_bs_;
+      if (tf != nullptr) {
+        tf->bs.push_back(node_of_bs(l));
+        opt_.trace->record(TraceEventKind::kBsDown, slot_, 0, 0,
+                           node_of_bs(l), node_of_bs(l));
+      }
+    }
+    for (std::uint32_t l : fresh) drop_queue(l);
+    rebuild_serving(tf);
+  }
+
+  void apply_bs_up(std::uint32_t l) {
+    if (bs_alive_[l] != 0) return;  // up on a live BS: no-op
+    bs_alive_[l] = 1;
+    ++live_bs_;
+    TraceFault* tf = open_trace_fault(TraceFault::kKindBsUp);
+    if (tf != nullptr) {
+      tf->bs.push_back(node_of_bs(l));
+      opt_.trace->record(TraceEventKind::kBsUp, slot_, 0, 0, node_of_bs(l),
+                         node_of_bs(l));
+    }
+    rebuild_serving(tf);
+  }
+
+  /// Drops a dying BS's entire queue, FIFO order. The only loss source in
+  /// the simulator: each packet counts under kDropped AND kDroppedBsOutage
+  /// and releases its flow-control window slot, so the conservation
+  /// identity (injected == delivered + queued + dropped) still closes.
+  void drop_queue(std::uint32_t l) {
+    const std::uint32_t node = node_of_bs(l);
+    const std::size_t base = node * cap_;
+    const std::size_t qs = q_size_[node];
+    for (std::size_t idx = 0; idx < qs; ++idx) {
+      const std::uint32_t flow = q_flow_[base + idx];
+      --count_own_[flow];
+      --in_network_;
+      audit_.inc(Counter::kDropped);
+      audit_.inc(Counter::kDroppedBsOutage);
+      if (opt_.trace != nullptr)
+        opt_.trace->record(TraceEventKind::kDrop, slot_, flow,
+                           q_hop_[base + idx], node, node);
+    }
+    q_size_[node] = 0;
+  }
+
+  /// Re-scales one wired edge's accrual rate. Credit earned at the old
+  /// scale is settled through the fault slot first (token-bucket cap
+  /// included), so a later top-up cannot retroactively apply the new rate
+  /// to slots already elapsed; severing (scale 0) also dumps the bucket.
+  void apply_wire_scale(const FaultEvent& e) {
+    const std::uint32_t a = std::min(e.bs, e.bs2);
+    const std::uint32_t b = std::max(e.bs, e.bs2);
+    const std::uint64_t key = (static_cast<std::uint64_t>(a) << 32) | b;
+    auto [wire, first_use] = wire_credit_.try_emplace(key);
+    if (first_use) wire->last_topup = slot_;
+    const double c = net_.params().c();
+    if (wire->last_topup < slot_) {
+      wire->credit += (c * wire->scale) *
+                      static_cast<double>(slot_ - wire->last_topup);
+      wire->credit = std::min(wire->credit, std::max(1.0, 4.0 * c));
+    }
+    wire->last_topup = slot_;
+    wire->scale = e.scale;
+    if (e.scale == 0.0) wire->credit = 0.0;
+    TraceFault* tf = open_trace_fault(TraceFault::kKindWireScale);
+    if (tf != nullptr) {
+      tf->bs = {node_of_bs(a), node_of_bs(b)};
+      tf->scale = e.scale;
+      opt_.trace->record(TraceEventKind::kWireScale, slot_, 0, 0,
+                         node_of_bs(a), node_of_bs(b));
+    }
+  }
+
+  /// Nearest live BS to `p` (ties break to the lowest id — deterministic).
+  std::uint32_t nearest_live_bs(const geom::Point& p) const {
+    std::uint32_t best = geom::SpatialHash::kNone;
+    double best_d2 = 0.0;
+    for (std::uint32_t l = 0; l < k_; ++l) {
+      if (bs_alive_[l] == 0) continue;
+      const double d2 = geom::torus_dist2(p, net_.bs_pos()[l]);
+      if (best == geom::SpatialHash::kNone || d2 < best_d2) {
+        best = l;
+        best_d2 = d2;
+      }
+    }
+    MANETCAP_CHECK_MSG(best != geom::SpatialHash::kNone,
+                       "fault re-homing found no live BS");
+    return best;
+  }
+
+  /// Recomputes every MS's serving set over the live BSs — the same rule
+  /// init used (scheme B: all BSs within the contact distance, nearest-BS
+  /// fallback when none; scheme C: nearest BS) restricted to live ones.
+  /// An MS whose membership is unchanged as a set keeps its old list
+  /// verbatim (order included), so an untouched region of the network sees
+  /// zero behavioral difference. Changed MSs are the "affected" set: their
+  /// new lists are recorded in the trace timeline, and hop-1 packets parked
+  /// at a BS that no longer serves their destination are demoted to hop 0
+  /// (they re-forward over the wired backbone).
+  void rebuild_serving(TraceFault* tf) {
+    std::vector<std::uint32_t> new_start(n_ + 1, 0);
+    std::vector<std::uint32_t> new_ids;
+    new_ids.reserve(serving_ids_.size());
+    std::vector<std::uint8_t> new_fallback(n_, 0);
+    std::vector<std::uint8_t> changed(n_, 0);
+    const double contact2 = contact_ * contact_;
+    for (std::uint32_t i = 0; i < n_; ++i) {
+      const geom::Point home = net_.ms_home()[i];
+      const std::size_t mark = new_ids.size();
+      if (opt_.scheme == SlotScheme::kSchemeB) {
+        // Same inclusive predicate SpatialHash::visit_disk applies
+        // (dist² <= contact²), so boundary MSs are not spuriously rehomed.
+        for (std::uint32_t l = 0; l < k_; ++l)
+          if (bs_alive_[l] != 0 &&
+              geom::torus_dist2(home, net_.bs_pos()[l]) <= contact2)
+            new_ids.push_back(l);
+        if (new_ids.size() == mark) {
+          new_ids.push_back(nearest_live_bs(home));
+          new_fallback[i] = 1;
+        }
+      } else {
+        new_ids.push_back(nearest_live_bs(home));
+      }
+      const std::uint32_t ob = serving_start_[i], oe = serving_start_[i + 1];
+      bool same = oe - ob == new_ids.size() - mark &&
+                  new_fallback[i] == serving_is_fallback_[i];
+      for (std::uint32_t s = ob; same && s < oe; ++s) {
+        bool found = false;
+        for (std::size_t j = mark; j < new_ids.size() && !found; ++j)
+          found = new_ids[j] == serving_ids_[s];
+        same = found;
+      }
+      if (same) {
+        std::copy(serving_ids_.begin() + ob, serving_ids_.begin() + oe,
+                  new_ids.begin() + static_cast<std::ptrdiff_t>(mark));
+      } else {
+        changed[i] = 1;
+        audit_.inc(Counter::kMsRehomed);
+        if (tf != nullptr) {
+          tf->rehomed_ms.push_back(i);
+          auto& list = tf->rehomed_serving.emplace_back(
+              new_ids.begin() + static_cast<std::ptrdiff_t>(mark),
+              new_ids.end());
+          for (std::uint32_t& v : list) v += static_cast<std::uint32_t>(n_);
+        }
+      }
+      new_start[i + 1] = static_cast<std::uint32_t>(new_ids.size());
+    }
+    serving_start_.swap(new_start);
+    serving_ids_.swap(new_ids);
+    serving_is_fallback_.swap(new_fallback);
+
+    // Demote stranded hop-1 packets: their BS no longer serves the
+    // destination, so the downlink contract would never fire. Hop 0 lets
+    // wired_step re-forward them to the new serving set. BSs ascending,
+    // FIFO within a queue.
+    for (std::uint32_t l = 0; l < k_; ++l) {
+      if (bs_alive_[l] == 0) continue;
+      const std::uint32_t node = node_of_bs(l);
+      const std::size_t base = node * cap_;
+      for (std::size_t idx = 0; idx < q_size_[node]; ++idx) {
+        if (q_hop_[base + idx] != 1) continue;
+        const std::uint32_t d = dest_[q_flow_[base + idx]];
+        if (changed[d] == 0) continue;
+        bool serves = false;
+        for (std::uint32_t s = serving_start_[d];
+             s < serving_start_[d + 1] && !serves; ++s)
+          serves = serving_ids_[s] == l;
+        if (serves) continue;
+        q_hop_[base + idx] = 0;
+        audit_.inc(Counter::kHop1Demoted);
+        if (opt_.trace != nullptr)
+          opt_.trace->record(TraceEventKind::kRehome, slot_,
+                             q_flow_[base + idx], 0, node, node);
+      }
+    }
+
+    if (opt_.scheme == SlotScheme::kSchemeC) rebuild_members_and_colors();
   }
 
   /// One TDMA slot of scheme C: every cell of the active color serves one
@@ -631,6 +921,12 @@ class SlotSim {
   // wired_step(); BS→MS downlink on meeting the destination.
   void transfer_scheme_b(std::uint32_t from, std::uint32_t to) {
     if (!is_bs(from) && is_bs(to)) {
+      if (!bs_is_live(to - static_cast<std::uint32_t>(n_))) {
+        // A dead BS still occupies its position, so S* can schedule a
+        // meeting with it — the meeting is simply wasted.
+        audit_.inc(Counter::kUplinkBlockedBsDown);
+        return;
+      }
       // Uplink: inject one packet of `from`'s own flow (within the
       // flow-control window).
       try_inject(from, to);
@@ -660,6 +956,7 @@ class SlotSim {
   void wired_step(std::size_t slot) {
     const double c = net_.params().c();
     for (std::uint32_t l = 0; l < k_; ++l) {
+      if (!bs_is_live(l)) continue;  // a dead BS's queue was dropped
       const std::uint32_t node = static_cast<std::uint32_t>(n_) + l;
       const std::size_t base = node * cap_;
       // Single compaction pass: read cursor `r` visits every packet in the
@@ -712,8 +1009,10 @@ class SlotSim {
         // bucket at first touch and inflate early infra throughput.
         if (first_use) wire->last_topup = slot;
         if (wire->last_topup < slot + 1) {
-          wire->credit +=
-              c * static_cast<double>(slot + 1 - wire->last_topup);
+          // scale is exactly 1.0 outside a fault plan, so c·scale·Δ is
+          // bit-identical to the historical c·Δ accrual.
+          wire->credit += (c * wire->scale) *
+                          static_cast<double>(slot + 1 - wire->last_topup);
           // Token bucket with depth scaled to the wire rate (4 slots of
           // credit, but never below one packet so low-c edges still
           // transmit): an idle edge cannot burst arbitrarily later.
@@ -794,6 +1093,16 @@ class SlotSim {
   std::vector<int> cell_color_;
   std::size_t num_colors_ = 1;
   std::vector<std::size_t> rr_cell_;
+
+  // Fault-injection state. faults_ stays null for a fault-free run: every
+  // fault branch is guarded on it (or on bs_alive_ being empty), so the
+  // no-fault code path — and its golden trace bytes — are unchanged.
+  const FaultPlan* faults_ = nullptr;
+  std::size_t next_fault_ = 0;          // cursor into faults_->events
+  std::vector<std::uint8_t> bs_alive_;  // per-BS liveness; empty = all live
+  std::size_t live_bs_ = 0;
+  double contact_ = 0.0;  // scheme B MS–BS contact distance (re-homing rule)
+  std::vector<std::uint8_t> serving_is_fallback_;  // nearest-BS fallback MSs
 };
 
 }  // namespace

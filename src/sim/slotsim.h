@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "net/network.h"
+#include "sim/faults.h"
 #include "sim/metrics.h"
 
 namespace manetcap::sim {
@@ -56,6 +57,15 @@ struct SlotSimOptions {
   /// run without rebuilding the network. Null (the default) costs one
   /// untaken branch per event.
   Trace* trace = nullptr;
+  /// Optional runtime fault timeline (sim/faults.h): BS outages/revivals,
+  /// wired-edge degradation, regional outages. Validated against the run
+  /// shape at start. Requires an infrastructure scheme (B or C) when
+  /// non-empty; schemes degrade gracefully — affected MSs re-home to the
+  /// nearest live BS, scheme-C cells re-color over the live set, and a
+  /// dying BS's queue is dropped with an explicit counter so the
+  /// conservation identity still closes. Null or an empty plan is exactly
+  /// a fault-free run (byte-identical traces). See docs/FAULTS.md.
+  const FaultPlan* faults = nullptr;
   /// End-of-run packet-conservation audit:
   ///   injected == delivered + queued_end + dropped,
   /// the running in-network count must match the actual queue occupancy,
@@ -86,7 +96,12 @@ struct SlotSimResult {
   std::uint64_t injected = 0;
   std::uint64_t delivered_lifetime = 0;
   std::uint64_t queued_end = 0;  // packets resident in queues at the end
-  std::uint64_t dropped = 0;     // removed without delivery (always 0 today)
+  /// Packets removed without delivery. 0 unless a fault plan is active:
+  /// the simulator models backpressure, never loss, except for queues lost
+  /// with a dying BS.
+  std::uint64_t dropped = 0;
+  /// Of `dropped`, packets lost to a BS outage (today: all of them).
+  std::uint64_t dropped_bs_outage = 0;
 };
 
 /// Runs the simulation for permutation traffic `dest` on `net`.

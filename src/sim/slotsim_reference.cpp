@@ -711,6 +711,11 @@ class SlotSim {
 SlotSimResult run_slot_sim_reference(const net::Network& net,
                                      const std::vector<std::uint32_t>& dest,
                                      const SlotSimOptions& options) {
+  // The frozen simulator predates fault injection; it exists to certify
+  // the fault-free hot path, so a non-empty plan is a usage error rather
+  // than something to backport.
+  MANETCAP_CHECK_MSG(options.faults == nullptr || options.faults->empty(),
+                     "run_slot_sim_reference does not support fault plans");
   SlotSim sim(net, dest, options);
   return sim.run();
 }

@@ -6,6 +6,7 @@
 #include <deque>
 #include <fstream>
 #include <map>
+#include <set>
 #include <sstream>
 
 #include "net/traffic.h"
@@ -28,13 +29,25 @@ const char* to_string(TraceEventKind k) {
       return "deliver";
     case TraceEventKind::kDrop:
       return "drop";
+    case TraceEventKind::kBsDown:
+      return "bs_down";
+    case TraceEventKind::kBsUp:
+      return "bs_up";
+    case TraceEventKind::kWireScale:
+      return "wire_scale";
+    case TraceEventKind::kRehome:
+      return "rehome";
   }
   return "?";
 }
 
 namespace {
 
+// Version 1 has no fault section and allows event kinds 0..4 only; a trace
+// whose context carries a fault timeline encodes as version 2. Fault-free
+// traces therefore stay byte-identical to pre-fault builds.
 constexpr char kMagic[8] = {'M', 'C', 'T', 'R', 'A', 'C', 'E', '1'};
+constexpr char kMagic2[8] = {'M', 'C', 'T', 'R', 'A', 'C', 'E', '2'};
 
 // --- varint codec ---------------------------------------------------------
 
@@ -140,9 +153,13 @@ std::vector<std::vector<std::uint32_t>> get_id_lists(ByteReader& r) {
 }  // namespace
 
 std::vector<std::uint8_t> Trace::encode() const {
+  const bool v2 = !context.faults.empty();
   std::vector<std::uint8_t> out;
   out.reserve(64 + events.size() * 6);
-  out.insert(out.end(), kMagic, kMagic + 8);
+  if (v2)
+    out.insert(out.end(), kMagic2, kMagic2 + 8);
+  else
+    out.insert(out.end(), kMagic, kMagic + 8);
   out.push_back(static_cast<std::uint8_t>(context.scheme));
   out.push_back(static_cast<std::uint8_t>(context.mobility));
   put_varint(out, context.n);
@@ -157,6 +174,17 @@ std::vector<std::uint8_t> Trace::encode() const {
   put_id_list(out, context.home_cell);
   put_id_lists(out, context.paths);
   put_id_lists(out, context.serving);
+  if (v2) {
+    put_varint(out, context.faults.size());
+    for (const TraceFault& f : context.faults) {
+      out.push_back(f.kind);
+      put_varint(out, f.slot);
+      put_id_list(out, f.bs);
+      put_u64_fixed(out, std::bit_cast<std::uint64_t>(f.scale));
+      put_id_list(out, f.rehomed_ms);
+      put_id_lists(out, f.rehomed_serving);
+    }
+  }
 
   put_varint(out, events.size());
   std::uint32_t prev_slot = 0;
@@ -179,8 +207,9 @@ std::vector<std::uint8_t> Trace::encode() const {
 
 Trace Trace::decode(const std::vector<std::uint8_t>& bytes) {
   MANETCAP_CHECK_MSG(bytes.size() >= 8 + 8, "trace: buffer too small");
-  MANETCAP_CHECK_MSG(std::memcmp(bytes.data(), kMagic, 8) == 0,
-                     "trace: bad magic (not an MCTRACE1 file)");
+  const bool v2 = std::memcmp(bytes.data(), kMagic2, 8) == 0;
+  MANETCAP_CHECK_MSG(v2 || std::memcmp(bytes.data(), kMagic, 8) == 0,
+                     "trace: bad magic (not an MCTRACE1/MCTRACE2 file)");
   const std::size_t body = bytes.size() - 8;
   MANETCAP_CHECK_MSG(get_u64_fixed(bytes, body) == fnv1a(bytes.data(), body),
                      "trace: checksum mismatch (corrupted trace)");
@@ -206,14 +235,32 @@ Trace Trace::decode(const std::vector<std::uint8_t>& bytes) {
   t.context.home_cell = get_id_list(r);
   t.context.paths = get_id_lists(r);
   t.context.serving = get_id_lists(r);
+  if (v2) {
+    const std::uint64_t nf = r.varint();
+    MANETCAP_CHECK_MSG(nf <= (1ULL << 24), "trace: fault timeline too large");
+    t.context.faults.resize(nf);
+    for (auto& f : t.context.faults) {
+      f.kind = r.u8();
+      MANETCAP_CHECK_MSG(f.kind <= TraceFault::kKindWireScale,
+                         "trace: invalid fault kind");
+      f.slot = r.u32v();
+      f.bs = get_id_list(r);
+      MANETCAP_CHECK_MSG(r.pos + 8 <= r.end, "trace: truncated fault scale");
+      f.scale = std::bit_cast<double>(get_u64_fixed(bytes, r.pos));
+      r.pos += 8;
+      f.rehomed_ms = get_id_list(r);
+      f.rehomed_serving = get_id_lists(r);
+    }
+  }
 
   const std::uint64_t count = r.varint();
   MANETCAP_CHECK_MSG(count <= (1ULL << 32), "trace: event count too large");
   t.events.resize(count);
+  const std::uint8_t max_kind = v2 ? 8 : 4;
   std::int64_t prev_slot = 0;
   for (auto& e : t.events) {
     const std::uint8_t kind = r.u8();
-    MANETCAP_CHECK_MSG(kind <= 4, "trace: invalid event kind");
+    MANETCAP_CHECK_MSG(kind <= max_kind, "trace: invalid event kind");
     e.kind = static_cast<TraceEventKind>(kind);
     const std::int64_t slot = prev_slot + unzigzag(r.varint());
     MANETCAP_CHECK_MSG(slot >= 0 && slot <= 0xffffffffLL,
@@ -277,6 +324,100 @@ std::string describe_event(const TraceEvent& e) {
   return os.str();
 }
 
+/// The infrastructure timeline derived from TraceContext::faults, in the
+/// query shapes the replay needs. Built once per verification; all state
+/// the checker applies comes from here (the timeline), never from the
+/// stream's fault markers — so a corrupted marker is caught by comparison
+/// without desynchronizing the replay. Empty timeline = everything always
+/// live, serving sets never change: exactly the pre-fault checker.
+struct FaultModel {
+  std::uint32_t n = 0;
+  /// Per-BS (index = node − n) liveness transitions (slot, went_down),
+  /// slots ascending.
+  std::vector<std::vector<std::pair<std::uint32_t, bool>>> transitions;
+  /// (slot, BS node) pairs at which a BS went down — the only positions a
+  /// kDrop is legal.
+  std::set<std::pair<std::uint32_t, std::uint32_t>> down_at;
+  /// Per-MS serving-set versions (from_slot, list), slots ascending; the
+  /// base version is TraceContext::serving.
+  std::vector<std::vector<
+      std::pair<std::uint32_t, const std::vector<std::uint32_t>*>>>
+      serving_versions;
+  /// Per-edge accrual-scale changes (slot, scale), slots ascending.
+  std::map<std::pair<std::uint32_t, std::uint32_t>,
+           std::vector<std::pair<std::uint32_t, double>>>
+      scale_changes;
+  /// The exact fault-marker events the stream must contain, in order.
+  std::vector<TraceEvent> markers;
+
+  bool is_down(std::uint32_t node, std::uint32_t slot) const {
+    if (transitions.empty() || node < n) return false;
+    const std::size_t l = node - n;
+    if (l >= transitions.size()) return false;
+    bool down = false;
+    for (const auto& [at, went_down] : transitions[l]) {
+      if (at > slot) break;
+      down = went_down;
+    }
+    return down;
+  }
+
+  const std::vector<std::uint32_t>& serving_at(const TraceContext& c,
+                                               std::uint32_t ms,
+                                               std::uint32_t slot) const {
+    const std::vector<std::uint32_t>* best = &c.serving[ms];
+    if (!serving_versions.empty()) {
+      for (const auto& [from, list] : serving_versions[ms]) {
+        if (from > slot) break;
+        best = list;
+      }
+    }
+    return *best;
+  }
+};
+
+/// Precondition: context_ok passed (fault fields are in range). The
+/// pointers into `c.faults` stay valid for the verification's lifetime.
+FaultModel build_fault_model(const TraceContext& c) {
+  FaultModel fm;
+  fm.n = c.n;
+  if (c.faults.empty()) return fm;
+  fm.transitions.resize(c.k);
+  fm.serving_versions.resize(c.n);
+  for (const TraceFault& tf : c.faults) {
+    switch (tf.kind) {
+      case TraceFault::kKindBsDown:
+        for (std::uint32_t b : tf.bs) {
+          fm.transitions[b - c.n].push_back({tf.slot, true});
+          fm.down_at.insert({tf.slot, b});
+          fm.markers.push_back(
+              {TraceEventKind::kBsDown, tf.slot, 0, 0, b, b});
+        }
+        break;
+      case TraceFault::kKindBsUp:
+        for (std::uint32_t b : tf.bs) {
+          fm.transitions[b - c.n].push_back({tf.slot, false});
+          fm.markers.push_back({TraceEventKind::kBsUp, tf.slot, 0, 0, b, b});
+        }
+        break;
+      case TraceFault::kKindWireScale: {
+        const auto key = std::minmax(tf.bs[0], tf.bs[1]);
+        fm.scale_changes[{key.first, key.second}].push_back(
+            {tf.slot, tf.scale});
+        fm.markers.push_back({TraceEventKind::kWireScale, tf.slot, 0, 0,
+                              key.first, key.second});
+        break;
+      }
+      default:
+        break;
+    }
+    for (std::size_t j = 0; j < tf.rehomed_ms.size(); ++j)
+      fm.serving_versions[tf.rehomed_ms[j]].push_back(
+          {tf.slot, &tf.rehomed_serving[j]});
+  }
+  return fm;
+}
+
 /// Context sanity: sizes and id ranges the rest of the checker indexes
 /// with. A trace failing here is rejected before replay.
 bool context_ok(const TraceContext& c, ViolationSink& sink) {
@@ -312,14 +453,52 @@ bool context_ok(const TraceContext& c, ViolationSink& sink) {
       for (const auto& s : c.serving)
         if (s.size() != 1) return fail("scheme C association must be 1 BS");
   }
+  if (!c.faults.empty()) {
+    if (!infra)
+      return fail("fault timeline without an infrastructure scheme");
+    std::uint32_t prev = 0;
+    for (const TraceFault& tf : c.faults) {
+      if (tf.slot < prev)
+        return fail("fault timeline slots must be non-decreasing");
+      prev = tf.slot;
+      if (tf.slot >= c.slots) return fail("fault slot out of range");
+      if (tf.kind > TraceFault::kKindWireScale)
+        return fail("invalid fault kind");
+      if (tf.bs.empty()) return fail("fault with no subject BS");
+      for (std::uint32_t b : tf.bs)
+        if (b < c.n || b >= c.n + c.k) return fail("fault subject not a BS");
+      if (tf.kind == TraceFault::kKindWireScale) {
+        if (tf.bs.size() != 2 || tf.bs[0] == tf.bs[1])
+          return fail("wire fault needs two distinct BS endpoints");
+        if (!(tf.scale >= 0.0 && tf.scale <= 1.0))
+          return fail("wire scale outside [0, 1]");
+        if (!tf.rehomed_ms.empty())
+          return fail("wire fault cannot re-home MSs");
+      }
+      if (tf.rehomed_ms.size() != tf.rehomed_serving.size())
+        return fail("re-home tables disagree in length");
+      for (std::size_t j = 0; j < tf.rehomed_ms.size(); ++j) {
+        if (tf.rehomed_ms[j] >= c.n) return fail("rehomed MS out of range");
+        if (tf.rehomed_serving[j].empty())
+          return fail("re-home to an empty serving set");
+        for (std::uint32_t b : tf.rehomed_serving[j])
+          if (b < c.n || b >= c.n + c.k)
+            return fail("rehomed serving id not a BS");
+        if (c.scheme == SlotScheme::kSchemeC &&
+            tf.rehomed_serving[j].size() != 1)
+          return fail("scheme C re-home must be exactly 1 BS");
+      }
+    }
+  }
   return true;
 }
 
 /// Serial structural replay: slot monotonicity, packet existence/location,
-/// queue bounds and wired-credit feasibility are global properties of the
-/// interleaved stream, so they run once on the calling thread.
-void replay_global(const Trace& trace, TraceVerdict& verdict,
-                   ViolationSink& sink) {
+/// queue bounds, fault-timeline consistency and wired-credit feasibility
+/// are global properties of the interleaved stream, so they run once on
+/// the calling thread.
+void replay_global(const Trace& trace, const FaultModel& fm,
+                   TraceVerdict& verdict, ViolationSink& sink) {
   const TraceContext& c = trace.context;
   const std::uint32_t num_nodes = c.n + c.k;
 
@@ -330,9 +509,46 @@ void replay_global(const Trace& trace, TraceVerdict& verdict,
   struct Edge {
     double credit = 0.0;
     std::uint64_t last = 0;
+    double scale = 1.0;
+    std::size_t next_change = 0;  // cursor into fm.scale_changes entry
   };
   std::map<std::pair<std::uint32_t, std::uint32_t>, Edge> wires;
   const double cap = std::max(1.0, 4.0 * c.wired_c);
+  std::size_t marker_cursor = 0;
+
+  // Piecewise credit accrual through the end of `slot`, honoring every
+  // scale change the timeline schedules up to it (a change at slot t
+  // applies from t onward; severing dumps the bucket, as the simulator
+  // does). With no changes this reduces to the historical one-step
+  // accrual — a sound upper bound on the simulator's credit, which starts
+  // accruing only at first use.
+  const auto accrue = [&](Edge& w, const std::pair<std::uint32_t,
+                                                   std::uint32_t>& key,
+                          std::uint32_t slot) {
+    const auto it = fm.scale_changes.find(key);
+    if (it != fm.scale_changes.end()) {
+      const auto& changes = it->second;
+      while (w.next_change < changes.size() &&
+             changes[w.next_change].first <= slot) {
+        const std::uint64_t at = changes[w.next_change].first;
+        if (at > w.last) {
+          w.credit = std::min(
+              cap, w.credit + c.wired_c * w.scale *
+                       static_cast<double>(at - w.last));
+          w.last = at;
+        }
+        w.scale = changes[w.next_change].second;
+        if (w.scale == 0.0) w.credit = 0.0;
+        ++w.next_change;
+      }
+    }
+    const std::uint64_t now = static_cast<std::uint64_t>(slot) + 1;
+    if (now > w.last) {
+      w.credit = std::min(cap, w.credit + c.wired_c * w.scale *
+                                   static_cast<double>(now - w.last));
+      w.last = now;
+    }
+  };
 
   // Removes the FIFO-first packet of `flow` at `node`; false if absent.
   const auto take = [&](std::uint32_t node, std::uint32_t flow) {
@@ -371,6 +587,10 @@ void replay_global(const Trace& trace, TraceVerdict& verdict,
           sink.add("event_range", i, describe_event(e));
           break;
         }
+        if (fm.is_down(e.to, e.slot))
+          sink.add("dead_bs", i,
+                   "inject targets a BS the timeline has down: " +
+                       describe_event(e));
         put(e.to, e.flow, i);
         ++verdict.injected;
         break;
@@ -398,20 +618,22 @@ void replay_global(const Trace& trace, TraceVerdict& verdict,
           sink.add("packet_not_at_node", i, describe_event(e));
           break;
         }
+        if (fm.is_down(e.from, e.slot) || fm.is_down(e.to, e.slot))
+          sink.add("dead_bs", i,
+                   "wired forward touches a BS the timeline has down: " +
+                       describe_event(e));
         if (e.from != e.to) {
           // Feasibility bound: the most credit the edge can legally hold
-          // is continuous accrual since slot 0, clamped by the bucket.
-          // The simulator is stricter (accrual starts at first use), so
+          // is continuous accrual since slot 0 (piecewise over the
+          // timeline's scale changes), clamped by the bucket. The
+          // simulator is stricter (accrual starts at first use), so
           // every honestly captured trace passes; a forward the bucket
           // could never have funded fails.
-          auto key = std::minmax(e.from, e.to);
-          Edge& w = wires[{key.first, key.second}];
-          const std::uint64_t now = static_cast<std::uint64_t>(e.slot) + 1;
-          if (now > w.last) {
-            w.credit = std::min(
-                cap, w.credit + c.wired_c * static_cast<double>(now - w.last));
-            w.last = now;
-          }
+          const auto mm = std::minmax(e.from, e.to);
+          const std::pair<std::uint32_t, std::uint32_t> key{mm.first,
+                                                            mm.second};
+          Edge& w = wires[key];
+          accrue(w, key, e.slot);
           if (w.credit < 1.0 - kCreditSlack) {
             std::ostringstream os;
             os << "edge (" << key.first << "," << key.second
@@ -435,6 +657,10 @@ void replay_global(const Trace& trace, TraceVerdict& verdict,
           sink.add("event_range", i, describe_event(e));
           break;
         }
+        if (fm.is_down(e.from, e.slot))
+          sink.add("dead_bs", i,
+                   "delivery from a BS the timeline has down: " +
+                       describe_event(e));
         if (!take(e.from, e.flow)) {
           sink.add("packet_not_at_node", i, describe_event(e));
           break;
@@ -442,23 +668,64 @@ void replay_global(const Trace& trace, TraceVerdict& verdict,
         ++verdict.delivered;
         break;
       case TraceEventKind::kDrop:
-        sink.add("drop_forbidden", i,
-                 "the simulator models backpressure, never loss: " +
-                     describe_event(e));
-        take(e.from, e.flow);  // keep replaying past the corrupt event
+        // Legal only as queue loss at a BS the timeline downs this slot.
+        if (e.from != e.to ||
+            fm.down_at.find({e.slot, e.from}) == fm.down_at.end())
+          sink.add("drop_forbidden", i,
+                   "a drop is legal only at a BS going down this slot: " +
+                       describe_event(e));
+        if (!take(e.from, e.flow))
+          sink.add("packet_not_at_node", i, describe_event(e));
+        ++verdict.dropped;
+        break;
+      case TraceEventKind::kBsDown:
+      case TraceEventKind::kBsUp:
+      case TraceEventKind::kWireScale:
+        // Markers must reproduce the timeline exactly, in order. State is
+        // applied from the timeline, so a corrupted marker cannot
+        // desynchronize the replay.
+        if (marker_cursor >= fm.markers.size() ||
+            !(fm.markers[marker_cursor] == e)) {
+          sink.add("fault_timeline", i,
+                   "stream fault marker does not match the context "
+                   "timeline: " +
+                       describe_event(e));
+        }
+        if (marker_cursor < fm.markers.size()) ++marker_cursor;
+        break;
+      case TraceEventKind::kRehome:
+        if (fm.markers.empty()) {
+          sink.add("fault_timeline", i,
+                   "re-home without a fault timeline: " + describe_event(e));
+          break;
+        }
+        if (e.from != e.to || e.from < c.n || e.from >= num_nodes ||
+            e.hop != 0) {
+          sink.add("event_range", i, describe_event(e));
+          break;
+        }
+        if (fm.is_down(e.from, e.slot))
+          sink.add("dead_bs", i,
+                   "re-home demotion at a BS the timeline has down: " +
+                       describe_event(e));
         break;
     }
   }
 
+  if (marker_cursor != fm.markers.size())
+    sink.add("fault_timeline", trace.events.size(),
+             std::to_string(fm.markers.size() - marker_cursor) +
+                 " timeline fault(s) have no stream marker");
+
   if (trace.footer.injected != verdict.injected ||
       trace.footer.delivered != verdict.delivered ||
-      trace.footer.dropped != 0) {
+      trace.footer.dropped != verdict.dropped) {
     std::ostringstream os;
     os << "footer (injected=" << trace.footer.injected
        << ", delivered=" << trace.footer.delivered
        << ", dropped=" << trace.footer.dropped << ") vs replayed (injected="
        << verdict.injected << ", delivered=" << verdict.delivered
-       << ", dropped=0)";
+       << ", dropped=" << verdict.dropped << ")";
     sink.add("footer_totals", trace.events.size(), os.str());
   }
 }
@@ -467,7 +734,7 @@ void replay_global(const Trace& trace, TraceVerdict& verdict,
 /// two-hop limit, serving-BS membership, flow-window and inject-location
 /// bounds are all functions of one flow's event subsequence, so flows
 /// verify independently (and in parallel).
-void check_flow(const Trace& trace, std::uint32_t f,
+void check_flow(const Trace& trace, const FaultModel& fm, std::uint32_t f,
                 const std::vector<std::uint32_t>& event_ids,
                 std::vector<TraceViolation>& out) {
   const TraceContext& c = trace.context;
@@ -499,8 +766,15 @@ void check_flow(const Trace& trace, std::uint32_t f,
     }
     return fallback;
   };
-  const auto serving_has = [&](std::uint32_t ms, std::uint32_t bs) {
-    const auto& s = c.serving[ms];
+  // Serving sets are slot-dependent under a fault timeline: every
+  // membership check consults the version in force at the event's slot.
+  const auto serving_of =
+      [&](std::uint32_t ms, std::uint32_t slot) -> const auto& {
+    return fm.serving_at(c, ms, slot);
+  };
+  const auto serving_has = [&](std::uint32_t ms, std::uint32_t bs,
+                               std::uint32_t slot) {
+    const auto& s = serving_of(ms, slot);
     return std::find(s.begin(), s.end(), bs) != s.end();
   };
 
@@ -526,7 +800,7 @@ void check_flow(const Trace& trace, std::uint32_t f,
             break;
           case SlotScheme::kSchemeC:
             // Static TDMA: uplink only to the cell's own BS.
-            loc_ok = loc_ok && e.to == c.serving[f][0];
+            loc_ok = loc_ok && e.to == serving_of(f, e.slot)[0];
             break;
         }
         if (!loc_ok) sink.add("inject_location", ei, describe_event(e));
@@ -588,7 +862,7 @@ void check_flow(const Trace& trace, std::uint32_t f,
                    "wired phase must take the packet from hop 0 to hop 1 "
                    "exactly once: " +
                        describe_event(e));
-        if (!serving_has(dst, e.to))
+        if (!serving_has(dst, e.to, e.slot))
           sink.add("serving_bs", ei,
                    "wired target does not serve destination " +
                        std::to_string(dst) + ": " + describe_event(e));
@@ -610,8 +884,8 @@ void check_flow(const Trace& trace, std::uint32_t f,
                          describe_event(e));
           const bool bs_ok =
               c.scheme == SlotScheme::kSchemeC
-                  ? e.from == c.serving[dst][0]
-                  : e.from >= c.n && serving_has(dst, e.from);
+                  ? e.from == serving_of(dst, e.slot)[0]
+                  : e.from >= c.n && serving_has(dst, e.from, e.slot);
           if (!bs_ok)
             sink.add("serving_bs", ei,
                      "delivering BS does not serve destination " +
@@ -621,10 +895,34 @@ void check_flow(const Trace& trace, std::uint32_t f,
         break;
       }
       case TraceEventKind::kDrop: {
-        Pkt* p = find_at(e.from, e.hop);  // global pass flags drop_forbidden
+        // Legality (only at a BS going down this slot) is judged by the
+        // global pass; here the packet just leaves the flow's window.
+        Pkt* p = find_at(e.from, e.hop);
         if (p != nullptr) live.erase(live.begin() + (p - live.data()));
         break;
       }
+      case TraceEventKind::kRehome: {
+        Pkt* p = find_at(e.from, 1);
+        if (p == nullptr) break;  // global pass has no queue move to flag,
+                                  // but a missing packet means corruption
+                                  // elsewhere already reported
+        if (p->hop != 1 || e.hop != 0)
+          sink.add("rehome_hop", ei,
+                   "re-home demotes a hop-1 packet to hop 0: " +
+                       describe_event(e));
+        if (infra && serving_has(dst, e.from, e.slot))
+          sink.add("rehome_legality", ei,
+                   "BS still serves destination " + std::to_string(dst) +
+                       ", demotion unjustified: " + describe_event(e));
+        // Back to the wired phase: the hop 0→1 contract permits exactly
+        // one (re-)forward from here on.
+        p->hop = 0;
+        break;
+      }
+      case TraceEventKind::kBsDown:
+      case TraceEventKind::kBsUp:
+      case TraceEventKind::kWireScale:
+        break;  // markers carry no packet; excluded from the fan-out
     }
   }
 }
@@ -635,7 +933,7 @@ std::string TraceVerdict::summary() const {
   std::ostringstream os;
   os << (ok ? "PASS" : "FAIL") << " injected=" << injected
      << " delivered=" << delivered << " relayed=" << relayed
-     << " wired_forwarded=" << wired_forwarded
+     << " wired_forwarded=" << wired_forwarded << " dropped=" << dropped
      << " violations=" << violations.size() << "\n";
   for (const TraceViolation& v : violations)
     os << "  " << v.invariant << " @event " << v.event_index << ": "
@@ -652,21 +950,27 @@ TraceVerdict verify_trace(const Trace& trace,
     return verdict;
   }
 
-  replay_global(trace, verdict, sink);
+  const FaultModel fault_model = build_fault_model(trace.context);
+  replay_global(trace, fault_model, verdict, sink);
 
   // Per-flow fan-out. Each flow writes a pre-allocated slot; the merge
   // below runs serially in flow order (the same fixed-order absorb
   // discipline run_sweep uses), so the verdict — order, text, everything —
-  // is bit-identical for any thread count.
+  // is bit-identical for any thread count. Fault markers carry flow 0 but
+  // no packet, so they stay out of the fan-out.
   const std::uint32_t n = trace.context.n;
   std::vector<std::vector<std::uint32_t>> by_flow(n);
   for (std::uint32_t i = 0; i < trace.events.size(); ++i) {
+    const TraceEventKind kind = trace.events[i].kind;
+    if (kind == TraceEventKind::kBsDown || kind == TraceEventKind::kBsUp ||
+        kind == TraceEventKind::kWireScale)
+      continue;
     const std::uint32_t f = trace.events[i].flow;
     if (f < n) by_flow[f].push_back(i);
   }
   std::vector<std::vector<TraceViolation>> flow_violations(n);
   const auto check_one = [&](std::size_t f) {
-    check_flow(trace, static_cast<std::uint32_t>(f), by_flow[f],
+    check_flow(trace, fault_model, static_cast<std::uint32_t>(f), by_flow[f],
                flow_violations[f]);
   };
   const std::size_t num_threads =

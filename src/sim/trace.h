@@ -36,8 +36,18 @@ enum class TraceEventKind : std::uint8_t {
                       // packet was already at a serving BS, hop 0→1
                       // promotion without credit spend)
   kDeliver = 3,       // packet handed to its destination
-  kDrop = 4,          // reserved: the simulator never drops today, and the
-                      // checker flags any kDrop as a violation
+  kDrop = 4,          // packet lost with a dying BS's queue (from==to: the
+                      // BS). Legal only at a slot where the fault timeline
+                      // downs that BS; the checker flags any other kDrop.
+  // Fault markers (MCTRACE2): flow and hop are 0, from==to names the BS
+  // (kWireScale: from/to are the edge's endpoints). The checker
+  // cross-checks them against TraceContext::faults; the timeline, not the
+  // marker stream, drives the replay state.
+  kBsDown = 5,        // BS went down at the start of this slot
+  kBsUp = 6,          // BS revived at the start of this slot
+  kWireScale = 7,     // wired edge (from,to) accrual rate re-scaled
+  kRehome = 8,        // hop-1 packet demoted to hop 0 at from(==to): its
+                      // BS stopped serving the destination after a fault
 };
 
 const char* to_string(TraceEventKind k);
@@ -51,6 +61,31 @@ struct TraceEvent {
   std::uint32_t to = 0;    // node receiving it (the destination at deliver)
 
   friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+/// One applied fault, as the simulator resolved it — regional outages are
+/// already expanded to concrete BS ids and every re-homed MS's new serving
+/// set is embedded, so the checker replays the infrastructure timeline
+/// with zero geometry or floating point.
+struct TraceFault {
+  static constexpr std::uint8_t kKindBsDown = 0;
+  static constexpr std::uint8_t kKindBsUp = 1;
+  static constexpr std::uint8_t kKindWireScale = 2;
+
+  std::uint32_t slot = 0;    // faults apply at the start of this slot
+  std::uint8_t kind = kKindBsDown;
+  /// Subject BSs as absolute node ids (≥ n). Down: every BS killed by the
+  /// event (one for `down@`, the whole disk for `region@`), ascending.
+  /// Up: the single revived BS. Wire scale: the edge's two endpoints,
+  /// min first.
+  std::vector<std::uint32_t> bs;
+  double scale = 1.0;  // wire-scale events only (0 = severed)
+  /// MSs whose serving set changed, ascending, with their new serving
+  /// lists (absolute BS node ids) in the parallel table below.
+  std::vector<std::uint32_t> rehomed_ms;
+  std::vector<std::vector<std::uint32_t>> rehomed_serving;
+
+  friend bool operator==(const TraceFault&, const TraceFault&) = default;
 };
 
 /// Everything the checker needs to re-validate a trace without rebuilding
@@ -74,8 +109,12 @@ struct TraceContext {
   std::vector<std::uint32_t> home_cell;
   std::vector<std::vector<std::uint32_t>> paths;
   // Schemes B/C: serving BS ids (absolute node ids ≥ n) per MS. Scheme C
-  // associations hold exactly one BS.
+  // associations hold exactly one BS. This is the slot-0 state; faults
+  // below override it from their slot onward.
   std::vector<std::vector<std::uint32_t>> serving;
+  // Fault timeline, in application order (slots non-decreasing). Empty for
+  // a fault-free run — such traces encode to the legacy MCTRACE1 bytes.
+  std::vector<TraceFault> faults;
 
   friend bool operator==(const TraceContext&, const TraceContext&) = default;
 };
@@ -105,7 +144,9 @@ class Trace {
   }
 
   /// Serializes to the MCTRACE1 binary format (varint-packed, FNV-1a
-  /// checksummed). Deterministic: equal traces encode to equal bytes.
+  /// checksummed), or MCTRACE2 when the context carries a fault timeline —
+  /// fault-free traces stay byte-identical to pre-fault builds.
+  /// Deterministic: equal traces encode to equal bytes.
   std::vector<std::uint8_t> encode() const;
 
   /// Parses bytes produced by encode(). Throws manetcap::CheckError on a
@@ -147,6 +188,7 @@ struct TraceVerdict {
   std::uint64_t delivered = 0;
   std::uint64_t relayed = 0;
   std::uint64_t wired_forwarded = 0;
+  std::uint64_t dropped = 0;  // BS-outage drops (0 for fault-free traces)
 
   /// Deterministic multi-line report ("PASS …" / "FAIL …" + one line per
   /// violation) — the string two thread counts must agree on bit-for-bit.

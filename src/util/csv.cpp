@@ -21,18 +21,51 @@ std::string csv_escape(const std::string& field) {
 
 CsvWriter::CsvWriter(const std::string& path,
                      const std::vector<std::string>& header)
-    : out_(path), cols_(header.size()) {
+    : out_(path), path_(path), cols_(header.size()) {
   if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
   MANETCAP_CHECK(cols_ > 0);
   write_row(header);
+  check_stream();
+}
+
+CsvWriter::~CsvWriter() {
+  // Best-effort only: a destructor must not throw. Callers that need the
+  // error (every artifact writer should) call close() explicitly.
+  if (out_.is_open()) {
+    out_.flush();
+    out_.close();
+  }
 }
 
 void CsvWriter::add_row(const std::vector<std::string>& row) {
   MANETCAP_CHECK_MSG(row.size() == cols_,
                      "CSV row has " << row.size() << " cells, expected "
                                     << cols_);
+  MANETCAP_CHECK_MSG(out_.is_open(), "CsvWriter: add_row after close: "
+                                         << path_);
   write_row(row);
+  check_stream();
   ++rows_;
+}
+
+void CsvWriter::close() {
+  if (!out_.is_open()) return;
+  out_.flush();
+  check_stream();
+  out_.close();
+  if (out_.fail())
+    throw std::runtime_error("CsvWriter: close failed: " + path_);
+}
+
+/// Flush-and-check after every row: an ofstream buffers, so a failed
+/// write (ENOSPC, EIO) would otherwise only surface — or worse, vanish —
+/// at destruction, long after the caller reported success.
+void CsvWriter::check_stream() {
+  out_.flush();
+  if (!out_)
+    throw std::runtime_error("CsvWriter: write failed (disk full or file "
+                             "unwritable): " +
+                             path_);
 }
 
 void CsvWriter::write_row(const std::vector<std::string>& row) {

@@ -8,22 +8,35 @@
 namespace manetcap::util {
 
 /// Writes rows of comma-separated values with RFC-4180-style quoting.
-/// The writer owns the output stream; the file is flushed on destruction.
+/// The writer owns the output stream. Write failures (disk full,
+/// revoked permissions, dead mount) are detected — every row is flushed
+/// and checked, so a bad stream throws from add_row/close with the path
+/// in the message instead of silently producing a truncated artifact.
 class CsvWriter {
  public:
   /// Opens `path` for writing and emits the header row.
-  /// Throws std::runtime_error if the file cannot be opened.
+  /// Throws std::runtime_error if the file cannot be opened or written.
   CsvWriter(const std::string& path, const std::vector<std::string>& header);
 
+  /// Best-effort close; never throws (use close() to observe errors).
+  ~CsvWriter();
+
   /// Appends one data row; must match the header's column count.
+  /// Throws std::runtime_error if the write does not reach the file.
   void add_row(const std::vector<std::string>& row);
+
+  /// Flushes and closes the file, throwing on any pending write error.
+  /// Idempotent; the destructor calls a non-throwing variant.
+  void close();
 
   std::size_t rows_written() const { return rows_; }
 
  private:
   void write_row(const std::vector<std::string>& row);
+  void check_stream();
 
   std::ofstream out_;
+  std::string path_;
   std::size_t cols_ = 0;
   std::size_t rows_ = 0;
 };

@@ -1,6 +1,7 @@
 #include "util/table.h"
 
 #include <algorithm>
+#include <cmath>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
@@ -73,6 +74,12 @@ std::string fmt_sci(double v, int digits) {
   std::ostringstream os;
   os << std::scientific << std::setprecision(digits) << v;
   return os.str();
+}
+
+std::string fmt_ratio(double value, double baseline, int digits) {
+  if (!std::isfinite(baseline) || baseline <= 0.0 || !std::isfinite(value))
+    return "n/a";
+  return fmt_double(value / baseline, digits);
 }
 
 }  // namespace manetcap::util

@@ -45,4 +45,9 @@ std::string fmt_double(double v, int digits = 4);
 /// Formats a double in scientific notation with `digits` mantissa digits.
 std::string fmt_sci(double v, int digits = 3);
 
+/// Formats value/baseline with `digits` significant digits, or "n/a" when
+/// the baseline is zero, negative or non-finite — degradation tables must
+/// not divide by a dead baseline (a zero-λ baseline used to print inf/nan).
+std::string fmt_ratio(double value, double baseline, int digits = 3);
+
 }  // namespace manetcap::util

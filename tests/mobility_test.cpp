@@ -257,6 +257,42 @@ TEST(PullHomeMobility, NeverLeavesDiskAndIsCorrelated) {
   EXPECT_GT(step_sum / 500.0, 0.0);
 }
 
+TEST(PullHomeMobility, HighRhoStartsNearStationarity) {
+  // Regression: the historical fixed 32-step burn-in left ρ = 0.99 at
+  // 0.99^32 ≈ 0.72 of its initial home-point bias, so the time-zero
+  // ensemble was far tighter than the stationary law. The burn-in now
+  // scales with the mixing time (⌈log ε / log ρ⌉). Stationary E|offset|²
+  // of the untruncated AR(1) is 2·(radius/2.5)²; boundary clipping shaves
+  // a little off the top, while the old under-mixed start sat at ≈ 0.47
+  // of it — well outside the band below.
+  const double radius = 0.05;
+  const int reps = 400;
+  double sum2 = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    PullHomeMobility mob({{0.5, 0.5}}, radius, 1000 + rep, 0.99);
+    sum2 += geom::torus_dist2(mob.positions()[0], {0.5, 0.5});
+  }
+  const double expected = 2.0 * (radius / 2.5) * (radius / 2.5);
+  EXPECT_GT(sum2 / reps, 0.6 * expected);
+  EXPECT_LT(sum2 / reps, 1.4 * expected);
+}
+
+TEST(PullHomeMobility, DefaultRhoMatchesExplicitRho) {
+  // The default-ρ (0.8) burn-in stays at the historical 32 steps
+  // (⌈log 1e−3 / log 0.8⌉ = 31, floored at 32), so runs seeded before the
+  // adaptive burn-in reproduce bit for bit; the golden traces and the
+  // reference-equivalence tests pin that end to end. Here: the default
+  // and an explicit 0.8 are the same process.
+  PullHomeMobility a({{0.3, 0.3}}, 0.05, 53);
+  PullHomeMobility b({{0.3, 0.3}}, 0.05, 53, 0.8);
+  for (int t = 0; t < 5; ++t) {
+    EXPECT_DOUBLE_EQ(a.positions()[0].x, b.positions()[0].x);
+    EXPECT_DOUBLE_EQ(a.positions()[0].y, b.positions()[0].y);
+    a.step();
+    b.step();
+  }
+}
+
 TEST(BrownianTorus, StationaryUniformCoverage) {
   // Unrestricted Brownian motion mixes over the whole torus: after many
   // steps the time-average occupancy of each quadrant approaches 1/4.

@@ -161,6 +161,56 @@ TEST(Network, EveryClusterGetsBs) {
 
 // -------------------------------------------------------------- traffic --
 
+TEST(Network, WithBsSubsetKeepsPositionClusterAlignment) {
+  // Every surviving BS must keep its (position, cluster) pairing — the
+  // two arrays are compacted in one pass and a mismatch would silently
+  // re-home the fluid scheme-B evaluation after an outage.
+  auto net = Network::build(clustered_params(),
+                            mobility::ShapeKind::kUniformDisk,
+                            BsPlacement::kClusteredMatched, 17);
+  ASSERT_GT(net.num_bs(), 2u);
+  std::vector<bool> keep(net.num_bs(), false);
+  for (std::size_t j = 0; j < keep.size(); j += 2) keep[j] = true;
+  const auto sub = net.with_bs_subset(keep);
+  std::size_t cursor = 0;
+  for (std::size_t j = 0; j < keep.size(); ++j) {
+    if (!keep[j]) continue;
+    EXPECT_DOUBLE_EQ(sub.bs_pos()[cursor].x, net.bs_pos()[j].x);
+    EXPECT_DOUBLE_EQ(sub.bs_pos()[cursor].y, net.bs_pos()[j].y);
+    EXPECT_EQ(sub.bs_cluster()[cursor], net.bs_cluster()[j]);
+    ++cursor;
+  }
+  EXPECT_EQ(sub.num_bs(), cursor);
+  EXPECT_EQ(sub.bs_cluster().size(), cursor);
+  // The MS side and the scaling parameters are untouched: surviving
+  // wires keep their per-edge capacity c(n).
+  EXPECT_EQ(sub.num_ms(), net.num_ms());
+  EXPECT_DOUBLE_EQ(sub.params().phi, net.params().phi);
+}
+
+TEST(Network, WithBsSubsetEdgeCases) {
+  auto net = Network::build(strong_params(256),
+                            mobility::ShapeKind::kUniformDisk,
+                            BsPlacement::kClusteredMatched, 19);
+  // keep-all is the identity on the BS arrays.
+  const auto all = net.with_bs_subset(
+      std::vector<bool>(net.num_bs(), true));
+  ASSERT_EQ(all.num_bs(), net.num_bs());
+  for (std::size_t j = 0; j < net.num_bs(); ++j) {
+    EXPECT_DOUBLE_EQ(all.bs_pos()[j].x, net.bs_pos()[j].x);
+    EXPECT_EQ(all.bs_cluster()[j], net.bs_cluster()[j]);
+  }
+  // keep-none leaves a BS-free network (the no-infrastructure shape).
+  const auto none = net.with_bs_subset(
+      std::vector<bool>(net.num_bs(), false));
+  EXPECT_EQ(none.num_bs(), 0u);
+  EXPECT_TRUE(none.bs_cluster().empty());
+  EXPECT_EQ(none.num_ms(), net.num_ms());
+  // A mask of the wrong size is a named error, not UB.
+  EXPECT_THROW(net.with_bs_subset(std::vector<bool>(net.num_bs() + 1, true)),
+               CheckError);
+}
+
 TEST(Traffic, ProducesValidPermutation) {
   rng::Xoshiro256 g(5);
   for (std::size_t n : {2u, 3u, 10u, 1001u}) {

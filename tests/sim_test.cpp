@@ -858,6 +858,356 @@ TEST(SlotSimAudit, FullQueuesAreCountedNotSilent) {
   EXPECT_EQ(r.injected, r.delivered_lifetime + r.queued_end + r.dropped);
 }
 
+TEST(Fluid, ForcedSchemeADegeneracyIsSurfaced) {
+  // Regression: forcing scheme A on an instance whose squarelet grid is
+  // too small (f(n) = Θ(1) → fewer than kMinGrid cells) used to report
+  // the degenerate evaluation as if it were a capacity. The outcome now
+  // zeroes λ and labels the scheme so ablation tables can't mistake a
+  // non-running scheme for a zero-capacity one.
+  net::ScalingParams p = strong_params(512, /*with_bs=*/false);
+  p.alpha = 0.0;  // full mixing: the mobility disk covers the torus
+  FluidOptions opt;
+  opt.seed = 11;
+  opt.force = FluidOptions::ForceScheme::kA;
+  const auto out = evaluate_capacity(p, opt);
+  EXPECT_EQ(out.lambda, 0.0);
+  EXPECT_EQ(out.lambda_symmetric, 0.0);
+  EXPECT_NE(out.scheme.find("degenerate"), std::string::npos) << out.scheme;
+  // A healthy grid keeps the plain forced label and a positive rate.
+  const auto ok = evaluate_capacity(strong_params(4096, /*with_bs=*/false),
+                                    opt);
+  EXPECT_GT(ok.lambda, 0.0);
+  EXPECT_EQ(ok.scheme.find("degenerate"), std::string::npos) << ok.scheme;
+}
+
+// --------------------------------------------------------------- faults --
+
+// Shared scheme-B fault fixture: strong-regime instance with a plan that
+// exercises every fault kind at distinct slots.
+FaultPlan mixed_plan(std::size_t warmup) {
+  FaultPlan plan;
+  FaultEvent e;
+  e.slot = static_cast<std::uint32_t>(warmup);
+  e.kind = FaultKind::kBsDown;
+  e.bs = 0;
+  plan.events.push_back(e);
+  e = {};
+  e.slot = static_cast<std::uint32_t>(warmup + 200);
+  e.kind = FaultKind::kWireScale;
+  e.bs = 1;
+  e.bs2 = 2;
+  e.scale = 0.25;
+  plan.events.push_back(e);
+  e = {};
+  e.slot = static_cast<std::uint32_t>(warmup + 400);
+  e.kind = FaultKind::kBsUp;
+  e.bs = 0;
+  plan.events.push_back(e);
+  return plan;
+}
+
+TEST(SlotSimFault, EmptyPlanIsExactlyFaultFree) {
+  // Null plan, empty plan and no plan must be the same run bit for bit —
+  // the fault machinery is all behind `faults_ != nullptr` guards.
+  auto p = strong_params(256);
+  auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
+                                 net::BsPlacement::kClusteredMatched, 331);
+  rng::Xoshiro256 g(337);
+  auto dest = net::permutation_traffic(p.n, g);
+  SlotSimOptions opt;
+  opt.scheme = SlotScheme::kSchemeB;
+  opt.slots = 1500;
+  opt.warmup = 300;
+  opt.seed = 347;
+  const auto plain = run_slot_sim(net, dest, opt);
+  const FaultPlan empty;
+  opt.faults = &empty;
+  const auto with_empty = run_slot_sim(net, dest, opt);
+  EXPECT_EQ(plain.total_delivered, with_empty.total_delivered);
+  EXPECT_EQ(plain.injected, with_empty.injected);
+  EXPECT_EQ(plain.queued_end, with_empty.queued_end);
+  EXPECT_DOUBLE_EQ(plain.mean_flow_rate, with_empty.mean_flow_rate);
+  EXPECT_DOUBLE_EQ(plain.pairs_per_slot, with_empty.pairs_per_slot);
+  EXPECT_EQ(with_empty.dropped, 0u);
+  EXPECT_EQ(with_empty.dropped_bs_outage, 0u);
+}
+
+TEST(SlotSimFault, ConservationClosesUnderMixedFaultsSchemeB) {
+  auto p = strong_params(256);
+  auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
+                                 net::BsPlacement::kClusteredMatched, 331);
+  rng::Xoshiro256 g(337);
+  auto dest = net::permutation_traffic(p.n, g);
+  SlotSimOptions opt;
+  opt.scheme = SlotScheme::kSchemeB;
+  opt.slots = 2000;
+  opt.warmup = 400;
+  opt.seed = 347;
+  const FaultPlan plan = mixed_plan(opt.warmup);
+  opt.faults = &plan;
+  Metrics m;
+  opt.metrics = &m;
+  const auto r = run_slot_sim(net, dest, opt);
+  // The conservation identity closes with drops in the ledger (also
+  // checked internally, including window == injected − delivered −
+  // dropped: a dropped packet must release its flow-control slot).
+  EXPECT_EQ(r.injected, r.delivered_lifetime + r.queued_end + r.dropped);
+  EXPECT_EQ(r.dropped, r.dropped_bs_outage);
+  EXPECT_EQ(m.count(Counter::kDroppedBsOutage), r.dropped_bs_outage);
+  EXPECT_EQ(m.count(Counter::kDropped), r.dropped);
+  // BS 0 served someone (ClusteredMatched puts a BS in every populated
+  // cluster), so killing it re-homed at least one MS.
+  EXPECT_GT(m.count(Counter::kMsRehomed), 0u);
+  // Saturated sources keep BS queues non-empty; the dying queue dropped.
+  EXPECT_GT(r.dropped_bs_outage, 0u);
+  // The run survived the outage: packets still flow.
+  EXPECT_GT(r.delivered_lifetime, 0u);
+}
+
+TEST(SlotSimFault, ConservationClosesUnderRegionalOutageSchemeC) {
+  auto p = trivial_params(512);
+  auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
+                                 net::BsPlacement::kClusterGrid, 353);
+  rng::Xoshiro256 g(359);
+  auto dest = net::permutation_traffic(p.n, g);
+  SlotSimOptions opt;
+  opt.scheme = SlotScheme::kSchemeC;
+  opt.slots = 2000;
+  opt.warmup = 400;
+  opt.seed = 367;
+  FaultPlan plan;
+  FaultEvent e;
+  e.slot = static_cast<std::uint32_t>(opt.warmup);
+  e.kind = FaultKind::kRegional;
+  e.center = {0.5, 0.5};
+  e.radius = 0.25;
+  plan.events.push_back(e);
+  opt.faults = &plan;
+  Metrics m;
+  m.enable_series(opt.slots);
+  opt.metrics = &m;
+  const auto r = run_slot_sim(net, dest, opt);
+  EXPECT_EQ(r.injected, r.delivered_lifetime + r.queued_end + r.dropped);
+  EXPECT_EQ(r.dropped, r.dropped_bs_outage);
+  // The disk actually killed BSs (ClusterGrid covers the torus) and the
+  // survivors re-colored and kept serving.
+  const std::size_t k = net.num_bs();
+  ASSERT_FALSE(m.series().empty());
+  EXPECT_EQ(m.series().front().live_bs, k);
+  EXPECT_LT(m.series().back().live_bs, k);
+  EXPECT_GT(m.series().back().live_bs, 0u);
+  EXPECT_GT(m.count(Counter::kMsRehomed), 0u);
+  EXPECT_GT(r.delivered_lifetime, 0u);
+}
+
+TEST(SlotSimFault, LiveBsSeriesTracksDownAndUp) {
+  auto p = strong_params(256);
+  auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
+                                 net::BsPlacement::kClusteredMatched, 331);
+  rng::Xoshiro256 g(337);
+  auto dest = net::permutation_traffic(p.n, g);
+  SlotSimOptions opt;
+  opt.scheme = SlotScheme::kSchemeB;
+  opt.slots = 1500;
+  opt.warmup = 300;
+  opt.seed = 347;
+  const FaultPlan plan = mixed_plan(opt.warmup);
+  opt.faults = &plan;
+  Metrics m;
+  m.enable_series(opt.slots);
+  opt.metrics = &m;
+  run_slot_sim(net, dest, opt);
+  const std::size_t k = net.num_bs();
+  const auto& s = m.series();
+  ASSERT_EQ(s.size(), opt.slots);
+  EXPECT_EQ(s[opt.warmup - 1].live_bs, k);       // before the outage
+  EXPECT_EQ(s[opt.warmup].live_bs, k - 1);       // BS 0 down
+  EXPECT_EQ(s[opt.warmup + 400].live_bs, k);     // BS 0 back up
+  EXPECT_EQ(s.back().live_bs, k);
+}
+
+TEST(SlotSimFault, RequiresInfrastructureScheme) {
+  // A network that HAS base stations, driven by scheme A (which ignores
+  // them): the plan passes shape validation and the scheme gate throws.
+  auto p = strong_params(128);
+  auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
+                                 net::BsPlacement::kClusteredMatched, 373);
+  rng::Xoshiro256 g(379);
+  auto dest = net::permutation_traffic(p.n, g);
+  SlotSimOptions opt;
+  opt.scheme = SlotScheme::kSchemeA;
+  opt.slots = 100;
+  opt.warmup = 10;
+  FaultPlan plan;
+  FaultEvent e;
+  e.slot = 50;
+  e.kind = FaultKind::kBsDown;
+  e.bs = 0;
+  plan.events.push_back(e);
+  opt.faults = &plan;
+  try {
+    run_slot_sim(net, dest, opt);
+    FAIL() << "fault plan on scheme A must throw";
+  } catch (const CheckError& err) {
+    EXPECT_NE(std::string(err.what()).find("infrastructure"),
+              std::string::npos)
+        << err.what();
+  }
+}
+
+TEST(SlotSimFault, RefusesToKillLastLiveBs) {
+  auto p = strong_params(256);
+  auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
+                                 net::BsPlacement::kClusteredMatched, 383);
+  rng::Xoshiro256 g(389);
+  auto dest = net::permutation_traffic(p.n, g);
+  SlotSimOptions opt;
+  opt.scheme = SlotScheme::kSchemeB;
+  opt.slots = 200;
+  opt.warmup = 20;
+  FaultPlan plan;
+  for (std::uint32_t l = 0; l < net.num_bs(); ++l) {
+    FaultEvent e;
+    e.slot = 50;
+    e.kind = FaultKind::kBsDown;
+    e.bs = l;
+    plan.events.push_back(e);
+  }
+  opt.faults = &plan;
+  try {
+    run_slot_sim(net, dest, opt);
+    FAIL() << "downing every BS must throw";
+  } catch (const CheckError& err) {
+    EXPECT_NE(std::string(err.what()).find("no live base station"),
+              std::string::npos)
+        << err.what();
+  }
+}
+
+TEST(SlotSimFault, PlanValidationNamesEachError) {
+  const auto expect_invalid = [](const FaultPlan& plan, std::size_t k,
+                                 std::size_t slots,
+                                 const std::string& needle) {
+    try {
+      plan.validate(k, slots);
+      FAIL() << "expected validation error containing '" << needle << "'";
+    } catch (const CheckError& err) {
+      EXPECT_NE(std::string(err.what()).find(needle), std::string::npos)
+          << err.what();
+    }
+  };
+  FaultEvent down;
+  down.slot = 10;
+  down.kind = FaultKind::kBsDown;
+  down.bs = 0;
+
+  {  // decreasing slots
+    FaultPlan plan;
+    plan.events.push_back(down);
+    FaultEvent earlier = down;
+    earlier.slot = 5;
+    plan.events.push_back(earlier);
+    expect_invalid(plan, 4, 100, "slot order");
+  }
+  {  // event beyond the run
+    FaultPlan plan;
+    FaultEvent e = down;
+    e.slot = 100;
+    plan.events.push_back(e);
+    expect_invalid(plan, 4, 100, ">= slots");
+  }
+  {  // BS index out of range
+    FaultPlan plan;
+    FaultEvent e = down;
+    e.bs = 4;
+    plan.events.push_back(e);
+    expect_invalid(plan, 4, 100, "BS index");
+  }
+  {  // wired self-loop
+    FaultPlan plan;
+    FaultEvent e;
+    e.slot = 10;
+    e.kind = FaultKind::kWireScale;
+    e.bs = 1;
+    e.bs2 = 1;
+    e.scale = 0.5;
+    plan.events.push_back(e);
+    expect_invalid(plan, 4, 100, "must differ");
+  }
+  {  // scale out of [0, 1]
+    FaultPlan plan;
+    FaultEvent e;
+    e.slot = 10;
+    e.kind = FaultKind::kWireScale;
+    e.bs = 0;
+    e.bs2 = 1;
+    e.scale = 1.5;
+    plan.events.push_back(e);
+    expect_invalid(plan, 4, 100, "scale");
+  }
+  {  // negative radius
+    FaultPlan plan;
+    FaultEvent e;
+    e.slot = 10;
+    e.kind = FaultKind::kRegional;
+    e.center = {0.5, 0.5};
+    e.radius = -0.1;
+    plan.events.push_back(e);
+    expect_invalid(plan, 4, 100, "radius");
+  }
+}
+
+TEST(SlotSimFault, ParseRoundTripsTheGrammar) {
+  const FaultPlan plan = FaultPlan::parse(
+      "down@10:3; wire@20:1-2x0.5; region@30:0.25,0.75,0.1; up@40:3");
+  ASSERT_EQ(plan.events.size(), 4u);
+  EXPECT_EQ(plan.events[0].kind, FaultKind::kBsDown);
+  EXPECT_EQ(plan.events[0].slot, 10u);
+  EXPECT_EQ(plan.events[0].bs, 3u);
+  EXPECT_EQ(plan.events[1].kind, FaultKind::kWireScale);
+  EXPECT_EQ(plan.events[1].bs, 1u);
+  EXPECT_EQ(plan.events[1].bs2, 2u);
+  EXPECT_DOUBLE_EQ(plan.events[1].scale, 0.5);
+  EXPECT_EQ(plan.events[2].kind, FaultKind::kRegional);
+  EXPECT_DOUBLE_EQ(plan.events[2].center.x, 0.25);
+  EXPECT_DOUBLE_EQ(plan.events[2].center.y, 0.75);
+  EXPECT_DOUBLE_EQ(plan.events[2].radius, 0.1);
+  EXPECT_EQ(plan.events[3].kind, FaultKind::kBsUp);
+  plan.validate(4, 100);
+  EXPECT_FALSE(plan.describe().empty());
+
+  EXPECT_THROW(FaultPlan::parse("explode@10:3"), CheckError);
+  EXPECT_THROW(FaultPlan::parse("down@10"), CheckError);
+  EXPECT_THROW(FaultPlan::parse("wire@20:1-2"), CheckError);
+  EXPECT_THROW(FaultPlan::parse("down@ten:3"), CheckError);
+  EXPECT_TRUE(FaultPlan::parse("").empty());
+}
+
+TEST(SlotSimFault, ReferenceSimRejectsFaultPlans) {
+  auto p = strong_params(128);
+  auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
+                                 net::BsPlacement::kClusteredMatched, 397);
+  rng::Xoshiro256 g(401);
+  auto dest = net::permutation_traffic(p.n, g);
+  SlotSimOptions opt;
+  opt.scheme = SlotScheme::kSchemeB;
+  opt.slots = 100;
+  opt.warmup = 10;
+  FaultPlan plan;
+  FaultEvent e;
+  e.slot = 50;
+  e.kind = FaultKind::kBsDown;
+  e.bs = 0;
+  plan.events.push_back(e);
+  opt.faults = &plan;
+  EXPECT_THROW(run_slot_sim_reference(net, dest, opt), CheckError);
+  // An empty plan is fine — it is exactly a fault-free run.
+  const FaultPlan empty;
+  opt.faults = &empty;
+  const auto r = run_slot_sim_reference(net, dest, opt);
+  EXPECT_GT(r.injected, 0u);
+}
+
 TEST(Sweep, MetricsAggregateAcrossCellsAndThreads) {
   // When the sweep aggregates audit counters, every (size, trial) cell
   // receives a fresh registry via EvalContext::metrics and the registries

@@ -273,6 +273,163 @@ TEST(TraceGolden, CommittedFilesVerify) {
   }
 }
 
+// --------------------------------------------------------------- faults --
+
+// Replicates capture_trace with a fault plan attached (GoldenTraceSpec has
+// no fault field on purpose: goldens stay fault-free and byte-stable).
+Trace capture_with_faults(const GoldenTraceSpec& spec, const FaultPlan& plan,
+                          SlotSimResult* result = nullptr) {
+  const auto net =
+      net::Network::build(spec.params, mobility::ShapeKind::kUniformDisk,
+                          spec.placement, spec.net_seed);
+  rng::Xoshiro256 g(spec.traffic_seed);
+  const auto dest = net::permutation_traffic(spec.params.n, g);
+  Trace trace;
+  SlotSimOptions opt;
+  opt.scheme = spec.scheme;
+  opt.slots = spec.slots;
+  opt.warmup = spec.warmup;
+  opt.seed = spec.sim_seed;
+  opt.trace = &trace;
+  opt.faults = &plan;
+  const SlotSimResult r = run_slot_sim(net, dest, opt);
+  if (result != nullptr) *result = r;
+  return trace;
+}
+
+FaultPlan scheme_b_plan() {
+  FaultPlan plan;
+  FaultEvent e;
+  e.slot = 200;
+  e.kind = FaultKind::kBsDown;
+  e.bs = 0;
+  plan.events.push_back(e);
+  e = {};
+  e.slot = 300;
+  e.kind = FaultKind::kWireScale;
+  e.bs = 0;
+  e.bs2 = 1;
+  e.scale = 0.5;
+  plan.events.push_back(e);
+  e = {};
+  e.slot = 400;
+  e.kind = FaultKind::kBsUp;
+  e.bs = 0;
+  plan.events.push_back(e);
+  return plan;
+}
+
+TEST(TraceFault, FaultedTraceUsesV2MagicAndRoundTrips) {
+  const Trace trace = capture_with_faults(spec_by_name("scheme_b"),
+                                          scheme_b_plan());
+  ASSERT_FALSE(trace.context.faults.empty());
+  const auto bytes = trace.encode();
+  ASSERT_GE(bytes.size(), 8u);
+  EXPECT_EQ(std::string(bytes.begin(), bytes.begin() + 8), "MCTRACE2");
+  const Trace back = Trace::decode(bytes);
+  EXPECT_EQ(back.context, trace.context);  // TraceFault == covers the tables
+  EXPECT_EQ(back.events, trace.events);
+  EXPECT_EQ(back.footer, trace.footer);
+
+  // Fault-free captures must keep the legacy magic (byte-stable goldens).
+  const auto legacy = capture_trace(spec_by_name("scheme_b")).encode();
+  ASSERT_GE(legacy.size(), 8u);
+  EXPECT_EQ(std::string(legacy.begin(), legacy.begin() + 8), "MCTRACE1");
+}
+
+TEST(TraceFault, VerifierAcceptsFaultedSchemeB) {
+  SlotSimResult result;
+  const Trace trace = capture_with_faults(spec_by_name("scheme_b"),
+                                          scheme_b_plan(), &result);
+  const TraceVerdict verdict = verify_trace(trace);
+  EXPECT_TRUE(verdict.ok) << verdict.summary();
+  EXPECT_EQ(verdict.dropped, trace.footer.dropped);
+  EXPECT_EQ(verdict.dropped, result.dropped_bs_outage);
+  // The plan had teeth: a down marker and at least one re-homed MS.
+  ASSERT_FALSE(trace.context.faults.empty());
+  EXPECT_FALSE(trace.context.faults.front().rehomed_ms.empty());
+}
+
+TEST(TraceFault, VerifierAcceptsRegionalSchemeC) {
+  FaultPlan plan;
+  FaultEvent e;
+  e.slot = 250;
+  e.kind = FaultKind::kRegional;
+  e.center = {0.5, 0.5};
+  e.radius = 0.3;
+  plan.events.push_back(e);
+  SlotSimResult result;
+  const Trace trace =
+      capture_with_faults(spec_by_name("scheme_c"), plan, &result);
+  // The regional event resolves to concrete BS ids in the timeline.
+  ASSERT_FALSE(trace.context.faults.empty());
+  EXPECT_GT(trace.context.faults.front().bs.size(), 0u);
+  const TraceVerdict verdict = verify_trace(trace);
+  EXPECT_TRUE(verdict.ok) << verdict.summary();
+  EXPECT_EQ(verdict.dropped, result.dropped_bs_outage);
+}
+
+TEST(TraceFault, EventTouchingDeadBsIsRejected) {
+  FaultPlan plan;
+  FaultEvent down;
+  down.slot = 200;
+  down.kind = FaultKind::kBsDown;
+  down.bs = 0;
+  plan.events.push_back(down);  // BS 0 stays dead to the end
+  Trace trace = capture_with_faults(spec_by_name("scheme_b"), plan);
+  const std::uint32_t dead = trace.context.n;  // BS 0's absolute node id
+  bool mutated = false;
+  for (auto& e : trace.events) {
+    if (e.kind == TraceEventKind::kDeliver && e.slot > 200 &&
+        e.from != dead) {
+      e.from = dead;  // claim a dead BS handed the packet over
+      mutated = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(mutated);
+  const TraceVerdict verdict = verify_trace(trace);
+  EXPECT_FALSE(verdict.ok);
+  EXPECT_TRUE(has_violation(verdict, "dead_bs")) << verdict.summary();
+}
+
+TEST(TraceFault, CorruptedMarkerIsRejected) {
+  Trace trace = capture_with_faults(spec_by_name("scheme_b"),
+                                    scheme_b_plan());
+  bool mutated = false;
+  for (auto& e : trace.events) {
+    if (e.kind == TraceEventKind::kBsDown) {
+      // Marker claims a different BS died than the timeline recorded.
+      e.from += 1;
+      e.to += 1;
+      mutated = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(mutated);
+  const TraceVerdict verdict = verify_trace(trace);
+  EXPECT_FALSE(verdict.ok);
+  EXPECT_TRUE(has_violation(verdict, "fault_timeline")) << verdict.summary();
+}
+
+TEST(TraceFault, ForgedDropIsRejected) {
+  SlotSimResult result;
+  Trace trace = capture_with_faults(spec_by_name("scheme_b"),
+                                    scheme_b_plan(), &result);
+  // A drop at a slot where the timeline downs no BS is illegal even in a
+  // faulted trace.
+  TraceEvent drop;
+  drop.kind = TraceEventKind::kDrop;
+  drop.slot = trace.events.back().slot;
+  drop.flow = 0;
+  drop.from = trace.context.n + 1;  // BS 1 — alive throughout
+  drop.to = drop.from;
+  trace.events.push_back(drop);
+  const TraceVerdict verdict = verify_trace(trace);
+  EXPECT_FALSE(verdict.ok);
+  EXPECT_TRUE(has_violation(verdict, "drop_forbidden")) << verdict.summary();
+}
+
 // ------------------------------------------------- scheme C starvation --
 
 // Regression: the scheme-C downlink used to scan only the first

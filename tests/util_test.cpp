@@ -116,6 +116,48 @@ TEST(Csv, RowLengthMismatchThrows) {
   std::remove(path.c_str());
 }
 
+TEST(Csv, UnopenablePathThrowsNamingThePath) {
+  const std::string path =
+      ::testing::TempDir() + "/no_such_dir_manetcap/out.csv";
+  try {
+    util::CsvWriter w(path, {"a"});
+    FAIL() << "expected runtime_error for unopenable path";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Csv, WriteFailureSurfacesImmediately) {
+  // Regression: CsvWriter used to buffer through std::ofstream and never
+  // check the stream, so a full disk silently produced a truncated CSV
+  // while the bench reported success. Every add_row now flushes and
+  // checks. /dev/full accepts the open and fails every flush with ENOSPC
+  // — the canonical disk-full simulation; skip where it is absent.
+  std::ofstream probe("/dev/full");
+  if (!probe.is_open()) GTEST_SKIP() << "/dev/full not available";
+  try {
+    // The header flush in the constructor may already fail; if the libc
+    // defers it, the first row's flush must.
+    util::CsvWriter w("/dev/full", {"a", "b"});
+    w.add_row({"1", "2"});
+    FAIL() << "expected runtime_error on disk-full write";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("/dev/full"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Csv, AddRowAfterCloseThrows) {
+  const std::string path = ::testing::TempDir() + "/manetcap_csv_close.csv";
+  util::CsvWriter w(path, {"a"});
+  w.add_row({"1"});
+  w.close();
+  EXPECT_THROW(w.add_row({"2"}), CheckError);
+  w.close();  // idempotent: closing twice is a no-op
+  std::remove(path.c_str());
+}
+
 // ---------------------------------------------------------------- flags --
 
 TEST(Flags, ParsesEqualsAndSpaceForms) {

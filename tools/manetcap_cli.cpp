@@ -64,6 +64,9 @@ constexpr FlagSpec kFlagSpecs[] = {
     {"mobility", "iid|walk|pull|brownian", "mobility process (default iid)"},
     {"metrics-out", "NAME",
      "write NAME_counters.csv + NAME_series.csv under ./bench_csv"},
+    {"faults", "SPEC",
+     "fault plan (schemes B/C): 'down@SLOT:BS | up@SLOT:BS | "
+     "wire@SLOT:A-BxSCALE | region@SLOT:X,Y,R', ';'-separated"},
 };
 
 const FlagSpec& spec_of(const std::string& name) {
@@ -108,7 +111,7 @@ const std::vector<Subcommand>& subcommands() {
        &cmd_sweep},
       {"simulate", "slot-level packet simulation",
        with_params({"scheme", "slots", "warmup", "mobility", "seed",
-                    "metrics-out"}),
+                    "metrics-out", "faults"}),
        &cmd_simulate},
       {"phase", "Figure 3 phase-diagram panel for a given phi",
        {"phi"}, &cmd_phase},
@@ -290,6 +293,13 @@ int cmd_simulate(const util::Flags& f) {
     opt.metrics = &metrics;
   }
 
+  const std::string fault_spec = f.get_string("faults", "");
+  sim::FaultPlan faults;
+  if (!fault_spec.empty()) {
+    faults = sim::FaultPlan::parse(fault_spec);
+    opt.faults = &faults;
+  }
+
   auto placement = opt.scheme == sim::SlotScheme::kSchemeC && !p.cluster_free()
                        ? net::BsPlacement::kClusterGrid
                        : net::BsPlacement::kClusteredMatched;
@@ -312,6 +322,10 @@ int cmd_simulate(const util::Flags& f) {
             << "  audit: injected " << r.injected << " = delivered "
             << r.delivered_lifetime << " + queued " << r.queued_end
             << " + dropped " << r.dropped << " (conserved)\n";
+  if (!fault_spec.empty())
+    std::cout << "  faults: " << faults.events.size() << " event(s), "
+              << r.dropped_bs_outage << " packet(s) dropped to BS outages\n"
+              << faults.describe();
   if (!metrics_out.empty()) {
     const auto cpath =
         metrics.write_counters_csv(metrics_out, to_string(opt.scheme));
