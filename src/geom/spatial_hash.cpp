@@ -11,20 +11,34 @@ namespace manetcap::geom {
 SpatialHash::SpatialHash(double radius_hint, std::size_t expected_points) {
   MANETCAP_CHECK_MSG(radius_hint > 0.0, "radius hint must be positive");
   // Bucket side ≈ radius_hint, capped so the bucket table stays O(points).
-  int g = static_cast<int>(std::floor(1.0 / radius_hint));
-  g = std::max(1, std::min(g, 4096));
+  // The clamp happens in the double domain: 1/hint can exceed INT64_MAX
+  // for a denormal hint, so casting before clamping would be UB (and on
+  // common ABIs produced a negative g, i.e. a garbage grid).
+  const double inv = std::floor(1.0 / radius_hint);
+  std::int64_t g = inv >= static_cast<double>(kMaxGridSide)
+                       ? kMaxGridSide
+                       : static_cast<std::int64_t>(inv);
+  g = std::max<std::int64_t>(1, g);
   if (expected_points > 0) {
-    int cap = static_cast<int>(
-        std::ceil(std::sqrt(static_cast<double>(expected_points)))) * 2;
-    g = std::min(g, std::max(1, cap));
+    // √points·2 ≤ 2^33 for any size_t input — int64 holds it exactly.
+    const std::int64_t cap =
+        2 * static_cast<std::int64_t>(
+                std::ceil(std::sqrt(static_cast<double>(expected_points))));
+    g = std::min(g, std::max<std::int64_t>(1, cap));
   }
   g_ = g;
+  MANETCAP_CHECK_MSG(g_ >= 1 && g_ <= kMaxGridSide,
+                     "SpatialHash: grid side " << g_ << " outside [1, "
+                                               << kMaxGridSide << "]");
 }
 
 void SpatialHash::build(const std::vector<Point>& points) {
   points_ = points;
   incremental_ = false;
-  const std::size_t nb = static_cast<std::size_t>(g_) * g_;
+  MANETCAP_CHECK_MSG(points.size() < kNone,
+                     "SpatialHash: point count must stay below the id "
+                     "sentinel (2^32-1)");
+  const std::size_t nb = static_cast<std::size_t>(g_ * g_);
   bucket_start_.assign(nb + 1, 0);
   ids_.resize(points_.size());
 
@@ -40,7 +54,7 @@ void SpatialHash::build(const std::vector<Point>& points) {
 }
 
 void SpatialHash::to_incremental() {
-  const std::size_t nb = static_cast<std::size_t>(g_) * g_;
+  const std::size_t nb = static_cast<std::size_t>(g_ * g_);
   head_.assign(nb, kNone);
   next_.assign(points_.size(), kNone);
   prev_.assign(points_.size(), kNone);
@@ -61,10 +75,10 @@ void SpatialHash::to_incremental() {
 void SpatialHash::move(std::uint32_t id, Point old_pos, Point new_pos) {
   MANETCAP_DCHECK(id < points_.size());
   if (!incremental_) to_incremental();
-  const int ob = bucket_of(old_pos);
+  const std::size_t ob = bucket_of(old_pos);
   MANETCAP_DCHECK(ob == bucket_of(points_[id]));
   points_[id] = new_pos;
-  const int nb = bucket_of(new_pos);
+  const std::size_t nb = bucket_of(new_pos);
   if (ob == nb) return;  // same bucket: position update only
 
   // Unlink from the old bucket's chain…
@@ -103,11 +117,11 @@ std::uint32_t SpatialHash::nearest(Point center, std::uint32_t exclude) const {
   if (points_.empty()) return kNone;
   double best2 = std::numeric_limits<double>::infinity();
   std::uint32_t best = kNone;
-  const int cx = bucket_coord(center.x);
-  const int cy = bucket_coord(center.y);
-  const double side = 1.0 / g_;
+  const std::int64_t cx = bucket_coord(center.x);
+  const std::int64_t cy = bucket_coord(center.y);
+  const double side = 1.0 / static_cast<double>(g_);
 
-  auto visit = [&](int bx, int by) {
+  auto visit = [&](std::int64_t bx, std::int64_t by) {
     visit_bucket(bx, by, [&](std::uint32_t id) {
       if (id == exclude) return;
       const double d2 = torus_dist2(center, points_[id]);
@@ -124,8 +138,8 @@ std::uint32_t SpatialHash::nearest(Point center, std::uint32_t exclude) const {
   // once a candidate is closer than that lower bound no further ring can
   // improve on it. Ring g_/2+1 wraps the whole torus (duplicate wrapped
   // buckets in the last rings only cost redundant min() updates).
-  const int max_ring = g_ / 2 + 1;
-  for (int ring = 0; ring <= max_ring; ++ring) {
+  const std::int64_t max_ring = g_ / 2 + 1;
+  for (std::int64_t ring = 0; ring <= max_ring; ++ring) {
     if (best != kNone) {
       const double lower = static_cast<double>(ring - 1) * side;
       if (lower > 0.0 && lower * lower > best2) break;
@@ -134,11 +148,11 @@ std::uint32_t SpatialHash::nearest(Point center, std::uint32_t exclude) const {
       visit(cx, cy);
       continue;
     }
-    for (int dx = -ring; dx <= ring; ++dx) {
+    for (std::int64_t dx = -ring; dx <= ring; ++dx) {
       visit(cx + dx, cy - ring);
       visit(cx + dx, cy + ring);
     }
-    for (int dy = -ring + 1; dy <= ring - 1; ++dy) {
+    for (std::int64_t dy = -ring + 1; dy <= ring - 1; ++dy) {
       visit(cx - ring, cy + dy);
       visit(cx + ring, cy + dy);
     }

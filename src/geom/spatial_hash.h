@@ -3,6 +3,8 @@
 // the S* scheduler's neighbor scans.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -37,6 +39,12 @@ class SpatialHash {
   /// returned 0 or size(), both of which a caller could dereference).
   static constexpr std::uint32_t kNone = 0xffffffffu;
 
+  /// Hard cap on buckets per side. All bucket arithmetic is carried in
+  /// std::int64_t and the constructor clamps to this bound *before* any
+  /// narrowing cast — a radius_hint of 1e-12 used to push 1/hint through
+  /// an int cast (UB) before the old clamp could run.
+  static constexpr std::int64_t kMaxGridSide = 4096;
+
   /// `radius_hint` sizes the buckets (bucket side ≈ radius_hint); queries
   /// with radius near the hint touch a constant number of buckets.
   explicit SpatialHash(double radius_hint, std::size_t expected_points = 0);
@@ -66,21 +74,27 @@ class SpatialHash {
     // x < (cx+1)/g, so every point within distance r lies within
     // ceil(r·g) buckets per axis — the covering needs no extra ring.
     // When r spans the whole torus the range collapses to a full sweep.
-    int span = static_cast<int>(std::ceil(r * g_));
-    span = std::min(span, g_ / 2 + 1);
-    const int cx = bucket_coord(center.x);
-    const int cy = bucket_coord(center.y);
+    // int64 throughout: r·g_ can exceed INT_MAX for a silly radius, and
+    // the flat index by·g+bx must never narrow.
+    std::int64_t span = r * static_cast<double>(g_) >=
+                                static_cast<double>(g_ / 2 + 1)
+                            ? g_ / 2 + 1
+                            : static_cast<std::int64_t>(
+                                  std::ceil(r * static_cast<double>(g_)));
+    const std::int64_t cx = bucket_coord(center.x);
+    const std::int64_t cy = bucket_coord(center.y);
 
     // Avoid visiting a wrapped bucket twice when 2·span+1 ≥ g_.
-    const int lo = -span, hi = (2 * span + 1 >= g_) ? g_ - 1 - span : span;
-    auto wrap = [this](int v) {
-      int w = v % g_;
+    const std::int64_t lo = -span,
+                       hi = (2 * span + 1 >= g_) ? g_ - 1 - span : span;
+    auto wrap = [this](std::int64_t v) {
+      std::int64_t w = v % g_;
       return w < 0 ? w + g_ : w;
     };
-    for (int dy = lo; dy <= hi; ++dy) {
-      const int row = wrap(cy + dy) * g_;
-      for (int dx = lo; dx <= hi; ++dx) {
-        const int b = row + wrap(cx + dx);
+    for (std::int64_t dy = lo; dy <= hi; ++dy) {
+      const std::size_t row = static_cast<std::size_t>(wrap(cy + dy) * g_);
+      for (std::int64_t dx = lo; dx <= hi; ++dx) {
+        const std::size_t b = row + static_cast<std::size_t>(wrap(cx + dx));
         if (incremental_) {
           for (std::uint32_t id = head_[b]; id != kNone; id = next_[id])
             if (torus_dist2(center, points_[id]) <= r2) fn(id);
@@ -110,19 +124,63 @@ class SpatialHash {
   /// empty or every indexed point is excluded.
   std::uint32_t nearest(Point center, std::uint32_t exclude = kNone) const;
 
- private:
-  int bucket_coord(double v) const {
-    int c = static_cast<int>(v * g_);
-    return std::min(c, g_ - 1);
+  /// Buckets per side — the stripe-sharded slot loop partitions work by
+  /// contiguous ranges of bucket rows.
+  std::int64_t grid_side() const { return g_; }
+
+  /// Bucket row (y band) a point falls in: [0, grid_side()).
+  std::int64_t bucket_row_of(Point p) const { return bucket_coord(p.y); }
+
+  /// Invokes `fn(id)` exactly once for every point indexed in bucket rows
+  /// [row_begin, row_end). Rows partition the indexed set, so visiting
+  /// disjoint row ranges from different threads touches disjoint ids;
+  /// within-bucket order is the usual (unspecified after moves) one.
+  template <class Fn>
+  void visit_rows(std::int64_t row_begin, std::int64_t row_end,
+                  Fn&& fn) const {
+    MANETCAP_DCHECK(0 <= row_begin && row_begin <= row_end && row_end <= g_);
+    const std::size_t b0 = static_cast<std::size_t>(row_begin * g_);
+    const std::size_t b1 = static_cast<std::size_t>(row_end * g_);
+    for (std::size_t b = b0; b < b1; ++b) {
+      if (incremental_) {
+        for (std::uint32_t id = head_[b]; id != kNone; id = next_[id]) fn(id);
+      } else {
+        for (std::uint32_t k = bucket_start_[b]; k < bucket_start_[b + 1];
+             ++k)
+          fn(ids_[k]);
+      }
+    }
   }
-  int bucket_index(int bx, int by) const {
-    auto m = [this](int v) {
-      int w = v % g_;
+
+  /// Forces the conversion move() would perform on first use. The sharded
+  /// move phase calls this up front so the (serial) conversion never runs
+  /// inside a parallel section.
+  void ensure_incremental() {
+    if (!incremental_) to_incremental();
+  }
+
+  /// Resident bytes of the index (point copies + bucket structures) — one
+  /// term of the simulator's bytes-per-MS scale metric.
+  std::uint64_t memory_bytes() const {
+    return points_.capacity() * sizeof(Point) +
+           (bucket_start_.capacity() + ids_.capacity() + head_.capacity() +
+            next_.capacity() + prev_.capacity()) *
+               sizeof(std::uint32_t);
+  }
+
+ private:
+  std::int64_t bucket_coord(double v) const {
+    const std::int64_t c = static_cast<std::int64_t>(v * static_cast<double>(g_));
+    return std::min(std::max<std::int64_t>(c, 0), g_ - 1);
+  }
+  std::size_t bucket_index(std::int64_t bx, std::int64_t by) const {
+    auto m = [this](std::int64_t v) {
+      std::int64_t w = v % g_;
       return w < 0 ? w + g_ : w;
     };
-    return m(by) * g_ + m(bx);
+    return static_cast<std::size_t>(m(by) * g_ + m(bx));
   }
-  int bucket_of(Point p) const {
+  std::size_t bucket_of(Point p) const {
     return bucket_index(bucket_coord(p.x), bucket_coord(p.y));
   }
 
@@ -131,8 +189,8 @@ class SpatialHash {
   void to_incremental();
 
   template <class Fn>
-  void visit_bucket(int bx, int by, Fn&& fn) const {
-    const int b = bucket_index(bx, by);
+  void visit_bucket(std::int64_t bx, std::int64_t by, Fn&& fn) const {
+    const std::size_t b = bucket_index(bx, by);
     if (incremental_) {
       for (std::uint32_t id = head_[b]; id != kNone; id = next_[id]) fn(id);
     } else {
@@ -141,7 +199,7 @@ class SpatialHash {
     }
   }
 
-  int g_;  // buckets per side
+  std::int64_t g_;  // buckets per side, in [1, kMaxGridSide]
   std::vector<Point> points_;
   // Snapshot (CSR) layout: bucket_start_[b]..bucket_start_[b+1] indexes
   // into ids_. Valid while !incremental_.

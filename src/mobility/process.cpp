@@ -1,11 +1,55 @@
 #include "mobility/process.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 
 #include "util/check.h"
 
 namespace manetcap::mobility {
+
+namespace {
+
+// Per-process checkpoint blobs: RNG stream (4×u64 fixed) plus the evolving
+// coordinate vectors as fixed-width f64 pairs. Sizes are length-prefixed
+// and validated against the restoring instance, so a blob from a
+// differently-sized run fails loudly instead of silently misaligning.
+using util::binio::ByteReader;
+using util::binio::get_f64;
+using util::binio::put_f64;
+using util::binio::put_u64_fixed;
+using util::binio::put_varint;
+
+void put_rng(std::vector<std::uint8_t>& out, const rng::Xoshiro256& g) {
+  for (std::uint64_t w : g.state()) put_u64_fixed(out, w);
+}
+
+void get_rng(ByteReader& r, rng::Xoshiro256& g) {
+  std::array<std::uint64_t, 4> s;
+  for (auto& w : s) w = r.u64_fixed();
+  g.set_state(s);
+}
+
+template <class V>  // geom::Point or geom::Vec2 (both {double x, y})
+void put_coords(std::vector<std::uint8_t>& out, const std::vector<V>& v) {
+  put_varint(out, v.size());
+  for (const V& p : v) {
+    put_f64(out, p.x);
+    put_f64(out, p.y);
+  }
+}
+
+template <class V>
+void get_coords(ByteReader& r, std::vector<V>& v) {
+  MANETCAP_CHECK_MSG(r.varint() == v.size(),
+                     r.label << ": mobility state size mismatch");
+  for (V& p : v) {
+    p.x = get_f64(r);
+    p.y = get_f64(r);
+  }
+}
+
+}  // namespace
 
 IidStationaryMobility::IidStationaryMobility(
     std::vector<geom::Point> home_points, const Shape& shape, double inv_f,
@@ -24,6 +68,16 @@ void IidStationaryMobility::step() {
     geom::Vec2 v = shape_->sample_displacement(rng_) * inv_f_;
     pos_[i] = home_[i].displaced(v);
   }
+}
+
+void IidStationaryMobility::save_state(std::vector<std::uint8_t>& out) const {
+  put_rng(out, rng_);
+  put_coords(out, pos_);
+}
+
+void IidStationaryMobility::load_state(ByteReader& r) {
+  get_rng(r, rng_);
+  get_coords(r, pos_);
 }
 
 BoundedRandomWalk::BoundedRandomWalk(std::vector<geom::Point> home_points,
@@ -63,6 +117,18 @@ void BoundedRandomWalk::step() {
   }
 }
 
+void BoundedRandomWalk::save_state(std::vector<std::uint8_t>& out) const {
+  put_rng(out, rng_);
+  put_coords(out, offset_);
+  put_coords(out, pos_);
+}
+
+void BoundedRandomWalk::load_state(ByteReader& r) {
+  get_rng(r, rng_);
+  get_coords(r, offset_);
+  get_coords(r, pos_);
+}
+
 BrownianTorusMobility::BrownianTorusMobility(std::vector<geom::Point> start,
                                              std::uint64_t seed,
                                              double sigma)
@@ -75,6 +141,16 @@ void BrownianTorusMobility::step() {
     p = p.displaced(
         {sigma_ * rng::normal(rng_), sigma_ * rng::normal(rng_)});
   }
+}
+
+void BrownianTorusMobility::save_state(std::vector<std::uint8_t>& out) const {
+  put_rng(out, rng_);
+  put_coords(out, pos_);
+}
+
+void BrownianTorusMobility::load_state(ByteReader& r) {
+  get_rng(r, rng_);
+  get_coords(r, pos_);
 }
 
 PullHomeMobility::PullHomeMobility(std::vector<geom::Point> home_points,
@@ -117,6 +193,18 @@ void PullHomeMobility::step() {
     offset_[i] = cand;
     pos_[i] = home_[i].displaced(cand);
   }
+}
+
+void PullHomeMobility::save_state(std::vector<std::uint8_t>& out) const {
+  put_rng(out, rng_);
+  put_coords(out, offset_);
+  put_coords(out, pos_);
+}
+
+void PullHomeMobility::load_state(ByteReader& r) {
+  get_rng(r, rng_);
+  get_coords(r, offset_);
+  get_coords(r, pos_);
 }
 
 }  // namespace manetcap::mobility

@@ -15,6 +15,7 @@
 // radius is D/f(n) for shape support D.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -22,6 +23,7 @@
 #include "geom/point.h"
 #include "mobility/shape.h"
 #include "rng/rng.h"
+#include "util/binio.h"
 
 namespace manetcap::mobility {
 
@@ -41,6 +43,14 @@ class MobilityProcess {
   virtual const std::vector<geom::Point>& positions() const = 0;
 
   virtual std::string name() const = 0;
+
+  /// Checkpoint support: appends the evolving state (RNG stream, current
+  /// positions and, where present, home offsets — never the immutable
+  /// construction parameters) to `out` / restores it from `r`. A process
+  /// restored into a like-constructed instance continues the identical
+  /// trajectory bit-for-bit.
+  virtual void save_state(std::vector<std::uint8_t>& out) const = 0;
+  virtual void load_state(util::binio::ByteReader& r) = 0;
 };
 
 /// Fresh i.i.d. stationary draw every slot: X_i(t) = X_i^h + V/f, V ~ s.
@@ -54,6 +64,8 @@ class IidStationaryMobility final : public MobilityProcess {
   void step() override;
   const std::vector<geom::Point>& positions() const override { return pos_; }
   std::string name() const override { return "iid-stationary"; }
+  void save_state(std::vector<std::uint8_t>& out) const override;
+  void load_state(util::binio::ByteReader& r) override;
 
  private:
   std::vector<geom::Point> home_;
@@ -76,6 +88,8 @@ class BoundedRandomWalk final : public MobilityProcess {
   void step() override;
   const std::vector<geom::Point>& positions() const override { return pos_; }
   std::string name() const override { return "bounded-walk"; }
+  void save_state(std::vector<std::uint8_t>& out) const override;
+  void load_state(util::binio::ByteReader& r) override;
 
  private:
   std::vector<geom::Point> home_;
@@ -101,6 +115,8 @@ class BrownianTorusMobility final : public MobilityProcess {
   void step() override;
   const std::vector<geom::Point>& positions() const override { return pos_; }
   std::string name() const override { return "brownian-torus"; }
+  void save_state(std::vector<std::uint8_t>& out) const override;
+  void load_state(util::binio::ByteReader& r) override;
 
  private:
   double sigma_;
@@ -119,6 +135,8 @@ class PullHomeMobility final : public MobilityProcess {
   void step() override;
   const std::vector<geom::Point>& positions() const override { return pos_; }
   std::string name() const override { return "pull-home-ar1"; }
+  void save_state(std::vector<std::uint8_t>& out) const override;
+  void load_state(util::binio::ByteReader& r) override;
 
  private:
   std::vector<geom::Point> home_;

@@ -5,6 +5,7 @@
 // seed so all results in the repo are reproducible run-to-run.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -29,6 +30,18 @@ class Xoshiro256 {
   /// engine's next output with `stream_id` so per-node / per-trial streams
   /// never overlap in practice.
   Xoshiro256 split(std::uint64_t stream_id);
+
+  /// Raw 256-bit state, for checkpoint/restore. A generator restored via
+  /// set_state(state()) continues the identical output stream.
+  std::array<std::uint64_t, 4> state() const {
+    return {s_[0], s_[1], s_[2], s_[3]};
+  }
+  void set_state(const std::array<std::uint64_t, 4>& s) {
+    s_[0] = s[0];
+    s_[1] = s[1];
+    s_[2] = s[2];
+    s_[3] = s[3];
+  }
 
  private:
   std::uint64_t s_[4];

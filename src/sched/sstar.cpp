@@ -34,23 +34,26 @@ std::vector<phy::Transmission> SStarScheduler::feasible_pairs(
   return std::move(ws.pairs);
 }
 
+namespace {
+constexpr std::uint32_t kNoneId = ~std::uint32_t{0};
+}  // namespace
+
 const std::vector<phy::Transmission>& SStarScheduler::feasible_pairs_into(
     const std::vector<geom::Point>& pos, const geom::SpatialHash& hash,
     Workspace& ws, ScheduleStats* stats) const {
   const std::size_t n = pos.size();
-  const double rt = range_for(n);
-  const double rt2 = rt * rt;
-  const double guard = (1.0 + delta_) * rt;
+  const double guard = (1.0 + delta_) * range_for(n);
 
   // lone[i] = j when the guard disk around i contains exactly the single
   // other node j; kNone when it contains zero or ≥2 others. (The value for
   // the ≥2 case is whatever candidate was seen last — the count filter
   // makes it irrelevant, so the scan never needs an early exit.)
-  constexpr std::uint32_t kNone = ~std::uint32_t{0};
-  ws.lone.assign(n, kNone);
+  // This id-order loop is the serial hot path; lone_scan_rows produces the
+  // identical table in bucket-row order for the sharded one.
+  begin_scan(n, ws);
   std::uint32_t* lone = ws.lone.data();
   for (std::uint32_t i = 0; i < n; ++i) {
-    std::uint32_t found = kNone;
+    std::uint32_t found = kNoneId;
     int count = 0;
     hash.visit_disk(pos[i], guard, [&](std::uint32_t id) {
       if (id == i) return;
@@ -60,11 +63,44 @@ const std::vector<phy::Transmission>& SStarScheduler::feasible_pairs_into(
     if (count == 1) lone[i] = found;
   }
 
+  return extract_pairs(pos, ws, stats);
+}
+
+void SStarScheduler::begin_scan(std::size_t n, Workspace& ws) const {
+  ws.lone.assign(n, kNoneId);
+}
+
+void SStarScheduler::lone_scan_rows(const std::vector<geom::Point>& pos,
+                                    const geom::SpatialHash& hash,
+                                    Workspace& ws, std::int64_t row_begin,
+                                    std::int64_t row_end) const {
+  const double guard = (1.0 + delta_) * range_for(pos.size());
+  std::uint32_t* lone = ws.lone.data();
+  hash.visit_rows(row_begin, row_end, [&](std::uint32_t i) {
+    std::uint32_t found = kNoneId;
+    int count = 0;
+    hash.visit_disk(pos[i], guard, [&](std::uint32_t id) {
+      if (id == i) return;
+      ++count;
+      found = id;
+    });
+    if (count == 1) lone[i] = found;
+  });
+}
+
+const std::vector<phy::Transmission>& SStarScheduler::extract_pairs(
+    const std::vector<geom::Point>& pos, Workspace& ws,
+    ScheduleStats* stats) const {
+  const std::size_t n = pos.size();
+  const double rt = range_for(n);
+  const double rt2 = rt * rt;
+  const std::uint32_t* lone = ws.lone.data();
+
   ws.pairs.clear();
   for (std::uint32_t i = 0; i < n; ++i) {
     const std::uint32_t j = lone[i];
-    if (j == kNone || j <= i) continue;   // report each pair once (i < j)
-    if (lone[j] != i) continue;           // guard must be mutual
+    if (j == kNoneId || j <= i) continue;  // report each pair once (i < j)
+    if (lone[j] != i) continue;            // guard must be mutual
     if (stats) ++stats->candidate_pairs;
     if (geom::torus_dist2(pos[i], pos[j]) >= rt2) {  // d_ij < R_T
       if (stats) ++stats->range_rejected;

@@ -72,6 +72,26 @@ class SStarScheduler {
       const std::vector<geom::Point>& pos, const geom::SpatialHash& hash,
       Workspace& ws, ScheduleStats* stats = nullptr) const;
 
+  /// Sharded form of feasible_pairs_into, split into phases so the slot
+  /// simulator can fan the (dominant) lone-neighbor scan out over
+  /// disjoint bucket-row stripes of the spatial hash:
+  ///
+  ///   begin_scan(pos.size(), ws);
+  ///   lone_scan_rows(pos, hash, ws, rb, re);   // per stripe, in parallel
+  ///   extract_pairs(pos, ws, stats);           // serial
+  ///
+  /// Each lone entry is a pure function of (pos, hash) and every indexed
+  /// id lives in exactly one bucket row, so covering all rows — in any
+  /// order, any partition — produces the identical lone table and
+  /// therefore bit-identical pairs and stats to feasible_pairs_into.
+  void begin_scan(std::size_t n, Workspace& ws) const;
+  void lone_scan_rows(const std::vector<geom::Point>& pos,
+                      const geom::SpatialHash& hash, Workspace& ws,
+                      std::int64_t row_begin, std::int64_t row_end) const;
+  const std::vector<phy::Transmission>& extract_pairs(
+      const std::vector<geom::Point>& pos, Workspace& ws,
+      ScheduleStats* stats = nullptr) const;
+
  private:
   double ct_;
   double delta_;

@@ -17,6 +17,7 @@
 // λ(n). See docs/METRICS.md for the schema.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstddef>
 #include <cstdint>
@@ -81,20 +82,39 @@ class Metrics {
     return counters_[static_cast<std::size_t>(c)];
   }
 
-  /// Turns on per-slot sampling; `reserve_slots` preallocates the series.
-  void enable_series(std::size_t reserve_slots) {
+  /// Upper bound on the upfront series reservation (samples, not slots).
+  /// enable_series used to reserve the full horizon: a multi-week run
+  /// (10⁹+ slots) pre-committed gigabytes before the first sample landed.
+  /// Growth past the cap still works — it just pays amortized push_back.
+  static constexpr std::size_t kMaxSeriesReserve = std::size_t{1} << 20;
+
+  /// Turns on per-slot sampling; `reserve_slots` is the caller's horizon
+  /// hint. `stride` keeps every stride-th slot only (sample_slot drops
+  /// slots with slot % stride != 0); the default 1 records every slot —
+  /// byte-identical output to the pre-stride behavior. The reservation is
+  /// horizon/stride, capped at kMaxSeriesReserve.
+  void enable_series(std::size_t reserve_slots, std::size_t stride = 1) {
     series_enabled_ = true;
-    series_.reserve(reserve_slots);
+    series_stride_ = stride == 0 ? 1 : stride;
+    series_.reserve(
+        std::min(reserve_slots / series_stride_ + 1, kMaxSeriesReserve));
   }
   bool series_enabled() const { return series_enabled_; }
+  std::size_t series_stride() const { return series_stride_; }
 
   void sample_slot(std::uint32_t slot, std::uint64_t queued,
                    std::uint32_t scheduled_pairs, std::uint32_t active_cells,
                    std::uint32_t live_bs = 0) {
-    if (!series_enabled_) return;
+    if (!series_enabled_ || slot % series_stride_ != 0) return;
     series_.push_back({slot, queued, scheduled_pairs, active_cells, live_bs});
   }
   const std::vector<SlotSample>& series() const { return series_; }
+
+  /// Checkpoint restore: replaces the recorded series wholesale (the
+  /// stride and enabled flag are restored separately via enable_series).
+  void restore_series(std::vector<SlotSample> series) {
+    series_ = std::move(series);
+  }
 
   /// Adds `other`'s counters into this registry and appends its series —
   /// the fixed-order reduction run_sweep uses to aggregate per-cell audits.
@@ -114,6 +134,7 @@ class Metrics {
  private:
   std::array<std::uint64_t, kNumCounters> counters_{};
   bool series_enabled_ = false;
+  std::size_t series_stride_ = 1;
   std::vector<SlotSample> series_;
 };
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <memory>
 
 #include "analysis/stats.h"
@@ -11,7 +14,9 @@
 #include "mobility/process.h"
 #include "sched/sstar.h"
 #include "sim/trace.h"
+#include "util/binio.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace manetcap::sim {
 
@@ -65,6 +70,24 @@ void validate_options(const SlotSimOptions& opt) {
   MANETCAP_CHECK_MSG(opt.delta > 0.0, "SlotSimOptions: delta must be > 0");
   MANETCAP_CHECK_MSG(opt.source_backlog >= 1,
                      "SlotSimOptions: source_backlog must be >= 1");
+  // Narrowing guards (large-n audit): every quantity below is carried in a
+  // 32-bit field somewhere in the hot state (slot stamps, q_born, trace
+  // slots, queue/window counters) — reject configurations that would wrap
+  // instead of simulating garbage.
+  MANETCAP_CHECK_MSG(opt.slots <= 0xffffffffULL,
+                     "SlotSimOptions: slots must fit in 32 bits (slot "
+                     "stamps, packet birth slots and trace slots are "
+                     "uint32)");
+  MANETCAP_CHECK_MSG(opt.max_queue <= 0xffffffffULL,
+                     "SlotSimOptions: max_queue must fit in 32 bits "
+                     "(per-node queue sizes are uint32)");
+  MANETCAP_CHECK_MSG(opt.source_backlog <= 0xffffffffULL,
+                     "SlotSimOptions: source_backlog must fit in 32 bits "
+                     "(per-flow windows are uint32)");
+  MANETCAP_CHECK_MSG(opt.shards >= 1, "SlotSimOptions: shards must be >= 1");
+  MANETCAP_CHECK_MSG(opt.checkpoint_every == 0 || !opt.checkpoint_path.empty(),
+                     "SlotSimOptions: checkpoint_every requires a "
+                     "checkpoint_path");
 }
 
 /// Wired-edge token-bucket state, keyed by the unordered BS pair.
@@ -103,6 +126,29 @@ class WireCreditMap {
     keys_[i] = key;
     ++count_;
     return {&vals_[i], true};
+  }
+
+  std::size_t size() const { return count_; }
+
+  /// Checkpoint iteration: fn(key, state) in ascending key order. The
+  /// probe layout stays unobservable — a map restored from this order is
+  /// behaviorally identical regardless of the insertion history that
+  /// produced it.
+  template <class Fn>
+  void for_each_sorted(Fn&& fn) const {
+    std::vector<std::size_t> idx;
+    idx.reserve(count_);
+    for (std::size_t i = 0; i < keys_.size(); ++i)
+      if (keys_[i] != kEmpty) idx.push_back(i);
+    std::sort(idx.begin(), idx.end(), [this](std::size_t a, std::size_t b) {
+      return keys_[a] < keys_[b];
+    });
+    for (std::size_t i : idx) fn(keys_[i], vals_[i]);
+  }
+
+  std::uint64_t memory_bytes() const {
+    return keys_.capacity() * sizeof(std::uint64_t) +
+           vals_.capacity() * sizeof(WireState);
   }
 
  private:
@@ -156,10 +202,25 @@ class SlotSim {
         opt_(opt),
         n_(net.num_ms()),
         k_(net.num_bs()),
-        cap_(opt.max_queue),
-        q_flow_((n_ + k_) * cap_),
-        q_hop_((n_ + k_) * cap_),
-        q_born_((n_ + k_) * cap_),
+        // Memory diet: queue slabs are sized per node class, not uniformly.
+        // In the infrastructure schemes (B/C) packets live exclusively in
+        // BS queues — every push targets a BS node (uplink try_inject,
+        // wired forward), so MS runs get capacity 0. In the ad hoc schemes
+        // (A/two-hop) the BS roles are inverted: transfer() early-returns
+        // on any BS endpoint, so BS runs get capacity 0. At n = 10⁶ MSs
+        // this is the difference between ~0.7 GB of dead MS slab and the
+        // few MB the k BS queues actually need.
+        ms_cap_(opt.scheme == SlotScheme::kSchemeB ||
+                        opt.scheme == SlotScheme::kSchemeC
+                    ? 0
+                    : opt.max_queue),
+        bs_cap_(opt.scheme == SlotScheme::kSchemeB ||
+                        opt.scheme == SlotScheme::kSchemeC
+                    ? opt.max_queue
+                    : 0),
+        q_flow_(n_ * ms_cap_ + k_ * bs_cap_),
+        q_hop_(n_ * ms_cap_ + k_ * bs_cap_),
+        q_born_(n_ * ms_cap_ + k_ * bs_cap_),
         q_size_(n_ + k_, 0),
         delivered_(n_, 0),
         count_own_(n_, 0),
@@ -167,6 +228,12 @@ class SlotSim {
     validate_options(opt);
     MANETCAP_CHECK_MSG(dest.size() == n_,
                        "SlotSimOptions: dest must hold one entry per MS");
+    MANETCAP_CHECK_MSG(n_ + k_ < geom::SpatialHash::kNone,
+                       "SlotSim: population n + k must stay below the "
+                       "uint32 id sentinel (2^32 - 1)");
+    MANETCAP_CHECK_MSG(q_flow_.size() <= (std::size_t{1} << 38),
+                       "SlotSim: queue slabs would exceed the addressable "
+                       "budget — reduce max_queue or the population");
     if (opt_.faults != nullptr && !opt_.faults->empty()) {
       opt_.faults->validate(k_, opt_.slots);
       MANETCAP_CHECK_MSG(opt_.scheme == SlotScheme::kSchemeB ||
@@ -185,10 +252,17 @@ class SlotSim {
     // conservation check needs the counters even without a caller sink);
     // the caller's Metrics absorbs it at end of run.
     if (opt_.metrics != nullptr && opt_.metrics->series_enabled())
-      audit_.enable_series(opt_.slots);
+      audit_.enable_series(opt_.slots, opt_.metrics->series_stride());
     if (opt_.scheme == SlotScheme::kSchemeA) init_scheme_a();
     if (opt_.scheme == SlotScheme::kSchemeB) init_scheme_b();
     if (opt_.scheme == SlotScheme::kSchemeC) init_scheme_c();
+    // CSR offsets are uint32; at extreme n × path-length products the
+    // flattened tables could outgrow them — fail at run start, not mid-run.
+    MANETCAP_CHECK_MSG(path_cells_.size() <= 0xffffffffULL,
+                       "SlotSim: scheme-A path table exceeds uint32 CSR "
+                       "offsets");
+    MANETCAP_CHECK_MSG(serving_ids_.size() <= 0xffffffffULL,
+                       "SlotSim: serving table exceeds uint32 CSR offsets");
     if (opt_.trace != nullptr) capture_context(*opt_.trace);
   }
 
@@ -202,8 +276,21 @@ class SlotSim {
                            n_ + k_);
     bool hash_ready = false;
     std::uint64_t pair_count = 0;
+    std::size_t t0 = 0;
+    if (!opt_.resume_path.empty())
+      t0 = load_checkpoint(*process, hash, hash_ready, pair_count);
+    // Only the S*-driven pipeline (schemes A/two-hop/B) has the hash and
+    // scan phases to stripe; scheme C is static TDMA and runs serial.
+    const std::size_t shards =
+        opt_.scheme == SlotScheme::kSchemeC ? 1 : opt_.shards;
 
-    for (std::size_t t = 0; t < opt_.slots; ++t) {
+    for (std::size_t t = t0; t < opt_.slots; ++t) {
+      // A checkpoint taken here captures "state as of the end of slot
+      // t−1": everything the rest of this iteration reads. `t > t0` skips
+      // a pointless immediate re-save on resume.
+      if (opt_.checkpoint_every > 0 && t > t0 &&
+          t % opt_.checkpoint_every == 0)
+        save_checkpoint(t, *process, hash_ready, pair_count);
       const bool measure = t >= opt_.warmup;
       if (measure && !measuring_) {
         measuring_ = true;
@@ -232,17 +319,45 @@ class SlotSim {
         std::copy(mpos.begin(), mpos.end(), pos_all_.begin());
         hash.build(pos_all_);
         hash_ready = true;
-      } else {
+      } else if (shards <= 1) {
         // Only MSs move; each slot rebuckets just the ids that crossed a
         // bucket boundary. BS entries never change.
         for (std::uint32_t i = 0; i < n_; ++i) {
           hash.move(i, pos_all_[i], mpos[i]);
           pos_all_[i] = mpos[i];
         }
+      } else {
+        sharded_move(hash, mpos, shards);
       }
       sched::ScheduleStats sstats;
-      const auto& pairs = sstar.feasible_pairs_into(pos_all_, hash, ws,
-                                                    &sstats);
+      bool stepped = false;
+      const std::vector<phy::Transmission>* pairs_ptr;
+      if (shards > 1) {
+        // Parallel phase: stripe the S* lone-neighbor scan over bucket-row
+        // bands, and overlap next slot's mobility draw as one extra task —
+        // step() mutates only process-internal state, and positions() is
+        // not read again until the top of the next slot. Extraction stays
+        // serial (id-ascending) so the pair list, and therefore every
+        // transfer and trace byte, matches the serial path exactly.
+        sstar.begin_scan(n_ + k_, ws);
+        const std::int64_t g = hash.grid_side();
+        util::ThreadPool::shared().parallel_for(
+            shards + 1, [&](std::size_t s) {
+              if (s == shards) {
+                process->step();
+                return;
+              }
+              const auto ss = static_cast<std::int64_t>(s);
+              const auto sn = static_cast<std::int64_t>(shards);
+              sstar.lone_scan_rows(pos_all_, hash, ws, g * ss / sn,
+                                   g * (ss + 1) / sn);
+            });
+        stepped = true;
+        pairs_ptr = &sstar.extract_pairs(pos_all_, ws, &sstats);
+      } else {
+        pairs_ptr = &sstar.feasible_pairs_into(pos_all_, hash, ws, &sstats);
+      }
+      const auto& pairs = *pairs_ptr;
       audit_.add(Counter::kSchedCandidatePairs, sstats.candidate_pairs);
       audit_.add(Counter::kSchedFeasiblePairs, sstats.feasible_pairs);
       audit_.add(Counter::kSchedRangeRejected, sstats.range_rejected);
@@ -255,7 +370,7 @@ class SlotSim {
         transfer(pr.rx, pr.tx);
       }
       if (opt_.scheme == SlotScheme::kSchemeB) wired_step(t);
-      process->step();
+      if (!stepped) process->step();
       audit_.sample_slot(slot_, in_network_,
                          static_cast<std::uint32_t>(pairs.size()), 0,
                          static_cast<std::uint32_t>(live_bs_));
@@ -281,9 +396,21 @@ class SlotSim {
       res.mean_delay = analysis::summarize(delays_).mean;
       res.p95_delay = analysis::quantile(delays_, 0.95);
     }
+    res.state_bytes =
+        vec_bytes(q_flow_) + vec_bytes(q_hop_) + vec_bytes(q_born_) +
+        vec_bytes(q_size_) + vec_bytes(delivered_) + vec_bytes(count_own_) +
+        vec_bytes(delays_) + vec_bytes(pos_all_) + vec_bytes(home_cell_) +
+        vec_bytes(path_start_) + vec_bytes(path_cells_) +
+        vec_bytes(serving_start_) + vec_bytes(serving_ids_) +
+        vec_bytes(serving_is_fallback_) + vec_bytes(members_start_) +
+        vec_bytes(members_ids_) + vec_bytes(cell_color_) +
+        vec_bytes(rr_cell_) + vec_bytes(bs_alive_) +
+        vec_bytes(move_old_row_) + vec_bytes(move_new_row_) +
+        vec_bytes(ws.lone) + vec_bytes(ws.pairs) + hash.memory_bytes() +
+        wire_credit_.memory_bytes();
 
     std::uint64_t queued = 0;
-    for (std::size_t q : q_size_) queued += q;
+    for (std::uint32_t q : q_size_) queued += q;
     res.injected = audit_.count(Counter::kInjected);
     res.delivered_lifetime = audit_.count(Counter::kDelivered);
     res.queued_end = queued;
@@ -298,7 +425,7 @@ class SlotSim {
           "packet conservation violated: injected != delivered + queued + "
           "dropped");
       std::uint64_t window = 0;
-      for (std::size_t w : count_own_) window += w;
+      for (std::uint32_t w : count_own_) window += w;
       MANETCAP_CHECK_MSG(
           window == res.injected - res.delivered_lifetime - res.dropped,
           "flow-control window drift: sum of per-flow "
@@ -350,9 +477,20 @@ class SlotSim {
   }
 
   // --- queue slabs ---------------------------------------------------------
+  /// Start of node's run inside the slabs. MSs occupy [0, n·ms_cap_) at
+  /// ms_cap_ apiece, BSs the tail at bs_cap_ apiece; the class whose cap is
+  /// 0 for the active scheme is provably never pushed to (see the ctor).
+  std::size_t q_base(std::uint32_t node) const {
+    return node < n_ ? node * ms_cap_
+                     : n_ * ms_cap_ + (node - n_) * bs_cap_;
+  }
+  std::size_t q_cap(std::uint32_t node) const {
+    return node < n_ ? ms_cap_ : bs_cap_;
+  }
+
   void push_packet(std::uint32_t node, std::uint32_t flow, std::uint32_t hop,
                    std::uint32_t born) {
-    const std::size_t at = node * cap_ + q_size_[node]++;
+    const std::size_t at = q_base(node) + q_size_[node]++;
     q_flow_[at] = flow;
     q_hop_[at] = hop;
     q_born_[at] = born;
@@ -361,7 +499,7 @@ class SlotSim {
   /// Removes the packet at queue position `idx`, shifting the tail down —
   /// exactly the deque::erase order semantics, on contiguous storage.
   void erase_packet(std::uint32_t node, std::size_t idx) {
-    const std::size_t base = node * cap_;
+    const std::size_t base = q_base(node);
     const std::size_t last = --q_size_[node];
     for (std::size_t j = idx; j < last; ++j) {
       q_flow_[base + j] = q_flow_[base + j + 1];
@@ -596,7 +734,7 @@ class SlotSim {
   /// identity (injected == delivered + queued + dropped) still closes.
   void drop_queue(std::uint32_t l) {
     const std::uint32_t node = node_of_bs(l);
-    const std::size_t base = node * cap_;
+    const std::size_t base = q_base(node);
     const std::size_t qs = q_size_[node];
     for (std::size_t idx = 0; idx < qs; ++idx) {
       const std::uint32_t flow = q_flow_[base + idx];
@@ -725,7 +863,7 @@ class SlotSim {
     for (std::uint32_t l = 0; l < k_; ++l) {
       if (bs_alive_[l] == 0) continue;
       const std::uint32_t node = node_of_bs(l);
-      const std::size_t base = node * cap_;
+      const std::size_t base = q_base(node);
       for (std::size_t idx = 0; idx < q_size_[node]; ++idx) {
         if (q_hop_[base + idx] != 1) continue;
         const std::uint32_t d = dest_[q_flow_[base + idx]];
@@ -757,7 +895,7 @@ class SlotSim {
       if (cell_color_[l] != active || mb == me) continue;
       ++served;
       const std::uint32_t node = static_cast<std::uint32_t>(n_) + l;
-      const std::size_t base = node * cap_;
+      const std::size_t base = q_base(node);
       // Uplink channel: the round-robin member injects one packet.
       const std::uint32_t i = members_ids_[mb + rr_cell_[l]++ % (me - mb)];
       try_inject(i, node);
@@ -815,7 +953,7 @@ class SlotSim {
     if (opt_.trace != nullptr)
       opt_.trace->record(TraceEventKind::kDeliver, slot_, flow, hop, holder,
                          dest_[flow]);
-    if (measuring_ && born >= opt_.warmup)
+    if (measuring_ && opt_.track_delays && born >= opt_.warmup)
       delays_.push_back(static_cast<double>(slot_ - born));
   }
 
@@ -828,7 +966,7 @@ class SlotSim {
       audit_.inc(Counter::kInjectRejectWindowFull);
       return;
     }
-    if (q_size_[node] >= cap_) {
+    if (q_size_[node] >= q_cap(node)) {
       audit_.inc(Counter::kInjectRejectQueueFull);
       return;
     }
@@ -848,7 +986,7 @@ class SlotSim {
     // Source injection: keep the head of the pipeline saturated.
     try_inject(from, from);
 
-    const std::size_t base = from * cap_;
+    const std::size_t base = q_base(from);
     const std::size_t scan = std::min<std::size_t>(q_size_[from], kScanDepth);
     for (std::size_t idx = 0; idx < scan; ++idx) {
       const std::uint32_t flow = q_flow_[base + idx];
@@ -868,7 +1006,7 @@ class SlotSim {
       // return already excluded BS endpoints.
       if (hop + 1 >= path_start_[flow + 1] - path_start_[flow]) continue;
       if (home_cell_[to] == path_cells_[path_start_[flow] + hop + 1]) {
-        if (q_size_[to] < cap_) {
+        if (q_size_[to] < q_cap(to)) {
           const std::uint32_t born = q_born_[base + idx];
           erase_packet(from, idx);
           push_packet(to, flow, hop + 1, born);
@@ -887,7 +1025,7 @@ class SlotSim {
   void transfer_two_hop(std::uint32_t from, std::uint32_t to) {
     if (is_bs(from) || is_bs(to)) return;
     try_inject(from, from);
-    const std::size_t base = from * cap_;
+    const std::size_t base = q_base(from);
     const std::size_t scan = std::min<std::size_t>(q_size_[from], kScanDepth);
     for (std::size_t idx = 0; idx < scan; ++idx) {
       const std::uint32_t flow = q_flow_[base + idx];
@@ -902,7 +1040,7 @@ class SlotSim {
       // hand-off advances hop to 1, so "a third hop would be needed" is
       // visible in the packet state (and in the trace).
       if (flow == from) {
-        if (q_size_[to] < cap_) {
+        if (q_size_[to] < q_cap(to)) {
           const std::uint32_t born = q_born_[base + idx];
           erase_packet(from, idx);
           push_packet(to, flow, 1, born);
@@ -934,7 +1072,7 @@ class SlotSim {
     }
     if (is_bs(from) && !is_bs(to)) {
       // Downlink: deliver a packet destined to `to`, if this BS holds one.
-      const std::size_t base = from * cap_;
+      const std::size_t base = q_base(from);
       const std::size_t scan =
           std::min<std::size_t>(q_size_[from], kScanDepth);
       for (std::size_t idx = 0; idx < scan; ++idx) {
@@ -958,7 +1096,7 @@ class SlotSim {
     for (std::uint32_t l = 0; l < k_; ++l) {
       if (!bs_is_live(l)) continue;  // a dead BS's queue was dropped
       const std::uint32_t node = static_cast<std::uint32_t>(n_) + l;
-      const std::size_t base = node * cap_;
+      const std::size_t base = q_base(node);
       // Single compaction pass: read cursor `r` visits every packet in the
       // original order (so the rr_ round-robin and credit decisions are
       // made in exactly the sequence the old erase-in-place loop made
@@ -1022,7 +1160,7 @@ class SlotSim {
         if (wire->credit < 1.0) {
           audit_.inc(Counter::kWiredCreditStall);
           keep();
-        } else if (q_size_[n_ + target] >= cap_) {
+        } else if (q_size_[n_ + target] >= bs_cap_) {
           audit_.inc(Counter::kWiredRejectQueueFull);
           keep();
         } else {
@@ -1041,6 +1179,395 @@ class SlotSim {
     }
   }
 
+  // --- sharded slot pipeline -----------------------------------------------
+  /// Stripe-parallel incremental hash maintenance. Three phases:
+  ///   M1 (parallel over id ranges): compute each MS's old/new bucket row
+  ///      into scratch — reads only pos_all_ and mpos, writes disjoint
+  ///      ranges.
+  ///   M2 (parallel over stripes of bucket rows): stripe s owns rows
+  ///      [g·s/S, g·(s+1)/S) and processes exactly the ids whose OLD row
+  ///      lies in it. Movers staying inside the stripe are rebucketed
+  ///      immediately: every chain pointer a move() touches belongs to the
+  ///      id's old or new bucket — chain neighbors share the id's bucket,
+  ///      and each bucket row belongs to exactly one stripe — so writes
+  ///      from different stripes never alias. Movers whose new row falls
+  ///      outside the stripe are deferred.
+  ///   M3 (serial): apply the deferred movers, stripe-ascending then
+  ///      id-ascending.
+  /// The per-bucket id SETS after M3 equal the serial path's exactly; only
+  /// within-bucket chain order can differ, which no consumer observes (S*
+  /// lone counting is order-free, nearest() never runs on this hash
+  /// mid-run). The shard-invariance tests byte-compare the traces to pin
+  /// this down.
+  void sharded_move(geom::SpatialHash& hash,
+                    const std::vector<geom::Point>& mpos,
+                    std::size_t shards) {
+    hash.ensure_incremental();  // the CSR→list conversion must stay serial
+    util::ThreadPool& pool = util::ThreadPool::shared();
+    const std::int64_t g = hash.grid_side();
+    move_old_row_.resize(n_);
+    move_new_row_.resize(n_);
+    move_deferred_.resize(shards);
+    pool.parallel_for(shards, [&](std::size_t s) {
+      const std::size_t b = n_ * s / shards;
+      const std::size_t e = n_ * (s + 1) / shards;
+      for (std::size_t i = b; i < e; ++i) {
+        move_old_row_[i] =
+            static_cast<std::int32_t>(hash.bucket_row_of(pos_all_[i]));
+        move_new_row_[i] =
+            static_cast<std::int32_t>(hash.bucket_row_of(mpos[i]));
+      }
+    });
+    pool.parallel_for(shards, [&](std::size_t s) {
+      const auto ss = static_cast<std::int64_t>(s);
+      const auto sn = static_cast<std::int64_t>(shards);
+      const std::int64_t rb = g * ss / sn;
+      const std::int64_t re = g * (ss + 1) / sn;
+      auto& defer = move_deferred_[s];
+      defer.clear();
+      for (std::uint32_t i = 0; i < n_; ++i) {
+        const std::int32_t ro = move_old_row_[i];
+        if (ro < rb || ro >= re) continue;
+        const std::int32_t rn = move_new_row_[i];
+        if (rn >= rb && rn < re) {
+          hash.move(i, pos_all_[i], mpos[i]);
+          pos_all_[i] = mpos[i];
+        } else {
+          defer.push_back(i);
+        }
+      }
+    });
+    for (const auto& defer : move_deferred_)
+      for (std::uint32_t i : defer) {
+        hash.move(i, pos_all_[i], mpos[i]);
+        pos_all_[i] = mpos[i];
+      }
+  }
+
+  // --- checkpoint / restore (MCCKPT1, docs/SCALE.md) -----------------------
+  /// Fingerprints bind a checkpoint to the run that wrote it: the exact
+  /// traffic pattern, network geometry and fault timeline — anything the
+  /// config echo (n, k, seed, …) cannot distinguish.
+  std::uint64_t dest_fingerprint() const {
+    std::vector<std::uint8_t> buf;
+    buf.reserve(dest_.size() * 5);
+    for (std::uint32_t d : dest_) util::binio::put_varint(buf, d);
+    return util::binio::fnv1a(buf.data(), buf.size());
+  }
+
+  std::uint64_t geometry_fingerprint() const {
+    std::vector<std::uint8_t> buf;
+    buf.reserve((net_.ms_home().size() + net_.bs_pos().size()) * 16);
+    for (const geom::Point& p : net_.ms_home()) {
+      util::binio::put_f64(buf, p.x);
+      util::binio::put_f64(buf, p.y);
+    }
+    for (const geom::Point& p : net_.bs_pos()) {
+      util::binio::put_f64(buf, p.x);
+      util::binio::put_f64(buf, p.y);
+    }
+    return util::binio::fnv1a(buf.data(), buf.size());
+  }
+
+  std::uint64_t faults_fingerprint() const {
+    if (faults_ == nullptr) return 0;
+    std::vector<std::uint8_t> buf;
+    for (const FaultEvent& e : faults_->events) {
+      util::binio::put_varint(buf, e.slot);
+      buf.push_back(static_cast<std::uint8_t>(e.kind));
+      util::binio::put_varint(buf, e.bs);
+      util::binio::put_varint(buf, e.bs2);
+      util::binio::put_f64(buf, e.scale);
+      util::binio::put_f64(buf, e.center.x);
+      util::binio::put_f64(buf, e.center.y);
+      util::binio::put_f64(buf, e.radius);
+    }
+    return util::binio::fnv1a(buf.data(), buf.size());
+  }
+
+  /// Serializes the full simulator state as of the top of slot `t_next`
+  /// (i.e. end of slot t_next − 1) and atomically replaces
+  /// opt_.checkpoint_path (tmp + rename — a crash mid-write never corrupts
+  /// the previous checkpoint).
+  void save_checkpoint(std::size_t t_next,
+                       const mobility::MobilityProcess& process,
+                       bool hash_ready, std::uint64_t pair_count) const {
+    using util::binio::put_f64;
+    using util::binio::put_id_list;
+    using util::binio::put_u64_fixed;
+    using util::binio::put_varint;
+    std::vector<std::uint8_t> out;
+    out.reserve(64 + (n_ + k_) * 24);
+    for (int i = 0; i < 8; ++i)  // magic, byte-wise (see trace.cpp)
+      out.push_back(static_cast<std::uint8_t>(kCkptMagic[i]));
+    // Config echo — every knob that shapes the trajectory.
+    out.push_back(static_cast<std::uint8_t>(opt_.scheme));
+    out.push_back(static_cast<std::uint8_t>(opt_.mobility));
+    put_varint(out, n_);
+    put_varint(out, k_);
+    put_varint(out, opt_.slots);
+    put_varint(out, opt_.warmup);
+    put_varint(out, opt_.max_queue);
+    put_varint(out, opt_.source_backlog);
+    put_varint(out, opt_.seed);
+    put_f64(out, opt_.ct);
+    put_f64(out, opt_.delta);
+    put_f64(out, k_ > 0 ? net_.params().c() : 0.0);
+    put_u64_fixed(out, dest_fingerprint());
+    put_u64_fixed(out, geometry_fingerprint());
+    put_u64_fixed(out, faults_fingerprint());
+    // Cursor + scalar state.
+    put_varint(out, t_next);
+    out.push_back(measuring_ ? 1 : 0);
+    out.push_back(hash_ready ? 1 : 0);
+    put_varint(out, pair_count);
+    put_varint(out, in_network_);
+    put_varint(out, rr_);
+    put_varint(out, next_fault_);
+    put_varint(out, live_bs_);
+    put_varint(out, bs_alive_.size());
+    out.insert(out.end(), bs_alive_.begin(), bs_alive_.end());
+    // Positions (the hash is rebuilt from these on load, not serialized).
+    for (const geom::Point& p : pos_all_) {
+      put_f64(out, p.x);
+      put_f64(out, p.y);
+    }
+    for (std::uint64_t d : delivered_) put_varint(out, d);
+    for (std::uint32_t w : count_own_) put_varint(out, w);
+    // Queues: occupied prefixes only — a near-empty 10⁶-node run
+    // checkpoints in kilobytes, not the slab size.
+    for (std::uint32_t node = 0; node < n_ + k_; ++node) {
+      const std::size_t base = q_base(node);
+      put_varint(out, q_size_[node]);
+      for (std::size_t j = 0; j < q_size_[node]; ++j) {
+        put_varint(out, q_flow_[base + j]);
+        put_varint(out, q_hop_[base + j]);
+        put_varint(out, q_born_[base + j]);
+      }
+    }
+    // Serving CSR — faults mutate it mid-run, so the ctor's version is not
+    // authoritative.
+    put_id_list(out, serving_start_);
+    put_id_list(out, serving_ids_);
+    put_varint(out, serving_is_fallback_.size());
+    out.insert(out.end(), serving_is_fallback_.begin(),
+               serving_is_fallback_.end());
+    put_varint(out, rr_cell_.size());
+    for (std::size_t v : rr_cell_) put_varint(out, v);
+    put_varint(out, wire_credit_.size());
+    wire_credit_.for_each_sorted([&](std::uint64_t key, const WireState& w) {
+      put_u64_fixed(out, key);
+      put_f64(out, w.credit);
+      put_varint(out, w.last_topup);
+      put_f64(out, w.scale);
+    });
+    // Audit registry + series + delay log.
+    for (std::size_t c = 0; c < kNumCounters; ++c)
+      put_varint(out, audit_.count(static_cast<Counter>(c)));
+    put_varint(out, audit_.series().size());
+    for (const SlotSample& s : audit_.series()) {
+      put_varint(out, s.slot);
+      put_varint(out, s.queued);
+      put_varint(out, s.scheduled_pairs);
+      put_varint(out, s.active_cells);
+      put_varint(out, s.live_bs);
+    }
+    put_varint(out, delays_.size());
+    for (double d : delays_) put_f64(out, d);
+    // Mobility (RNG streams + evolving coordinates).
+    process.save_state(out);
+    // In-flight trace, so a resumed traced run emits the identical file.
+    if (opt_.trace != nullptr) {
+      out.push_back(1);
+      encode_faults(out, opt_.trace->context.faults);
+      encode_events(out, opt_.trace->events);
+    } else {
+      out.push_back(0);
+    }
+    put_u64_fixed(out, util::binio::fnv1a(out.data(), out.size()));
+
+    const std::string tmp = opt_.checkpoint_path + ".tmp";
+    {
+      std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+      MANETCAP_CHECK_MSG(f.good(),
+                         "checkpoint: cannot open for write: " << tmp);
+      f.write(reinterpret_cast<const char*>(out.data()),
+              static_cast<std::streamsize>(out.size()));
+      f.flush();
+      MANETCAP_CHECK_MSG(f.good(), "checkpoint: write failed: " << tmp);
+    }
+    MANETCAP_CHECK_MSG(
+        std::rename(tmp.c_str(), opt_.checkpoint_path.c_str()) == 0,
+        "checkpoint: atomic rename failed: " << opt_.checkpoint_path);
+  }
+
+  /// Restores state from opt_.resume_path. Validates the config echo and
+  /// fingerprints against this run's configuration, then loads everything
+  /// save_checkpoint wrote and rebuilds the derived structures (spatial
+  /// hash from positions, scheme-C members/colors from the restored
+  /// association). Returns the slot to resume at.
+  std::size_t load_checkpoint(mobility::MobilityProcess& process,
+                              geom::SpatialHash& hash, bool& hash_ready,
+                              std::uint64_t& pair_count) {
+    using util::binio::get_f64;
+    using util::binio::get_id_list;
+    std::ifstream in(opt_.resume_path, std::ios::binary | std::ios::ate);
+    MANETCAP_CHECK_MSG(in.good(),
+                       "checkpoint: cannot open for read: " << opt_.resume_path);
+    const std::streamsize fsize = in.tellg();
+    in.seekg(0);
+    std::vector<std::uint8_t> bytes(static_cast<std::size_t>(fsize));
+    in.read(reinterpret_cast<char*>(bytes.data()), fsize);
+    MANETCAP_CHECK_MSG(in.good(),
+                       "checkpoint: read failed: " << opt_.resume_path);
+    MANETCAP_CHECK_MSG(bytes.size() >= 16, "checkpoint: file too small");
+    MANETCAP_CHECK_MSG(std::memcmp(bytes.data(), kCkptMagic, 8) == 0,
+                       "checkpoint: bad magic (not an MCCKPT1 file)");
+    const std::size_t body = bytes.size() - 8;
+    MANETCAP_CHECK_MSG(util::binio::get_u64_fixed(bytes, body) ==
+                           util::binio::fnv1a(bytes.data(), body),
+                       "checkpoint: checksum mismatch (truncated or "
+                       "corrupted file)");
+    util::binio::ByteReader r{bytes, 8, body, "checkpoint"};
+
+    MANETCAP_CHECK_MSG(r.u8() == static_cast<std::uint8_t>(opt_.scheme),
+                       "checkpoint: scheme mismatch");
+    MANETCAP_CHECK_MSG(r.u8() == static_cast<std::uint8_t>(opt_.mobility),
+                       "checkpoint: mobility model mismatch");
+    MANETCAP_CHECK_MSG(r.varint() == n_, "checkpoint: n mismatch");
+    MANETCAP_CHECK_MSG(r.varint() == k_, "checkpoint: k mismatch");
+    MANETCAP_CHECK_MSG(r.varint() == opt_.slots, "checkpoint: slots mismatch");
+    MANETCAP_CHECK_MSG(r.varint() == opt_.warmup,
+                       "checkpoint: warmup mismatch");
+    MANETCAP_CHECK_MSG(r.varint() == opt_.max_queue,
+                       "checkpoint: max_queue mismatch");
+    MANETCAP_CHECK_MSG(r.varint() == opt_.source_backlog,
+                       "checkpoint: source_backlog mismatch");
+    MANETCAP_CHECK_MSG(r.varint() == opt_.seed, "checkpoint: seed mismatch");
+    MANETCAP_CHECK_MSG(get_f64(r) == opt_.ct, "checkpoint: ct mismatch");
+    MANETCAP_CHECK_MSG(get_f64(r) == opt_.delta,
+                       "checkpoint: delta mismatch");
+    MANETCAP_CHECK_MSG(get_f64(r) == (k_ > 0 ? net_.params().c() : 0.0),
+                       "checkpoint: wired capacity c(n) mismatch");
+    MANETCAP_CHECK_MSG(r.u64_fixed() == dest_fingerprint(),
+                       "checkpoint: traffic pattern (dest) fingerprint "
+                       "mismatch");
+    MANETCAP_CHECK_MSG(r.u64_fixed() == geometry_fingerprint(),
+                       "checkpoint: network geometry fingerprint mismatch");
+    MANETCAP_CHECK_MSG(r.u64_fixed() == faults_fingerprint(),
+                       "checkpoint: fault plan fingerprint mismatch");
+
+    const std::size_t t_next = r.varint();
+    MANETCAP_CHECK_MSG(t_next <= opt_.slots,
+                       "checkpoint: resume slot beyond the horizon");
+    measuring_ = r.u8() != 0;
+    hash_ready = r.u8() != 0;
+    pair_count = r.varint();
+    in_network_ = r.varint();
+    rr_ = r.varint();
+    next_fault_ = r.varint();
+    MANETCAP_CHECK_MSG(
+        faults_ == nullptr || next_fault_ <= faults_->events.size(),
+        "checkpoint: fault cursor out of range");
+    live_bs_ = r.varint();
+    MANETCAP_CHECK_MSG(r.varint() == bs_alive_.size(),
+                       "checkpoint: BS liveness table size mismatch");
+    for (auto& b : bs_alive_) b = r.u8();
+    for (geom::Point& p : pos_all_) {
+      p.x = get_f64(r);
+      p.y = get_f64(r);
+    }
+    for (auto& d : delivered_) d = r.varint();
+    for (auto& w : count_own_) w = r.u32v();
+    for (std::uint32_t node = 0; node < n_ + k_; ++node) {
+      const std::uint32_t qs = r.u32v();
+      MANETCAP_CHECK_MSG(qs <= q_cap(node),
+                         "checkpoint: queue size exceeds capacity at node "
+                             << node);
+      q_size_[node] = qs;
+      const std::size_t base = q_base(node);
+      for (std::size_t j = 0; j < qs; ++j) {
+        q_flow_[base + j] = r.u32v();
+        q_hop_[base + j] = r.u32v();
+        q_born_[base + j] = r.u32v();
+      }
+    }
+    serving_start_ = get_id_list(r);
+    serving_ids_ = get_id_list(r);
+    MANETCAP_CHECK_MSG(
+        serving_start_.empty() || (serving_start_.size() == n_ + 1 &&
+                                   serving_start_.back() ==
+                                       serving_ids_.size()),
+        "checkpoint: serving CSR is inconsistent");
+    MANETCAP_CHECK_MSG(r.varint() == serving_is_fallback_.size(),
+                       "checkpoint: fallback table size mismatch");
+    for (auto& b : serving_is_fallback_) b = r.u8();
+    MANETCAP_CHECK_MSG(r.varint() == rr_cell_.size(),
+                       "checkpoint: cell round-robin table size mismatch");
+    for (auto& v : rr_cell_) v = r.varint();
+    const std::uint64_t n_edges = r.varint();
+    MANETCAP_CHECK_MSG(n_edges <= static_cast<std::uint64_t>(k_) * k_,
+                       "checkpoint: wired edge count out of range");
+    for (std::uint64_t e = 0; e < n_edges; ++e) {
+      const std::uint64_t key = r.u64_fixed();
+      auto [wire, first_use] = wire_credit_.try_emplace(key);
+      MANETCAP_CHECK_MSG(first_use, "checkpoint: duplicate wired edge key");
+      wire->credit = get_f64(r);
+      wire->last_topup = r.varint();
+      wire->scale = get_f64(r);
+    }
+    for (std::size_t c = 0; c < kNumCounters; ++c)
+      audit_.add(static_cast<Counter>(c), r.varint());  // fresh registry: add == set
+    const std::uint64_t n_samples = r.varint();
+    MANETCAP_CHECK_MSG(n_samples <= opt_.slots,
+                       "checkpoint: series sample count out of range");
+    std::vector<SlotSample> samples(n_samples);
+    for (SlotSample& s : samples) {
+      s.slot = r.u32v();
+      s.queued = r.varint();
+      s.scheduled_pairs = r.u32v();
+      s.active_cells = r.u32v();
+      s.live_bs = r.u32v();
+    }
+    audit_.restore_series(std::move(samples));
+    const std::uint64_t n_delays = r.varint();
+    MANETCAP_CHECK_MSG(n_delays <= (std::uint64_t{1} << 40),
+                       "checkpoint: delay log size out of range");
+    delays_.resize(n_delays);
+    for (double& d : delays_) d = get_f64(r);
+    process.load_state(r);
+    const std::uint8_t has_trace = r.u8();
+    if (has_trace != 0) {
+      MANETCAP_CHECK_MSG(opt_.trace != nullptr,
+                         "checkpoint: file carries trace state but no "
+                         "trace sink is attached to this run");
+      opt_.trace->context.faults = decode_faults(r);
+      opt_.trace->events = decode_events(r, 8);
+    } else {
+      MANETCAP_CHECK_MSG(opt_.trace == nullptr,
+                         "checkpoint: a trace sink is attached but the "
+                         "file carries no trace state");
+    }
+    MANETCAP_CHECK_MSG(r.pos == r.end, "checkpoint: trailing bytes");
+
+    // Derived state. The hash is a fresh CSR build over the restored
+    // positions — within-bucket order may differ from the incremental
+    // chains the original run carried, which is unobservable (see
+    // sharded_move). Scheme C re-derives members and colors from the
+    // restored association + liveness, exactly as rebuild_serving would.
+    if (hash_ready) hash.build(pos_all_);
+    if (opt_.scheme == SlotScheme::kSchemeC) rebuild_members_and_colors();
+    return t_next;
+  }
+
+  template <class T>
+  static std::uint64_t vec_bytes(const std::vector<T>& v) {
+    return v.capacity() * sizeof(T);
+  }
+
+  static constexpr char kCkptMagic[8] = {'M', 'C', 'C', 'K', 'P', 'T', '1',
+                                         '\0'};
+
   static constexpr std::size_t kScanDepth = 16;
 
   const net::Network& net_;
@@ -1049,16 +1576,20 @@ class SlotSim {
   std::size_t n_;
   std::size_t k_;
 
-  // Queue slabs (SoA): node q's packets occupy [q·cap_, q·cap_+q_size_[q])
-  // in each of the three parallel arrays, in FIFO order.
-  std::size_t cap_;
+  // Queue slabs (SoA): node q's packets occupy
+  // [q_base(q), q_base(q) + q_size_[q]) in each of the three parallel
+  // arrays, in FIFO order. Per-class capacities (one of them 0 for every
+  // scheme) keep the slabs proportional to the queues actually used;
+  // uint32 sizes/windows halve the per-node bookkeeping at large n.
+  std::size_t ms_cap_;
+  std::size_t bs_cap_;
   std::vector<std::uint32_t> q_flow_;
   std::vector<std::uint32_t> q_hop_;
   std::vector<std::uint32_t> q_born_;
-  std::vector<std::size_t> q_size_;
+  std::vector<std::uint32_t> q_size_;
 
   std::vector<std::uint64_t> delivered_;
-  std::vector<std::size_t> count_own_;
+  std::vector<std::uint32_t> count_own_;
   std::vector<double> delays_;  // per delivered packet, measurement window
   std::uint32_t slot_ = 0;      // current slot (delay bookkeeping)
   bool measuring_ = false;
@@ -1103,6 +1634,12 @@ class SlotSim {
   std::size_t live_bs_ = 0;
   double contact_ = 0.0;  // scheme B MS–BS contact distance (re-homing rule)
   std::vector<std::uint8_t> serving_is_fallback_;  // nearest-BS fallback MSs
+
+  // Sharded-move scratch (old/new bucket row per MS, per-stripe deferred
+  // movers), reused across slots. Empty on the serial path.
+  std::vector<std::int32_t> move_old_row_;
+  std::vector<std::int32_t> move_new_row_;
+  std::vector<std::vector<std::uint32_t>> move_deferred_;
 };
 
 }  // namespace

@@ -72,6 +72,30 @@ struct SlotSimOptions {
   /// and the flow-control windows must equal injected − delivered. One
   /// O(n + k) pass; disable only to reproduce a historical buggy run.
   bool check_conservation = true;
+
+  // --- single-run scale knobs (docs/SCALE.md) ------------------------------
+  /// Spatial stripes the per-slot parallel phases (incremental hash
+  /// maintenance, the S* lone-neighbor scan, and the overlapped mobility
+  /// step) fan out over on util::ThreadPool::shared(). 1 = the serial
+  /// legacy path. Results — traces, metrics, every result field — are
+  /// bit-identical for every value; scheme C has no S* phase and ignores
+  /// the knob.
+  std::size_t shards = 1;
+  /// Record per-packet end-to-end delays (the delay vector grows with the
+  /// delivered count). Off drops mean_delay/p95_delay from the result in
+  /// exchange for a flat memory profile on very long horizons.
+  bool track_delays = true;
+  /// Checkpointing: every `checkpoint_every` slots (0 = never) the full
+  /// simulator state — queues, flow windows, positions, RNG streams, wired
+  /// credits, fault cursor, audit, in-flight trace — is written atomically
+  /// (tmp + rename) to `checkpoint_path` in the MCCKPT1 format.
+  std::size_t checkpoint_every = 0;
+  std::string checkpoint_path;
+  /// Resume: restore state from this MCCKPT1 file (written by a previous
+  /// run with the identical configuration — validated by fingerprint) and
+  /// continue mid-horizon. The completed run is byte-identical to an
+  /// uninterrupted one.
+  std::string resume_path;
 };
 
 struct SlotSimResult {
@@ -102,6 +126,12 @@ struct SlotSimResult {
   std::uint64_t dropped = 0;
   /// Of `dropped`, packets lost to a BS outage (today: all of them).
   std::uint64_t dropped_bs_outage = 0;
+
+  /// Resident bytes of per-run simulator state at end of run (queue slabs,
+  /// positions, routing CSR, spatial hash, wired credits, scratch, delay
+  /// log) — the numerator of the bytes-per-MS scaling metric
+  /// bench/slotsim_scale gates.
+  std::uint64_t state_bytes = 0;
 };
 
 /// Runs the simulation for permutation traffic `dest` on `net`.

@@ -123,49 +123,4 @@ SweepResult run_sweep(const net::ScalingParams& base,
   return result;
 }
 
-// Deprecated shims: adapt the legacy callables to the EvalContext
-// signature and forward. The definitions themselves intentionally do not
-// repeat the [[deprecated]] attribute (GCC/Clang would warn on the
-// declaration-definition mismatch otherwise, not on use).
-SweepResult run_sweep(const net::ScalingParams& base,
-                      const std::vector<std::size_t>& sizes,
-                      std::size_t trials, const Evaluator& eval,
-                      const SweepOptions& options) {
-  return run_sweep(base, sizes, trials,
-                   SweepEvaluator([&eval](const EvalContext& ctx) {
-                     return eval(ctx.params, ctx.seed);
-                   }),
-                   options);
-}
-
-SweepResult run_sweep(const net::ScalingParams& base,
-                      const std::vector<std::size_t>& sizes,
-                      std::size_t trials, const MetricsEvaluator& eval,
-                      const SweepOptions& options) {
-  // A legacy MetricsEvaluator always received a registry; hand it a
-  // throwaway when the sweep isn't aggregating.
-  return run_sweep(base, sizes, trials,
-                   SweepEvaluator([&eval](const EvalContext& ctx) {
-                     if (ctx.metrics != nullptr)
-                       return eval(ctx.params, ctx.seed, *ctx.metrics);
-                     Metrics scratch;
-                     return eval(ctx.params, ctx.seed, scratch);
-                   }),
-                   options);
-}
-
-SweepResult run_sweep(const net::ScalingParams& base,
-                      const std::vector<std::size_t>& sizes,
-                      std::size_t trials, const Evaluator& eval,
-                      std::uint64_t seed0) {
-  SweepOptions options;
-  options.num_threads = 1;
-  options.seed0 = seed0;
-  return run_sweep(base, sizes, trials,
-                   SweepEvaluator([&eval](const EvalContext& ctx) {
-                     return eval(ctx.params, ctx.seed);
-                   }),
-                   options);
-}
-
 }  // namespace manetcap::sim

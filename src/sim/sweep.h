@@ -33,14 +33,6 @@ struct EvalContext {
 /// growing EvalContext instead of multiplying overloads.
 using SweepEvaluator = std::function<double(const EvalContext&)>;
 
-/// Deprecated pre-EvalContext signatures, kept so out-of-tree callers
-/// keep compiling through one release; wrapped into SweepEvaluator by the
-/// shim overloads below.
-using Evaluator =
-    std::function<double(const net::ScalingParams&, std::uint64_t seed)>;
-using MetricsEvaluator = std::function<double(const net::ScalingParams&,
-                                              std::uint64_t seed, Metrics&)>;
-
 struct SweepPoint {
   std::size_t n = 0;
   double lambda_gm = 0.0;     // geometric mean over trials
@@ -96,26 +88,5 @@ SweepResult run_sweep(const net::ScalingParams& base,
                       const std::vector<std::size_t>& sizes,
                       std::size_t trials, const SweepEvaluator& eval,
                       const SweepOptions& options = {});
-
-/// Deprecated shims for the pre-EvalContext signatures. Thin: each wraps
-/// the legacy callable into a SweepEvaluator and forwards. Will be
-/// removed once out-of-tree callers have migrated.
-[[deprecated("wrap the evaluator as SweepEvaluator(const EvalContext&)")]]
-SweepResult run_sweep(const net::ScalingParams& base,
-                      const std::vector<std::size_t>& sizes,
-                      std::size_t trials, const Evaluator& eval,
-                      const SweepOptions& options);
-
-[[deprecated("wrap the evaluator as SweepEvaluator(const EvalContext&)")]]
-SweepResult run_sweep(const net::ScalingParams& base,
-                      const std::vector<std::size_t>& sizes,
-                      std::size_t trials, const MetricsEvaluator& eval,
-                      const SweepOptions& options);
-
-[[deprecated("wrap the evaluator as SweepEvaluator(const EvalContext&)")]]
-SweepResult run_sweep(const net::ScalingParams& base,
-                      const std::vector<std::size_t>& sizes,
-                      std::size_t trials, const Evaluator& eval,
-                      std::uint64_t seed0 = 1);
 
 }  // namespace manetcap::sim

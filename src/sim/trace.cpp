@@ -12,6 +12,7 @@
 #include "net/traffic.h"
 #include "rng/rng.h"
 #include "sim/sweep.h"
+#include "util/binio.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -49,117 +50,100 @@ namespace {
 constexpr char kMagic[8] = {'M', 'C', 'T', 'R', 'A', 'C', 'E', '1'};
 constexpr char kMagic2[8] = {'M', 'C', 'T', 'R', 'A', 'C', 'E', '2'};
 
-// --- varint codec ---------------------------------------------------------
-
-void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
-  while (v >= 0x80) {
-    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
-    v >>= 7;
-  }
-  out.push_back(static_cast<std::uint8_t>(v));
-}
-
-/// ZigZag so event slots can be delta-encoded even for (invalid) traces a
-/// mutation test re-encodes with decreasing slots — the checker, not the
-/// codec, is where monotonicity is judged.
-std::uint64_t zigzag(std::int64_t v) {
-  return (static_cast<std::uint64_t>(v) << 1) ^
-         static_cast<std::uint64_t>(v >> 63);
-}
-
-std::int64_t unzigzag(std::uint64_t v) {
-  return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
-}
-
-struct ByteReader {
-  const std::vector<std::uint8_t>& bytes;
-  std::size_t pos = 0;
-  std::size_t end = 0;  // exclusive; checksum trailer lives beyond it
-
-  std::uint8_t u8() {
-    MANETCAP_CHECK_MSG(pos < end, "trace: truncated buffer");
-    return bytes[pos++];
-  }
-
-  std::uint64_t varint() {
-    std::uint64_t v = 0;
-    int shift = 0;
-    for (;;) {
-      MANETCAP_CHECK_MSG(pos < end, "trace: truncated varint");
-      const std::uint8_t b = bytes[pos++];
-      MANETCAP_CHECK_MSG(shift < 64, "trace: varint overflow");
-      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
-      if ((b & 0x80) == 0) return v;
-      shift += 7;
-    }
-  }
-
-  std::uint32_t u32v() {
-    const std::uint64_t v = varint();
-    MANETCAP_CHECK_MSG(v <= 0xffffffffULL, "trace: field exceeds 32 bits");
-    return static_cast<std::uint32_t>(v);
-  }
-};
-
-std::uint64_t fnv1a(const std::uint8_t* data, std::size_t size) {
-  std::uint64_t h = 1469598103934665603ULL;
-  for (std::size_t i = 0; i < size; ++i) {
-    h ^= data[i];
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
-
-void put_u64_fixed(std::vector<std::uint8_t>& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-}
-
-std::uint64_t get_u64_fixed(const std::vector<std::uint8_t>& bytes,
-                            std::size_t pos) {
-  std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i)
-    v |= static_cast<std::uint64_t>(bytes[pos + i]) << (8 * i);
-  return v;
-}
-
-void put_id_list(std::vector<std::uint8_t>& out,
-                 const std::vector<std::uint32_t>& v) {
-  put_varint(out, v.size());
-  for (std::uint32_t x : v) put_varint(out, x);
-}
-
-std::vector<std::uint32_t> get_id_list(ByteReader& r) {
-  const std::uint64_t count = r.varint();
-  MANETCAP_CHECK_MSG(count <= (1ULL << 28), "trace: id list too large");
-  std::vector<std::uint32_t> v(count);
-  for (auto& x : v) x = r.u32v();
-  return v;
-}
-
-void put_id_lists(std::vector<std::uint8_t>& out,
-                  const std::vector<std::vector<std::uint32_t>>& vs) {
-  put_varint(out, vs.size());
-  for (const auto& v : vs) put_id_list(out, v);
-}
-
-std::vector<std::vector<std::uint32_t>> get_id_lists(ByteReader& r) {
-  const std::uint64_t count = r.varint();
-  MANETCAP_CHECK_MSG(count <= (1ULL << 28), "trace: id table too large");
-  std::vector<std::vector<std::uint32_t>> vs(count);
-  for (auto& v : vs) v = get_id_list(r);
-  return vs;
-}
+// Codec lives in util/binio.h (shared with the checkpoint format); the
+// byte layout it produces is frozen by the golden traces.
+using util::binio::ByteReader;
+using util::binio::fnv1a;
+using util::binio::get_id_list;
+using util::binio::get_id_lists;
+using util::binio::get_u64_fixed;
+using util::binio::put_id_list;
+using util::binio::put_id_lists;
+using util::binio::put_u64_fixed;
+using util::binio::put_varint;
+using util::binio::unzigzag;
+using util::binio::zigzag;
 
 }  // namespace
+
+void encode_faults(std::vector<std::uint8_t>& out,
+                   const std::vector<TraceFault>& faults) {
+  put_varint(out, faults.size());
+  for (const TraceFault& f : faults) {
+    out.push_back(f.kind);
+    put_varint(out, f.slot);
+    put_id_list(out, f.bs);
+    put_u64_fixed(out, std::bit_cast<std::uint64_t>(f.scale));
+    put_id_list(out, f.rehomed_ms);
+    put_id_lists(out, f.rehomed_serving);
+  }
+}
+
+std::vector<TraceFault> decode_faults(util::binio::ByteReader& r) {
+  const std::uint64_t nf = r.varint();
+  MANETCAP_CHECK_MSG(nf <= (1ULL << 24),
+                     r.label << ": fault timeline too large");
+  std::vector<TraceFault> faults(nf);
+  for (auto& f : faults) {
+    f.kind = r.u8();
+    MANETCAP_CHECK_MSG(f.kind <= TraceFault::kKindWireScale,
+                       r.label << ": invalid fault kind");
+    f.slot = r.u32v();
+    f.bs = get_id_list(r);
+    f.scale = util::binio::get_f64(r);
+    f.rehomed_ms = get_id_list(r);
+    f.rehomed_serving = get_id_lists(r);
+  }
+  return faults;
+}
+
+void encode_events(std::vector<std::uint8_t>& out,
+                   const std::vector<TraceEvent>& events) {
+  put_varint(out, events.size());
+  std::uint32_t prev_slot = 0;
+  for (const TraceEvent& e : events) {
+    out.push_back(static_cast<std::uint8_t>(e.kind));
+    put_varint(out, zigzag(static_cast<std::int64_t>(e.slot) -
+                           static_cast<std::int64_t>(prev_slot)));
+    prev_slot = e.slot;
+    put_varint(out, e.flow);
+    put_varint(out, e.hop);
+    put_varint(out, e.from);
+    put_varint(out, e.to);
+  }
+}
+
+std::vector<TraceEvent> decode_events(util::binio::ByteReader& r,
+                                      std::uint8_t max_kind) {
+  const std::uint64_t count = r.varint();
+  MANETCAP_CHECK_MSG(count <= (1ULL << 32),
+                     r.label << ": event count too large");
+  std::vector<TraceEvent> events(count);
+  std::int64_t prev_slot = 0;
+  for (auto& e : events) {
+    const std::uint8_t kind = r.u8();
+    MANETCAP_CHECK_MSG(kind <= max_kind, r.label << ": invalid event kind");
+    e.kind = static_cast<TraceEventKind>(kind);
+    const std::int64_t slot = prev_slot + unzigzag(r.varint());
+    MANETCAP_CHECK_MSG(slot >= 0 && slot <= 0xffffffffLL,
+                       r.label << ": event slot out of range");
+    e.slot = static_cast<std::uint32_t>(slot);
+    prev_slot = slot;
+    e.flow = r.u32v();
+    e.hop = r.u32v();
+    e.from = r.u32v();
+    e.to = r.u32v();
+  }
+  return events;
+}
 
 std::vector<std::uint8_t> Trace::encode() const {
   const bool v2 = !context.faults.empty();
   std::vector<std::uint8_t> out;
   out.reserve(64 + events.size() * 6);
-  if (v2)
-    out.insert(out.end(), kMagic2, kMagic2 + 8);
-  else
-    out.insert(out.end(), kMagic, kMagic + 8);
+  const char* magic = v2 ? kMagic2 : kMagic;
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>(magic[i]));
   out.push_back(static_cast<std::uint8_t>(context.scheme));
   out.push_back(static_cast<std::uint8_t>(context.mobility));
   put_varint(out, context.n);
@@ -174,30 +158,9 @@ std::vector<std::uint8_t> Trace::encode() const {
   put_id_list(out, context.home_cell);
   put_id_lists(out, context.paths);
   put_id_lists(out, context.serving);
-  if (v2) {
-    put_varint(out, context.faults.size());
-    for (const TraceFault& f : context.faults) {
-      out.push_back(f.kind);
-      put_varint(out, f.slot);
-      put_id_list(out, f.bs);
-      put_u64_fixed(out, std::bit_cast<std::uint64_t>(f.scale));
-      put_id_list(out, f.rehomed_ms);
-      put_id_lists(out, f.rehomed_serving);
-    }
-  }
+  if (v2) encode_faults(out, context.faults);
 
-  put_varint(out, events.size());
-  std::uint32_t prev_slot = 0;
-  for (const TraceEvent& e : events) {
-    out.push_back(static_cast<std::uint8_t>(e.kind));
-    put_varint(out, zigzag(static_cast<std::int64_t>(e.slot) -
-                           static_cast<std::int64_t>(prev_slot)));
-    prev_slot = e.slot;
-    put_varint(out, e.flow);
-    put_varint(out, e.hop);
-    put_varint(out, e.from);
-    put_varint(out, e.to);
-  }
+  encode_events(out, events);
   put_varint(out, footer.injected);
   put_varint(out, footer.delivered);
   put_varint(out, footer.dropped);
@@ -215,7 +178,7 @@ Trace Trace::decode(const std::vector<std::uint8_t>& bytes) {
                      "trace: checksum mismatch (corrupted trace)");
 
   Trace t;
-  ByteReader r{bytes, 8, body};
+  ByteReader r{bytes, 8, body, "trace"};
   const std::uint8_t scheme = r.u8();
   MANETCAP_CHECK_MSG(scheme <= 3, "trace: invalid scheme id");
   t.context.scheme = static_cast<SlotScheme>(scheme);
@@ -235,43 +198,9 @@ Trace Trace::decode(const std::vector<std::uint8_t>& bytes) {
   t.context.home_cell = get_id_list(r);
   t.context.paths = get_id_lists(r);
   t.context.serving = get_id_lists(r);
-  if (v2) {
-    const std::uint64_t nf = r.varint();
-    MANETCAP_CHECK_MSG(nf <= (1ULL << 24), "trace: fault timeline too large");
-    t.context.faults.resize(nf);
-    for (auto& f : t.context.faults) {
-      f.kind = r.u8();
-      MANETCAP_CHECK_MSG(f.kind <= TraceFault::kKindWireScale,
-                         "trace: invalid fault kind");
-      f.slot = r.u32v();
-      f.bs = get_id_list(r);
-      MANETCAP_CHECK_MSG(r.pos + 8 <= r.end, "trace: truncated fault scale");
-      f.scale = std::bit_cast<double>(get_u64_fixed(bytes, r.pos));
-      r.pos += 8;
-      f.rehomed_ms = get_id_list(r);
-      f.rehomed_serving = get_id_lists(r);
-    }
-  }
+  if (v2) t.context.faults = decode_faults(r);
 
-  const std::uint64_t count = r.varint();
-  MANETCAP_CHECK_MSG(count <= (1ULL << 32), "trace: event count too large");
-  t.events.resize(count);
-  const std::uint8_t max_kind = v2 ? 8 : 4;
-  std::int64_t prev_slot = 0;
-  for (auto& e : t.events) {
-    const std::uint8_t kind = r.u8();
-    MANETCAP_CHECK_MSG(kind <= max_kind, "trace: invalid event kind");
-    e.kind = static_cast<TraceEventKind>(kind);
-    const std::int64_t slot = prev_slot + unzigzag(r.varint());
-    MANETCAP_CHECK_MSG(slot >= 0 && slot <= 0xffffffffLL,
-                       "trace: event slot out of range");
-    e.slot = static_cast<std::uint32_t>(slot);
-    prev_slot = slot;
-    e.flow = r.u32v();
-    e.hop = r.u32v();
-    e.from = r.u32v();
-    e.to = r.u32v();
-  }
+  t.events = decode_events(r, v2 ? 8 : 4);
   t.footer.injected = r.varint();
   t.footer.delivered = r.varint();
   t.footer.dropped = r.varint();

@@ -322,5 +322,49 @@ TEST(SpatialHash, FullTorusRadiusSeesEveryPoint) {
   EXPECT_EQ(hash.count_in_disk({0.0, 0.0}, 0.71), pts.size());
 }
 
+// Regression: a radius_hint of 1e-12 used to push 1/hint through an int
+// cast (UB — the clamp ran after the narrowing). The constructor now
+// clamps to kMaxGridSide in int64 first; queries must still match brute
+// force on the resulting maximally fine grid.
+TEST(SpatialHash, TinyRadiusHintClampsInsteadOfOverflowing) {
+  std::vector<Point> pts;
+  for (int i = 0; i < 64; ++i)
+    pts.push_back({(i * 29 % 64) / 64.0, (i * 17 % 64) / 64.0});
+  // Without a point-count hint the denormal hint clamps to the max side
+  // (construction only — building a 4096² table for 64 points is wasteful).
+  EXPECT_EQ(SpatialHash(1e-12).grid_side(), SpatialHash::kMaxGridSide);
+  // With the hint the √points cap kicks in, but the tiny radius must still
+  // pass through the int64 clamp, not the old int cast.
+  SpatialHash hash(1e-12, pts.size());
+  hash.build(pts);
+  EXPECT_EQ(hash.grid_side(), 16);  // 2·⌈√64⌉
+  const Point probe{0.31, 0.64};
+  const double r = 0.2;
+  std::size_t brute = 0;
+  for (const Point& p : pts)
+    if (torus_dist(probe, p) <= r) ++brute;
+  EXPECT_EQ(hash.count_in_disk(probe, r), brute);
+  // Incremental mode under the clamped grid: move a point across the
+  // whole torus and re-query.
+  hash.move(0, pts[0], probe);
+  EXPECT_GE(hash.count_in_disk(probe, 1e-9), 1u);
+}
+
+// Rows partition the indexed set: visiting every row range exactly covers
+// every id once — the invariant the sharded S* scan rides on.
+TEST(SpatialHash, VisitRowsPartitionsIds) {
+  std::vector<Point> pts;
+  for (int i = 0; i < 200; ++i)
+    pts.push_back({(i * 37 % 200) / 200.0, (i * 101 % 200) / 200.0});
+  SpatialHash hash(0.05, pts.size());
+  hash.build(pts);
+  const std::int64_t g = hash.grid_side();
+  std::vector<int> seen(pts.size(), 0);
+  for (std::int64_t s = 0; s < 4; ++s)
+    hash.visit_rows(g * s / 4, g * (s + 1) / 4,
+                    [&](std::uint32_t id) { ++seen[id]; });
+  for (std::size_t i = 0; i < pts.size(); ++i) EXPECT_EQ(seen[i], 1) << i;
+}
+
 }  // namespace
 }  // namespace manetcap::geom

@@ -1,0 +1,203 @@
+// Tests for the single-run scale features (docs/SCALE.md): shard
+// invariance of the striped slot pipeline (traces and results must be
+// byte-identical for every --shards value), checkpoint/restore round-trip
+// bit-identity — including mid-fault-plan resume — and the MCCKPT1
+// validation surface (config echo, fingerprints, corruption).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "net/network.h"
+#include "net/traffic.h"
+#include "rng/rng.h"
+#include "sim/faults.h"
+#include "sim/metrics.h"
+#include "sim/slotsim.h"
+#include "sim/trace.h"
+#include "util/check.h"
+
+namespace manetcap::sim {
+namespace {
+
+bool bits_equal(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+void expect_identical(const SlotSimResult& a, const SlotSimResult& b,
+                      const std::string& what) {
+  EXPECT_TRUE(bits_equal(a.mean_flow_rate, b.mean_flow_rate)) << what;
+  EXPECT_TRUE(bits_equal(a.min_flow_rate, b.min_flow_rate)) << what;
+  EXPECT_TRUE(bits_equal(a.p10_flow_rate, b.p10_flow_rate)) << what;
+  EXPECT_TRUE(bits_equal(a.pairs_per_slot, b.pairs_per_slot)) << what;
+  EXPECT_TRUE(bits_equal(a.mean_delay, b.mean_delay)) << what;
+  EXPECT_TRUE(bits_equal(a.p95_delay, b.p95_delay)) << what;
+  EXPECT_EQ(a.total_delivered, b.total_delivered) << what;
+  EXPECT_EQ(a.injected, b.injected) << what;
+  EXPECT_EQ(a.delivered_lifetime, b.delivered_lifetime) << what;
+  EXPECT_EQ(a.queued_end, b.queued_end) << what;
+  EXPECT_EQ(a.dropped, b.dropped) << what;
+}
+
+struct SimRun {
+  SlotSimResult res;
+  std::vector<std::uint8_t> trace_bytes;
+};
+
+/// Builds the spec's network + traffic and runs with the given scale
+/// knobs, returning the result and the encoded trace.
+SimRun run_spec(const GoldenTraceSpec& spec, std::size_t shards,
+             std::size_t checkpoint_every = 0,
+             const std::string& checkpoint_path = "",
+             const std::string& resume_path = "",
+             const FaultPlan* faults = nullptr) {
+  const auto net =
+      net::Network::build(spec.params, mobility::ShapeKind::kUniformDisk,
+                          spec.placement, spec.net_seed);
+  rng::Xoshiro256 g(spec.traffic_seed);
+  const auto dest = net::permutation_traffic(spec.params.n, g);
+  Trace trace;
+  SlotSimOptions opt;
+  opt.scheme = spec.scheme;
+  opt.slots = spec.slots;
+  opt.warmup = spec.warmup;
+  opt.seed = spec.sim_seed;
+  opt.trace = &trace;
+  opt.shards = shards;
+  opt.checkpoint_every = checkpoint_every;
+  opt.checkpoint_path = checkpoint_path;
+  opt.resume_path = resume_path;
+  opt.faults = faults;
+  SimRun r;
+  r.res = run_slot_sim(net, dest, opt);
+  r.trace_bytes = trace.encode();
+  return r;
+}
+
+std::string tmp_ckpt(const std::string& stem) {
+  return testing::TempDir() + "manetcap_" + stem + ".ckpt";
+}
+
+// ----------------------------------------------------- shard invariance --
+
+// The tentpole determinism contract: for every golden scheme, runs with
+// shards ∈ {1, 2, 8} produce byte-identical traces and bit-identical
+// results. This pins the stripe decomposition (hash maintenance, S* scan,
+// overlapped mobility step) as unobservable.
+TEST(ShardInvariance, AllGoldenSchemesByteIdentical) {
+  for (const auto& spec : golden_trace_specs()) {
+    const SimRun serial = run_spec(spec, 1);
+    ASSERT_FALSE(serial.trace_bytes.empty()) << spec.name;
+    for (const std::size_t shards : {2UL, 8UL}) {
+      const SimRun sharded = run_spec(spec, shards);
+      EXPECT_EQ(serial.trace_bytes, sharded.trace_bytes)
+          << spec.name << " with " << shards << " shards";
+      expect_identical(serial.res, sharded.res,
+                       spec.name + " with " + std::to_string(shards) +
+                           " shards");
+    }
+  }
+}
+
+TEST(ShardInvariance, StateBytesReported) {
+  const SimRun r = run_spec(golden_trace_specs()[2], 1);  // scheme_b
+  EXPECT_GT(r.res.state_bytes, 0u);
+}
+
+// ------------------------------------------------------------ checkpoint --
+
+// A run checkpointed mid-horizon and resumed must complete byte-identical
+// to the uninterrupted run: same trace, same result bits.
+TEST(Checkpoint, ResumeIsByteIdentical) {
+  for (std::size_t i : {0UL, 2UL}) {  // scheme_a (ad hoc), scheme_b (infra)
+    const auto spec = golden_trace_specs()[i];
+    const std::string path = tmp_ckpt("roundtrip_" + spec.name);
+    // The checkpointing run IS the uninterrupted run — the save is a pure
+    // side effect, so its trace doubles as the reference.
+    const SimRun full = run_spec(spec, 1, spec.slots / 2, path);
+    GoldenTraceSpec resumed_spec = spec;
+    const SimRun resumed = run_spec(resumed_spec, 1, 0, "", path);
+    EXPECT_EQ(full.trace_bytes, resumed.trace_bytes) << spec.name;
+    expect_identical(full.res, resumed.res, spec.name + " resumed");
+    std::remove(path.c_str());
+  }
+}
+
+// Resuming with a different shard count must also be unobservable — the
+// checkpoint stores logical state only.
+TEST(Checkpoint, ResumeShardedFromSerialCheckpoint) {
+  const auto spec = golden_trace_specs()[2];  // scheme_b
+  const std::string path = tmp_ckpt("reshard");
+  const SimRun full = run_spec(spec, 1, spec.slots / 2, path);
+  const SimRun resumed = run_spec(spec, 8, 0, "", path);
+  EXPECT_EQ(full.trace_bytes, resumed.trace_bytes);
+  expect_identical(full.res, resumed.res, "sharded resume");
+  std::remove(path.c_str());
+}
+
+// Checkpoint taken mid-fault-plan: the fault cursor, BS liveness, rebuilt
+// serving sets and the already-emitted fault timeline must all restore so
+// the remaining events replay identically.
+TEST(Checkpoint, ResumeMidFaultPlanIsByteIdentical) {
+  const auto spec = golden_trace_specs()[2];  // scheme_b, k >= 2
+  const FaultPlan plan = FaultPlan::parse("down@100:0;up@500:0");
+  const std::string path = tmp_ckpt("faults");
+  // Checkpoint at slot 400: after the outage, before the revival.
+  const SimRun full = run_spec(spec, 1, 400, path, "", &plan);
+  EXPECT_GT(full.res.dropped_bs_outage, 0u);
+  const SimRun resumed = run_spec(spec, 1, 0, "", path, &plan);
+  EXPECT_EQ(full.trace_bytes, resumed.trace_bytes);
+  expect_identical(full.res, resumed.res, "mid-fault resume");
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------ validation --
+
+TEST(Checkpoint, ConfigMismatchIsRejected) {
+  const auto spec = golden_trace_specs()[2];
+  const std::string path = tmp_ckpt("mismatch");
+  run_spec(spec, 1, spec.slots / 2, path);
+  GoldenTraceSpec other = spec;
+  other.sim_seed ^= 1;  // different RNG stream
+  EXPECT_THROW(run_spec(other, 1, 0, "", path), manetcap::CheckError);
+  GoldenTraceSpec other_traffic = spec;
+  other_traffic.traffic_seed ^= 1;  // different dest permutation
+  EXPECT_THROW(run_spec(other_traffic, 1, 0, "", path),
+               manetcap::CheckError);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, CorruptionIsRejected) {
+  const auto spec = golden_trace_specs()[0];
+  const std::string path = tmp_ckpt("corrupt");
+  run_spec(spec, 1, spec.slots / 2, path);
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekp(64);
+    char b = 0;
+    f.read(&b, 1);
+    f.seekp(64);
+    b = static_cast<char>(b ^ 0x40);
+    f.write(&b, 1);
+  }
+  EXPECT_THROW(run_spec(spec, 1, 0, "", path), manetcap::CheckError);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MissingFileIsRejected) {
+  const auto spec = golden_trace_specs()[0];
+  EXPECT_THROW(run_spec(spec, 1, 0, "", tmp_ckpt("nonexistent")),
+               manetcap::CheckError);
+}
+
+TEST(Checkpoint, EveryWithoutPathIsRejected) {
+  const auto spec = golden_trace_specs()[0];
+  EXPECT_THROW(run_spec(spec, 1, 100, ""), manetcap::CheckError);
+}
+
+}  // namespace
+}  // namespace manetcap::sim

@@ -284,52 +284,6 @@ TEST(Sweep, DeterministicSeeds) {
   EXPECT_EQ(seen, seen2);
 }
 
-TEST(Sweep, DeprecatedShimsMatchPrimarySignature) {
-  // The pre-EvalContext overloads are thin wrappers: same cells, same
-  // seeds, same aggregation as the primary signature.
-  const std::vector<std::size_t> sizes{128, 256};
-  SweepOptions opt;
-  opt.seed0 = 11;
-  SweepEvaluator eval_new = [](const EvalContext& ctx) {
-    return 1e-3 * static_cast<double>(ctx.params.n) +
-           static_cast<double>(ctx.seed % 97);
-  };
-  auto want = run_sweep(strong_params(0), sizes, 2, eval_new, opt);
-
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  Evaluator legacy = [](const net::ScalingParams& p, std::uint64_t seed) {
-    return 1e-3 * static_cast<double>(p.n) + static_cast<double>(seed % 97);
-  };
-  auto got = run_sweep(strong_params(0), sizes, 2, legacy, opt);
-  auto got_seed0 =
-      run_sweep(strong_params(0), sizes, 2, legacy, std::uint64_t{11});
-
-  MetricsEvaluator legacy_m = [](const net::ScalingParams& p,
-                                 std::uint64_t seed, Metrics& m) {
-    m.inc(Counter::kDelivered);
-    return 1e-3 * static_cast<double>(p.n) + static_cast<double>(seed % 97);
-  };
-  Metrics agg;
-  SweepOptions mopt = opt;
-  mopt.metrics = &agg;
-  auto got_m = run_sweep(strong_params(0), sizes, 2, legacy_m, mopt);
-#pragma GCC diagnostic pop
-
-  ASSERT_EQ(want.points.size(), 2u);
-  for (const auto* r : {&got, &got_seed0, &got_m}) {
-    ASSERT_EQ(r->points.size(), want.points.size());
-    for (std::size_t i = 0; i < want.points.size(); ++i) {
-      EXPECT_EQ(r->points[i].n, want.points[i].n);
-      EXPECT_DOUBLE_EQ(r->points[i].lambda_gm, want.points[i].lambda_gm);
-      EXPECT_DOUBLE_EQ(r->points[i].lambda_min, want.points[i].lambda_min);
-      EXPECT_DOUBLE_EQ(r->points[i].lambda_max, want.points[i].lambda_max);
-    }
-  }
-  // The metrics shim hands each cell a live registry: 2 sizes × 2 trials.
-  EXPECT_EQ(agg.count(Counter::kDelivered), 4u);
-}
-
 // -------------------------------------------------------------- slotsim --
 
 TEST(SlotSim, SchemeADeliversPackets) {
@@ -753,6 +707,32 @@ TEST(SlotSimAudit, MetricsAttachmentDoesNotPerturbResults) {
   EXPECT_DOUBLE_EQ(plain.pairs_per_slot, audited.pairs_per_slot);
   EXPECT_EQ(plain.injected, audited.injected);
   EXPECT_EQ(plain.queued_end, audited.queued_end);
+}
+
+TEST(SlotSimAudit, HugeHorizonSeriesReservationIsBounded) {
+  // Regression: enable_series used to reserve the full horizon upfront, so
+  // a 10⁷-slot hint pre-committed ~240 MB before the first sample landed.
+  // The reservation is now capped at kMaxSeriesReserve samples.
+  Metrics m;
+  m.enable_series(10'000'000);
+  EXPECT_LE(m.series().capacity(), Metrics::kMaxSeriesReserve);
+  // A stride hint reserves horizon/stride when that is under the cap.
+  Metrics strided;
+  strided.enable_series(10'000'000, 1000);
+  EXPECT_LE(strided.series().capacity(), Metrics::kMaxSeriesReserve);
+  EXPECT_GE(strided.series().capacity(), 10'000'000 / 1000);
+  EXPECT_EQ(strided.series_stride(), 1000u);
+  // The stride gate drops non-stride slots and keeps stride multiples.
+  strided.sample_slot(0, 1, 0, 0);
+  strided.sample_slot(1, 2, 0, 0);
+  strided.sample_slot(999, 3, 0, 0);
+  strided.sample_slot(1000, 4, 0, 0);
+  strided.sample_slot(2000, 5, 0, 0);
+  ASSERT_EQ(strided.series().size(), 3u);
+  EXPECT_EQ(strided.series()[0].slot, 0u);
+  EXPECT_EQ(strided.series()[1].slot, 1000u);
+  EXPECT_EQ(strided.series()[2].slot, 2000u);
+  EXPECT_EQ(strided.series()[2].queued, 5u);
 }
 
 TEST(SlotSimAudit, SchemeBSparseTopologyHasNoOrphans) {

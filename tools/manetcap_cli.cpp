@@ -67,6 +67,18 @@ constexpr FlagSpec kFlagSpecs[] = {
     {"faults", "SPEC",
      "fault plan (schemes B/C): 'down@SLOT:BS | up@SLOT:BS | "
      "wire@SLOT:A-BxSCALE | region@SLOT:X,Y,R', ';'-separated"},
+    {"shards", "S",
+     "spatial stripes for the parallel slot phases; bit-identical for any "
+     "value (default 1 = serial)"},
+    {"checkpoint", "FILE",
+     "write the full simulator state to FILE every --checkpoint-every "
+     "slots (atomic; MCCKPT1)"},
+    {"checkpoint-every", "S",
+     "checkpoint period in slots (default 0 = never; requires "
+     "--checkpoint)"},
+    {"resume", "FILE",
+     "resume a run from an MCCKPT1 checkpoint written by the identical "
+     "configuration"},
 };
 
 const FlagSpec& spec_of(const std::string& name) {
@@ -111,7 +123,8 @@ const std::vector<Subcommand>& subcommands() {
        &cmd_sweep},
       {"simulate", "slot-level packet simulation",
        with_params({"scheme", "slots", "warmup", "mobility", "seed",
-                    "metrics-out", "faults"}),
+                    "metrics-out", "faults", "shards", "checkpoint",
+                    "checkpoint-every", "resume"}),
        &cmd_simulate},
       {"phase", "Figure 3 phase-diagram panel for a given phi",
        {"phi"}, &cmd_phase},
@@ -285,6 +298,11 @@ int cmd_simulate(const util::Flags& f) {
   opt.warmup = static_cast<std::size_t>(f.get_int("warmup",
                                                   opt.slots / 10));
   opt.seed = static_cast<std::uint64_t>(f.get_int("seed", 1));
+  opt.shards = static_cast<std::size_t>(f.get_int("shards", 1));
+  opt.checkpoint_path = f.get_string("checkpoint", "");
+  opt.checkpoint_every =
+      static_cast<std::size_t>(f.get_int("checkpoint-every", 0));
+  opt.resume_path = f.get_string("resume", "");
 
   const std::string metrics_out = f.get_string("metrics-out", "");
   sim::Metrics metrics;
