@@ -31,6 +31,7 @@
 #include "rng/rng.h"
 #include "sim/slotsim.h"
 #include "sim/slotsim_reference.h"
+#include "sim/sweep.h"
 #include "util/artifacts.h"
 #include "util/csv.h"
 #include "util/flags.h"
@@ -110,7 +111,7 @@ int main(int argc, char** argv) {
                        : net::BsPlacement::kClusteredMatched;
   auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
                                  placement, opt.seed);
-  rng::Xoshiro256 g(opt.seed ^ 0x1234567ULL);
+  rng::Xoshiro256 g(sim::traffic_seed(opt.seed));
   auto dest = net::permutation_traffic(p.n, g);
 
   std::cout << "=== slot-simulator hot path: SoA rewrite vs reference ===\n"

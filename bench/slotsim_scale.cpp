@@ -29,6 +29,7 @@
 #include "net/traffic.h"
 #include "rng/rng.h"
 #include "sim/slotsim.h"
+#include "sim/sweep.h"
 #include "sim/trace.h"
 #include "util/artifacts.h"
 #include "util/csv.h"
@@ -151,7 +152,7 @@ int main(int argc, char** argv) {
     auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
                                    net::BsPlacement::kClusteredMatched,
                                    base.seed);
-    rng::Xoshiro256 g(base.seed ^ 0x1234567ULL);
+    rng::Xoshiro256 g(sim::traffic_seed(base.seed));
     auto dest = net::permutation_traffic(p.n, g);
 
     const Leg serial = run_leg(net, dest, base, 1);

@@ -1,0 +1,57 @@
+#include "routing/rate_structure.h"
+
+#include <algorithm>
+
+namespace manetcap::routing {
+
+void RateStructure::reset(std::size_t n) {
+  constraints.clear();
+  flow_start.assign(n + 1, 0);
+  incid_cid.clear();
+  incid_coeff.clear();
+  flow_hops.assign(n, 0.0);
+  flow_served.assign(n, 0);
+  staging_.clear();
+}
+
+void RateStructure::note(std::uint32_t flow, std::uint32_t cid,
+                         double coeff) {
+  staging_.push_back({flow, cid, coeff});
+}
+
+void RateStructure::finalize() {
+  const std::size_t n = flow_start.size() - 1;
+  // Counting sort by flow (stable: staging order preserved within a flow).
+  std::vector<std::uint32_t> count(n + 1, 0);
+  for (const Entry& e : staging_) ++count[e.flow + 1];
+  for (std::size_t f = 0; f < n; ++f) count[f + 1] += count[f];
+  std::vector<Entry> sorted(staging_.size());
+  std::vector<std::uint32_t> cursor(count.begin(), count.end() - 1);
+  for (const Entry& e : staging_) sorted[cursor[e.flow]++] = e;
+
+  incid_cid.clear();
+  incid_coeff.clear();
+  incid_cid.reserve(sorted.size());
+  incid_coeff.reserve(sorted.size());
+  for (std::size_t f = 0; f < n; ++f) {
+    const std::size_t b = count[f], e = count[f + 1];
+    std::sort(sorted.begin() + static_cast<std::ptrdiff_t>(b),
+              sorted.begin() + static_cast<std::ptrdiff_t>(e),
+              [](const Entry& x, const Entry& y) { return x.cid < y.cid; });
+    for (std::size_t j = b; j < e; ++j) {
+      const bool merge = incid_cid.size() > flow_start[f] &&
+                         incid_cid.back() == sorted[j].cid;
+      if (merge) {
+        incid_coeff.back() += sorted[j].coeff;
+      } else {
+        incid_cid.push_back(sorted[j].cid);
+        incid_coeff.push_back(sorted[j].coeff);
+      }
+    }
+    flow_start[f + 1] = static_cast<std::uint32_t>(incid_cid.size());
+  }
+  staging_.clear();
+  staging_.shrink_to_fit();
+}
+
+}  // namespace manetcap::routing

@@ -33,7 +33,8 @@ SchemeA::SchemeA(double cell_side_factor)
 SchemeAResult SchemeA::evaluate(const net::Network& net,
                                 const std::vector<std::uint32_t>& dest,
                                 const std::vector<bool>* include_flow,
-                                double bandwidth_share) const {
+                                double bandwidth_share,
+                                RateStructure* rates) const {
   const auto& home = net.ms_home();
   const std::size_t n = home.size();
   MANETCAP_CHECK(dest.size() == n);
@@ -42,6 +43,7 @@ SchemeAResult SchemeA::evaluate(const net::Network& net,
   auto included = [include_flow](std::uint32_t s) {
     return !include_flow || (*include_flow)[s];
   };
+  if (rates != nullptr) rates->reset(n);
 
   SchemeAResult res;
   const double side = cell_side_factor_ * net.mobility_radius();
@@ -118,11 +120,14 @@ SchemeAResult SchemeA::evaluate(const net::Network& net,
 
   // --- assemble constraints ----------------------------------------------
   flow::ConstraintSet cs;
+  std::unordered_map<std::uint64_t, std::uint32_t> pair_cid;
   double min_cap = std::numeric_limits<double>::infinity();
   double max_load = 0.0;
   for (const auto& [key, demanded] : load) {
     auto it = cap.find(key);
     const double capacity = it == cap.end() ? 0.0 : it->second;
+    if (rates != nullptr)
+      pair_cid[key] = static_cast<std::uint32_t>(cs.size());
     cs.add(flow::Resource::kWirelessRelay, capacity, demanded);
     min_cap = std::min(min_cap, capacity);
     max_load = std::max(max_load, demanded);
@@ -136,9 +141,42 @@ SchemeAResult SchemeA::evaluate(const net::Network& net,
     endpoint_load[s] += 1.0;
     endpoint_load[dest[s]] += 1.0;
   }
+  constexpr std::uint32_t kNoCid = ~std::uint32_t{0};
+  std::vector<std::uint32_t> endpoint_cid;
+  if (rates != nullptr) endpoint_cid.assign(n, kNoCid);
   for (std::uint32_t i = 0; i < n; ++i) {
-    if (endpoint_load[i] > 0.0)
+    if (endpoint_load[i] > 0.0) {
+      if (rates != nullptr)
+        endpoint_cid[i] = static_cast<std::uint32_t>(cs.size());
       cs.add(flow::Resource::kWirelessRelay, airtime[i], endpoint_load[i]);
+    }
+  }
+
+  // Per-flow incidence: re-walk each included flow's H-V path with the
+  // same empty-cell detours the load pass took, tying the flow to its
+  // cell-pair rows and both endpoint rows.
+  if (rates != nullptr) {
+    rates->constraints = cs.constraints();
+    for (std::uint32_t s = 0; s < n; ++s) {
+      if (!included(s)) continue;
+      rates->flow_served[s] = 1;
+      const auto path = tess.hv_path(cell_of[s], cell_of[dest[s]]);
+      int prev = tess.index_of(path.front());
+      double hops = 0.0;
+      for (std::size_t h = 1; h < path.size(); ++h) {
+        const int cur = tess.index_of(path[h]);
+        const bool last = h + 1 == path.size();
+        if (!last && occupancy[cur] == 0) continue;
+        rates->note(s, pair_cid.at(pair_key(prev, cur)), 1.0);
+        hops += 1.0;
+        prev = cur;
+      }
+      rates->flow_hops[s] = std::max(hops, 1.0);
+      if (endpoint_cid[s] != kNoCid) rates->note(s, endpoint_cid[s], 1.0);
+      if (endpoint_cid[dest[s]] != kNoCid)
+        rates->note(s, endpoint_cid[dest[s]], 1.0);
+    }
+    rates->finalize();
   }
 
   res.throughput = cs.solve();

@@ -17,6 +17,7 @@
 
 #include "flow/constraints.h"
 #include "net/network.h"
+#include "routing/rate_structure.h"
 
 namespace manetcap::routing {
 
@@ -47,10 +48,13 @@ class SchemeA {
   /// subset of flows — hybrid allocations (L-max-hop, scheme A ∥ B) route
   /// only part of the traffic here. `bandwidth_share` scales the wireless
   /// capacities when the channel is split between coexisting schemes.
+  /// `rates` (optional) receives the per-flow constraint incidence for the
+  /// flow-level engine.
   SchemeAResult evaluate(const net::Network& net,
                          const std::vector<std::uint32_t>& dest,
                          const std::vector<bool>* include_flow = nullptr,
-                         double bandwidth_share = 1.0) const;
+                         double bandwidth_share = 1.0,
+                         RateStructure* rates = nullptr) const;
 
   /// Minimum grid side below which the scheme is declared degenerate.
   static constexpr int kMinGrid = 4;

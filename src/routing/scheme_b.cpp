@@ -27,7 +27,8 @@ SchemeB::SchemeB(BsGrouping grouping, bool strict_coverage)
 SchemeBResult SchemeB::evaluate(const net::Network& net,
                                 const std::vector<std::uint32_t>& dest,
                                 const std::vector<bool>* include_flow,
-                                double bandwidth_share) const {
+                                double bandwidth_share,
+                                RateStructure* rates) const {
   const auto& home = net.ms_home();
   const auto& bs = net.bs_pos();
   const std::size_t n = home.size();
@@ -39,6 +40,7 @@ SchemeBResult SchemeB::evaluate(const net::Network& net,
   auto included = [include_flow](std::uint32_t s) {
     return !include_flow || (*include_flow)[s];
   };
+  if (rates != nullptr) rates->reset(n);
   // Per-MS access demand: 1 unit as source of an included flow, 1 as its
   // destination.
   std::vector<double> ms_demand(n, 0.0);
@@ -90,15 +92,25 @@ SchemeBResult SchemeB::evaluate(const net::Network& net,
     });
   }
   flow::ConstraintSet cs;
+  constexpr std::uint32_t kNoCid = ~std::uint32_t{0};
+  std::vector<std::uint32_t> ms_row_cid;  // per-MS access (or coverage) row
+  std::vector<std::uint32_t> bs_row_cid;  // per-BS aggregate access row
+  if (rates != nullptr) {
+    ms_row_cid.assign(n, kNoCid);
+    bs_row_cid.assign(k, kNoCid);
+  }
   double min_access = std::numeric_limits<double>::infinity();
   double sum_access = 0.0;
   for (std::uint32_t i = 0; i < n; ++i) {
     if (access[i] <= 0.0) {
       if (ms_demand[i] > 0.0) {
         ++res.unreachable_ms;
-        if (strict_coverage_)
+        if (strict_coverage_) {
+          if (rates != nullptr)
+            ms_row_cid[i] = static_cast<std::uint32_t>(cs.size());
           cs.add(flow::Resource::kAccess, 0.0, ms_demand[i],
                  "unreachable MS");
+        }
       }
       continue;
     }
@@ -106,17 +118,23 @@ SchemeBResult SchemeB::evaluate(const net::Network& net,
     sum_access += access[i];
     // Uplink λ per included flow sourced here, downlink λ per included
     // flow terminating here (both 1 under full traffic).
-    if (ms_demand[i] > 0.0)
+    if (ms_demand[i] > 0.0) {
+      if (rates != nullptr)
+        ms_row_cid[i] = static_cast<std::uint32_t>(cs.size());
       cs.add(flow::Resource::kAccess, access[i], ms_demand[i]);
+    }
     for (const auto& [l, m] : reach[i]) {
       bs_capacity[l] += m;
       bs_unit_load[l] += ms_demand[i] * m / access[i];
     }
   }
   for (std::uint32_t l = 0; l < k; ++l) {
-    if (bs_unit_load[l] > 0.0)
+    if (bs_unit_load[l] > 0.0) {
+      if (rates != nullptr)
+        bs_row_cid[l] = static_cast<std::uint32_t>(cs.size());
       cs.add(flow::Resource::kAccess,
              std::min(bandwidth_share, bs_capacity[l]), bs_unit_load[l]);
+    }
   }
   res.min_access_rate = std::isfinite(min_access) ? min_access : 0.0;
   const std::size_t covered = n - res.unreachable_ms;
@@ -165,10 +183,52 @@ SchemeBResult SchemeB::evaluate(const net::Network& net,
   }
   const double edge_load = wired.max_edge_load();
   res.max_backbone_edge_load = edge_load;
+  std::uint32_t backbone_cid = kNoCid;
+  double backbone_row_load = 0.0;
   if (wired.max_feasible_scale() == 0.0) {
+    backbone_cid = static_cast<std::uint32_t>(cs.size());
+    backbone_row_load = 1.0;
     cs.add(flow::Resource::kBackbone, 0.0, 1.0, "empty BS group");
   } else if (edge_load > 0.0) {
+    backbone_cid = static_cast<std::uint32_t>(cs.size());
+    backbone_row_load = edge_load;
     cs.add(flow::Resource::kBackbone, c, edge_load);
+  }
+
+  // Per-flow incidence: each flow loads its two endpoints' access rows,
+  // the reached BS rows in proportion to the access split (the same
+  // m/µ_i^A weights the aggregate pass used), and — when it crosses
+  // groups — an even share of the worst backbone edge's load.
+  if (rates != nullptr) {
+    rates->constraints = cs.constraints();
+    double wired_flows = 0.0;
+    for (std::uint32_t s = 0; s < n; ++s) {
+      if (!included(s)) continue;
+      if (access[s] <= 0.0 || access[dest[s]] <= 0.0) continue;
+      if (ms_group[s] != ms_group[dest[s]]) wired_flows += 1.0;
+    }
+    for (std::uint32_t s = 0; s < n; ++s) {
+      if (!included(s)) continue;
+      const std::uint32_t d = dest[s];
+      const bool covered = access[s] > 0.0 && access[d] > 0.0;
+      rates->flow_served[s] = covered ? 1 : 0;
+      const bool crosses = ms_group[s] != ms_group[d];
+      // MS→BS, (wire), BS→MS: 2 wireless hops, +1 store-and-forward stage
+      // when the flow crosses the backbone.
+      rates->flow_hops[s] = covered && crosses ? 3.0 : 2.0;
+      for (const std::uint32_t i : {s, d}) {
+        if (ms_row_cid[i] != kNoCid) rates->note(s, ms_row_cid[i], 1.0);
+        if (access[i] <= 0.0) continue;
+        for (const auto& [l, m] : reach[i]) {
+          if (bs_row_cid[l] != kNoCid)
+            rates->note(s, bs_row_cid[l], m / access[i]);
+        }
+      }
+      if (covered && crosses && backbone_cid != kNoCid &&
+          wired_flows > 0.0)
+        rates->note(s, backbone_cid, backbone_row_load / wired_flows);
+    }
+    rates->finalize();
   }
 
   res.throughput = cs.solve();

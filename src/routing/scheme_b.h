@@ -19,6 +19,7 @@
 
 #include "flow/constraints.h"
 #include "net/network.h"
+#include "routing/rate_structure.h"
 
 namespace manetcap::routing {
 
@@ -55,10 +56,13 @@ class SchemeB {
   /// restricts to a flow subset; `bandwidth_share` scales the *wireless*
   /// access capacities when the channel is split with a coexisting scheme
   /// (wires are unaffected).
+  /// `rates` (optional) receives the per-flow constraint incidence for the
+  /// flow-level engine.
   SchemeBResult evaluate(const net::Network& net,
                          const std::vector<std::uint32_t>& dest,
                          const std::vector<bool>* include_flow = nullptr,
-                         double bandwidth_share = 1.0) const;
+                         double bandwidth_share = 1.0,
+                         RateStructure* rates = nullptr) const;
 
  private:
   BsGrouping grouping_;

@@ -14,13 +14,15 @@ SchemeC::SchemeC(double delta) : delta_(delta) {
 }
 
 SchemeCResult SchemeC::evaluate(const net::Network& net,
-                                const std::vector<std::uint32_t>& dest) const {
+                                const std::vector<std::uint32_t>& dest,
+                                RateStructure* rates) const {
   const auto& home = net.ms_home();
   const auto& bs = net.bs_pos();
   const std::size_t n = home.size();
   const std::size_t k = bs.size();
   MANETCAP_CHECK(dest.size() == n);
   MANETCAP_CHECK_MSG(k >= 1, "scheme C needs base stations");
+  if (rates != nullptr) rates->reset(n);
 
   SchemeCResult res;
 
@@ -105,9 +107,12 @@ SchemeCResult SchemeC::evaluate(const net::Network& net,
 
   // --- constraints ---------------------------------------------------------
   flow::ConstraintSet cs;
+  constexpr std::uint32_t kNoCid = ~std::uint32_t{0};
   if (res.ms_without_bs > 0)
     cs.add(flow::Resource::kAccess, 0.0, 1.0, "cluster without BS");
 
+  std::vector<std::uint32_t> cell_cid;
+  if (rates != nullptr) cell_cid.assign(k, kNoCid);
   double pop_sum = 0.0, pop_max = 0.0;
   std::size_t active_cells = 0;
   for (std::uint32_t l = 0; l < k; ++l) {
@@ -117,6 +122,8 @@ SchemeCResult SchemeC::evaluate(const net::Network& net,
     pop_max = std::max(pop_max, cell_pop[l]);
     // Active cell carries W = 1 split into symmetric up/down channels; each
     // associated MS needs uplink λ and downlink λ.
+    if (rates != nullptr)
+      cell_cid[l] = static_cast<std::uint32_t>(cs.size());
     cs.add(flow::Resource::kAccess, duty[l], 2.0 * cell_pop[l]);
   }
   res.mean_cell_population =
@@ -140,13 +147,37 @@ SchemeCResult SchemeC::evaluate(const net::Network& net,
     if (serving[s] == serving[dest[s]]) continue;
     wired_flows += 1.0;
   }
+  std::uint32_t backbone_cid = kNoCid;
+  double backbone_coeff = 0.0;
   if (wired_flows > 0.0 && k >= 2) {
     const double edges = static_cast<double>(k) *
                          (static_cast<double>(k) - 1.0) / 2.0;
+    backbone_cid = static_cast<std::uint32_t>(cs.size());
+    backbone_coeff = 2.0 / edges;  // Valiant: 2 traversals spread evenly
     cs.add(flow::Resource::kBackbone, net.params().c(),
            2.0 * wired_flows / edges);
   } else if (wired_flows > 0.0) {
+    backbone_cid = static_cast<std::uint32_t>(cs.size());
+    backbone_coeff = 1.0;  // zero-capacity sentinel: pins wired flows to 0
     cs.add(flow::Resource::kBackbone, 0.0, 1.0, "single BS, no wires");
+  }
+
+  // Per-flow incidence: uplink into the source's cell, downlink out of the
+  // destination's, plus the Valiant backbone share when the cells differ.
+  if (rates != nullptr) {
+    rates->constraints = cs.constraints();
+    for (std::uint32_t s = 0; s < n; ++s) {
+      const std::uint32_t d = dest[s];
+      if (serving[s] == kNone || serving[d] == kNone) continue;  // unserved
+      rates->flow_served[s] = 1;
+      rates->note(s, cell_cid[serving[s]], 1.0);
+      rates->note(s, cell_cid[serving[d]], 1.0);
+      const bool crosses = serving[s] != serving[d];
+      rates->flow_hops[s] = crosses ? 3.0 : 2.0;
+      if (crosses && backbone_cid != kNoCid)
+        rates->note(s, backbone_cid, backbone_coeff);
+    }
+    rates->finalize();
   }
 
   res.throughput = cs.solve();

@@ -16,6 +16,7 @@
 
 #include "flow/constraints.h"
 #include "net/network.h"
+#include "routing/rate_structure.h"
 
 namespace manetcap::routing {
 
@@ -38,8 +39,11 @@ class SchemeC {
   /// interference graph.
   explicit SchemeC(double delta = 1.0);
 
+  /// `rates` (optional) receives the per-flow constraint incidence for
+  /// the flow-level engine.
   SchemeCResult evaluate(const net::Network& net,
-                         const std::vector<std::uint32_t>& dest) const;
+                         const std::vector<std::uint32_t>& dest,
+                         RateStructure* rates = nullptr) const;
 
  private:
   double delta_;

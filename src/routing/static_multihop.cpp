@@ -17,16 +17,20 @@ StaticMultihop::StaticMultihop(double range_factor, double delta)
 }
 
 StaticMultihopResult StaticMultihop::evaluate(
-    const net::Network& net, const std::vector<std::uint32_t>& dest) const {
-  return net.params().cluster_free() ? evaluate_uniform(net, dest)
-                                     : evaluate_clustered(net, dest);
+    const net::Network& net, const std::vector<std::uint32_t>& dest,
+    RateStructure* rates) const {
+  return net.params().cluster_free()
+             ? evaluate_uniform(net, dest, rates)
+             : evaluate_clustered(net, dest, rates);
 }
 
 StaticMultihopResult StaticMultihop::evaluate_uniform(
-    const net::Network& net, const std::vector<std::uint32_t>& dest) const {
+    const net::Network& net, const std::vector<std::uint32_t>& dest,
+    RateStructure* rates) const {
   const auto& home = net.ms_home();
   const std::size_t n = home.size();
   MANETCAP_CHECK(dest.size() == n);
+  if (rates != nullptr) rates->reset(n);
   StaticMultihopResult res;
 
   // Gupta–Kumar connectivity range over n uniform nodes.
@@ -41,6 +45,15 @@ StaticMultihopResult StaticMultihop::evaluate_uniform(
     flow::ConstraintSet cs;
     cs.add(flow::Resource::kWirelessRelay, 1.0,
            static_cast<double>(n));
+    if (rates != nullptr) {
+      rates->constraints = cs.constraints();
+      for (std::uint32_t s = 0; s < n; ++s) {
+        rates->note(s, 0, 1.0);
+        rates->flow_served[s] = 1;
+        rates->flow_hops[s] = 1.0;
+      }
+      rates->finalize();
+    }
     res.throughput = cs.solve();
     res.mean_duty_cycle = 1.0;
     return res;
@@ -73,16 +86,46 @@ StaticMultihopResult StaticMultihop::evaluate_uniform(
   res.mean_duty_cycle = duty;
 
   flow::ConstraintSet cs;
-  if (broken) cs.add(flow::Resource::kWirelessRelay, 0.0, 1.0, "empty cell");
+  constexpr std::uint32_t kNoCid = ~std::uint32_t{0};
+  std::uint32_t broken_cid = kNoCid;
+  if (broken) {
+    broken_cid = static_cast<std::uint32_t>(cs.size());
+    cs.add(flow::Resource::kWirelessRelay, 0.0, 1.0, "empty cell");
+  }
+  std::vector<std::uint32_t> cell_cid;
+  if (rates != nullptr) cell_cid.assign(tess.num_cells(), kNoCid);
   double load_sum = 0.0, load_max = 0.0;
   std::size_t loaded_cells = 0;
   for (int idx = 0; idx < tess.num_cells(); ++idx) {
     if (load[idx] > 0.0) {
+      if (rates != nullptr)
+        cell_cid[idx] = static_cast<std::uint32_t>(cs.size());
       cs.add(flow::Resource::kWirelessRelay, duty, load[idx]);
       load_sum += load[idx];
       load_max = std::max(load_max, load[idx]);
       ++loaded_cells;
     }
+  }
+  // Per-flow incidence: every visited cell (endpoints included), plus the
+  // zero-capacity sentinel for flows whose path crosses an empty cell.
+  if (rates != nullptr) {
+    rates->constraints = cs.constraints();
+    for (std::uint32_t s = 0; s < n; ++s) {
+      const auto path =
+          tess.hv_path(tess.cell_of(home[s]), tess.cell_of(home[dest[s]]));
+      bool flow_broken = false;
+      for (const auto& cell : path) {
+        const int idx = tess.index_of(cell);
+        rates->note(s, cell_cid[idx], 1.0);
+        if (occupancy[idx] == 0) flow_broken = true;
+      }
+      if (flow_broken && broken_cid != kNoCid)
+        rates->note(s, broken_cid, 1.0);
+      rates->flow_served[s] = 1;
+      rates->flow_hops[s] =
+          std::max(static_cast<double>(path.size()) - 1.0, 1.0);
+    }
+    rates->finalize();
   }
   res.throughput = cs.solve();
   res.lambda_symmetric =
@@ -93,11 +136,13 @@ StaticMultihopResult StaticMultihop::evaluate_uniform(
 }
 
 StaticMultihopResult StaticMultihop::evaluate_clustered(
-    const net::Network& net, const std::vector<std::uint32_t>& dest) const {
+    const net::Network& net, const std::vector<std::uint32_t>& dest,
+    RateStructure* rates) const {
   const auto& layout = net.ms_layout();
   const std::size_t n = net.num_ms();
   const std::size_t m = layout.num_clusters();
   MANETCAP_CHECK(dest.size() == n);
+  if (rates != nullptr) rates->reset(n);
   StaticMultihopResult res;
   MANETCAP_CHECK(m >= 2);
 
@@ -172,8 +217,11 @@ StaticMultihopResult StaticMultihop::evaluate_clustered(
   // clusters), which is Θ(1/log m) since m·R_T² = Θ(log m) clusters overlap.
   const double guard = (1.0 + delta_) * link_dist;
   flow::ConstraintSet cs;
+  constexpr std::uint32_t kNoCid = ~std::uint32_t{0};
   if (disconnected)
     cs.add(flow::Resource::kWirelessRelay, 0.0, 1.0, "disconnected cluster");
+  std::vector<std::uint32_t> cluster_cid;
+  if (rates != nullptr) cluster_cid.assign(m, kNoCid);
   double duty_sum = 0.0, load_sum = 0.0;
   std::size_t loaded = 0;
   for (std::uint32_t a = 0; a < m; ++a) {
@@ -188,10 +236,33 @@ StaticMultihopResult StaticMultihop::evaluate_clustered(
     duty_sum += duty;
     load_sum += load[a];
     ++loaded;
+    if (rates != nullptr)
+      cluster_cid[a] = static_cast<std::uint32_t>(cs.size());
     cs.add(flow::Resource::kWirelessRelay, duty, load[a]);
   }
   res.mean_duty_cycle =
       loaded ? duty_sum / static_cast<double>(loaded) : 0.0;
+  // Per-flow incidence: re-walk each connected flow's cluster chain;
+  // disconnected flows carry nothing (flow_served stays 0).
+  if (rates != nullptr) {
+    rates->constraints = cs.constraints();
+    for (std::uint32_t s = 0; s < n; ++s) {
+      const std::uint32_t cs_ = layout.cluster_of[s];
+      const std::uint32_t cd = layout.cluster_of[dest[s]];
+      if (parent[cs_][cd] == kUnset) continue;
+      rates->flow_served[s] = 1;
+      std::uint32_t cur = cd;
+      rates->note(s, cluster_cid[cur], 1.0);
+      double hops = 0.0;
+      while (cur != cs_) {
+        cur = parent[cs_][cur];
+        rates->note(s, cluster_cid[cur], 1.0);
+        hops += 1.0;
+      }
+      rates->flow_hops[s] = std::max(hops, 1.0);
+    }
+    rates->finalize();
+  }
   res.throughput = cs.solve();
   // mean duty / mean load over loaded clusters = duty_sum / load_sum.
   res.lambda_symmetric =

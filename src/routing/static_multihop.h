@@ -16,6 +16,7 @@
 
 #include "flow/constraints.h"
 #include "net/network.h"
+#include "routing/rate_structure.h"
 
 namespace manetcap::routing {
 
@@ -37,14 +38,19 @@ class StaticMultihop {
   /// an order of spatial reuse).
   explicit StaticMultihop(double range_factor = 2.0, double delta = 1.0);
 
+  /// `rates` (optional) receives the per-flow constraint incidence for
+  /// the flow-level engine.
   StaticMultihopResult evaluate(const net::Network& net,
-                                const std::vector<std::uint32_t>& dest) const;
+                                const std::vector<std::uint32_t>& dest,
+                                RateStructure* rates = nullptr) const;
 
  private:
-  StaticMultihopResult evaluate_uniform(
-      const net::Network& net, const std::vector<std::uint32_t>& dest) const;
+  StaticMultihopResult evaluate_uniform(const net::Network& net,
+                                        const std::vector<std::uint32_t>& dest,
+                                        RateStructure* rates) const;
   StaticMultihopResult evaluate_clustered(
-      const net::Network& net, const std::vector<std::uint32_t>& dest) const;
+      const net::Network& net, const std::vector<std::uint32_t>& dest,
+      RateStructure* rates) const;
 
   double range_factor_;
   double delta_;

@@ -8,11 +8,13 @@
 
 namespace manetcap::routing {
 
-TwoHopResult TwoHopRelay::evaluate(
-    const net::Network& net, const std::vector<std::uint32_t>& dest) const {
+TwoHopResult TwoHopRelay::evaluate(const net::Network& net,
+                                   const std::vector<std::uint32_t>& dest,
+                                   RateStructure* rates) const {
   const auto& home = net.ms_home();
   const std::size_t n = home.size();
   MANETCAP_CHECK(dest.size() == n);
+  if (rates != nullptr) rates->reset(n);
 
   TwoHopResult res;
   linkcap::LinkCapacityModel mu(net.shape(), net.params().f(),
@@ -59,7 +61,17 @@ TwoHopResult TwoHopRelay::evaluate(
     const double cap =
         std::min({pool_cap, airtime[s] / 2.0, airtime[d] / 2.0});
     cap_sum += cap;
+    if (rates != nullptr) {
+      // One private row per flow: the flow's own pool/endpoint bound.
+      rates->note(s, static_cast<std::uint32_t>(cs.size()), 1.0);
+      rates->flow_served[s] = 1;
+      rates->flow_hops[s] = 2.0;  // source → relay → destination
+    }
     cs.add(flow::Resource::kWirelessRelay, cap, 1.0);
+  }
+  if (rates != nullptr) {
+    rates->constraints = cs.constraints();
+    rates->finalize();
   }
 
   res.mean_relay_pool = pool_sum / static_cast<double>(n);

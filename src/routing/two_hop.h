@@ -14,6 +14,7 @@
 
 #include "flow/constraints.h"
 #include "net/network.h"
+#include "routing/rate_structure.h"
 
 namespace manetcap::routing {
 
@@ -29,8 +30,11 @@ class TwoHopRelay {
  public:
   /// Fluid capacity: per flow (s, d), relays j usable by both endpoints
   /// contribute min(μ_sj, μ_jd)/2 (each bit is transmitted twice).
+  /// `rates` (optional) receives the per-flow constraint incidence for the
+  /// flow-level engine.
   TwoHopResult evaluate(const net::Network& net,
-                        const std::vector<std::uint32_t>& dest) const;
+                        const std::vector<std::uint32_t>& dest,
+                        RateStructure* rates = nullptr) const;
 };
 
 }  // namespace manetcap::routing

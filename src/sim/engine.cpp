@@ -1,0 +1,137 @@
+#include "sim/engine.h"
+
+#include <stdexcept>
+
+#include "capacity/regimes.h"
+#include "net/traffic.h"
+#include "rng/rng.h"
+
+namespace manetcap::sim {
+
+std::string to_string(EngineKind k) {
+  switch (k) {
+    case EngineKind::kFluid:
+      return "fluid";
+    case EngineKind::kSlots:
+      return "slots";
+    case EngineKind::kAuto:
+      return "auto";
+  }
+  return "?";
+}
+
+EngineKind parse_engine(const std::string& s) {
+  if (s == "fluid") return EngineKind::kFluid;
+  if (s == "slots") return EngineKind::kSlots;
+  if (s == "auto") return EngineKind::kAuto;
+  throw std::runtime_error("unknown engine: " + s +
+                           " (expected fluid|slots|auto)");
+}
+
+FlowScheme flow_scheme_for(const net::ScalingParams& params) {
+  const auto regime = capacity::classify(params);
+  if (!params.with_bs) {
+    return regime == capacity::MobilityRegime::kStrong
+               ? FlowScheme::kSchemeA
+               : FlowScheme::kStaticMultihop;
+  }
+  switch (regime) {
+    case capacity::MobilityRegime::kStrong:
+      return FlowScheme::kSchemeA;
+    case capacity::MobilityRegime::kWeak:
+      return FlowScheme::kSchemeB;
+    case capacity::MobilityRegime::kTrivial:
+      return FlowScheme::kSchemeC;
+  }
+  return FlowScheme::kSchemeA;
+}
+
+SlotScheme slot_scheme_for(const net::ScalingParams& params) {
+  // The packet engine has no static-multihop; pure ad hoc networks fall
+  // back to scheme A regardless of regime.
+  if (!params.with_bs) return SlotScheme::kSchemeA;
+  switch (capacity::classify(params)) {
+    case capacity::MobilityRegime::kStrong:
+      return SlotScheme::kSchemeA;
+    case capacity::MobilityRegime::kWeak:
+      return SlotScheme::kSchemeB;
+    case capacity::MobilityRegime::kTrivial:
+      return SlotScheme::kSchemeC;
+  }
+  return SlotScheme::kSchemeA;
+}
+
+net::BsPlacement engine_placement(const net::ScalingParams& params,
+                                  bool scheme_c, net::BsPlacement base) {
+  if (!params.with_bs) return net::BsPlacement::kUniform;
+  if (scheme_c && !params.cluster_free())
+    return net::BsPlacement::kClusterGrid;
+  return base;
+}
+
+double measure_instance(EngineKind kind, const EvalContext& ctx,
+                        const EngineOptions& opt) {
+  if (kind == EngineKind::kAuto) {
+    kind = ctx.params.n < opt.auto_threshold ? EngineKind::kSlots
+                                             : EngineKind::kFluid;
+  }
+  const auto regime = capacity::classify(ctx.params);
+  if (kind == EngineKind::kFluid) {
+    const FlowScheme scheme = flow_scheme_for(ctx.params);
+    const auto placement = engine_placement(
+        ctx.params, scheme == FlowScheme::kSchemeC, opt.placement);
+    const auto net =
+        net::Network::build(ctx.params, opt.shape, placement, ctx.seed);
+    rng::Xoshiro256 g(traffic_seed(ctx.seed));
+    const auto dest = net::permutation_traffic(ctx.params.n, g);
+    FlowSimOptions fopt;
+    fopt.slots = opt.slots;
+    fopt.warmup = opt.warmup;
+    fopt.grouping = regime == capacity::MobilityRegime::kWeak
+                        ? routing::BsGrouping::kCluster
+                        : routing::BsGrouping::kSquarelet;
+    fopt.seed = ctx.seed;
+    fopt.metrics = ctx.metrics;
+    auto mean_rate = [&](FlowScheme s) {
+      fopt.scheme = s;
+      auto r = run_flow_sim(net, dest, fopt);
+      // Scheme A degenerates below the minimum grid; the paper's answer
+      // (and fluid's) is the two-hop fallback, not a zero.
+      if (s == FlowScheme::kSchemeA && r.degenerate) {
+        fopt.scheme = FlowScheme::kTwoHop;
+        r = run_flow_sim(net, dest, fopt);
+      }
+      return r.mean_flow_rate;
+    };
+    // Strong regime with infrastructure: schemes A and B time-share, so the
+    // hybrid rate is the sum — the same composition the fluid closed form
+    // uses (λ = λ_A + λ_B).
+    if (regime == capacity::MobilityRegime::kStrong && ctx.params.with_bs)
+      return mean_rate(FlowScheme::kSchemeA) +
+             mean_rate(FlowScheme::kSchemeB);
+    return mean_rate(scheme);
+  }
+  const SlotScheme scheme = slot_scheme_for(ctx.params);
+  const auto placement = engine_placement(
+      ctx.params, scheme == SlotScheme::kSchemeC, opt.placement);
+  const auto net =
+      net::Network::build(ctx.params, opt.shape, placement, ctx.seed);
+  rng::Xoshiro256 g(traffic_seed(ctx.seed));
+  const auto dest = net::permutation_traffic(ctx.params.n, g);
+  SlotSimOptions sopt;
+  sopt.scheme = scheme;
+  sopt.slots = opt.slots;
+  sopt.warmup = opt.warmup;
+  sopt.seed = ctx.seed;
+  sopt.metrics = ctx.metrics;
+  return run_slot_sim(net, dest, sopt).mean_flow_rate;
+}
+
+SweepEvaluator make_engine_evaluator(EngineKind kind,
+                                     const EngineOptions& opt) {
+  return [kind, opt](const EvalContext& ctx) {
+    return measure_instance(kind, ctx, opt);
+  };
+}
+
+}  // namespace manetcap::sim

@@ -1,0 +1,66 @@
+// Engine selection: one switch between the two measurement engines —
+// FlowSim (flow-level, seconds at n = 10⁵) and SlotSim (packet-level,
+// the ground truth) — exposed to run_sweep and the CLI as
+// --engine fluid|slots|auto.
+//
+// Both engines measure the SAME instance: the network is built from the
+// same (params, placement, seed) and the traffic permutation is drawn from
+// the canonical sim::traffic_seed derivation, so a fluid-vs-slots delta is
+// a modeling difference, never a sampling one.
+#pragma once
+
+#include <string>
+
+#include "net/network.h"
+#include "sim/flowsim.h"
+#include "sim/slotsim.h"
+#include "sim/sweep.h"
+
+namespace manetcap::sim {
+
+enum class EngineKind {
+  kFluid,  // flow-level FlowSim (run_flow_sim)
+  kSlots,  // packet-level SlotSim (run_slot_sim)
+  kAuto,   // slots below EngineOptions::auto_threshold MSs, fluid at/above
+};
+
+std::string to_string(EngineKind k);
+
+/// Parses "fluid" | "slots" | "auto"; throws std::runtime_error otherwise.
+EngineKind parse_engine(const std::string& s);
+
+struct EngineOptions {
+  mobility::ShapeKind shape = mobility::ShapeKind::kUniformDisk;
+  net::BsPlacement placement = net::BsPlacement::kClusteredMatched;
+  /// Horizon / warmup for the measurement window (both engines).
+  std::size_t slots = 2000;
+  std::size_t warmup = 200;
+  /// kAuto crossover: SlotSim below this many MSs, FlowSim at or above —
+  /// small instances are cheap enough for packet-level fidelity, large
+  /// ones need the flow engine's O(flows) slot-epochs.
+  std::size_t auto_threshold = 1024;
+};
+
+/// Paper-optimal scheme for the regime, restricted to what each engine
+/// implements. The two functions agree wherever both engines support the
+/// scheme, so cross-engine comparisons run the same routing.
+FlowScheme flow_scheme_for(const net::ScalingParams& params);
+SlotScheme slot_scheme_for(const net::ScalingParams& params);
+
+/// BS placement actually used for an instance (mirrors the CLI rules:
+/// no BSs → uniform; clustered scheme C → cluster grid; else `base`).
+net::BsPlacement engine_placement(const net::ScalingParams& params,
+                                  bool scheme_c, net::BsPlacement base);
+
+/// Builds the instance for `ctx` and measures its mean per-flow rate
+/// (packets/slot) under the chosen engine. kAuto resolves per instance
+/// from ctx.params.n. ctx.metrics (when set) receives the engine's audit
+/// counters.
+double measure_instance(EngineKind kind, const EvalContext& ctx,
+                        const EngineOptions& opt);
+
+/// run_sweep adapter: λ(n) points measured by the chosen engine.
+SweepEvaluator make_engine_evaluator(EngineKind kind,
+                                     const EngineOptions& opt = {});
+
+}  // namespace manetcap::sim

@@ -1,0 +1,320 @@
+#include "sim/flowsim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "analysis/stats.h"
+#include "routing/rate_structure.h"
+#include "routing/scheme_a.h"
+#include "routing/scheme_c.h"
+#include "routing/static_multihop.h"
+#include "routing/two_hop.h"
+#include "sim/route_tables.h"
+#include "sim/wire_credit.h"
+#include "util/check.h"
+
+namespace manetcap::sim {
+
+std::string to_string(FlowScheme s) {
+  switch (s) {
+    case FlowScheme::kSchemeA:
+      return "scheme-A";
+    case FlowScheme::kTwoHop:
+      return "two-hop";
+    case FlowScheme::kSchemeB:
+      return "scheme-B";
+    case FlowScheme::kSchemeC:
+      return "scheme-C";
+    case FlowScheme::kStaticMultihop:
+      return "static-multihop";
+  }
+  return "?";
+}
+
+namespace {
+
+template <class T>
+std::uint64_t vec_bytes(const std::vector<T>& v) {
+  return v.capacity() * sizeof(T);
+}
+
+/// Per-flow TDMA share over the incidence: flow f may run at the smallest
+/// cap/load ratio among the constraints it touches. Simultaneously
+/// feasible (Σ_f coeff·r_f ≤ Σ_f coeff·cap/load ≤ cap since
+/// Σ coeff ≤ load), and min over served flows equals the constraint
+/// solver's λ exactly — the binding row is incident to some flow.
+void tdma_shares(const routing::RateStructure& rs, std::vector<double>& r) {
+  const std::size_t n = r.size();
+  for (std::size_t f = 0; f < n; ++f) {
+    if (rs.flow_served[f] == 0) continue;
+    double share = std::numeric_limits<double>::infinity();
+    for (std::uint32_t j = rs.flow_start[f]; j < rs.flow_start[f + 1]; ++j) {
+      const flow::Constraint& c = rs.constraints[rs.incid_cid[j]];
+      share = std::min(share, c.capacity / c.unit_load);
+    }
+    r[f] = std::isfinite(share) ? share : 0.0;
+  }
+}
+
+/// Bounded max-min refinement: each round raises every flow by the
+/// largest uniform increment its slackest path allows
+/// (δ_f = min over incident c of slack_c / unit_load_c). The simultaneous
+/// raise stays feasible for the same Σ coeff ≤ load argument as above.
+void water_fill(const routing::RateStructure& rs, std::size_t rounds,
+                std::vector<double>& r) {
+  const std::size_t n = r.size();
+  std::vector<double> usage(rs.constraints.size(), 0.0);
+  for (std::size_t round = 0; round < rounds; ++round) {
+    std::fill(usage.begin(), usage.end(), 0.0);
+    for (std::size_t f = 0; f < n; ++f) {
+      if (rs.flow_served[f] == 0) continue;
+      for (std::uint32_t j = rs.flow_start[f]; j < rs.flow_start[f + 1];
+           ++j)
+        usage[rs.incid_cid[j]] += rs.incid_coeff[j] * r[f];
+    }
+    bool raised = false;
+    for (std::size_t f = 0; f < n; ++f) {
+      if (rs.flow_served[f] == 0) continue;
+      double delta = std::numeric_limits<double>::infinity();
+      for (std::uint32_t j = rs.flow_start[f]; j < rs.flow_start[f + 1];
+           ++j) {
+        const std::uint32_t cid = rs.incid_cid[j];
+        const flow::Constraint& c = rs.constraints[cid];
+        const double slack = c.capacity - usage[cid];
+        delta = std::min(delta, slack / c.unit_load);
+      }
+      if (std::isfinite(delta) && delta > 0.0) {
+        r[f] += delta;
+        raised = true;
+      }
+    }
+    if (!raised) break;
+  }
+}
+
+}  // namespace
+
+FlowSimResult run_flow_sim(const net::Network& net,
+                           const std::vector<std::uint32_t>& dest,
+                           const FlowSimOptions& opt) {
+  const std::size_t n = net.num_ms();
+  MANETCAP_CHECK_MSG(dest.size() == n,
+                     "FlowSimOptions: dest must hold one entry per MS");
+  MANETCAP_CHECK_MSG(opt.warmup < opt.slots,
+                     "FlowSimOptions: warmup (" << opt.warmup
+                         << ") must be < slots (" << opt.slots << ")");
+  MANETCAP_CHECK_MSG(opt.epoch_slots >= 1,
+                     "FlowSimOptions: epoch_slots must be >= 1");
+
+  // --- rate structure from the routing evaluator ---------------------------
+  routing::RateStructure rs;
+  FlowSimResult res;
+  res.measured_slots = opt.slots - opt.warmup;
+  flow::ThroughputResult tp;
+  switch (opt.scheme) {
+    case FlowScheme::kSchemeA: {
+      const auto r = routing::SchemeA().evaluate(net, dest, nullptr,
+                                                 opt.bandwidth_share, &rs);
+      tp = r.throughput;
+      res.lambda_symmetric = r.lambda_symmetric;
+      res.degenerate = r.degenerate;
+      break;
+    }
+    case FlowScheme::kTwoHop: {
+      const auto r = routing::TwoHopRelay().evaluate(net, dest, &rs);
+      tp = r.throughput;
+      res.lambda_symmetric = r.lambda_symmetric;
+      break;
+    }
+    case FlowScheme::kSchemeB: {
+      const auto r = routing::SchemeB(opt.grouping)
+                         .evaluate(net, dest, nullptr, opt.bandwidth_share,
+                                   &rs);
+      tp = r.throughput;
+      res.lambda_symmetric = r.lambda_symmetric;
+      break;
+    }
+    case FlowScheme::kSchemeC: {
+      const auto r = routing::SchemeC(opt.delta).evaluate(net, dest, &rs);
+      tp = r.throughput;
+      res.lambda_symmetric = r.lambda_symmetric;
+      break;
+    }
+    case FlowScheme::kStaticMultihop: {
+      const auto r = routing::StaticMultihop().evaluate(net, dest, &rs);
+      tp = r.throughput;
+      res.lambda_symmetric = r.lambda_symmetric;
+      break;
+    }
+  }
+  res.lambda_strict = tp.lambda;
+  res.bottleneck = tp.bottleneck;
+  res.bottleneck_label = tp.bottleneck_label;
+
+  Metrics audit;
+  if (opt.metrics != nullptr && opt.metrics->series_enabled())
+    audit.enable_series(opt.slots, opt.metrics->series_stride());
+
+  if (res.degenerate) {
+    // Scheme cannot operate at this size: nothing injected, identity holds
+    // trivially (0 == 0 + 0 + 0).
+    if (opt.metrics != nullptr) opt.metrics->absorb(std::move(audit));
+    return res;
+  }
+
+  // --- rate allocation -----------------------------------------------------
+  std::vector<double> rate(n, 0.0);
+  tdma_shares(rs, rate);
+  if (opt.maxmin_rounds > 0) water_fill(rs, opt.maxmin_rounds, rate);
+  for (std::size_t f = 0; f < n; ++f)
+    if (rs.flow_served[f] != 0) ++res.served_flows;
+
+  // --- wired-credit pacing setup (infrastructure schemes) ------------------
+  // Each cross-BS flow rides ONE wired edge — the first serving BS of its
+  // source paired with the first serving BS of its destination, the same
+  // edge SlotSim's wired_step drives — and shares that edge's token bucket
+  // with every other flow mapped to it. This is deliberately more
+  // restrictive than the evaluator's spread/Valiant aggregate: it is where
+  // the flow engine models per-edge contention the closed form averages
+  // away.
+  constexpr std::uint32_t kNoEdge = ~std::uint32_t{0};
+  std::vector<std::uint32_t> flow_edge;
+  std::vector<std::uint64_t> edge_keys;
+  WireCreditMap credit;
+  const bool infra = opt.scheme == FlowScheme::kSchemeB ||
+                     opt.scheme == FlowScheme::kSchemeC;
+  if (infra) {
+    const ServingTables st =
+        opt.scheme == FlowScheme::kSchemeB
+            ? build_scheme_b_serving(net, opt.ct, opt.delta)
+            : build_scheme_c_association(net);
+    flow_edge.assign(n, kNoEdge);
+    std::unordered_map<std::uint64_t, std::uint32_t> edge_idx;
+    for (std::uint32_t s = 0; s < n; ++s) {
+      if (rs.flow_served[s] == 0) continue;
+      const std::uint32_t a = st.serving_ids[st.serving_start[s]];
+      const std::uint32_t b = st.serving_ids[st.serving_start[dest[s]]];
+      if (a == b) continue;  // intra-BS: never touches a wire
+      const std::uint64_t key = wire_edge_key(a, b);
+      auto [it, fresh] = edge_idx.try_emplace(
+          key, static_cast<std::uint32_t>(edge_keys.size()));
+      if (fresh) {
+        edge_keys.push_back(key);
+        credit.try_emplace(key);
+      }
+      flow_edge[s] = it->second;
+    }
+  }
+  const double wired_c = net.num_bs() > 0 ? net.params().c() : 0.0;
+
+  // --- epoch loop: continuous volumes, floored audit units -----------------
+  std::vector<double> inject_cum(n, 0.0);
+  std::vector<double> deliver_cum(n, 0.0);
+  std::vector<double> deliver_at_warmup(n, 0.0);
+  std::vector<double> edge_demand(edge_keys.size(), 0.0);
+  std::vector<double> edge_grant(edge_keys.size(), 1.0);
+  std::uint64_t prev_inj = 0, prev_del = 0, prev_wired = 0;
+  std::size_t t0 = 0;
+  while (t0 < opt.slots) {
+    std::size_t t1 = std::min(opt.slots, t0 + opt.epoch_slots);
+    if (t0 < opt.warmup && opt.warmup < t1) t1 = opt.warmup;
+    const double dt = static_cast<double>(t1 - t0);
+
+    // Wired pacing: aggregate each edge's desired transit volume, then
+    // grant min(1, bucket/demand) uniformly to the flows on the edge. The
+    // bucket is SlotSim's exact token bucket (accrual c·scale per slot,
+    // depth max(1, 4c)).
+    if (!edge_keys.empty()) {
+      std::fill(edge_demand.begin(), edge_demand.end(), 0.0);
+      for (std::uint32_t f = 0; f < n; ++f) {
+        if (flow_edge[f] == kNoEdge) continue;
+        const double start =
+            std::max(static_cast<double>(t0), rs.flow_hops[f]);
+        const double window = std::max(0.0, static_cast<double>(t1) - start);
+        edge_demand[flow_edge[f]] += rate[f] * window;
+      }
+      for (std::size_t e = 0; e < edge_keys.size(); ++e) {
+        WireState* w = credit.try_emplace(edge_keys[e]).first;
+        w->credit = std::min(w->credit + wired_c * w->scale * dt,
+                             std::max(1.0, 4.0 * wired_c));
+        if (edge_demand[e] <= 0.0) {
+          edge_grant[e] = 1.0;
+          continue;
+        }
+        const double g = std::min(1.0, w->credit / edge_demand[e]);
+        edge_grant[e] = g;
+        w->credit -= g * edge_demand[e];
+        if (g < 1.0) audit.inc(Counter::kWiredCreditStall);
+      }
+    }
+
+    std::uint64_t inj_units = 0, del_units = 0, queued_units = 0;
+    std::uint64_t wired_units = 0;
+    for (std::uint32_t f = 0; f < n; ++f) {
+      if (rs.flow_served[f] == 0) continue;
+      inject_cum[f] += rate[f] * dt;
+      const double start =
+          std::max(static_cast<double>(t0), rs.flow_hops[f]);
+      const double window = std::max(0.0, static_cast<double>(t1) - start);
+      double vol = rate[f] * window;
+      const bool wired = flow_edge.size() == n && flow_edge[f] != kNoEdge;
+      if (wired) vol *= edge_grant[flow_edge[f]];
+      // Fluid can never deliver more than was injected (pipeline depth
+      // only delays, grants only shrink).
+      deliver_cum[f] = std::min(deliver_cum[f] + vol, inject_cum[f]);
+      const auto iu = static_cast<std::uint64_t>(inject_cum[f]);
+      const auto du = static_cast<std::uint64_t>(deliver_cum[f]);
+      inj_units += iu;
+      del_units += du;
+      queued_units += iu - du;
+      if (wired) wired_units += du;
+    }
+    audit.add(Counter::kInjected, inj_units - prev_inj);
+    audit.add(Counter::kDelivered, del_units - prev_del);
+    audit.add(Counter::kWiredForwarded, wired_units - prev_wired);
+    prev_inj = inj_units;
+    prev_del = del_units;
+    prev_wired = wired_units;
+    audit.sample_slot(static_cast<std::uint32_t>(t1 - 1), queued_units, 0, 0,
+                      0);
+
+    if (t1 == opt.warmup) deliver_at_warmup = deliver_cum;
+    t0 = t1;
+  }
+
+  // --- results -------------------------------------------------------------
+  std::vector<double> measured(n, 0.0);
+  for (std::size_t f = 0; f < n; ++f)
+    measured[f] = (deliver_cum[f] - deliver_at_warmup[f]) /
+                  static_cast<double>(res.measured_slots);
+  const auto summary = analysis::summarize(measured);
+  res.mean_flow_rate = summary.mean;
+  res.min_flow_rate = summary.min;
+  res.p10_flow_rate = analysis::quantile(measured, 0.10);
+
+  res.injected = prev_inj;
+  res.delivered_lifetime = prev_del;
+  res.dropped = 0;
+  res.queued_end = res.injected - res.delivered_lifetime;
+  if (opt.check_conservation) {
+    MANETCAP_CHECK_MSG(
+        res.injected ==
+            res.delivered_lifetime + res.queued_end + res.dropped,
+        "flow conservation violated: injected != delivered + backlog + "
+        "dropped");
+  }
+  res.state_bytes = vec_bytes(rate) + vec_bytes(inject_cum) +
+                    vec_bytes(deliver_cum) + vec_bytes(deliver_at_warmup) +
+                    vec_bytes(measured) + vec_bytes(flow_edge) +
+                    vec_bytes(edge_keys) + vec_bytes(edge_demand) +
+                    vec_bytes(edge_grant) + vec_bytes(rs.constraints) +
+                    vec_bytes(rs.flow_start) + vec_bytes(rs.incid_cid) +
+                    vec_bytes(rs.incid_coeff) + vec_bytes(rs.flow_hops) +
+                    vec_bytes(rs.flow_served) + credit.memory_bytes();
+  if (opt.metrics != nullptr) opt.metrics->absorb(std::move(audit));
+  return res;
+}
+
+}  // namespace manetcap::sim

@@ -1,0 +1,84 @@
+// Flow-level (fluid) simulation engine — the fast counterpart of SlotSim.
+//
+// Instead of moving packets slot by slot, FlowSim allocates a per-flow
+// rate over the routing evaluator's constraint rows (TDMA share + bounded
+// max-min water-filling over the shared routing::RateStructure incidence),
+// then advances continuous per-flow volumes in slot-epochs: a flow's
+// delivery lags its injection by its pipeline depth (store-and-forward
+// hops), and cross-BS flows are paced by the same wired-credit token
+// buckets SlotSim uses (sim/wire_credit.h) over the same serving tables
+// (sim/route_tables.h).
+//
+// The engine reports the same Metrics counters and the same audit identity
+// as the packet engine — injected == delivered + queued + dropped, where
+// "queued" is the fluid backlog (injected volume not yet delivered) — so
+// verify-style checks apply unchanged. See docs/FLOWSIM.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "flow/constraints.h"
+#include "net/network.h"
+#include "routing/scheme_b.h"
+#include "sim/metrics.h"
+
+namespace manetcap::sim {
+
+enum class FlowScheme {
+  kSchemeA,         // squarelet H-V multihop over mobility
+  kTwoHop,          // Grossglauser–Tse two-hop relay
+  kSchemeB,         // uplink → wired backbone → downlink
+  kSchemeC,         // cellular TDMA + Valiant backbone
+  kStaticMultihop,  // static baseline (mobility off)
+};
+
+std::string to_string(FlowScheme s);
+
+struct FlowSimOptions {
+  FlowScheme scheme = FlowScheme::kSchemeA;
+  std::size_t slots = 4000;   // simulated horizon, in SlotSim slots
+  std::size_t warmup = 400;   // rate measurement starts here
+  std::size_t epoch_slots = 64;  // rate/credit update granularity
+  /// Water-filling rounds after the initial TDMA share (0 = pure TDMA —
+  /// then min over served flows of the allocated rate equals the
+  /// constraint solver's λ exactly).
+  std::size_t maxmin_rounds = 4;
+  double ct = 0.3;     // S* contact threshold (matches SlotSimOptions)
+  double delta = 1.0;  // protocol-model guard factor
+  double bandwidth_share = 1.0;
+  routing::BsGrouping grouping = routing::BsGrouping::kSquarelet;
+  std::uint64_t seed = 1;  // recorded only; the fluid model is deterministic
+  Metrics* metrics = nullptr;
+  bool check_conservation = true;
+};
+
+struct FlowSimResult {
+  // Measured per-flow delivery rates over [warmup, slots).
+  double mean_flow_rate = 0.0;
+  double min_flow_rate = 0.0;
+  double p10_flow_rate = 0.0;
+  /// Strict constraint-solver λ over the same rows the allocation used
+  /// (identical to the routing evaluator's throughput.lambda).
+  double lambda_strict = 0.0;
+  double lambda_symmetric = 0.0;
+  flow::Resource bottleneck = flow::Resource::kWirelessRelay;
+  std::string bottleneck_label;
+  bool degenerate = false;  // scheme cannot operate at this size (scheme A)
+  std::size_t measured_slots = 0;
+  std::size_t served_flows = 0;
+  // Audit integers: injected == delivered_lifetime + queued_end + dropped.
+  std::uint64_t injected = 0;
+  std::uint64_t delivered_lifetime = 0;
+  std::uint64_t queued_end = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t state_bytes = 0;
+};
+
+/// Runs the flow-level engine for permutation traffic `dest` over `net`.
+FlowSimResult run_flow_sim(const net::Network& net,
+                           const std::vector<std::uint32_t>& dest,
+                           const FlowSimOptions& options);
+
+}  // namespace manetcap::sim

@@ -6,32 +6,41 @@
 #include "routing/scheme_c.h"
 #include "routing/static_multihop.h"
 #include "routing/two_hop.h"
+#include "sim/sweep.h"
 #include "util/check.h"
 
 namespace manetcap::sim {
 
 namespace {
 
-/// (strict, symmetric) λ pair of a scheme evaluation.
+/// (strict, symmetric) λ of a scheme evaluation plus the constraint that
+/// bound it — bottlenecks ride along with the rates they explain instead
+/// of being re-guessed by the caller.
 struct Lambda {
   double strict = 0.0;
   double symmetric = 0.0;
+  flow::Resource bottleneck = flow::Resource::kWirelessRelay;
+  std::string label;
 };
+
+Lambda from(const flow::ThroughputResult& tp, double symmetric) {
+  return {tp.lambda, symmetric, tp.bottleneck, tp.bottleneck_label};
+}
 
 /// Scheme A with automatic two-hop fallback when the grid degenerates.
 Lambda adhoc_lambda(const net::Network& net,
                     const std::vector<std::uint32_t>& dest,
-                    std::string* label) {
+                    std::string* scheme_label) {
   routing::SchemeA a;
   const auto ra = a.evaluate(net, dest);
   if (!ra.degenerate) {
-    if (label) *label = "scheme-A";
-    return {ra.throughput.lambda, ra.lambda_symmetric};
+    if (scheme_label) *scheme_label = "scheme-A";
+    return from(ra.throughput, ra.lambda_symmetric);
   }
   routing::TwoHopRelay th;
   const auto rt = th.evaluate(net, dest);
-  if (label) *label = "two-hop";
-  return {rt.throughput.lambda, rt.lambda_symmetric};
+  if (scheme_label) *scheme_label = "two-hop";
+  return from(rt.throughput, rt.lambda_symmetric);
 }
 
 }  // namespace
@@ -46,24 +55,27 @@ FluidOutcome evaluate_capacity(const net::ScalingParams& params,
 FluidOutcome evaluate_capacity(const net::Network& net,
                                const FluidOptions& options) {
   const net::ScalingParams& params = net.params();
-  rng::Xoshiro256 g(options.seed ^ 0xa5a5a5a5a5a5a5a5ULL);
+  // Canonical traffic derivation (sim::traffic_seed) — the same permutation
+  // every other engine draws for this seed, so fluid-vs-slots comparisons
+  // see identical flows.
+  rng::Xoshiro256 g(traffic_seed(options.seed));
   const auto dest = net::permutation_traffic(params.n, g);
 
   FluidOutcome out;
   out.regime = capacity::classify(params);
 
-  auto set_adhoc = [&out](Lambda l, flow::Resource bottleneck,
-                          std::string scheme) {
+  auto set_adhoc = [&out](const Lambda& l, std::string scheme) {
     out.lambda = out.lambda_adhoc = l.strict;
     out.lambda_symmetric = l.symmetric;
-    out.bottleneck = bottleneck;
+    out.bottleneck = l.bottleneck;
+    out.bottleneck_label = l.label;
     out.scheme = std::move(scheme);
   };
-  auto set_infra = [&out](Lambda l, flow::Resource bottleneck,
-                          std::string scheme) {
+  auto set_infra = [&out](const Lambda& l, std::string scheme) {
     out.lambda = out.lambda_infra = l.strict;
     out.lambda_symmetric = l.symmetric;
-    out.bottleneck = bottleneck;
+    out.bottleneck = l.bottleneck;
+    out.bottleneck_label = l.label;
     out.scheme = std::move(scheme);
   };
 
@@ -77,41 +89,53 @@ FluidOutcome evaluate_capacity(const net::Network& net,
         // this size at all. Forcing it used to return the evaluator's
         // defaults as if they were a real λ — surface the degeneracy
         // instead: λ = 0 and a labeled outcome the caller can test for.
-        set_adhoc({r.degenerate ? 0.0 : r.throughput.lambda,
-                   r.degenerate ? 0.0 : r.lambda_symmetric},
-                  r.throughput.bottleneck,
-                  r.degenerate ? "scheme-A (forced, degenerate)"
-                               : "scheme-A (forced)");
+        Lambda l = from(r.throughput, r.lambda_symmetric);
+        if (r.degenerate) l.strict = l.symmetric = 0.0;
+        set_adhoc(l, r.degenerate ? "scheme-A (forced, degenerate)"
+                                  : "scheme-A (forced)");
         return out;
       }
       case Force::kB: {
+        // Same degeneracy contract as forced A: an infrastructure scheme
+        // forced onto a network without base stations cannot run — a
+        // labeled λ = 0 outcome, not a precondition failure.
+        if (net.num_bs() == 0) {
+          set_infra({0.0, 0.0, flow::Resource::kAccess, "no base stations"},
+                    "scheme-B (forced, degenerate)");
+          return out;
+        }
         routing::SchemeB b(out.regime == capacity::MobilityRegime::kWeak
                                ? routing::BsGrouping::kCluster
                                : routing::BsGrouping::kSquarelet);
         const auto r = b.evaluate(net, dest);
-        set_infra({r.throughput.lambda, r.lambda_symmetric},
-                  r.throughput.bottleneck, "scheme-B (forced)");
+        set_infra(from(r.throughput, r.lambda_symmetric),
+                  "scheme-B (forced)");
         return out;
       }
       case Force::kC: {
+        if (net.num_bs() == 0) {
+          set_infra({0.0, 0.0, flow::Resource::kAccess, "no base stations"},
+                    "scheme-C (forced, degenerate)");
+          return out;
+        }
         routing::SchemeC c;
         const auto r = c.evaluate(net, dest);
-        set_infra({r.throughput.lambda, r.lambda_symmetric},
-                  r.throughput.bottleneck, "scheme-C (forced)");
+        set_infra(from(r.throughput, r.lambda_symmetric),
+                  "scheme-C (forced)");
         return out;
       }
       case Force::kTwoHop: {
         routing::TwoHopRelay th;
         const auto r = th.evaluate(net, dest);
-        set_adhoc({r.throughput.lambda, r.lambda_symmetric},
-                  r.throughput.bottleneck, "two-hop (forced)");
+        set_adhoc(from(r.throughput, r.lambda_symmetric),
+                  "two-hop (forced)");
         return out;
       }
       case Force::kStaticMultihop: {
         routing::StaticMultihop sm;
         const auto r = sm.evaluate(net, dest);
-        set_adhoc({r.throughput.lambda, r.lambda_symmetric},
-                  r.throughput.bottleneck, "static-multihop (forced)");
+        set_adhoc(from(r.throughput, r.lambda_symmetric),
+                  "static-multihop (forced)");
         return out;
       }
       case Force::kAuto:
@@ -129,16 +153,21 @@ FluidOutcome evaluate_capacity(const net::Network& net,
         const auto rb = b.evaluate(net, dest);
         out.lambda_infra = rb.throughput.lambda;
         out.scheme = adhoc_label + " + scheme-B";
-        out.bottleneck = la.strict >= rb.throughput.lambda
-                             ? flow::Resource::kWirelessRelay
-                             : rb.throughput.bottleneck;
+        // The hybrid's bottleneck is the larger component's actual binding
+        // constraint. The ad-hoc side's is NOT always kWirelessRelay: the
+        // two-hop fallback (and any future ad-hoc scheme) reports its own.
+        if (la.strict >= rb.throughput.lambda) {
+          out.bottleneck = la.bottleneck;
+          out.bottleneck_label = la.label;
+        } else {
+          out.bottleneck = rb.throughput.bottleneck;
+          out.bottleneck_label = rb.throughput.bottleneck_label;
+        }
         out.lambda = la.strict + rb.throughput.lambda;
         out.lambda_symmetric = la.symmetric + rb.lambda_symmetric;
       } else {
+        set_adhoc(la, adhoc_label);
         out.scheme = adhoc_label;
-        out.bottleneck = flow::Resource::kWirelessRelay;
-        out.lambda = la.strict;
-        out.lambda_symmetric = la.symmetric;
       }
       break;
     }
@@ -146,13 +175,13 @@ FluidOutcome evaluate_capacity(const net::Network& net,
       if (params.with_bs) {
         routing::SchemeB b(routing::BsGrouping::kCluster);
         const auto rb = b.evaluate(net, dest);
-        set_infra({rb.throughput.lambda, rb.lambda_symmetric},
-                  rb.throughput.bottleneck, "scheme-B (clusters as subnets)");
+        set_infra(from(rb.throughput, rb.lambda_symmetric),
+                  "scheme-B (clusters as subnets)");
       } else {
         routing::StaticMultihop sm;
         const auto r = sm.evaluate(net, dest);
-        set_adhoc({r.throughput.lambda, r.lambda_symmetric},
-                  r.throughput.bottleneck, "static-multihop (no BSs)");
+        set_adhoc(from(r.throughput, r.lambda_symmetric),
+                  "static-multihop (no BSs)");
       }
       break;
     }
@@ -160,13 +189,13 @@ FluidOutcome evaluate_capacity(const net::Network& net,
       if (params.with_bs) {
         routing::SchemeC c;
         const auto rc = c.evaluate(net, dest);
-        set_infra({rc.throughput.lambda, rc.lambda_symmetric},
-                  rc.throughput.bottleneck, "scheme-C (cellular TDMA)");
+        set_infra(from(rc.throughput, rc.lambda_symmetric),
+                  "scheme-C (cellular TDMA)");
       } else {
         routing::StaticMultihop sm;
         const auto r = sm.evaluate(net, dest);
-        set_adhoc({r.throughput.lambda, r.lambda_symmetric},
-                  r.throughput.bottleneck, "static-multihop (no BSs)");
+        set_adhoc(from(r.throughput, r.lambda_symmetric),
+                  "static-multihop (no BSs)");
       }
       break;
     }

@@ -41,7 +41,11 @@ struct FluidOutcome {
   /// (see SchemeAResult::lambda_symmetric) — the quantity scaling fits
   /// should use, free of extreme-value bias.
   double lambda_symmetric = 0.0;
+  /// The binding resource of whichever scheme set `lambda`. For a strong
+  /// hybrid (λ = λ_A + λ_B) it is the bottleneck of the larger component —
+  /// propagated from that component's constraint solve, never assumed.
   flow::Resource bottleneck = flow::Resource::kWirelessRelay;
+  std::string bottleneck_label;  // binding constraint's label, if any
   std::string scheme;         // human-readable scheme description
 };
 

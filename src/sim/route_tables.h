@@ -1,0 +1,71 @@
+// Routing-structure builders shared by the packet engine (SlotSim) and the
+// flow-level engine (FlowSim). Both engines must evaluate the SAME
+// squarelet paths, serving sets and TDMA colorings for a given network —
+// cross-validation is only meaningful when the routing structure is
+// literally shared, so these builders are the single source of truth.
+// SlotSim's golden traces are byte-compared each build, pinning the
+// builders to the historical construction exactly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/tessellation.h"
+#include "net/network.h"
+
+namespace manetcap::sim {
+
+/// Scheme-A squarelet structure: flow s's H-V path is
+/// path_cells[path_start[s] .. path_start[s+1]) over `tess`.
+struct SchemeARouteTables {
+  geom::SquareTessellation tess{1};
+  std::vector<std::uint32_t> home_cell;   // per MS, linearized cell index
+  std::vector<std::uint32_t> path_start;  // n + 1 CSR offsets
+  std::vector<std::uint32_t> path_cells;
+};
+
+/// Builds the scheme-A tables: cell side 0.8·mobility_radius (capped at
+/// the unit square), one H-V path per flow between home cells.
+SchemeARouteTables build_scheme_a_tables(
+    const net::Network& net, const std::vector<std::uint32_t>& dest);
+
+/// Scheme B/C serving sets: MS i is served by BS indices
+/// serving_ids[serving_start[i] .. serving_start[i+1]).
+struct ServingTables {
+  std::vector<std::uint32_t> serving_start;  // n + 1 CSR offsets
+  std::vector<std::uint32_t> serving_ids;
+  std::vector<std::uint8_t> serving_is_fallback;  // nearest-BS fallback MSs
+  double contact = 0.0;  // scheme B MS–BS contact distance (0 for scheme C)
+};
+
+/// Scheme-B serving sets: every BS within the link-capacity contact
+/// distance of the MS home point, with a nearest-BS fallback for MSs that
+/// see none (so every MS always has ≥ 1 serving BS).
+ServingTables build_scheme_b_serving(const net::Network& net, double ct,
+                                     double delta);
+
+/// Scheme-C association: exactly one serving BS per MS — the nearest
+/// (with cluster-grid placement this is the hexagonal cell of
+/// Definition 13).
+ServingTables build_scheme_c_association(const net::Network& net);
+
+/// Scheme-C cell structure: member CSR + greedy TDMA coloring of the cell
+/// interference graph (dead cells get color −1).
+struct CellTables {
+  std::vector<std::uint32_t> members_start;  // k + 1 CSR offsets
+  std::vector<std::uint32_t> members_ids;
+  std::vector<int> cell_color;  // per BS; −1 = dead or uncolored
+  std::size_t num_colors = 1;
+};
+
+/// Rebuilds the member CSR, cell radii and TDMA coloring from the current
+/// association (`serving_ids[serving_start[i]]` per MS). `bs_alive` is the
+/// per-BS liveness table (nullptr or empty = all live); dead cells are
+/// skipped by the coloring so the rotation never activates them.
+CellTables build_cells_and_colors(const net::Network& net,
+                                  const std::vector<std::uint32_t>& serving_start,
+                                  const std::vector<std::uint32_t>& serving_ids,
+                                  double delta,
+                                  const std::vector<std::uint8_t>* bs_alive);
+
+}  // namespace manetcap::sim

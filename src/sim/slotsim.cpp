@@ -13,7 +13,9 @@
 #include "linkcap/link_capacity.h"
 #include "mobility/process.h"
 #include "sched/sstar.h"
+#include "sim/route_tables.h"
 #include "sim/trace.h"
+#include "sim/wire_credit.h"
 #include "util/binio.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
@@ -90,96 +92,9 @@ void validate_options(const SlotSimOptions& opt) {
                      "checkpoint_path");
 }
 
-/// Wired-edge token-bucket state, keyed by the unordered BS pair.
-/// `scale` is the fault-injection bandwidth factor (1 when healthy, 0 when
-/// severed); the accrual rate is c(n)·scale.
-struct WireState {
-  double credit = 0.0;
-  std::size_t last_topup = 0;
-  double scale = 1.0;
-};
-
-/// Open-addressing map from a packed (min BS, max BS) edge key to its
-/// WireState. The legacy simulator kept this in a std::map — a pointer
-/// chase plus an O(log E) walk per hop-0 packet per slot. Behavior is
-/// keyed state only (the map is never iterated), so probing order cannot
-/// leak into results.
-class WireCreditMap {
- public:
-  void reserve_edges(std::size_t expected) {
-    std::size_t cap = 16;
-    while (cap < 2 * expected + 1) cap <<= 1;
-    keys_.assign(cap, kEmpty);
-    vals_.assign(cap, WireState{});
-  }
-
-  /// Returns the slot for `key`, default-constructing it when absent;
-  /// second is true on first use (the try_emplace contract).
-  std::pair<WireState*, bool> try_emplace(std::uint64_t key) {
-    if (keys_.empty()) reserve_edges(8);
-    if (2 * (count_ + 1) > keys_.size()) grow();
-    std::size_t i = slot_of(key, keys_.size());
-    while (keys_[i] != kEmpty) {
-      if (keys_[i] == key) return {&vals_[i], false};
-      i = (i + 1) & (keys_.size() - 1);
-    }
-    keys_[i] = key;
-    ++count_;
-    return {&vals_[i], true};
-  }
-
-  std::size_t size() const { return count_; }
-
-  /// Checkpoint iteration: fn(key, state) in ascending key order. The
-  /// probe layout stays unobservable — a map restored from this order is
-  /// behaviorally identical regardless of the insertion history that
-  /// produced it.
-  template <class Fn>
-  void for_each_sorted(Fn&& fn) const {
-    std::vector<std::size_t> idx;
-    idx.reserve(count_);
-    for (std::size_t i = 0; i < keys_.size(); ++i)
-      if (keys_[i] != kEmpty) idx.push_back(i);
-    std::sort(idx.begin(), idx.end(), [this](std::size_t a, std::size_t b) {
-      return keys_[a] < keys_[b];
-    });
-    for (std::size_t i : idx) fn(keys_[i], vals_[i]);
-  }
-
-  std::uint64_t memory_bytes() const {
-    return keys_.capacity() * sizeof(std::uint64_t) +
-           vals_.capacity() * sizeof(WireState);
-  }
-
- private:
-  static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
-
-  static std::size_t slot_of(std::uint64_t key, std::size_t cap) {
-    // SplitMix64 finalizer: edge keys are dense low-entropy pairs.
-    std::uint64_t x = key + 0x9e3779b97f4a7c15ULL;
-    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-    return static_cast<std::size_t>((x ^ (x >> 31)) & (cap - 1));
-  }
-
-  void grow() {
-    std::vector<std::uint64_t> old_keys = std::move(keys_);
-    std::vector<WireState> old_vals = std::move(vals_);
-    keys_.assign(old_keys.size() * 2, kEmpty);
-    vals_.assign(old_keys.size() * 2, WireState{});
-    for (std::size_t i = 0; i < old_keys.size(); ++i) {
-      if (old_keys[i] == kEmpty) continue;
-      std::size_t j = slot_of(old_keys[i], keys_.size());
-      while (keys_[j] != kEmpty) j = (j + 1) & (keys_.size() - 1);
-      keys_[j] = old_keys[i];
-      vals_[j] = old_vals[i];
-    }
-  }
-
-  std::vector<std::uint64_t> keys_;
-  std::vector<WireState> vals_;
-  std::size_t count_ = 0;
-};
+// WireState / WireCreditMap moved to sim/wire_credit.h so the flow-level
+// engine shares the exact same token-bucket structure (key packing, bucket
+// depth, accrual law).
 
 /// Shared simulation state and per-scheme forwarding logic.
 ///
@@ -510,74 +425,31 @@ class SlotSim {
 
   // --- scheme A ------------------------------------------------------------
   void init_scheme_a() {
-    const double side = 0.8 * net_.mobility_radius();
-    tess_ = std::make_unique<geom::SquareTessellation>(
-        geom::SquareTessellation::with_cell_side(std::min(side, 1.0)));
-    home_cell_.resize(n_);
-    for (std::uint32_t i = 0; i < n_; ++i)
-      home_cell_[i] = tess_->index_of(tess_->cell_of(net_.ms_home()[i]));
-    path_start_.assign(n_ + 1, 0);
-    for (std::uint32_t s = 0; s < n_; ++s) {
-      const auto cells = tess_->hv_path(tess_->cell_at(home_cell_[s]),
-                                        tess_->cell_at(home_cell_[dest_[s]]));
-      path_start_[s + 1] =
-          path_start_[s] + static_cast<std::uint32_t>(cells.size());
-      for (const auto& c : cells)
-        path_cells_.push_back(static_cast<std::uint32_t>(tess_->index_of(c)));
-    }
+    SchemeARouteTables t = build_scheme_a_tables(net_, dest_);
+    tess_ = std::make_unique<geom::SquareTessellation>(t.tess);
+    home_cell_ = std::move(t.home_cell);
+    path_start_ = std::move(t.path_start);
+    path_cells_ = std::move(t.path_cells);
   }
 
   // --- scheme B ------------------------------------------------------------
   void init_scheme_b() {
-    MANETCAP_CHECK_MSG(k_ >= 1, "scheme B slot sim needs base stations");
-    linkcap::LinkCapacityModel mu(net_.shape(), net_.params().f(), n_ + k_,
-                                  opt_.ct, opt_.delta);
-    const double contact = mu.max_contact_dist_ms_bs();
-    contact_ = contact;  // re-homing under faults reuses the same rule
-    geom::SpatialHash bs_hash(std::max(contact, 1e-4), k_);
-    bs_hash.build(net_.bs_pos());
-    serving_start_.assign(n_ + 1, 0);
-    serving_is_fallback_.assign(n_, 0);
-    for (std::uint32_t i = 0; i < n_; ++i) {
-      const std::size_t before = serving_ids_.size();
-      bs_hash.visit_disk(
-          net_.ms_home()[i], contact,
-          [this](std::uint32_t l) { serving_ids_.push_back(l); });
-      if (serving_ids_.size() == before) {
-        // Sparse-BS fallback: an MS whose home point sees no BS within the
-        // contact distance must still have a serving BS — packets addressed
-        // to it would otherwise sit at hop 0 in BS queues forever
-        // (wired_step has nowhere to forward them), permanently pinning
-        // max_queue slots and throttling every other flow through that BS.
-        const std::uint32_t l = bs_hash.nearest(net_.ms_home()[i]);
-        MANETCAP_CHECK_MSG(l != geom::SpatialHash::kNone,
-                           "scheme B: nearest-BS fallback found no BS");
-        serving_ids_.push_back(l);
-        serving_is_fallback_[i] = 1;
-      }
-      serving_start_[i + 1] = static_cast<std::uint32_t>(serving_ids_.size());
-    }
+    ServingTables t = build_scheme_b_serving(net_, opt_.ct, opt_.delta);
+    contact_ = t.contact;  // re-homing under faults reuses the same rule
+    serving_start_ = std::move(t.serving_start);
+    serving_ids_ = std::move(t.serving_ids);
+    serving_is_fallback_ = std::move(t.serving_is_fallback);
   }
 
   // --- scheme C ------------------------------------------------------------
   void init_scheme_c() {
-    MANETCAP_CHECK_MSG(k_ >= 1, "scheme C slot sim needs base stations");
     // Association: nearest BS (with cluster-grid placement this is the
     // hexagonal cell of Definition 13). The serving table holds one BS per
     // MS so the wired phase can reuse the scheme-B machinery.
-    geom::SpatialHash bs_hash(
-        std::max(1.0 / std::sqrt(static_cast<double>(k_)), 1e-4), k_);
-    bs_hash.build(net_.bs_pos());
-    serving_start_.assign(n_ + 1, 0);
-    serving_ids_.resize(n_);
-    serving_is_fallback_.assign(n_, 0);
-    for (std::uint32_t i = 0; i < n_; ++i) {
-      const std::uint32_t l = bs_hash.nearest(net_.ms_home()[i]);
-      MANETCAP_CHECK_MSG(l != geom::SpatialHash::kNone,
-                         "scheme C: BS association found no BS");
-      serving_ids_[i] = l;
-      serving_start_[i + 1] = i + 1;
-    }
+    ServingTables t = build_scheme_c_association(net_);
+    serving_start_ = std::move(t.serving_start);
+    serving_ids_ = std::move(t.serving_ids);
+    serving_is_fallback_ = std::move(t.serving_is_fallback);
     rebuild_members_and_colors();
     rr_cell_.assign(k_, 0);
   }
@@ -587,50 +459,12 @@ class SlotSim {
   /// and after every fault-driven re-association; dead cells get color −1
   /// so the rotation never activates them.
   void rebuild_members_and_colors() {
-    std::vector<double> cell_radius(k_, 0.0);
-    std::vector<std::uint32_t> member_count(k_, 0);
-    for (std::uint32_t i = 0; i < n_; ++i) {
-      const std::uint32_t l = serving_ids_[serving_start_[i]];
-      ++member_count[l];
-      cell_radius[l] = std::max(
-          cell_radius[l],
-          geom::torus_dist(net_.ms_home()[i], net_.bs_pos()[l]));
-    }
-    // Members per cell, CSR, in ascending MS order (the order the legacy
-    // push_back construction produced).
-    members_start_.assign(k_ + 1, 0);
-    for (std::uint32_t l = 0; l < k_; ++l)
-      members_start_[l + 1] = members_start_[l] + member_count[l];
-    members_ids_.resize(n_);
-    std::vector<std::uint32_t> cursor(members_start_.begin(),
-                                      members_start_.end() - 1);
-    for (std::uint32_t i = 0; i < n_; ++i)
-      members_ids_[cursor[serving_ids_[serving_start_[i]]]++] = i;
-
-    const double wobble = 2.0 * net_.mobility_radius();
-    for (auto& r : cell_radius) r += wobble;
-
-    // Greedy coloring of the cell interference graph (Theorem 9's
-    // bounded-degree coloring), restricted to live cells.
-    cell_color_.assign(k_, -1);
-    num_colors_ = 1;
-    for (std::uint32_t a = 0; a < k_; ++a) {
-      if (!bs_is_live(a)) continue;
-      std::vector<bool> used(num_colors_ + 1, false);
-      for (std::uint32_t b = 0; b < a; ++b) {
-        if (!bs_is_live(b)) continue;
-        const double d = geom::torus_dist(net_.bs_pos()[a], net_.bs_pos()[b]);
-        if (d < cell_radius[a] + (1.0 + opt_.delta) * cell_radius[b] ||
-            d < cell_radius[b] + (1.0 + opt_.delta) * cell_radius[a]) {
-          if (cell_color_[b] < static_cast<int>(used.size()))
-            used[cell_color_[b]] = true;
-        }
-      }
-      int c = 0;
-      while (c < static_cast<int>(used.size()) && used[c]) ++c;
-      cell_color_[a] = c;
-      num_colors_ = std::max(num_colors_, static_cast<std::size_t>(c) + 1);
-    }
+    CellTables t = build_cells_and_colors(net_, serving_start_, serving_ids_,
+                                          opt_.delta, &bs_alive_);
+    members_start_ = std::move(t.members_start);
+    members_ids_ = std::move(t.members_ids);
+    cell_color_ = std::move(t.cell_color);
+    num_colors_ = t.num_colors;
   }
 
   // --- fault injection -----------------------------------------------------

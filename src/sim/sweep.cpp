@@ -48,6 +48,10 @@ std::uint64_t trial_seed(std::uint64_t seed0, std::size_t size_index,
   return h;
 }
 
+std::uint64_t traffic_seed(std::uint64_t seed) {
+  return trial_seed(seed, 0, 1);
+}
+
 SweepResult run_sweep(const net::ScalingParams& base,
                       const std::vector<std::size_t>& sizes,
                       std::size_t trials, const SweepEvaluator& eval,

@@ -76,6 +76,14 @@ std::vector<std::size_t> geometric_sizes(std::size_t n0, double ratio,
 std::uint64_t trial_seed(std::uint64_t seed0, std::size_t size_index,
                          std::size_t trial);
 
+/// Canonical traffic-permutation seed for an instance seed: every engine
+/// (fluid, slots, CLI, benches) derives the permutation-traffic RNG from
+/// this ONE function — trial_seed(seed, 0, 1), the same SplitMix64 family
+/// the golden scenarios draw their traffic from — so cross-validating the
+/// engines compares the same flows. Replaces the ad-hoc `seed ^ const`
+/// derivations that used to differ between fluid and slot paths.
+std::uint64_t traffic_seed(std::uint64_t seed);
+
 /// Runs `eval` for every (n, trial) cell; each call receives an
 /// EvalContext with params = base except n. Deterministic given
 /// options.seed0, for any num_threads. With num_threads != 1 the

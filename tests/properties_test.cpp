@@ -151,7 +151,7 @@ TEST(FluidInvariants, CutBoundDominatesEvaluator) {
     opt.seed = 23;
     opt.placement = c.placement;
     auto out = sim::evaluate_capacity(net, opt);
-    rng::Xoshiro256 g(23 ^ 0xa5a5a5a5a5a5a5a5ULL);
+    rng::Xoshiro256 g(sim::traffic_seed(23));
     auto dest = net::permutation_traffic(c.p.n, g);
     auto cut = capacity::best_strip_cut(net, dest, 4);
     EXPECT_GE(cut.lambda_bound(), out.lambda)

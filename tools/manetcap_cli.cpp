@@ -20,7 +20,9 @@
 #include "net/network.h"
 #include "net/traffic.h"
 #include "rng/rng.h"
+#include "sim/engine.h"
 #include "sim/fluid.h"
+#include "sim/flowsim.h"
 #include "sim/slotsim.h"
 #include "sim/sweep.h"
 #include "util/flags.h"
@@ -58,7 +60,11 @@ constexpr FlagSpec kFlagSpecs[] = {
     {"trials", "T", "trials per size (default 2)"},
     {"threads", "T",
      "sweep concurrency cap; 0 = all cores, bit-identical for any value"},
-    {"scheme", "A|B|C|twohop", "forwarding scheme (default A)"},
+    {"scheme", "A|B|C|twohop|static",
+     "forwarding scheme (default A; static needs --engine fluid)"},
+    {"engine", "fluid|slots|auto",
+     "measurement engine: flow-level, packet-level, or size-based "
+     "crossover (sweep default fluid, simulate default slots)"},
     {"slots", "S", "simulated slots (default 2000)"},
     {"warmup", "W", "warmup slots excluded from rates (default slots/10)"},
     {"mobility", "iid|walk|pull|brownian", "mobility process (default iid)"},
@@ -119,11 +125,11 @@ const std::vector<Subcommand>& subcommands() {
        with_params({"placement", "seed"}), &cmd_capacity},
       {"sweep", "lambda(n) scaling sweep + exponent fit",
        with_params({"placement", "n0", "count", "ratio", "trials", "seed",
-                    "threads"}),
+                    "threads", "engine", "slots", "warmup"}),
        &cmd_sweep},
-      {"simulate", "slot-level packet simulation",
-       with_params({"scheme", "slots", "warmup", "mobility", "seed",
-                    "metrics-out", "faults", "shards", "checkpoint",
+      {"simulate", "packet- or flow-level simulation of one instance",
+       with_params({"scheme", "engine", "slots", "warmup", "mobility",
+                    "seed", "metrics-out", "faults", "shards", "checkpoint",
                     "checkpoint-every", "resume"}),
        &cmd_simulate},
       {"phase", "Figure 3 phase-diagram panel for a given phi",
@@ -234,12 +240,13 @@ int cmd_sweep(const util::Flags& f) {
       f.get_double("ratio", 2.0),
       static_cast<std::size_t>(f.get_int("count", 4)));
   const auto trials = static_cast<std::size_t>(f.get_int("trials", 2));
-  sim::SweepEvaluator eval = [&f](const sim::EvalContext& ctx) {
-    sim::FluidOptions opt;
-    opt.seed = ctx.seed;
-    opt.placement = placement_from(f);
-    return sim::evaluate_capacity(ctx.params, opt).lambda_symmetric;
-  };
+  const auto engine = sim::parse_engine(f.get_string("engine", "fluid"));
+  sim::EngineOptions eopt;
+  eopt.placement = placement_from(f);
+  eopt.slots = static_cast<std::size_t>(f.get_int("slots", 2000));
+  eopt.warmup = static_cast<std::size_t>(f.get_int("warmup",
+                                                   eopt.slots / 10));
+  sim::SweepEvaluator eval = sim::make_engine_evaluator(engine, eopt);
   sim::SweepOptions sopt;
   sopt.seed0 = static_cast<std::uint64_t>(f.get_int("seed", 1));
   // 0 = util::ThreadPool::default_num_threads(); per-trial seeds make the
@@ -252,6 +259,7 @@ int cmd_sweep(const util::Flags& f) {
     t.add_row({std::to_string(pt.n), util::fmt_sci(pt.lambda_gm, 4),
                util::fmt_sci(pt.lambda_min, 4),
                util::fmt_sci(pt.lambda_max, 4)});
+  std::cout << "engine: " << sim::to_string(engine) << "\n";
   t.print(std::cout);
   if (sweep.fit_valid) {
     std::cout << "fitted exponent: "
@@ -267,8 +275,84 @@ int cmd_sweep(const util::Flags& f) {
   return 0;
 }
 
+// simulate --engine fluid: the flow-level engine on the same instance and
+// traffic the packet path would build, reporting the same audit identity.
+int cmd_simulate_fluid(const util::Flags& f, const net::ScalingParams& p) {
+  const std::string scheme = f.get_string("scheme", "A");
+  sim::FlowSimOptions opt;
+  if (scheme == "A")
+    opt.scheme = sim::FlowScheme::kSchemeA;
+  else if (scheme == "B")
+    opt.scheme = sim::FlowScheme::kSchemeB;
+  else if (scheme == "C")
+    opt.scheme = sim::FlowScheme::kSchemeC;
+  else if (scheme == "twohop")
+    opt.scheme = sim::FlowScheme::kTwoHop;
+  else if (scheme == "static")
+    opt.scheme = sim::FlowScheme::kStaticMultihop;
+  else
+    throw std::runtime_error("unknown scheme: " + scheme);
+  if (!f.get_string("faults", "").empty() ||
+      !f.get_string("checkpoint", "").empty() ||
+      !f.get_string("resume", "").empty())
+    throw std::runtime_error(
+        "--faults/--checkpoint/--resume need --engine slots");
+
+  opt.slots = static_cast<std::size_t>(f.get_int("slots", 2000));
+  opt.warmup = static_cast<std::size_t>(f.get_int("warmup",
+                                                  opt.slots / 10));
+  opt.seed = static_cast<std::uint64_t>(f.get_int("seed", 1));
+  opt.grouping = capacity::classify(p) == capacity::MobilityRegime::kWeak
+                     ? routing::BsGrouping::kCluster
+                     : routing::BsGrouping::kSquarelet;
+
+  const std::string metrics_out = f.get_string("metrics-out", "");
+  sim::Metrics metrics;
+  if (!metrics_out.empty()) {
+    metrics.enable_series(opt.slots);
+    opt.metrics = &metrics;
+  }
+
+  const auto placement = sim::engine_placement(
+      p, opt.scheme == sim::FlowScheme::kSchemeC,
+      net::BsPlacement::kClusteredMatched);
+  const auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
+                                       placement, opt.seed);
+  rng::Xoshiro256 g(sim::traffic_seed(opt.seed));
+  const auto dest = net::permutation_traffic(p.n, g);
+  const auto r = sim::run_flow_sim(net, dest, opt);
+  std::cout << "scheme " << to_string(opt.scheme) << " (flow engine), "
+            << opt.slots << " slots (" << opt.warmup << " warmup)\n"
+            << "  rate/flow/slot:     " << util::fmt_sci(r.mean_flow_rate, 4)
+            << " (p10 " << util::fmt_sci(r.p10_flow_rate, 4) << ")\n"
+            << "  lambda (solver):    " << util::fmt_sci(r.lambda_strict, 4)
+            << "\n"
+            << "  bottleneck:         " << to_string(r.bottleneck)
+            << (r.bottleneck_label.empty() ? ""
+                                           : " (" + r.bottleneck_label + ")")
+            << "\n"
+            << "  served flows:       " << r.served_flows << " / " << p.n
+            << (r.degenerate ? "  (degenerate)" : "") << "\n"
+            << "  audit: injected " << r.injected << " = delivered "
+            << r.delivered_lifetime << " + queued " << r.queued_end
+            << " + dropped " << r.dropped << " (conserved)\n";
+  if (!metrics_out.empty()) {
+    const auto cpath =
+        metrics.write_counters_csv(metrics_out, to_string(opt.scheme));
+    const auto spath = metrics.write_series_csv(metrics_out);
+    std::cout << "  metrics: " << cpath << ", " << spath << "\n";
+  }
+  return 0;
+}
+
 int cmd_simulate(const util::Flags& f) {
   net::ScalingParams p = params_from(f);
+  auto engine = sim::parse_engine(f.get_string("engine", "slots"));
+  if (engine == sim::EngineKind::kAuto)
+    engine = p.n < sim::EngineOptions{}.auto_threshold
+                 ? sim::EngineKind::kSlots
+                 : sim::EngineKind::kFluid;
+  if (engine == sim::EngineKind::kFluid) return cmd_simulate_fluid(f, p);
   const std::string scheme = f.get_string("scheme", "A");
   sim::SlotSimOptions opt;
   if (scheme == "A")
@@ -324,7 +408,7 @@ int cmd_simulate(const util::Flags& f) {
   if (!p.with_bs) placement = net::BsPlacement::kUniform;
   auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
                                  placement, opt.seed);
-  rng::Xoshiro256 g(opt.seed ^ 0x1234567ULL);
+  rng::Xoshiro256 g(sim::traffic_seed(opt.seed));
   auto dest = net::permutation_traffic(p.n, g);
   const auto r = sim::run_slot_sim(net, dest, opt);
   std::cout << "scheme " << to_string(opt.scheme) << ", " << opt.slots
