@@ -65,13 +65,14 @@ Estimate estimate_meeting_probability_bs(const mobility::Shape& shape,
 std::vector<double> measure_busy_probability(
     mobility::MobilityProcess& process,
     const std::vector<geom::Point>& bs_pos,
-    const sched::SStarScheduler& sstar, std::size_t slots) {
+    const sched::SStarScheduler& sstar, std::size_t slots,
+    const phy::InterferenceModel* model) {
   MANETCAP_CHECK(slots > 0);
   const std::size_t pop = process.size() + bs_pos.size();
   std::vector<std::size_t> busy(pop, 0);
   for (std::size_t t = 0; t < slots; ++t) {
     auto pos = combined_positions(process, bs_pos);
-    for (const auto& pair : sstar.feasible_pairs(pos)) {
+    for (const auto& pair : sstar.feasible_pairs(pos, nullptr, model)) {
       ++busy[pair.tx];
       ++busy[pair.rx];
     }
@@ -88,7 +89,7 @@ std::vector<double> measure_pair_capacity(
     const std::vector<geom::Point>& bs_pos,
     const sched::SStarScheduler& sstar,
     const std::vector<std::pair<std::uint32_t, std::uint32_t>>& pairs,
-    std::size_t slots) {
+    std::size_t slots, const phy::InterferenceModel* model) {
   MANETCAP_CHECK(slots > 0);
   // Canonicalize (lo, hi) for lookup against the scheduler's i<j output.
   std::map<std::pair<std::uint32_t, std::uint32_t>, std::size_t> index;
@@ -99,7 +100,7 @@ std::vector<double> measure_pair_capacity(
   std::vector<std::size_t> hits(pairs.size(), 0);
   for (std::size_t t = 0; t < slots; ++t) {
     auto pos = combined_positions(process, bs_pos);
-    for (const auto& tr : sstar.feasible_pairs(pos)) {
+    for (const auto& tr : sstar.feasible_pairs(pos, nullptr, model)) {
       auto it = index.find({tr.tx, tr.rx});
       if (it != index.end()) ++hits[it->second];
     }

@@ -41,19 +41,24 @@ Estimate estimate_meeting_probability_bs(const mobility::Shape& shape,
 /// S*-feasible pair, measured over `slots` steps of `process` with the BSs
 /// (static) appended to the population. Result has process.size() +
 /// bs.size() entries (Lemma 3 asserts a constant lower bound for each).
+/// `model`, when non-null and non-protocol, re-evaluates each slot's S*
+/// pair set under that interference backend first (docs/PHY.md) — Lemma 3
+/// is a protocol-model statement, so the SINR measurement quantifies how
+/// much of the busy probability the model swap erodes.
 std::vector<double> measure_busy_probability(
     mobility::MobilityProcess& process,
     const std::vector<geom::Point>& bs_pos,
-    const sched::SStarScheduler& sstar, std::size_t slots);
+    const sched::SStarScheduler& sstar, std::size_t slots,
+    const phy::InterferenceModel* model = nullptr);
 
 /// Measures the S* link capacity μ(i, j) (fraction of slots the specific
 /// pair is feasible) for selected pairs, over `slots` steps of `process`.
-/// `pairs` index into the combined MS+BS population.
+/// `pairs` index into the combined MS+BS population. `model` as above.
 std::vector<double> measure_pair_capacity(
     mobility::MobilityProcess& process,
     const std::vector<geom::Point>& bs_pos,
     const sched::SStarScheduler& sstar,
     const std::vector<std::pair<std::uint32_t, std::uint32_t>>& pairs,
-    std::size_t slots);
+    std::size_t slots, const phy::InterferenceModel* model = nullptr);
 
 }  // namespace manetcap::linkcap

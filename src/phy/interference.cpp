@@ -1,0 +1,274 @@
+#include "phy/interference.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/check.h"
+
+namespace manetcap::phy {
+
+std::string to_string(PhyKind k) {
+  switch (k) {
+    case PhyKind::kProtocol:
+      return "protocol";
+    case PhyKind::kSinr:
+      return "sinr";
+    case PhyKind::kSinrCsma:
+      return "sinr-csma";
+  }
+  return "?";
+}
+
+PhyKind parse_phy(const std::string& s) {
+  if (s == "protocol") return PhyKind::kProtocol;
+  if (s == "sinr") return PhyKind::kSinr;
+  if (s == "sinr-csma") return PhyKind::kSinrCsma;
+  throw std::runtime_error("unknown phy: " + s +
+                           " (expected protocol|sinr|sinr-csma)");
+}
+
+void SinrParams::validate() const {
+  MANETCAP_CHECK_MSG(std::isfinite(path_loss) && path_loss > 2.0,
+                     "SinrParams: path_loss must be finite and > 2 (the "
+                     "far-field interference sum diverges at alpha <= 2), "
+                     "got " << path_loss);
+  MANETCAP_CHECK_MSG(std::isfinite(beta) && beta > 0.0,
+                     "SinrParams: beta must be finite and > 0, got " << beta);
+  MANETCAP_CHECK_MSG(std::isfinite(snr_edge) && snr_edge > 0.0,
+                     "SinrParams: snr_edge must be finite and > 0, got "
+                         << snr_edge);
+  MANETCAP_CHECK_MSG(std::isfinite(power) && power > 0.0,
+                     "SinrParams: power must be finite and > 0, got "
+                         << power);
+  MANETCAP_CHECK_MSG(std::isfinite(field_radius) && field_radius >= 1.0,
+                     "SinrParams: field_radius must be finite and >= 1 (the "
+                     "near field must cover at least the link range), got "
+                         << field_radius);
+  MANETCAP_CHECK_MSG(std::isfinite(cca) && cca > 0.0,
+                     "SinrParams: cca must be finite and > 0, got " << cca);
+}
+
+namespace {
+
+constexpr std::uint32_t kNoEntry = 0xffffffffu;
+
+class ProtocolInterference final : public InterferenceModel {
+ public:
+  explicit ProtocolInterference(double delta) : delta_(delta) {}
+
+  PhyKind kind() const override { return PhyKind::kProtocol; }
+
+  void filter_pairs(const std::vector<geom::Point>&, double,
+                    std::vector<Transmission>&, Workspace&,
+                    PhyStats*) const override {
+    // S* output is protocol-feasible by construction (Definition 10 is
+    // strictly stricter than Definition 4); nothing to cut.
+  }
+
+  bool link_succeeds(const std::vector<geom::Point>& pos, double rt,
+                     Transmission link,
+                     const std::vector<std::uint32_t>& other_tx)
+      const override {
+    ProtocolModel model(rt, delta_);
+    if (!model.in_range(pos[link.tx], pos[link.rx])) return false;
+    for (std::uint32_t id : other_tx) {
+      if (id == link.tx) continue;
+      if (!model.guard_ok(pos[id], pos[link.rx])) return false;
+    }
+    return true;
+  }
+
+ private:
+  double delta_;
+};
+
+class SinrInterference : public InterferenceModel {
+ public:
+  explicit SinrInterference(const SinrParams& p) : p_(p) { p_.validate(); }
+
+  PhyKind kind() const override { return PhyKind::kSinr; }
+
+  void filter_pairs(const std::vector<geom::Point>& pos, double rt,
+                    std::vector<Transmission>& pairs, Workspace& ws,
+                    PhyStats* stats) const override {
+    if (pairs.empty()) return;
+    ws.keep.assign(pairs.size(), 1);
+    filter_directions(pos, rt, pairs, ws);
+    compact(pairs, ws, stats == nullptr ? nullptr : &stats->sinr_rejected);
+  }
+
+  bool link_succeeds(const std::vector<geom::Point>& pos, double rt,
+                     Transmission link,
+                     const std::vector<std::uint32_t>& other_tx)
+      const override {
+    double itf = 0.0;
+    for (std::uint32_t id : other_tx) {
+      if (id == link.tx) continue;
+      itf += power_at(pos[id], pos[link.rx]);
+    }
+    const double sig = power_at(pos[link.tx], pos[link.rx]);
+    return sig >= p_.beta * (noise_floor(rt) + itf);
+  }
+
+ protected:
+  /// N0 = P·R_T^{-α} / snr_edge: the floor that makes an
+  /// interference-free link at exactly R_T come in at SNR = snr_edge.
+  double noise_floor(double rt) const {
+    return p_.power * std::pow(rt, -p_.path_loss) / p_.snr_edge;
+  }
+
+  /// Received power P·d^{-α} over torus distance; +inf for co-located
+  /// endpoints (a zero-distance link always succeeds, a zero-distance
+  /// interferer always kills).
+  double power_at(geom::Point tx, geom::Point rx) const {
+    const double d2 = geom::torus_dist2(tx, rx);
+    if (d2 <= 0.0) return std::numeric_limits<double>::infinity();
+    return p_.power * std::pow(d2, -0.5 * p_.path_loss);
+  }
+
+  /// Mean far-field contribution of ONE transmitter known to lie beyond
+  /// the near-field radius rf, under the uniform-density approximation
+  /// (docs/PHY.md gives the error bound): far transmitters are treated as
+  /// uniform over the torus area outside the disk, giving per node
+  ///   2πP (rf^{2-α} − Rmax^{2-α}) / ((α−2)(1 − π rf²)),  Rmax = 1/√π.
+  double far_field_unit(double rf) const {
+    constexpr double kPi = 3.14159265358979323846;
+    const double rmax = 1.0 / std::sqrt(kPi);
+    if (rf >= rmax) return 0.0;  // near field already covers the torus area
+    const double a = p_.path_loss;
+    return 2.0 * kPi * p_.power *
+           (std::pow(rf, 2.0 - a) - std::pow(rmax, 2.0 - a)) /
+           ((a - 2.0) * (1.0 - kPi * rf * rf));
+  }
+
+  /// (Re)builds ws.hash over ws.tx_pos. The grid geometry is a pure
+  /// function of (rf, transmitter count), so iteration order — and the FP
+  /// summation order downstream — is deterministic for identical inputs.
+  void build_tx_hash(Workspace& ws, double rf) const {
+    ws.hash.emplace(rf, ws.tx_pos.size());
+    ws.hash->build(ws.tx_pos);
+  }
+
+  /// Interference at `probe` from the hashed transmitter set: exact
+  /// near-field sum within rf (skipping entries skip0/skip1 — the probe's
+  /// own pair, always inside the disk) plus the far-field correction for
+  /// every transmitter the disk visit did not see.
+  double interference_at(const Workspace& ws, geom::Point probe, double rf,
+                         double far_unit, std::uint32_t skip0,
+                         std::uint32_t skip1) const {
+    double near = 0.0;
+    std::size_t seen = 0;
+    ws.hash->visit_disk(probe, rf, [&](std::uint32_t id) {
+      ++seen;
+      if (id == skip0 || id == skip1) return;
+      near += power_at(ws.tx_pos[id], probe);
+    });
+    const double far = static_cast<double>(ws.tx_pos.size() - seen);
+    return near + far * far_unit;
+  }
+
+  /// Evaluates both sub-slot directions of every pair against β, clearing
+  /// ws.keep bits. Direction 0 transmits pair.tx → pair.rx, direction 1
+  /// the reverse; each direction's interferer set is the same-direction
+  /// endpoint of ALL scheduled pairs (commitments precede outcomes).
+  void filter_directions(const std::vector<geom::Point>& pos, double rt,
+                         const std::vector<Transmission>& pairs,
+                         Workspace& ws) const {
+    const double rf = p_.field_radius * rt;
+    const double far_unit = far_field_unit(rf);
+    const double n0 = noise_floor(rt);
+    const std::size_t m = pairs.size();
+    for (int dir = 0; dir < 2; ++dir) {
+      ws.tx_pos.resize(m);
+      for (std::size_t p = 0; p < m; ++p)
+        ws.tx_pos[p] = dir == 0 ? pos[pairs[p].tx] : pos[pairs[p].rx];
+      build_tx_hash(ws, rf);
+      for (std::size_t p = 0; p < m; ++p) {
+        if (ws.keep[p] == 0) continue;  // already failed the other direction
+        const geom::Point rxp =
+            dir == 0 ? pos[pairs[p].rx] : pos[pairs[p].tx];
+        const double sig = power_at(ws.tx_pos[p], rxp);
+        const double itf = interference_at(
+            ws, rxp, rf, far_unit, static_cast<std::uint32_t>(p), kNoEntry);
+        if (!(sig >= p_.beta * (n0 + itf))) ws.keep[p] = 0;
+      }
+    }
+  }
+
+  /// Drops keep==0 pairs in place (order preserved), counting the cut.
+  static void compact(std::vector<Transmission>& pairs, Workspace& ws,
+                      std::uint64_t* cut) {
+    ws.kept.clear();
+    for (std::size_t p = 0; p < pairs.size(); ++p)
+      if (ws.keep[p] != 0) ws.kept.push_back(pairs[p]);
+    if (cut != nullptr) *cut += pairs.size() - ws.kept.size();
+    pairs.swap(ws.kept);
+  }
+
+  SinrParams p_;
+};
+
+class CsmaSinrInterference final : public SinrInterference {
+ public:
+  explicit CsmaSinrInterference(const SinrParams& p) : SinrInterference(p) {}
+
+  PhyKind kind() const override { return PhyKind::kSinrCsma; }
+
+  void filter_pairs(const std::vector<geom::Point>& pos, double rt,
+                    std::vector<Transmission>& pairs, Workspace& ws,
+                    PhyStats* stats) const override {
+    if (pairs.empty()) return;
+    // Synchronous CCA (lr-wpan mode 1, energy above threshold): every
+    // scheduled endpoint is a candidate transmitter; a pair backs off
+    // when either endpoint senses energy above cca·N0 from the OTHER
+    // candidates. One deterministic pass — all candidates sense the same
+    // committed schedule, there is no random backoff stage.
+    const double rf = p_.field_radius * rt;
+    const double far_unit = far_field_unit(rf);
+    const double cca_threshold = p_.cca * noise_floor(rt);
+    const std::size_t m = pairs.size();
+    ws.tx_pos.resize(2 * m);
+    for (std::size_t p = 0; p < m; ++p) {
+      ws.tx_pos[2 * p] = pos[pairs[p].tx];
+      ws.tx_pos[2 * p + 1] = pos[pairs[p].rx];
+    }
+    build_tx_hash(ws, rf);
+    ws.keep.assign(m, 1);
+    for (std::size_t p = 0; p < m; ++p) {
+      const auto self = static_cast<std::uint32_t>(2 * p);
+      const double e0 = interference_at(ws, ws.tx_pos[self], rf, far_unit,
+                                        self, self + 1);
+      if (e0 > cca_threshold) {
+        ws.keep[p] = 0;
+        continue;
+      }
+      const double e1 = interference_at(ws, ws.tx_pos[self + 1], rf,
+                                        far_unit, self, self + 1);
+      if (e1 > cca_threshold) ws.keep[p] = 0;
+    }
+    compact(pairs, ws,
+            stats == nullptr ? nullptr : &stats->csma_suppressed);
+    // SINR success over the survivors (suppressed pairs transmit nothing,
+    // so they are gone from the interferer set as well).
+    SinrInterference::filter_pairs(pos, rt, pairs, ws, stats);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<InterferenceModel> make_interference_model(
+    PhyKind kind, double delta, const SinrParams& sinr) {
+  switch (kind) {
+    case PhyKind::kProtocol:
+      return std::make_unique<ProtocolInterference>(delta);
+    case PhyKind::kSinr:
+      return std::make_unique<SinrInterference>(sinr);
+    case PhyKind::kSinrCsma:
+      return std::make_unique<CsmaSinrInterference>(sinr);
+  }
+  MANETCAP_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace manetcap::phy

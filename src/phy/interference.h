@@ -1,0 +1,121 @@
+// Pluggable interference backends for the S* schedule (docs/PHY.md).
+//
+// The paper proves Table I under the protocol model (Definition 4); its
+// successors (arXiv:0811.0726, arXiv:1402.2042) work under the physical
+// (SINR) model. This interface lets every consumer of S* output — the slot
+// simulator, the Monte-Carlo link-capacity estimators, the sweep engines —
+// re-evaluate the same schedule under either model:
+//
+//  * protocol    — Definition 4; a no-op filter, since S* output is
+//                  protocol-feasible by construction. The default, and
+//                  byte-identical to the pre-backend code (the filter is
+//                  never even invoked on the default path).
+//  * sinr        — power-law path loss P·d^{-α} over torus distance: a
+//                  directed link succeeds iff
+//                      P·d_ij^{-α} / (N0 + Σ_l P·d_lj^{-α}) ≥ β
+//                  summed over the other simultaneously transmitting
+//                  nodes l. A scheduled pair carries one packet per
+//                  direction (Definition 10 splits the bandwidth), so the
+//                  pair survives only when BOTH directions meet β.
+//  * sinr-csma   — a synchronous clear-channel-assessment pass first (an
+//                  lr-wpan-style CCA mode 1: a candidate transmitter that
+//                  senses energy above a threshold backs off), then the
+//                  SINR filter over the survivors.
+//
+// Interference accumulation is O(pairs) expected per slot: near field via
+// bounded-radius SpatialHash::visit_disk sums, far field via a closed-form
+// uniform-density correction term (error bound in docs/PHY.md). Filtering
+// is serial and iteration order is fixed, so results are bit-identical for
+// any --threads / --shards value.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/spatial_hash.h"
+#include "phy/protocol_model.h"
+
+namespace manetcap::phy {
+
+enum class PhyKind { kProtocol, kSinr, kSinrCsma };
+
+std::string to_string(PhyKind k);
+
+/// Parses "protocol" | "sinr" | "sinr-csma"; throws std::runtime_error
+/// otherwise.
+PhyKind parse_phy(const std::string& s);
+
+/// Parameters of the SINR (and CSMA) backends. Distances enter in units of
+/// the current transmission range R_T, so the same parameter set is
+/// meaningful at every population size: the noise floor is defined through
+/// `snr_edge` (the interference-free SNR of a link at d = R_T) rather than
+/// as an absolute power, N0 = P·R_T^{-α} / snr_edge.
+struct SinrParams {
+  double path_loss = 3.0;    // α; must be > 2 for the far field to converge
+  double beta = 1.0;         // SINR success threshold β
+  double snr_edge = 10.0;    // interference-free SNR at d = R_T (sets N0)
+  double power = 1.0;        // common per-node transmit power P
+  double field_radius = 6.0; // near-field radius, in units of R_T; beyond
+                             // it interference is the far-field correction
+  double cca = 4.0;          // sinr-csma: back off when sensed energy
+                             // exceeds cca · N0
+  /// Throws CheckError with a named message on any invalid field.
+  void validate() const;
+};
+
+/// Per-filter-invocation statistics, folded into sched::ScheduleStats and
+/// the simulator's Metrics audit.
+struct PhyStats {
+  std::uint64_t sinr_rejected = 0;    // pairs with a failing direction
+  std::uint64_t csma_suppressed = 0;  // pairs backed off before SINR
+};
+
+/// A backend evaluates (and filters) one slot's scheduled pair set.
+class InterferenceModel {
+ public:
+  /// Reusable scratch: transmitter snapshots, keep flags, and the per-slot
+  /// spatial hash over the transmitter set. Keeps steady-state filter
+  /// calls from reallocating the flat buffers (the hash itself is rebuilt
+  /// per call — its geometry depends on the slot's transmitter count).
+  struct Workspace {
+    std::vector<geom::Point> tx_pos;
+    std::vector<std::uint8_t> keep;
+    std::vector<Transmission> kept;
+    std::optional<geom::SpatialHash> hash;
+  };
+
+  virtual ~InterferenceModel() = default;
+
+  virtual PhyKind kind() const = 0;
+
+  /// Filters, in place and preserving order, an S*-scheduled pair set for
+  /// one position snapshot. `rt` is the transmission range R_T for this
+  /// population (callers pass SStarScheduler::range_for). Every pair's two
+  /// directions are evaluated against the full scheduled transmitter set
+  /// — a pair failing one direction still interferes in the other
+  /// (schedules are committed before outcomes). Deterministic: identical
+  /// inputs produce bit-identical outputs.
+  virtual void filter_pairs(const std::vector<geom::Point>& pos, double rt,
+                            std::vector<Transmission>& pairs, Workspace& ws,
+                            PhyStats* stats = nullptr) const = 0;
+
+  /// Exact-sum success of one directed link against an explicit set of
+  /// other transmitting node ids — the reference filter_pairs is validated
+  /// against in tests (no spatial hash, no far-field approximation).
+  virtual bool link_succeeds(const std::vector<geom::Point>& pos, double rt,
+                             Transmission link,
+                             const std::vector<std::uint32_t>& other_tx)
+      const = 0;
+};
+
+/// `delta` is the protocol guard factor Δ (used by the protocol backend's
+/// link_succeeds; ignored by the SINR backends). `sinr` is validated here
+/// when `kind` requires it.
+std::unique_ptr<InterferenceModel> make_interference_model(
+    PhyKind kind, double delta, const SinrParams& sinr = {});
+
+}  // namespace manetcap::phy

@@ -13,12 +13,19 @@ ProtocolModel::ProtocolModel(double range, double delta)
 }
 
 bool ProtocolModel::in_range(geom::Point tx, geom::Point rx) const {
-  return geom::torus_dist2(tx, rx) <= range_ * range_;
+  // Strict, matching S* (Definition 10: d_ij < R_T). The non-strict form
+  // used here previously accepted links at exactly R_T that the scheduler
+  // would never produce, so validator and scheduler disagreed on the
+  // boundary.
+  return geom::torus_dist2(tx, rx) < range_ * range_;
 }
 
 bool ProtocolModel::guard_ok(geom::Point other_tx, geom::Point rx) const {
+  // Strict for the same reason: S* counts a node at exactly (1+Δ)R_T as
+  // inside the guard disk (visit_disk uses d ≤ r), i.e. it requires
+  // d > (1+Δ)R_T of every other node.
   const double g = guard_radius();
-  return geom::torus_dist2(other_tx, rx) >= g * g;
+  return geom::torus_dist2(other_tx, rx) > g * g;
 }
 
 bool ProtocolModel::feasible(const std::vector<geom::Point>& pos,

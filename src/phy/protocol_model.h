@@ -1,9 +1,12 @@
 // The protocol interference model (Definition 4, Gupta–Kumar).
 //
 // A transmission i→j with common range R_T succeeds iff
-//   (1) ‖Z_i − Z_j‖ ≤ R_T, and
+//   (1) ‖Z_i − Z_j‖ < R_T, and
 //   (2) every other *simultaneously transmitting* node l satisfies
-//       ‖Z_l − Z_j‖ ≥ (1+Δ)·R_T.
+//       ‖Z_l − Z_j‖ > (1+Δ)·R_T.
+// Both comparisons are strict, matching the S* scheduling policy
+// (Definition 10) exactly — the scheduler's output is always feasible
+// under this checker, including transmissions pinned to the boundary.
 // The wireless channel carries W = 1 (normalized) when successful.
 #pragma once
 

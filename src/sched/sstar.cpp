@@ -19,18 +19,19 @@ double SStarScheduler::range_for(std::size_t population) const {
 }
 
 std::vector<phy::Transmission> SStarScheduler::feasible_pairs(
-    const std::vector<geom::Point>& pos, ScheduleStats* stats) const {
+    const std::vector<geom::Point>& pos, ScheduleStats* stats,
+    const phy::InterferenceModel* model) const {
   const double guard = (1.0 + delta_) * range_for(pos.size());
   geom::SpatialHash hash(guard, pos.size());
   hash.build(pos);
-  return feasible_pairs(pos, hash, stats);
+  return feasible_pairs(pos, hash, stats, model);
 }
 
 std::vector<phy::Transmission> SStarScheduler::feasible_pairs(
     const std::vector<geom::Point>& pos, const geom::SpatialHash& hash,
-    ScheduleStats* stats) const {
+    ScheduleStats* stats, const phy::InterferenceModel* model) const {
   Workspace ws;
-  feasible_pairs_into(pos, hash, ws, stats);
+  feasible_pairs_into(pos, hash, ws, stats, model);
   return std::move(ws.pairs);
 }
 
@@ -40,7 +41,8 @@ constexpr std::uint32_t kNoneId = ~std::uint32_t{0};
 
 const std::vector<phy::Transmission>& SStarScheduler::feasible_pairs_into(
     const std::vector<geom::Point>& pos, const geom::SpatialHash& hash,
-    Workspace& ws, ScheduleStats* stats) const {
+    Workspace& ws, ScheduleStats* stats,
+    const phy::InterferenceModel* model) const {
   const std::size_t n = pos.size();
   const double guard = (1.0 + delta_) * range_for(n);
 
@@ -63,7 +65,7 @@ const std::vector<phy::Transmission>& SStarScheduler::feasible_pairs_into(
     if (count == 1) lone[i] = found;
   }
 
-  return extract_pairs(pos, ws, stats);
+  return extract_pairs(pos, ws, stats, model);
 }
 
 void SStarScheduler::begin_scan(std::size_t n, Workspace& ws) const {
@@ -89,8 +91,8 @@ void SStarScheduler::lone_scan_rows(const std::vector<geom::Point>& pos,
 }
 
 const std::vector<phy::Transmission>& SStarScheduler::extract_pairs(
-    const std::vector<geom::Point>& pos, Workspace& ws,
-    ScheduleStats* stats) const {
+    const std::vector<geom::Point>& pos, Workspace& ws, ScheduleStats* stats,
+    const phy::InterferenceModel* model) const {
   const std::size_t n = pos.size();
   const double rt = range_for(n);
   const double rt2 = rt * rt;
@@ -107,6 +109,17 @@ const std::vector<phy::Transmission>& SStarScheduler::extract_pairs(
       continue;
     }
     ws.pairs.push_back({i, j});
+  }
+  // Non-default PHY backends re-evaluate the S* set; the protocol backend
+  // (and a null model) leaves it untouched — the branch below is the only
+  // cost on the default path.
+  if (model != nullptr && model->kind() != phy::PhyKind::kProtocol) {
+    phy::PhyStats ps;
+    model->filter_pairs(pos, rt, ws.pairs, ws.phy, &ps);
+    if (stats) {
+      stats->phy_sinr_rejected += ps.sinr_rejected;
+      stats->phy_csma_suppressed += ps.csma_suppressed;
+    }
   }
   if (stats) stats->feasible_pairs += ws.pairs.size();
   return ws.pairs;

@@ -15,6 +15,7 @@
 
 #include "geom/point.h"
 #include "geom/spatial_hash.h"
+#include "phy/interference.h"
 #include "phy/protocol_model.h"
 
 namespace manetcap::sched {
@@ -25,8 +26,12 @@ namespace manetcap::sched {
 /// on the sim layer); the increments are cheap enough to be always-on.
 struct ScheduleStats {
   std::uint64_t candidate_pairs = 0;  // mutual-lone pairs before range check
-  std::uint64_t feasible_pairs = 0;   // pairs actually scheduled
+  std::uint64_t feasible_pairs = 0;   // pairs actually scheduled (after the
+                                      // PHY backend, when one is active)
   std::uint64_t range_rejected = 0;   // mutual-lone pairs with d_ij ≥ R_T
+  // Filled only when a non-protocol phy::InterferenceModel is passed:
+  std::uint64_t phy_sinr_rejected = 0;    // S* pairs with a failing direction
+  std::uint64_t phy_csma_suppressed = 0;  // S* pairs backed off by CCA
 };
 
 /// Computes the S*-feasible pair set for a position snapshot.
@@ -38,6 +43,7 @@ class SStarScheduler {
   struct Workspace {
     std::vector<std::uint32_t> lone;
     std::vector<phy::Transmission> pairs;
+    phy::InterferenceModel::Workspace phy;  // scratch for the PHY backend
   };
 
   /// `ct` is the constant c_T of Definition 10; `delta` the guard factor Δ.
@@ -53,14 +59,19 @@ class SStarScheduler {
   /// i < j. `pos` holds every node (MSs and BSs alike — Definition 10
   /// ranges over the whole population). `stats`, when non-null, receives
   /// the candidate/feasible/rejected pair counts for this snapshot.
+  /// `model`, when non-null and non-protocol, re-evaluates the S* pair
+  /// set under that interference backend (docs/PHY.md) — the surviving
+  /// subset, in the same order, is returned. Null or the protocol backend
+  /// takes exactly the historical code path.
   std::vector<phy::Transmission> feasible_pairs(
-      const std::vector<geom::Point>& pos,
-      ScheduleStats* stats = nullptr) const;
+      const std::vector<geom::Point>& pos, ScheduleStats* stats = nullptr,
+      const phy::InterferenceModel* model = nullptr) const;
 
   /// Same, but reuses an already-built spatial hash over `pos`.
   std::vector<phy::Transmission> feasible_pairs(
       const std::vector<geom::Point>& pos, const geom::SpatialHash& hash,
-      ScheduleStats* stats = nullptr) const;
+      ScheduleStats* stats = nullptr,
+      const phy::InterferenceModel* model = nullptr) const;
 
   /// Hot-path form: reuses both an externally maintained spatial hash
   /// (which the slot simulator updates incrementally) and the caller's
@@ -70,7 +81,8 @@ class SStarScheduler {
   /// SpatialHash::visit_disk rather than a std::function callback.
   const std::vector<phy::Transmission>& feasible_pairs_into(
       const std::vector<geom::Point>& pos, const geom::SpatialHash& hash,
-      Workspace& ws, ScheduleStats* stats = nullptr) const;
+      Workspace& ws, ScheduleStats* stats = nullptr,
+      const phy::InterferenceModel* model = nullptr) const;
 
   /// Sharded form of feasible_pairs_into, split into phases so the slot
   /// simulator can fan the (dominant) lone-neighbor scan out over
@@ -88,9 +100,13 @@ class SStarScheduler {
   void lone_scan_rows(const std::vector<geom::Point>& pos,
                       const geom::SpatialHash& hash, Workspace& ws,
                       std::int64_t row_begin, std::int64_t row_end) const;
+  /// The extraction (and the PHY backend filter, when `model` is a
+  /// non-protocol backend) runs serially in id order, so the pair list is
+  /// bit-identical for any row partition.
   const std::vector<phy::Transmission>& extract_pairs(
       const std::vector<geom::Point>& pos, Workspace& ws,
-      ScheduleStats* stats = nullptr) const;
+      ScheduleStats* stats = nullptr,
+      const phy::InterferenceModel* model = nullptr) const;
 
  private:
   double ct_;

@@ -1,10 +1,13 @@
 #include "sim/engine.h"
 
+#include <memory>
 #include <stdexcept>
 
 #include "capacity/regimes.h"
+#include "mobility/process.h"
 #include "net/traffic.h"
 #include "rng/rng.h"
+#include "sched/sstar.h"
 
 namespace manetcap::sim {
 
@@ -69,6 +72,34 @@ net::BsPlacement engine_placement(const net::ScalingParams& params,
   return base;
 }
 
+double sinr_survival_ratio(const net::Network& net, phy::PhyKind kind,
+                           const phy::SinrParams& sinr, std::uint64_t seed,
+                           std::size_t snapshots) {
+  if (kind == phy::PhyKind::kProtocol || snapshots == 0) return 1.0;
+  const SlotSimOptions defaults;  // canonical ct / Δ shared by both engines
+  const auto model = phy::make_interference_model(kind, defaults.delta, sinr);
+  sched::SStarScheduler sstar(defaults.ct, defaults.delta);
+  mobility::IidStationaryMobility process(net.ms_home(), net.shape(),
+                                          1.0 / net.params().f(), seed);
+  const double rt = sstar.range_for(net.num_ms() + net.num_bs());
+  phy::InterferenceModel::Workspace phyws;
+  std::uint64_t total = 0;
+  std::uint64_t kept = 0;
+  for (std::size_t s = 0; s < snapshots; ++s) {
+    std::vector<geom::Point> pos = process.positions();
+    pos.insert(pos.end(), net.bs_pos().begin(), net.bs_pos().end());
+    auto pairs = sstar.feasible_pairs(pos);
+    total += pairs.size();
+    phy::PhyStats ps;
+    model->filter_pairs(pos, rt, pairs, phyws, &ps);
+    kept += pairs.size();
+    process.step();
+  }
+  // An instance that never schedules a pair has nothing to derate.
+  if (total == 0) return 1.0;
+  return static_cast<double>(kept) / static_cast<double>(total);
+}
+
 double measure_instance(EngineKind kind, const EvalContext& ctx,
                         const EngineOptions& opt) {
   if (kind == EngineKind::kAuto) {
@@ -92,16 +123,33 @@ double measure_instance(EngineKind kind, const EvalContext& ctx,
                         : routing::BsGrouping::kSquarelet;
     fopt.seed = ctx.seed;
     fopt.metrics = ctx.metrics;
+    // Non-protocol backends derate the fluid engine's wireless capacities
+    // by the instance's measured pair-survival ratio (docs/PHY.md).
+    // Scheme C runs under the protocol model by design — see
+    // EngineOptions::phy — so it takes no derate.
+    const double survival =
+        scheme == FlowScheme::kSchemeC
+            ? 1.0
+            : sinr_survival_ratio(net, opt.phy, opt.sinr,
+                                  trial_seed(ctx.seed, 0, 2));
+    if (survival == 0.0) return 0.0;  // no wireless pair ever clears β
     auto mean_rate = [&](FlowScheme s) {
       fopt.scheme = s;
+      // Schemes A and B model the derate exactly (bandwidth_share cuts the
+      // wireless legs, wires untouched). Two-hop and static multihop are
+      // wireless-only, so a uniform capacity derate scales the achieved
+      // rate linearly — apply it to the result instead.
+      const bool shares = s == FlowScheme::kSchemeA || s == FlowScheme::kSchemeB;
+      fopt.bandwidth_share = shares ? survival : 1.0;
       auto r = run_flow_sim(net, dest, fopt);
       // Scheme A degenerates below the minimum grid; the paper's answer
       // (and fluid's) is the two-hop fallback, not a zero.
       if (s == FlowScheme::kSchemeA && r.degenerate) {
         fopt.scheme = FlowScheme::kTwoHop;
-        r = run_flow_sim(net, dest, fopt);
+        fopt.bandwidth_share = 1.0;
+        return run_flow_sim(net, dest, fopt).mean_flow_rate * survival;
       }
-      return r.mean_flow_rate;
+      return shares ? r.mean_flow_rate : r.mean_flow_rate * survival;
     };
     // Strong regime with infrastructure: schemes A and B time-share, so the
     // hybrid rate is the sum — the same composition the fluid closed form
@@ -124,6 +172,12 @@ double measure_instance(EngineKind kind, const EvalContext& ctx,
   sopt.warmup = opt.warmup;
   sopt.seed = ctx.seed;
   sopt.metrics = ctx.metrics;
+  // Scheme C is TDMA-scheduled (no per-slot S* geometry), so the engine
+  // layer pins it to the protocol model rather than letting SlotSim reject
+  // the combination — the sweep can then mix regimes under one --phy flag.
+  sopt.phy = scheme == SlotScheme::kSchemeC ? phy::PhyKind::kProtocol
+                                            : opt.phy;
+  sopt.sinr = opt.sinr;
   return run_slot_sim(net, dest, sopt).mean_flow_rate;
 }
 

@@ -39,7 +39,27 @@ struct EngineOptions {
   /// small instances are cheap enough for packet-level fidelity, large
   /// ones need the flow engine's O(flows) slot-epochs.
   std::size_t auto_threshold = 1024;
+  /// Interference backend (docs/PHY.md). The slots engine re-evaluates
+  /// every slot's S* pair set under it; the fluid engine derates its
+  /// wireless capacities by the measured sinr_survival_ratio() of the
+  /// instance. Scheme C (trivial regime) always runs under the protocol
+  /// model on both engines — its TDMA schedule has no per-slot geometry
+  /// to evaluate (the decision is made here, at the orchestration layer).
+  phy::PhyKind phy = phy::PhyKind::kProtocol;
+  /// Parameters for the sinr / sinr-csma backends (ignored under
+  /// protocol).
+  phy::SinrParams sinr;
 };
+
+/// Monte-Carlo S*-pair survival ratio of one instance under a
+/// non-protocol backend: the fraction of S*-scheduled pairs whose two
+/// directions both clear β, over `snapshots` i.i.d. mobility snapshots.
+/// This is the factor the fluid engine derates its wireless capacities by
+/// (wires are unaffected — FlowSimOptions::bandwidth_share semantics).
+/// Deterministic in (net, seed); 1.0 for the protocol backend.
+double sinr_survival_ratio(const net::Network& net, phy::PhyKind kind,
+                           const phy::SinrParams& sinr, std::uint64_t seed,
+                           std::size_t snapshots = 32);
 
 /// Paper-optimal scheme for the regime, restricted to what each engine
 /// implements. The two functions agree wherever both engines support the

@@ -47,6 +47,10 @@ const char* to_string(Counter c) {
       return "hop1_demoted";
     case Counter::kUplinkBlockedBsDown:
       return "uplink_blocked_bs_down";
+    case Counter::kPhySinrRejected:
+      return "phy_sinr_rejected";
+    case Counter::kPhyCsmaSuppressed:
+      return "phy_csma_suppressed";
   }
   return "?";
 }

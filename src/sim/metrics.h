@@ -54,9 +54,13 @@ enum class Counter : std::size_t {
                            // re-forward over the wired backbone)
   kUplinkBlockedBsDown,    // S* scheduled an uplink to a dead BS (wasted
                            // meeting under an active fault)
+  kPhySinrRejected,        // S* pairs cut by the SINR backend (a direction
+                           // below β; 0 under the protocol model)
+  kPhyCsmaSuppressed,      // S* pairs backed off by the CSMA CCA pass
+                           // before SINR (sinr-csma backend only)
 };
 
-inline constexpr std::size_t kNumCounters = 19;
+inline constexpr std::size_t kNumCounters = 21;
 
 /// Stable snake-case name used as the CSV `counter` column.
 const char* to_string(Counter c);

@@ -87,6 +87,14 @@ void validate_options(const SlotSimOptions& opt) {
                      "SlotSimOptions: source_backlog must fit in 32 bits "
                      "(per-flow windows are uint32)");
   MANETCAP_CHECK_MSG(opt.shards >= 1, "SlotSimOptions: shards must be >= 1");
+  if (opt.phy != phy::PhyKind::kProtocol) {
+    MANETCAP_CHECK_MSG(opt.scheme != SlotScheme::kSchemeC,
+                       "SlotSimOptions: --phy " << phy::to_string(opt.phy)
+                           << " applies to the S*-driven schemes (A, "
+                              "two-hop, B); scheme C's TDMA schedule has "
+                              "no per-slot geometry to evaluate");
+    opt.sinr.validate();
+  }
   MANETCAP_CHECK_MSG(opt.checkpoint_every == 0 || !opt.checkpoint_path.empty(),
                      "SlotSimOptions: checkpoint_every requires a "
                      "checkpoint_path");
@@ -185,6 +193,13 @@ class SlotSim {
     auto process = make_process(net_, opt_.mobility, opt_.seed);
     sched::SStarScheduler sstar(opt_.ct, opt_.delta);
     sched::SStarScheduler::Workspace ws;
+    // Constructed ONLY for a non-protocol backend: the default run never
+    // touches the PHY layer, keeping protocol traces byte-identical by
+    // construction rather than by care.
+    std::unique_ptr<phy::InterferenceModel> phy_model;
+    if (opt_.phy != phy::PhyKind::kProtocol)
+      phy_model = phy::make_interference_model(opt_.phy, opt_.delta,
+                                               opt_.sinr);
     // Same bucket geometry the legacy per-slot rebuild chose: hint = the
     // S* guard radius over the whole population.
     geom::SpatialHash hash((1.0 + opt_.delta) * sstar.range_for(n_ + k_),
@@ -268,14 +283,20 @@ class SlotSim {
                                    g * (ss + 1) / sn);
             });
         stepped = true;
-        pairs_ptr = &sstar.extract_pairs(pos_all_, ws, &sstats);
+        pairs_ptr =
+            &sstar.extract_pairs(pos_all_, ws, &sstats, phy_model.get());
       } else {
-        pairs_ptr = &sstar.feasible_pairs_into(pos_all_, hash, ws, &sstats);
+        pairs_ptr = &sstar.feasible_pairs_into(pos_all_, hash, ws, &sstats,
+                                               phy_model.get());
       }
       const auto& pairs = *pairs_ptr;
       audit_.add(Counter::kSchedCandidatePairs, sstats.candidate_pairs);
       audit_.add(Counter::kSchedFeasiblePairs, sstats.feasible_pairs);
       audit_.add(Counter::kSchedRangeRejected, sstats.range_rejected);
+      if (phy_model != nullptr) {
+        audit_.add(Counter::kPhySinrRejected, sstats.phy_sinr_rejected);
+        audit_.add(Counter::kPhyCsmaSuppressed, sstats.phy_csma_suppressed);
+      }
       if (measure) pair_count += pairs.size();
 
       for (const auto& pr : pairs) {
@@ -1146,6 +1167,15 @@ class SlotSim {
     put_varint(out, opt_.seed);
     put_f64(out, opt_.ct);
     put_f64(out, opt_.delta);
+    // PHY backend + parameters: a checkpoint written under one
+    // interference model must not resume under another.
+    out.push_back(static_cast<std::uint8_t>(opt_.phy));
+    put_f64(out, opt_.sinr.path_loss);
+    put_f64(out, opt_.sinr.beta);
+    put_f64(out, opt_.sinr.snr_edge);
+    put_f64(out, opt_.sinr.power);
+    put_f64(out, opt_.sinr.field_radius);
+    put_f64(out, opt_.sinr.cca);
     put_f64(out, k_ > 0 ? net_.params().c() : 0.0);
     put_u64_fixed(out, dest_fingerprint());
     put_u64_fixed(out, geometry_fingerprint());
@@ -1281,6 +1311,22 @@ class SlotSim {
     MANETCAP_CHECK_MSG(get_f64(r) == opt_.ct, "checkpoint: ct mismatch");
     MANETCAP_CHECK_MSG(get_f64(r) == opt_.delta,
                        "checkpoint: delta mismatch");
+    MANETCAP_CHECK_MSG(r.u8() == static_cast<std::uint8_t>(opt_.phy),
+                       "checkpoint: phy backend mismatch");
+    // The six SINR parameters are always serialized (uniform layout) but
+    // only binding when a non-protocol backend is active — under the
+    // protocol model they are ignored by the run, so they must not be
+    // able to block a resume.
+    const double ck_sinr[6] = {get_f64(r), get_f64(r), get_f64(r),
+                               get_f64(r), get_f64(r), get_f64(r)};
+    if (opt_.phy != phy::PhyKind::kProtocol) {
+      const double now_sinr[6] = {opt_.sinr.path_loss,    opt_.sinr.beta,
+                                  opt_.sinr.snr_edge,     opt_.sinr.power,
+                                  opt_.sinr.field_radius, opt_.sinr.cca};
+      for (int i = 0; i < 6; ++i)
+        MANETCAP_CHECK_MSG(ck_sinr[i] == now_sinr[i],
+                           "checkpoint: SINR parameter mismatch");
+    }
     MANETCAP_CHECK_MSG(get_f64(r) == (k_ > 0 ? net_.params().c() : 0.0),
                        "checkpoint: wired capacity c(n) mismatch");
     MANETCAP_CHECK_MSG(r.u64_fixed() == dest_fingerprint(),

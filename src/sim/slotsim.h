@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "net/network.h"
+#include "phy/interference.h"
 #include "sim/faults.h"
 #include "sim/metrics.h"
 
@@ -40,6 +41,16 @@ struct SlotSimOptions {
   double ct = 0.3;              // S* constant c_T (see LinkCapacityModel)
   double delta = 1.0;           // guard factor Δ
   std::size_t max_queue = 64;   // per-node relay queue bound (backpressure)
+  /// Interference backend the S*-scheduled pairs are re-evaluated under
+  /// (docs/PHY.md). kProtocol — the default — takes the historical code
+  /// path exactly (no model is even constructed), so protocol runs stay
+  /// byte-identical. The SINR backends apply to the S*-driven schemes
+  /// (A / two-hop / B); scheme C is TDMA-scheduled without instantaneous
+  /// geometry and rejects a non-protocol backend with a named error.
+  phy::PhyKind phy = phy::PhyKind::kProtocol;
+  /// Parameters of the sinr / sinr-csma backends (validated at run start
+  /// when `phy` selects one; ignored under kProtocol).
+  phy::SinrParams sinr;
   /// In-flight packets each source keeps outstanding. The default 4
   /// saturates the pipeline (throughput measurement); 1 probes the
   /// lightly-loaded end-to-end delay without queueing.

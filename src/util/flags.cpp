@@ -1,6 +1,7 @@
 #include "util/flags.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace manetcap::util {
@@ -86,7 +87,13 @@ double Flags::get_double(const std::string& name, double def) const {
   try {
     std::size_t pos = 0;
     const double v = std::stod(it->second, &pos);
-    if (pos != it->second.size()) bad_value(name, it->second);
+    // stod happily parses "nan"/"inf", which then poison every downstream
+    // comparison (a NaN range or threshold passes no check and fails no
+    // check). No flag in this codebase means a non-finite value; reject.
+    // get_int needs no equivalent: stol has no non-finite spellings and
+    // out_of_range already covers overflow.
+    if (pos != it->second.size() || !std::isfinite(v))
+      bad_value(name, it->second);
     return v;
   } catch (const std::invalid_argument&) {
     bad_value(name, it->second);

@@ -24,6 +24,48 @@ TEST(Point, Wrap01KeepsRange) {
   EXPECT_LT(wrap01(0.999999999999999999), 1.0);
 }
 
+// Pins the v − floor(v) rounding hazard: for tiny negative v the
+// subtraction rounds to exactly 1.0, which would escape [0, 1) and break
+// every bucket computation downstream. The fix (w >= 1.0 → w − 1.0) must
+// hold on every boundary spelling of "almost 0" and "almost 1".
+TEST(Point, Wrap01BoundaryHazards) {
+  // Tiny magnitudes either side of zero.
+  EXPECT_LT(wrap01(1e-18), 1.0);
+  EXPECT_GE(wrap01(1e-18), 0.0);
+  EXPECT_LT(wrap01(-1e-18), 1.0);  // the historical 1.0 escape
+  EXPECT_GE(wrap01(-1e-18), 0.0);
+  // Exact integers land on exactly 0.
+  EXPECT_DOUBLE_EQ(wrap01(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(wrap01(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(wrap01(0.0), 0.0);
+  // Largest double below 1.0 is already in range and must be unchanged.
+  const double below_one = std::nextafter(1.0, 0.0);
+  EXPECT_DOUBLE_EQ(wrap01(below_one), below_one);
+  EXPECT_LT(wrap01(below_one), 1.0);
+  // Its negative wraps to something in range too.
+  EXPECT_LT(wrap01(-below_one), 1.0);
+  EXPECT_GE(wrap01(-below_one), 0.0);
+}
+
+// Downstream guarantee the wrap provides: a point built from any of the
+// hazard values indexes into a SpatialHash without tripping the bucket
+// bounds, and a disk query still finds it.
+TEST(Point, WrappedBoundaryPointsAreHashable) {
+  const double hazards[] = {-1e-18, 1e-18, 1.0,
+                            -1.0,   std::nextafter(1.0, 0.0)};
+  for (double h : hazards) {
+    const Point p = Point::wrapped(h, h);
+    ASSERT_GE(p.x, 0.0);
+    ASSERT_LT(p.x, 1.0);
+    SpatialHash hash(0.1, 1);
+    std::vector<Point> pts = {p};
+    hash.build(pts);
+    std::size_t found = 0;
+    hash.visit_disk(p, 0.01, [&](std::uint32_t) { ++found; });
+    EXPECT_EQ(found, 1u) << "hazard " << h;
+  }
+}
+
 TEST(Point, TorusDistanceUsesShortestWrap) {
   Point a{0.05, 0.5};
   Point b{0.95, 0.5};

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
+#include "phy/interference.h"
 #include "phy/protocol_model.h"
 #include "util/check.h"
 
@@ -80,6 +83,228 @@ TEST(ProtocolModel, ZeroDeltaOnlyNeedsRange) {
       {0.10, 0.10}, {0.15, 0.10}, {0.27, 0.10}, {0.32, 0.10}};
   // Transmitter 2 is 0.12 > 0.1 from receiver 1 — fine with Δ = 0.
   EXPECT_TRUE(pm.feasible(pos, {{0, 1}, {2, 3}}));
+}
+
+// S* (Definition 10) is strict on both boundaries: d < R_T for the link,
+// d > (1+Δ)R_T for every other transmitter. The protocol model must agree
+// exactly, or a pair sitting on a measure-zero boundary would be scheduled
+// by one and rejected by the other. Exact-FP geometry: 0.25 and 0.5 are
+// representable, so the comparisons below are equalities, not near-misses.
+TEST(ProtocolModel, RangeBoundaryIsStrict) {
+  ProtocolModel pm(0.25, 1.0);
+  // d == R_T exactly: NOT in range (Definition 10 requires d < R_T).
+  EXPECT_FALSE(pm.in_range({0.25, 0.25}, {0.5, 0.25}));
+  EXPECT_TRUE(pm.in_range({0.25, 0.25}, {0.499, 0.25}));
+}
+
+TEST(ProtocolModel, GuardBoundaryIsStrict) {
+  ProtocolModel pm(0.25, 1.0);  // guard = 0.5
+  // Interferer at exactly (1+Δ)R_T from the receiver: guard VIOLATED
+  // (Definition 10 requires d > guard; S*'s disk visit counts d ≤ guard
+  // as blocking).
+  EXPECT_FALSE(pm.guard_ok({0.25, 0.0}, {0.25, 0.5}));
+  // 0.5 is the max torus distance along one axis; push past the guard with
+  // an x offset: d = √(0.05² + 0.5²) ≈ 0.5025 > 0.5.
+  EXPECT_TRUE(pm.guard_ok({0.2, 0.0}, {0.25, 0.5}));
+}
+
+// ------------------------------------------------- interference backends --
+
+TEST(Interference, ParsePhyRoundTrip) {
+  for (PhyKind k :
+       {PhyKind::kProtocol, PhyKind::kSinr, PhyKind::kSinrCsma})
+    EXPECT_EQ(parse_phy(to_string(k)), k);
+  EXPECT_THROW(parse_phy("laser"), std::runtime_error);
+}
+
+TEST(Interference, SinrParamsValidateRejectsBadFields) {
+  auto bad = [](auto&& mutate) {
+    SinrParams p;
+    mutate(p);
+    EXPECT_THROW(p.validate(), manetcap::CheckError);
+  };
+  SinrParams ok;
+  EXPECT_NO_THROW(ok.validate());
+  bad([](SinrParams& p) { p.path_loss = 2.0; });  // far field diverges
+  bad([](SinrParams& p) { p.path_loss = std::nan(""); });
+  bad([](SinrParams& p) { p.beta = 0.0; });
+  bad([](SinrParams& p) { p.snr_edge = -1.0; });
+  bad([](SinrParams& p) { p.power = 0.0; });
+  bad([](SinrParams& p) { p.field_radius = 0.5; });  // must cover the link
+  bad([](SinrParams& p) { p.cca = 0.0; });
+}
+
+TEST(Interference, ProtocolBackendIsNoOpFilter) {
+  const auto model = make_interference_model(PhyKind::kProtocol, 1.0);
+  EXPECT_EQ(model->kind(), PhyKind::kProtocol);
+  std::vector<geom::Point> pos = {{0.1, 0.1}, {0.11, 0.1}};
+  std::vector<Transmission> pairs = {{0, 1}};
+  InterferenceModel::Workspace ws;
+  PhyStats stats;
+  model->filter_pairs(pos, 0.05, pairs, ws, &stats);
+  EXPECT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(stats.sinr_rejected, 0u);
+  EXPECT_EQ(stats.csma_suppressed, 0u);
+}
+
+// An interference-free link at exactly R_T comes in at SNR = snr_edge by
+// construction of the noise floor; β brackets around snr_edge flip it.
+TEST(Interference, SingleLinkSnrEdgeThreshold) {
+  const double rt = 0.125;  // exact in FP; d_link == rt exactly
+  std::vector<geom::Point> pos = {{0.25, 0.25}, {0.375, 0.25}};
+  SinrParams p;
+  p.snr_edge = 10.0;
+  p.beta = 9.999;
+  EXPECT_TRUE(make_interference_model(PhyKind::kSinr, 1.0, p)
+                  ->link_succeeds(pos, rt, {0, 1}, {}));
+  p.beta = 10.001;
+  EXPECT_FALSE(make_interference_model(PhyKind::kSinr, 1.0, p)
+                   ->link_succeeds(pos, rt, {0, 1}, {}));
+}
+
+// The 3-node divergence the backends exist to expose: an interferer inside
+// the protocol guard zone is an automatic protocol failure, but under SINR
+// the much stronger signal captures the receiver anyway — until β rises.
+TEST(Interference, ThreeNodeProtocolVsSinrCapture) {
+  const double rt = 0.05;
+  std::vector<geom::Point> pos = {
+      {0.50, 0.5}, {0.52, 0.5}, {0.56, 0.5}};  // tx, rx, interferer
+  const std::vector<std::uint32_t> other_tx = {2};
+  const auto protocol = make_interference_model(PhyKind::kProtocol, 1.0);
+  // d(interferer, rx) = 0.04 < guard 0.1: protocol kills the link.
+  EXPECT_FALSE(protocol->link_succeeds(pos, rt, {0, 1}, other_tx));
+  // SINR = d_s^{-3} / (N0 + d_i^{-3}) = 125000 / (800 + 15625) ≈ 7.6.
+  SinrParams p;
+  p.beta = 1.0;
+  EXPECT_TRUE(make_interference_model(PhyKind::kSinr, 1.0, p)
+                  ->link_succeeds(pos, rt, {0, 1}, other_tx));
+  p.beta = 8.0;
+  EXPECT_FALSE(make_interference_model(PhyKind::kSinr, 1.0, p)
+                   ->link_succeeds(pos, rt, {0, 1}, other_tx));
+}
+
+// filter_pairs must agree with the exact-sum reference link_succeeds when
+// the near field covers the whole torus (far-field correction zero): a
+// pair survives iff BOTH directions succeed against the same-direction
+// endpoints of every scheduled pair.
+TEST(Interference, FilterMatchesReferenceWhenNearFieldCoversTorus) {
+  const double rt = 0.1;
+  // Five pairs: 1 and 2 sit on the same row close enough to jam each
+  // other (interferer at link distance → SINR < 1), the rest are isolated.
+  std::vector<geom::Point> pos = {
+      {0.05, 0.20}, {0.09, 0.20},   // pair 0 — isolated
+      {0.22, 0.45}, {0.26, 0.45},   // pair 1 — jammed by pair 2
+      {0.30, 0.45}, {0.34, 0.45},   // pair 2 — jammed by pair 1
+      {0.62, 0.70}, {0.66, 0.70},   // pair 3 — isolated
+      {0.85, 0.10}, {0.89, 0.10}};  // pair 4 — isolated
+  std::vector<Transmission> pairs = {{0, 1}, {2, 3}, {4, 5}, {6, 7}, {8, 9}};
+  SinrParams params;
+  params.field_radius = 100.0;  // rf ≥ torus radius → exact sums
+  const auto model = make_interference_model(PhyKind::kSinr, 1.0, params);
+
+  std::vector<Transmission> expected;
+  for (const auto& pr : pairs) {
+    std::vector<std::uint32_t> fwd_tx;
+    std::vector<std::uint32_t> rev_tx;
+    for (const auto& o : pairs) {
+      fwd_tx.push_back(o.tx);
+      rev_tx.push_back(o.rx);
+    }
+    if (model->link_succeeds(pos, rt, {pr.tx, pr.rx}, fwd_tx) &&
+        model->link_succeeds(pos, rt, {pr.rx, pr.tx}, rev_tx))
+      expected.push_back(pr);
+  }
+  ASSERT_FALSE(expected.empty());
+  ASSERT_LT(expected.size(), pairs.size());  // the geometry cuts something
+
+  auto filtered = pairs;
+  InterferenceModel::Workspace ws;
+  PhyStats stats;
+  model->filter_pairs(pos, rt, filtered, ws, &stats);
+  ASSERT_EQ(filtered.size(), expected.size());
+  for (std::size_t i = 0; i < filtered.size(); ++i) {
+    EXPECT_EQ(filtered[i].tx, expected[i].tx);
+    EXPECT_EQ(filtered[i].rx, expected[i].rx);
+  }
+  EXPECT_EQ(stats.sinr_rejected, pairs.size() - expected.size());
+}
+
+// A minimal near-field radius routes distant interference through the
+// closed-form far-field mean; for pairs far from the β threshold the
+// outcome must match the exact evaluation.
+TEST(Interference, FarFieldApproximationPreservesClearOutcomes) {
+  const double rt = 0.1;
+  std::vector<geom::Point> pos = {
+      {0.1, 0.1}, {0.15, 0.1}, {0.6, 0.6}, {0.65, 0.6}};
+  std::vector<Transmission> pairs = {{0, 1}, {2, 3}};
+  InterferenceModel::Workspace ws;
+  for (double field_radius : {1.0, 3.0, 100.0}) {
+    SinrParams p;
+    p.field_radius = field_radius;
+    auto filtered = pairs;
+    make_interference_model(PhyKind::kSinr, 1.0, p)
+        ->filter_pairs(pos, rt, filtered, ws);
+    EXPECT_EQ(filtered.size(), 2u) << "field_radius " << field_radius;
+  }
+}
+
+TEST(Interference, FilterIsDeterministicAcrossWorkspaceReuse) {
+  const double rt = 0.07;
+  std::vector<geom::Point> pos;
+  std::vector<Transmission> pairs;
+  for (std::uint32_t p = 0; p < 8; ++p) {
+    pos.push_back({0.12 * p, 0.3 + 0.07 * (p % 3)});
+    pos.push_back({0.12 * p + 0.03, 0.3 + 0.07 * (p % 3)});
+    pairs.push_back({2 * p, 2 * p + 1});
+  }
+  SinrParams params;
+  params.beta = 2.0;
+  const auto model = make_interference_model(PhyKind::kSinrCsma, 1.0, params);
+  InterferenceModel::Workspace reused;
+  std::vector<Transmission> first;
+  for (int round = 0; round < 3; ++round) {
+    auto filtered = pairs;
+    InterferenceModel::Workspace fresh;
+    model->filter_pairs(pos, rt, filtered, round == 0 ? fresh : reused);
+    if (round == 0) {
+      first = filtered;
+    } else {
+      ASSERT_EQ(filtered.size(), first.size());
+      for (std::size_t i = 0; i < filtered.size(); ++i) {
+        EXPECT_EQ(filtered[i].tx, first[i].tx);
+        EXPECT_EQ(filtered[i].rx, first[i].rx);
+      }
+    }
+  }
+}
+
+TEST(Interference, CsmaSuppressesMutuallyAudibleCandidates) {
+  const double rt = 0.1;  // N0 = 100
+  std::vector<geom::Point> pos = {
+      {0.10, 0.1}, {0.15, 0.1}, {0.35, 0.1}, {0.40, 0.1}};
+  std::vector<Transmission> pairs = {{0, 1}, {2, 3}};
+  InterferenceModel::Workspace ws;
+  // Sensed energy between the two pairs' candidates is ≈ 100–190 units;
+  // cca = 0.5 puts the threshold at 50: both pairs hear each other and
+  // back off (the CCA pass is synchronous — both defer).
+  SinrParams p;
+  p.cca = 0.5;
+  auto filtered = pairs;
+  PhyStats stats;
+  make_interference_model(PhyKind::kSinrCsma, 1.0, p)
+      ->filter_pairs(pos, rt, filtered, ws, &stats);
+  EXPECT_TRUE(filtered.empty());
+  EXPECT_EQ(stats.csma_suppressed, 2u);
+  EXPECT_EQ(stats.sinr_rejected, 0u);
+  // A deaf threshold lets both through CCA, and the SINR stage keeps them
+  // (signal 8000 vs noise+interference ≈ 225).
+  p.cca = 1e6;
+  filtered = pairs;
+  PhyStats stats2;
+  make_interference_model(PhyKind::kSinrCsma, 1.0, p)
+      ->filter_pairs(pos, rt, filtered, ws, &stats2);
+  EXPECT_EQ(filtered.size(), 2u);
+  EXPECT_EQ(stats2.csma_suppressed, 0u);
 }
 
 }  // namespace

@@ -209,5 +209,49 @@ TEST(Greedy, NearestNeighborCandidatesCoverNodes) {
   for (const auto& c : cands) EXPECT_NE(c.tx, c.rx);
 }
 
+// ------------------------------------- S* / protocol-model consistency ----
+
+// Regression for a boundary mismatch: S* is strict on both thresholds
+// (d < R_T, interferer d > guard), while the protocol model historically
+// used non-strict comparisons — so a pair sitting exactly on a threshold
+// was rejected by the scheduler yet declared feasible by the model. The
+// geometries below put distances EXACTLY on the thresholds (0.25 and 0.5
+// are FP-exact; ct = 0.5 at population 4 gives R_T = 0.25, guard = 0.5).
+TEST(SStar, ProtocolModelAgreesAtExactRangeBoundary) {
+  SStarScheduler s(0.5, 1.0);
+  const double rt = s.range_for(4);
+  ASSERT_DOUBLE_EQ(rt, 0.25);
+  std::vector<geom::Point> pos = {
+      {0.25, 0.25}, {0.5, 0.25},        // d == R_T exactly
+      {0.8125, 0.8125}, {0.875, 0.8125}};  // isolated pair, d = 0.0625
+  const auto pairs = s.feasible_pairs(pos);
+  ASSERT_EQ(pairs.size(), 1u);  // S* range-rejects the boundary pair
+  EXPECT_EQ(pairs[0].tx, 2u);
+  phy::ProtocolModel pm(rt, s.delta());
+  EXPECT_FALSE(pm.in_range(pos[0], pos[1]));  // model must agree
+  EXPECT_TRUE(pm.feasible(pos, {{pairs[0].tx, pairs[0].rx}}));
+}
+
+TEST(SStar, ProtocolModelAgreesAtExactGuardBoundary) {
+  SStarScheduler s(0.5, 1.0);
+  const double rt = s.range_for(4);  // 0.25; guard = 0.5
+  // Node 2 sits exactly guard away from receiver 1 (torus Δy = 0.5): S*
+  // counts it inside the guard disk, so nothing is scheduled — and the
+  // protocol model must call the same geometry infeasible.
+  std::vector<geom::Point> pos = {
+      {0.125, 0.5}, {0.25, 0.5}, {0.25, 0.0}, {0.3125, 0.0}};
+  EXPECT_TRUE(s.feasible_pairs(pos).empty());
+  phy::ProtocolModel pm(rt, s.delta());
+  EXPECT_FALSE(pm.guard_ok(pos[2], pos[1]));
+  EXPECT_FALSE(pm.feasible(pos, {{0, 1}, {2, 3}}));
+  // Control: nudge the blocker outward past the guard; both pairs schedule
+  // and the model agrees they are feasible.
+  std::vector<geom::Point> clear = {
+      {0.125, 0.5}, {0.25, 0.5}, {0.2, 0.0}, {0.2625, 0.0}};
+  const auto pairs = s.feasible_pairs(clear);
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_TRUE(pm.feasible(clear, {{0, 1}, {2, 3}}));
+}
+
 }  // namespace
 }  // namespace manetcap::sched

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
 #include <set>
 #include <string>
 
@@ -9,6 +10,7 @@
 #include "net/traffic.h"
 #include "rng/rng.h"
 #include "routing/scheme_c.h"
+#include "sim/engine.h"
 #include "sim/fluid.h"
 #include "sim/metrics.h"
 #include "sim/slotsim.h"
@@ -1214,6 +1216,222 @@ TEST(Sweep, MetricsAggregateAcrossCellsAndThreads) {
     EXPECT_EQ(agg.count(Counter::kInjected), expected_injected);
     EXPECT_EQ(agg.count(Counter::kDelivered), sizes.size() * trials);
   }
+}
+
+// --------------------------------------------------- interference backends --
+
+// Named SlotSimPhy* so the TSan CI job's gtest filter picks these up
+// alongside the other threaded SlotSim suites.
+
+SlotSimResult run_phy(const net::Network& net,
+                      const std::vector<std::uint32_t>& dest,
+                      SlotSimOptions opt) {
+  return run_slot_sim(net, dest, opt);
+}
+
+// Explicitly selecting the protocol backend must take the historical code
+// path exactly: every result field bit-identical to the default.
+TEST(SlotSimPhy, ProtocolFlagIsByteIdenticalToDefault) {
+  auto p = strong_params(256, /*with_bs=*/false);
+  auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
+                                 net::BsPlacement::kUniform, 301);
+  rng::Xoshiro256 g(303);
+  auto dest = net::permutation_traffic(p.n, g);
+  SlotSimOptions opt;
+  opt.scheme = SlotScheme::kSchemeA;
+  opt.slots = 400;
+  opt.warmup = 100;
+  opt.seed = 305;
+  const auto base = run_phy(net, dest, opt);
+  opt.phy = phy::PhyKind::kProtocol;
+  // Even absurd SINR params are inert under protocol (never validated).
+  opt.sinr.beta = 1e9;
+  const auto flagged = run_phy(net, dest, opt);
+  EXPECT_EQ(base.total_delivered, flagged.total_delivered);
+  EXPECT_EQ(base.injected, flagged.injected);
+  EXPECT_EQ(base.queued_end, flagged.queued_end);
+  EXPECT_DOUBLE_EQ(base.mean_flow_rate, flagged.mean_flow_rate);
+  EXPECT_DOUBLE_EQ(base.pairs_per_slot, flagged.pairs_per_slot);
+  EXPECT_DOUBLE_EQ(base.mean_delay, flagged.mean_delay);
+}
+
+// The SINR filter runs serially on a per-slot snapshot, so the sharded
+// parallel phases must not be able to perturb it: results are bit-identical
+// for every shard count, with and without CSMA.
+TEST(SlotSimPhy, SinrBitIdenticalAcrossShards) {
+  auto p = strong_params(256);
+  auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
+                                 net::BsPlacement::kClusteredMatched, 307);
+  rng::Xoshiro256 g(311);
+  auto dest = net::permutation_traffic(p.n, g);
+  for (phy::PhyKind kind : {phy::PhyKind::kSinr, phy::PhyKind::kSinrCsma}) {
+    SlotSimOptions opt;
+    opt.scheme = SlotScheme::kSchemeB;
+    opt.slots = 300;
+    opt.warmup = 60;
+    opt.seed = 313;
+    opt.phy = kind;
+    opt.sinr.beta = 3.0;     // noise-limited enough that the filter bites
+    opt.sinr.snr_edge = 4.0;
+    opt.shards = 1;
+    const auto serial = run_phy(net, dest, opt);
+    for (std::size_t shards : {2UL, 4UL}) {
+      opt.shards = shards;
+      const auto sharded = run_phy(net, dest, opt);
+      EXPECT_EQ(serial.total_delivered, sharded.total_delivered)
+          << phy::to_string(kind) << " shards " << shards;
+      EXPECT_EQ(serial.injected, sharded.injected);
+      EXPECT_EQ(serial.queued_end, sharded.queued_end);
+      EXPECT_DOUBLE_EQ(serial.mean_flow_rate, sharded.mean_flow_rate);
+      EXPECT_DOUBLE_EQ(serial.pairs_per_slot, sharded.pairs_per_slot);
+    }
+  }
+}
+
+TEST(SlotSimPhy, SchemeCRejectsNonProtocolBackend) {
+  auto p = trivial_params(512);
+  auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
+                                 net::BsPlacement::kClusterGrid, 317);
+  rng::Xoshiro256 g(319);
+  auto dest = net::permutation_traffic(p.n, g);
+  SlotSimOptions opt;
+  opt.scheme = SlotScheme::kSchemeC;
+  opt.slots = 200;
+  opt.warmup = 40;
+  opt.phy = phy::PhyKind::kSinr;
+  try {
+    run_slot_sim(net, dest, opt);
+    FAIL() << "expected CheckError";
+  } catch (const manetcap::CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("scheme C"), std::string::npos)
+        << "got: " << e.what();
+  }
+}
+
+TEST(SlotSimPhy, InvalidSinrParamsRejectedAtRunStart) {
+  auto p = strong_params(64, /*with_bs=*/false);
+  auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
+                                 net::BsPlacement::kUniform, 321);
+  rng::Xoshiro256 g(323);
+  auto dest = net::permutation_traffic(p.n, g);
+  SlotSimOptions opt;
+  opt.phy = phy::PhyKind::kSinr;
+  opt.sinr.path_loss = 2.0;  // far field diverges
+  EXPECT_THROW(run_slot_sim(net, dest, opt), manetcap::CheckError);
+}
+
+// A noise-limited configuration must visibly cut the schedule: fewer
+// concurrent pairs than the protocol run, with the cut accounted in the
+// phy_sinr_rejected audit counter. A hair-trigger CCA shows up in
+// phy_csma_suppressed the same way.
+TEST(SlotSimPhy, RejectionCountersAccountForTheCut) {
+  auto p = strong_params(256, /*with_bs=*/false);
+  auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
+                                 net::BsPlacement::kUniform, 327);
+  rng::Xoshiro256 g(331);
+  auto dest = net::permutation_traffic(p.n, g);
+  SlotSimOptions opt;
+  opt.scheme = SlotScheme::kSchemeA;
+  opt.slots = 300;
+  opt.warmup = 60;
+  opt.seed = 337;
+  const auto protocol = run_phy(net, dest, opt);
+
+  Metrics m;
+  opt.metrics = &m;
+  opt.phy = phy::PhyKind::kSinr;
+  opt.sinr.beta = 5.0;
+  opt.sinr.snr_edge = 2.0;  // edge links fail on noise alone
+  const auto sinr = run_phy(net, dest, opt);
+  EXPECT_GT(m.count(Counter::kPhySinrRejected), 0u);
+  EXPECT_EQ(m.count(Counter::kPhyCsmaSuppressed), 0u);
+  EXPECT_LT(sinr.pairs_per_slot, protocol.pairs_per_slot);
+
+  Metrics mc;
+  opt.metrics = &mc;
+  opt.phy = phy::PhyKind::kSinrCsma;
+  opt.sinr = {};
+  opt.sinr.cca = 0.05;
+  const auto csma = run_phy(net, dest, opt);
+  EXPECT_GT(mc.count(Counter::kPhyCsmaSuppressed), 0u);
+  EXPECT_LT(csma.pairs_per_slot, protocol.pairs_per_slot);
+}
+
+// The fluid engine consumes a non-protocol backend as a wireless-capacity
+// derate: the Monte-Carlo pair-survival ratio of the instance.
+TEST(SlotSimPhy, FluidSurvivalRatioDeratesCapacity) {
+  auto p = strong_params(512, /*with_bs=*/false);
+  auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
+                                 net::BsPlacement::kUniform, 353);
+  phy::SinrParams harsh;
+  harsh.beta = 5.0;
+  harsh.snr_edge = 2.0;
+  EXPECT_DOUBLE_EQ(
+      sinr_survival_ratio(net, phy::PhyKind::kProtocol, harsh, 7), 1.0);
+  const double ratio =
+      sinr_survival_ratio(net, phy::PhyKind::kSinr, harsh, 7);
+  EXPECT_GT(ratio, 0.0);
+  EXPECT_LT(ratio, 1.0);  // the noise-limited config must cut something
+  EXPECT_DOUBLE_EQ(ratio,
+                   sinr_survival_ratio(net, phy::PhyKind::kSinr, harsh, 7));
+
+  EvalContext ctx;
+  ctx.params = p;
+  ctx.seed = 7;
+  EngineOptions eopt;
+  eopt.slots = 400;
+  eopt.warmup = 80;
+  const double base = measure_instance(EngineKind::kFluid, ctx, eopt);
+  eopt.phy = phy::PhyKind::kSinr;
+  eopt.sinr = harsh;
+  const double derated = measure_instance(EngineKind::kFluid, ctx, eopt);
+  EXPECT_GT(base, 0.0);
+  EXPECT_GT(derated, 0.0);
+  EXPECT_LT(derated, base);
+}
+
+// The checkpoint config echo covers the PHY backend: resuming under a
+// different interference model must fail loudly, not silently blend two
+// physical models in one trajectory.
+TEST(SlotSimPhy, CheckpointRejectsBackendMismatch) {
+  auto p = strong_params(128, /*with_bs=*/false);
+  auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
+                                 net::BsPlacement::kUniform, 341);
+  rng::Xoshiro256 g(347);
+  auto dest = net::permutation_traffic(p.n, g);
+  const std::string path = testing::TempDir() + "manetcap_phy_mismatch.ckpt";
+  SlotSimOptions opt;
+  opt.scheme = SlotScheme::kSchemeA;
+  opt.slots = 200;
+  opt.warmup = 40;
+  opt.seed = 349;
+  opt.phy = phy::PhyKind::kSinr;
+  opt.checkpoint_every = 100;
+  opt.checkpoint_path = path;
+  run_slot_sim(net, dest, opt);
+
+  SlotSimOptions resume = opt;
+  resume.checkpoint_every = 0;
+  resume.checkpoint_path.clear();
+  resume.resume_path = path;
+  resume.phy = phy::PhyKind::kProtocol;  // different backend
+  try {
+    run_slot_sim(net, dest, resume);
+    FAIL() << "expected CheckError";
+  } catch (const manetcap::CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("phy"), std::string::npos)
+        << "got: " << e.what();
+  }
+  // Same backend and parameters: resume completes and matches the
+  // uninterrupted run.
+  resume.phy = phy::PhyKind::kSinr;
+  const auto resumed = run_slot_sim(net, dest, resume);
+  opt.checkpoint_every = 0;
+  opt.checkpoint_path.clear();
+  const auto full = run_slot_sim(net, dest, opt);
+  EXPECT_EQ(full.total_delivered, resumed.total_delivered);
+  EXPECT_DOUBLE_EQ(full.mean_flow_rate, resumed.mean_flow_rate);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -227,6 +227,32 @@ TEST(Flags, OutOfRangeIntRejected) {
   EXPECT_THROW(f.get_int("n", 0), std::runtime_error);
 }
 
+// stod parses "nan"/"inf" into values that poison every downstream
+// comparison without ever tripping a range check; get_double must reject
+// them with the same `bad value for --<name>: <value>` shape as any other
+// malformed number.
+TEST(Flags, NonFiniteDoubleRejectedWithNamedError) {
+  const char* spellings[] = {"nan",  "NaN",  "-nan", "inf",
+                             "Inf",  "-inf", "INFINITY"};
+  for (const char* s : spellings) {
+    const std::string arg = std::string("--alpha=") + s;
+    const char* argv[] = {"prog", arg.c_str()};
+    util::Flags f(2, argv, {"alpha"});
+    try {
+      f.get_double("alpha", 0.0);
+      FAIL() << "expected throw for " << s;
+    } catch (const std::runtime_error& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("bad value for --alpha"), std::string::npos) << s;
+      EXPECT_NE(what.find(s), std::string::npos) << s;
+    }
+  }
+  // Finite values, including huge-but-representable ones, still parse.
+  const char* argv[] = {"prog", "--alpha=1e300"};
+  util::Flags f(2, argv, {"alpha"});
+  EXPECT_DOUBLE_EQ(f.get_double("alpha", 0.0), 1e300);
+}
+
 // ---------------------------------------------------------- thread pool --
 
 TEST(ThreadPool, ExecutesEveryIndexExactlyOnce) {

@@ -19,6 +19,7 @@
 #include "capacity/regimes.h"
 #include "net/network.h"
 #include "net/traffic.h"
+#include "phy/interference.h"
 #include "rng/rng.h"
 #include "sim/engine.h"
 #include "sim/fluid.h"
@@ -76,6 +77,23 @@ constexpr FlagSpec kFlagSpecs[] = {
     {"shards", "S",
      "spatial stripes for the parallel slot phases; bit-identical for any "
      "value (default 1 = serial)"},
+    {"phy", "protocol|sinr|sinr-csma",
+     "interference backend (default protocol; docs/PHY.md). Scheme C "
+     "always runs under protocol"},
+    {"path-loss", "A",
+     "SINR path-loss exponent alpha (> 2 for far-field convergence; "
+     "default 3)"},
+    {"sinr-beta", "B", "SINR capture threshold beta (default 1)"},
+    {"snr-edge", "S",
+     "SNR of an interference-free link at exactly R_T; sets the noise "
+     "floor N0 = P R_T^-alpha / snr-edge (default 10)"},
+    {"tx-power", "P", "transmit power P (default 1)"},
+    {"field-radius", "F",
+     "near-field radius in multiples of R_T; interferers beyond it use "
+     "the closed-form far-field mean (default 6)"},
+    {"cca", "C",
+     "sinr-csma carrier-sense threshold in multiples of the noise floor "
+     "(default 4)"},
     {"checkpoint", "FILE",
      "write the full simulator state to FILE every --checkpoint-every "
      "slots (atomic; MCCKPT1)"},
@@ -125,12 +143,16 @@ const std::vector<Subcommand>& subcommands() {
        with_params({"placement", "seed"}), &cmd_capacity},
       {"sweep", "lambda(n) scaling sweep + exponent fit",
        with_params({"placement", "n0", "count", "ratio", "trials", "seed",
-                    "threads", "engine", "slots", "warmup"}),
+                    "threads", "engine", "slots", "warmup", "phy",
+                    "path-loss", "sinr-beta", "snr-edge", "tx-power",
+                    "field-radius", "cca"}),
        &cmd_sweep},
       {"simulate", "packet- or flow-level simulation of one instance",
        with_params({"scheme", "engine", "slots", "warmup", "mobility",
                     "seed", "metrics-out", "faults", "shards", "checkpoint",
-                    "checkpoint-every", "resume"}),
+                    "checkpoint-every", "resume", "phy", "path-loss",
+                    "sinr-beta", "snr-edge", "tx-power", "field-radius",
+                    "cca"}),
        &cmd_simulate},
       {"phase", "Figure 3 phase-diagram panel for a given phi",
        {"phi"}, &cmd_phase},
@@ -173,6 +195,21 @@ net::ScalingParams params_from(const util::Flags& f) {
   p.M = f.get_double("M", 1.0);
   p.R = f.get_double("R", 0.0);
   return p;
+}
+
+phy::PhyKind phy_from(const util::Flags& f) {
+  return phy::parse_phy(f.get_string("phy", "protocol"));
+}
+
+phy::SinrParams sinr_from(const util::Flags& f) {
+  phy::SinrParams s;
+  s.path_loss = f.get_double("path-loss", s.path_loss);
+  s.beta = f.get_double("sinr-beta", s.beta);
+  s.snr_edge = f.get_double("snr-edge", s.snr_edge);
+  s.power = f.get_double("tx-power", s.power);
+  s.field_radius = f.get_double("field-radius", s.field_radius);
+  s.cca = f.get_double("cca", s.cca);
+  return s;
 }
 
 net::BsPlacement placement_from(const util::Flags& f) {
@@ -246,6 +283,9 @@ int cmd_sweep(const util::Flags& f) {
   eopt.slots = static_cast<std::size_t>(f.get_int("slots", 2000));
   eopt.warmup = static_cast<std::size_t>(f.get_int("warmup",
                                                    eopt.slots / 10));
+  eopt.phy = phy_from(f);
+  eopt.sinr = sinr_from(f);
+  if (eopt.phy != phy::PhyKind::kProtocol) eopt.sinr.validate();
   sim::SweepEvaluator eval = sim::make_engine_evaluator(engine, eopt);
   sim::SweepOptions sopt;
   sopt.seed0 = static_cast<std::uint64_t>(f.get_int("seed", 1));
@@ -260,6 +300,11 @@ int cmd_sweep(const util::Flags& f) {
                util::fmt_sci(pt.lambda_min, 4),
                util::fmt_sci(pt.lambda_max, 4)});
   std::cout << "engine: " << sim::to_string(engine) << "\n";
+  if (eopt.phy != phy::PhyKind::kProtocol)
+    std::cout << "phy:    " << phy::to_string(eopt.phy)
+              << " (path-loss " << eopt.sinr.path_loss << ", beta "
+              << eopt.sinr.beta << ", snr-edge " << eopt.sinr.snr_edge
+              << ")\n";
   t.print(std::cout);
   if (sweep.fit_valid) {
     std::cout << "fitted exponent: "
@@ -320,10 +365,42 @@ int cmd_simulate_fluid(const util::Flags& f, const net::ScalingParams& p) {
                                        placement, opt.seed);
   rng::Xoshiro256 g(sim::traffic_seed(opt.seed));
   const auto dest = net::permutation_traffic(p.n, g);
-  const auto r = sim::run_flow_sim(net, dest, opt);
+
+  // Non-protocol backends derate the wireless capacities by the measured
+  // pair-survival ratio (docs/PHY.md): schemes A/B via bandwidth_share
+  // (wires untouched), the wireless-only schemes by scaling the rate.
+  const auto phy = phy_from(f);
+  double survival = 1.0;
+  if (phy != phy::PhyKind::kProtocol) {
+    if (opt.scheme == sim::FlowScheme::kSchemeC)
+      throw std::runtime_error(
+          "--phy " + phy::to_string(phy) +
+          " does not apply to scheme C (TDMA schedule has no per-slot "
+          "geometry); use --phy protocol");
+    auto sinr = sinr_from(f);
+    sinr.validate();
+    survival = sim::sinr_survival_ratio(net, phy, sinr,
+                                        sim::trial_seed(opt.seed, 0, 2));
+  }
+  const bool shares = opt.scheme == sim::FlowScheme::kSchemeA ||
+                      opt.scheme == sim::FlowScheme::kSchemeB;
+  if (shares && survival > 0.0) opt.bandwidth_share = survival;
+  auto r = survival > 0.0 ? sim::run_flow_sim(net, dest, opt)
+                          : sim::FlowSimResult{};
+  if (!shares && survival < 1.0) {
+    r.mean_flow_rate *= survival;
+    r.p10_flow_rate *= survival;
+    r.lambda_strict *= survival;
+  }
   std::cout << "scheme " << to_string(opt.scheme) << " (flow engine), "
-            << opt.slots << " slots (" << opt.warmup << " warmup)\n"
-            << "  rate/flow/slot:     " << util::fmt_sci(r.mean_flow_rate, 4)
+            << opt.slots << " slots (" << opt.warmup << " warmup)\n";
+  if (phy != phy::PhyKind::kProtocol)
+    std::cout << "  phy " << phy::to_string(phy) << ": pair survival "
+              << util::fmt_double(survival, 4)
+              << (survival == 0.0 ? " — no pair clears beta; lambda = 0"
+                                  : " (wireless capacity derate)")
+              << "\n";
+  std::cout << "  rate/flow/slot:     " << util::fmt_sci(r.mean_flow_rate, 4)
             << " (p10 " << util::fmt_sci(r.p10_flow_rate, 4) << ")\n"
             << "  lambda (solver):    " << util::fmt_sci(r.lambda_strict, 4)
             << "\n"
@@ -382,6 +459,8 @@ int cmd_simulate(const util::Flags& f) {
   opt.warmup = static_cast<std::size_t>(f.get_int("warmup",
                                                   opt.slots / 10));
   opt.seed = static_cast<std::uint64_t>(f.get_int("seed", 1));
+  opt.phy = phy_from(f);
+  opt.sinr = sinr_from(f);
   opt.shards = static_cast<std::size_t>(f.get_int("shards", 1));
   opt.checkpoint_path = f.get_string("checkpoint", "");
   opt.checkpoint_every =
@@ -413,8 +492,13 @@ int cmd_simulate(const util::Flags& f) {
   const auto r = sim::run_slot_sim(net, dest, opt);
   std::cout << "scheme " << to_string(opt.scheme) << ", " << opt.slots
             << " slots (" << opt.warmup << " warmup), mobility " << mob
-            << "\n"
-            << "  delivered total:    " << r.total_delivered << "\n"
+            << "\n";
+  if (opt.phy != phy::PhyKind::kProtocol)
+    std::cout << "  phy:                " << phy::to_string(opt.phy)
+              << " (path-loss " << opt.sinr.path_loss << ", beta "
+              << opt.sinr.beta << ", snr-edge " << opt.sinr.snr_edge
+              << ")\n";
+  std::cout << "  delivered total:    " << r.total_delivered << "\n"
             << "  rate/flow/slot:     " << util::fmt_sci(r.mean_flow_rate, 4)
             << " (p10 " << util::fmt_sci(r.p10_flow_rate, 4) << ")\n"
             << "  mean delay:         " << util::fmt_double(r.mean_delay, 5)
