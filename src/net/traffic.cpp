@@ -1,8 +1,12 @@
 #include "net/traffic.h"
 
+#include <algorithm>
+#include <cmath>
 #include <numeric>
+#include <sstream>
 
 #include "util/check.h"
+#include "util/spec.h"
 
 namespace manetcap::net {
 
@@ -33,6 +37,301 @@ bool is_valid_permutation_traffic(const std::vector<std::uint32_t>& dest) {
     seen[d] = true;
   }
   return true;
+}
+
+void validate_traffic_dest(const std::vector<std::uint32_t>& dest,
+                           std::size_t n, const char* who) {
+  MANETCAP_CHECK_MSG(dest.size() == n,
+                     who << ": dest must hold one entry per MS ("
+                         << dest.size() << " entries for n = " << n << ")");
+  for (std::size_t i = 0; i < dest.size(); ++i) {
+    MANETCAP_CHECK_MSG(dest[i] < n, who << ": dest[" << i << "] = "
+                                        << dest[i]
+                                        << " is out of range (n = " << n
+                                        << ")");
+    MANETCAP_CHECK_MSG(dest[i] != i,
+                       who << ": dest[" << i << "] is a self-loop");
+  }
+}
+
+std::vector<std::uint32_t> dest_of(const std::vector<FlowDemand>& demands) {
+  std::vector<std::uint32_t> dest(demands.size());
+  for (std::size_t i = 0; i < demands.size(); ++i) dest[i] = demands[i].dst;
+  return dest;
+}
+
+void validate_demands(const std::vector<FlowDemand>& demands,
+                      std::size_t n) {
+  MANETCAP_CHECK_MSG(demands.size() == n,
+                     "traffic: demand set must hold one flow per MS ("
+                         << demands.size() << " flows for n = " << n << ")");
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    const FlowDemand& f = demands[i];
+    MANETCAP_CHECK_MSG(f.src == i, "traffic: flow " << i
+                                       << " must be sourced at MS " << i
+                                       << " (got src " << f.src << ")");
+    MANETCAP_CHECK_MSG(f.dst < n, "traffic: dest[" << i << "] = " << f.dst
+                                      << " is out of range (n = " << n
+                                      << ")");
+    MANETCAP_CHECK_MSG(f.dst != i,
+                       "traffic: dest[" << i << "] is a self-loop");
+    MANETCAP_CHECK_MSG(f.size >= 1, "traffic: flow " << i
+                                        << " has zero size");
+    MANETCAP_CHECK_MSG(std::isfinite(f.on_mean) &&
+                           std::isfinite(f.off_mean) && f.on_mean >= 0.0 &&
+                           f.off_mean >= 0.0,
+                       "traffic: flow " << i
+                                        << " has non-finite or negative "
+                                           "on/off means");
+    MANETCAP_CHECK_MSG((f.on_mean > 0.0) == (f.off_mean > 0.0),
+                       "traffic: flow " << i
+                                        << " must set both on/off means or "
+                                           "neither");
+  }
+}
+
+const char* to_string(TrafficPattern p) {
+  switch (p) {
+    case TrafficPattern::kPermutation:
+      return "perm";
+    case TrafficPattern::kHotspot:
+      return "hotspot";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr const char* kWho = "TrafficSpec";
+
+/// Splits one 'KIND:A,B' clause into its two comma-separated numeric
+/// fields, with the grammar's error shape.
+void parse_pair(const std::string& args, const std::string& token,
+                double* a, double* b) {
+  const auto parts = util::spec::split(args, ',');
+  MANETCAP_CHECK_MSG(parts.size() == 2, kWho << ": expected two "
+                                                "comma-separated values in '"
+                                             << token << "'");
+  *a = util::spec::parse_f64(kWho, util::spec::trim(parts[0]), token);
+  *b = util::spec::parse_f64(kWho, util::spec::trim(parts[1]), token);
+}
+
+}  // namespace
+
+bool TrafficSpec::is_default() const {
+  return pattern == TrafficPattern::kPermutation && pareto_mean == 0.0 &&
+         on_mean == 0.0 && off_mean == 0.0 && max_start == 0;
+}
+
+void TrafficSpec::validate() const {
+  if (pattern == TrafficPattern::kHotspot) {
+    MANETCAP_CHECK_MSG(std::isfinite(hotspot_frac) && hotspot_frac > 0.0 &&
+                           hotspot_frac <= 1.0,
+                       "TrafficSpec: hotspot fraction " << hotspot_frac
+                           << " outside (0, 1]");
+    MANETCAP_CHECK_MSG(std::isfinite(hotspot_mass) && hotspot_mass >= 0.0 &&
+                           hotspot_mass <= 1.0,
+                       "TrafficSpec: hotspot mass " << hotspot_mass
+                           << " outside [0, 1]");
+  }
+  MANETCAP_CHECK_MSG(std::isfinite(pareto_mean) && pareto_mean >= 0.0,
+                     "TrafficSpec: pareto mean must be >= 0");
+  if (pareto_mean > 0.0) {
+    MANETCAP_CHECK_MSG(std::isfinite(pareto_alpha) && pareto_alpha > 1.0,
+                       "TrafficSpec: pareto alpha " << pareto_alpha
+                           << " must be > 1 (finite mean)");
+    MANETCAP_CHECK_MSG(pareto_mean >= 1.0,
+                       "TrafficSpec: pareto mean " << pareto_mean
+                           << " must be >= 1 packet");
+  }
+  MANETCAP_CHECK_MSG(std::isfinite(on_mean) && std::isfinite(off_mean) &&
+                         on_mean >= 0.0 && off_mean >= 0.0,
+                     "TrafficSpec: on/off means must be finite and >= 0");
+  MANETCAP_CHECK_MSG((on_mean > 0.0) == (off_mean > 0.0),
+                     "TrafficSpec: set both on/off means or neither");
+}
+
+TrafficSpec TrafficSpec::parse(const std::string& spec) {
+  TrafficSpec out;
+  for (const std::string& raw : util::spec::split(spec, ';')) {
+    const std::string token = util::spec::trim(raw);
+    if (token.empty()) continue;
+    const std::size_t colon = token.find(':');
+    const std::string kind =
+        colon == std::string::npos ? token : token.substr(0, colon);
+    const std::string args =
+        colon == std::string::npos ? std::string() : token.substr(colon + 1);
+    if (kind == "perm") {
+      MANETCAP_CHECK_MSG(args.empty(),
+                         "TrafficSpec: 'perm' takes no arguments, got '"
+                             << token << "'");
+      out.pattern = TrafficPattern::kPermutation;
+    } else if (kind == "hotspot") {
+      out.pattern = TrafficPattern::kHotspot;
+      parse_pair(args, token, &out.hotspot_frac, &out.hotspot_mass);
+    } else if (kind == "pareto") {
+      parse_pair(args, token, &out.pareto_alpha, &out.pareto_mean);
+    } else if (kind == "onoff") {
+      parse_pair(args, token, &out.on_mean, &out.off_mean);
+    } else if (kind == "start") {
+      out.max_start = static_cast<std::uint32_t>(
+          util::spec::parse_u64(kWho, util::spec::trim(args), token));
+    } else {
+      MANETCAP_CHECK_MSG(false, "TrafficSpec: unknown clause '"
+                                    << kind << "' in '" << token << "'");
+    }
+  }
+  out.validate();
+  return out;
+}
+
+std::string TrafficSpec::describe() const {
+  std::ostringstream os;
+  if (pattern == TrafficPattern::kHotspot) {
+    os << "hotspot:" << hotspot_frac << "," << hotspot_mass;
+  } else {
+    os << "perm";
+  }
+  if (pareto_mean > 0.0) {
+    os << "; pareto:" << pareto_alpha << "," << pareto_mean;
+  }
+  if (on_mean > 0.0) os << "; onoff:" << on_mean << "," << off_mean;
+  if (max_start > 0) os << "; start:" << max_start;
+  return os.str();
+}
+
+void TrafficModel::decorate(std::vector<FlowDemand>& demands,
+                            rng::Xoshiro256& g) const {
+  // Field-ordered passes keep the draw sequence independent of the
+  // destination pattern: sizes, then starts, then the on-off tagging
+  // (which consumes no randomness — gates are seeded per flow by the
+  // engine).
+  if (spec_.pareto_mean > 0.0) {
+    const double a = spec_.pareto_alpha;
+    const double xm = spec_.pareto_mean * (a - 1.0) / a;
+    for (FlowDemand& f : demands) {
+      const double u = rng::uniform01(g);
+      const double v = xm * std::pow(1.0 - u, -1.0 / a);
+      f.size = v >= 9.0e18
+                   ? (std::uint64_t{1} << 62)
+                   : std::max<std::uint64_t>(
+                         1, static_cast<std::uint64_t>(std::ceil(v)));
+    }
+  }
+  if (spec_.max_start > 0) {
+    for (FlowDemand& f : demands) {
+      f.start = static_cast<std::uint32_t>(
+          rng::uniform_index(g, std::uint64_t{spec_.max_start} + 1));
+    }
+  }
+  if (spec_.on_mean > 0.0 && spec_.off_mean > 0.0) {
+    for (FlowDemand& f : demands) {
+      f.on_mean = spec_.on_mean;
+      f.off_mean = spec_.off_mean;
+    }
+  }
+}
+
+namespace {
+
+class PermutationTrafficModel final : public TrafficModel {
+ public:
+  explicit PermutationTrafficModel(TrafficSpec spec)
+      : TrafficModel(spec) {}
+
+  std::vector<FlowDemand> draw(std::size_t n,
+                               rng::Xoshiro256& g) const override {
+    const auto dest = permutation_traffic(n, g);
+    std::vector<FlowDemand> demands(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      demands[i].src = static_cast<std::uint32_t>(i);
+      demands[i].dst = dest[i];
+    }
+    decorate(demands, g);
+    return demands;
+  }
+};
+
+class HotspotTrafficModel final : public TrafficModel {
+ public:
+  explicit HotspotTrafficModel(TrafficSpec spec) : TrafficModel(spec) {}
+
+  std::vector<FlowDemand> draw(std::size_t n,
+                               rng::Xoshiro256& g) const override {
+    MANETCAP_CHECK_MSG(n >= 2, "hotspot traffic needs n >= 2");
+    // A strict subset of MSs — at least 1, at most n − 1 — absorbs
+    // `hotspot_mass` of the demand; the rest is uniform over non-self
+    // peers, so mass 0 degenerates to uniform random destinations.
+    const std::size_t h = std::clamp<std::size_t>(
+        static_cast<std::size_t>(std::llround(spec_.hotspot_frac *
+                                              static_cast<double>(n))),
+        1, n - 1);
+    std::vector<std::uint32_t> ids(n);
+    std::iota(ids.begin(), ids.end(), 0u);
+    rng::shuffle(g, ids);  // ids[0..h) are the hotspots
+    std::vector<FlowDemand> demands(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      demands[i].src = static_cast<std::uint32_t>(i);
+      std::uint32_t dst;
+      if (rng::uniform01(g) < spec_.hotspot_mass) {
+        const std::size_t j =
+            static_cast<std::size_t>(rng::uniform_index(g, h));
+        dst = ids[j];
+        if (dst == i) {
+          // Deterministic self-repair: the cyclically next hotspot (a
+          // different node), or the cyclic neighbor when there is only
+          // one hotspot and it is the source itself.
+          dst = h > 1 ? ids[(j + 1) % h]
+                      : static_cast<std::uint32_t>((i + 1) % n);
+        }
+      } else {
+        const std::uint64_t r = rng::uniform_index(g, n - 1);
+        dst = static_cast<std::uint32_t>(r >= i ? r + 1 : r);
+      }
+      demands[i].dst = dst;
+    }
+    decorate(demands, g);
+    return demands;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<TrafficModel> make_traffic_model(const TrafficSpec& spec) {
+  spec.validate();
+  switch (spec.pattern) {
+    case TrafficPattern::kHotspot:
+      return std::make_unique<HotspotTrafficModel>(spec);
+    case TrafficPattern::kPermutation:
+      break;
+  }
+  return std::make_unique<PermutationTrafficModel>(spec);
+}
+
+OnOffGate::OnOffGate(double on_mean, double off_mean, std::uint64_t seed)
+    : on_mean_(on_mean), off_mean_(off_mean), rng_(seed) {
+  MANETCAP_CHECK_MSG(std::isfinite(on_mean) && std::isfinite(off_mean) &&
+                         on_mean > 0.0 && off_mean > 0.0,
+                     "OnOffGate: on/off means must be finite and > 0");
+  until_ = draw_len(on_mean_);
+}
+
+std::uint64_t OnOffGate::draw_len(double mean) {
+  // Exponential length, rounded up to a whole slot (so every period lasts
+  // at least one slot and the gate always makes progress).
+  const double u = rng::uniform01(rng_);
+  const double v = std::ceil(-mean * std::log1p(-u));
+  if (!(v >= 1.0)) return 1;
+  if (v >= 9.0e18) return std::uint64_t{1} << 62;
+  return static_cast<std::uint64_t>(v);
+}
+
+bool OnOffGate::on_at(std::uint64_t slot) {
+  while (slot >= until_) {
+    on_ = !on_;
+    until_ += draw_len(on_ ? on_mean_ : off_mean_);
+  }
+  return on_;
 }
 
 }  // namespace manetcap::net

@@ -114,10 +114,23 @@ double measure_instance(EngineKind kind, const EvalContext& ctx,
     const auto net =
         net::Network::build(ctx.params, opt.shape, placement, ctx.seed);
     rng::Xoshiro256 g(traffic_seed(ctx.seed));
-    const auto dest = net::permutation_traffic(ctx.params.n, g);
+    // The default spec takes the historical dest-overload path exactly; a
+    // custom spec draws its demand set from the same canonical traffic
+    // seed, so fluid and slots measure the same workload instance.
+    std::vector<net::FlowDemand> demands;
+    std::vector<std::uint32_t> dest;
+    if (opt.traffic.is_default())
+      dest = net::permutation_traffic(ctx.params.n, g);
+    else
+      demands = net::make_traffic_model(opt.traffic)->draw(ctx.params.n, g);
+    const auto run = [&](const FlowSimOptions& o) {
+      return opt.traffic.is_default() ? run_flow_sim(net, dest, o)
+                                      : run_flow_sim(net, demands, o);
+    };
     FlowSimOptions fopt;
     fopt.slots = opt.slots;
     fopt.warmup = opt.warmup;
+    fopt.faults = opt.faults;
     fopt.grouping = regime == capacity::MobilityRegime::kWeak
                         ? routing::BsGrouping::kCluster
                         : routing::BsGrouping::kSquarelet;
@@ -141,13 +154,13 @@ double measure_instance(EngineKind kind, const EvalContext& ctx,
       // rate linearly — apply it to the result instead.
       const bool shares = s == FlowScheme::kSchemeA || s == FlowScheme::kSchemeB;
       fopt.bandwidth_share = shares ? survival : 1.0;
-      auto r = run_flow_sim(net, dest, fopt);
+      auto r = run(fopt);
       // Scheme A degenerates below the minimum grid; the paper's answer
       // (and fluid's) is the two-hop fallback, not a zero.
       if (s == FlowScheme::kSchemeA && r.degenerate) {
         fopt.scheme = FlowScheme::kTwoHop;
         fopt.bandwidth_share = 1.0;
-        return run_flow_sim(net, dest, fopt).mean_flow_rate * survival;
+        return run(fopt).mean_flow_rate * survival;
       }
       return shares ? r.mean_flow_rate : r.mean_flow_rate * survival;
     };
@@ -165,19 +178,25 @@ double measure_instance(EngineKind kind, const EvalContext& ctx,
   const auto net =
       net::Network::build(ctx.params, opt.shape, placement, ctx.seed);
   rng::Xoshiro256 g(traffic_seed(ctx.seed));
-  const auto dest = net::permutation_traffic(ctx.params.n, g);
   SlotSimOptions sopt;
   sopt.scheme = scheme;
   sopt.slots = opt.slots;
   sopt.warmup = opt.warmup;
   sopt.seed = ctx.seed;
   sopt.metrics = ctx.metrics;
+  sopt.faults = opt.faults;
   // Scheme C is TDMA-scheduled (no per-slot S* geometry), so the engine
   // layer pins it to the protocol model rather than letting SlotSim reject
   // the combination — the sweep can then mix regimes under one --phy flag.
   sopt.phy = scheme == SlotScheme::kSchemeC ? phy::PhyKind::kProtocol
                                             : opt.phy;
   sopt.sinr = opt.sinr;
+  if (!opt.traffic.is_default()) {
+    const auto demands =
+        net::make_traffic_model(opt.traffic)->draw(ctx.params.n, g);
+    return run_slot_sim(net, demands, sopt).mean_flow_rate;
+  }
+  const auto dest = net::permutation_traffic(ctx.params.n, g);
   return run_slot_sim(net, dest, sopt).mean_flow_rate;
 }
 

@@ -29,26 +29,35 @@ std::string to_string(EngineKind k);
 /// Parses "fluid" | "slots" | "auto"; throws std::runtime_error otherwise.
 EngineKind parse_engine(const std::string& s);
 
-struct EngineOptions {
+/// Orchestration options. The shared (slots, warmup, phy, sinr) quartet
+/// lives in the RunConfig base (sim/run_config.h); the engine defaults
+/// are 2000/200. Under a non-protocol `phy` the slots engine re-evaluates
+/// every slot's S* pair set; the fluid engine derates its wireless
+/// capacities by the measured sinr_survival_ratio() of the instance.
+/// Scheme C (trivial regime) always runs under the protocol model on both
+/// engines — its TDMA schedule has no per-slot geometry to evaluate (the
+/// decision is made here, at the orchestration layer).
+struct EngineOptions : RunConfig {
+  EngineOptions() {
+    slots = 2000;
+    warmup = 200;
+  }
+
   mobility::ShapeKind shape = mobility::ShapeKind::kUniformDisk;
   net::BsPlacement placement = net::BsPlacement::kClusteredMatched;
-  /// Horizon / warmup for the measurement window (both engines).
-  std::size_t slots = 2000;
-  std::size_t warmup = 200;
   /// kAuto crossover: SlotSim below this many MSs, FlowSim at or above —
   /// small instances are cheap enough for packet-level fidelity, large
   /// ones need the flow engine's O(flows) slot-epochs.
   std::size_t auto_threshold = 1024;
-  /// Interference backend (docs/PHY.md). The slots engine re-evaluates
-  /// every slot's S* pair set under it; the fluid engine derates its
-  /// wireless capacities by the measured sinr_survival_ratio() of the
-  /// instance. Scheme C (trivial regime) always runs under the protocol
-  /// model on both engines — its TDMA schedule has no per-slot geometry
-  /// to evaluate (the decision is made here, at the orchestration layer).
-  phy::PhyKind phy = phy::PhyKind::kProtocol;
-  /// Parameters for the sinr / sinr-csma backends (ignored under
-  /// protocol).
-  phy::SinrParams sinr;
+  /// Traffic scenario both engines draw their demand set from
+  /// (net/traffic.h). The default spec is the paper's uniform-permutation
+  /// CBR and takes the historical code path exactly.
+  net::TrafficSpec traffic;
+  /// Optional fault/churn timeline forwarded to the engines. The slots
+  /// engine accepts every kind; the fluid engine accepts churn-only plans
+  /// (join/leave) and rejects infrastructure or mobility-shift events
+  /// with a named error.
+  const FaultPlan* faults = nullptr;
 };
 
 /// Monte-Carlo S*-pair survival ratio of one instance under a

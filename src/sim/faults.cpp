@@ -1,10 +1,10 @@
 #include "sim/faults.h"
 
 #include <cmath>
-#include <cstdlib>
 #include <sstream>
 
 #include "util/check.h"
+#include "util/spec.h"
 
 namespace manetcap::sim {
 
@@ -18,58 +18,67 @@ const char* to_string(FaultKind k) {
       return "wire";
     case FaultKind::kRegional:
       return "region";
+    case FaultKind::kMsLeave:
+      return "leave";
+    case FaultKind::kMsJoin:
+      return "join";
+    case FaultKind::kMobilityShift:
+      return "shift";
   }
   return "?";
 }
 
 namespace {
 
-/// Parses one full numeric field; the whole substring must be consumed —
-/// "12x" silently parsing as 12 is how a typo'd spec corrupts a run.
+constexpr const char* kWho = "FaultPlan";
+
+constexpr std::uint8_t kNumMobilityRegimes = 4;
+
+const char* const kMobilityNames[kNumMobilityRegimes] = {"iid", "walk",
+                                                         "pull", "brownian"};
+
 std::uint64_t parse_u64(const std::string& s, const std::string& token) {
-  MANETCAP_CHECK_MSG(!s.empty(), "FaultPlan: missing number in '" << token
-                                     << "'");
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
-  MANETCAP_CHECK_MSG(end == s.c_str() + s.size() && s[0] != '-',
-                     "FaultPlan: bad number '" << s << "' in '" << token
-                                               << "'");
-  return static_cast<std::uint64_t>(v);
+  return util::spec::parse_u64(kWho, s, token);
 }
 
 double parse_f64(const std::string& s, const std::string& token) {
-  MANETCAP_CHECK_MSG(!s.empty(), "FaultPlan: missing number in '" << token
-                                     << "'");
-  char* end = nullptr;
-  const double v = std::strtod(s.c_str(), &end);
-  MANETCAP_CHECK_MSG(end == s.c_str() + s.size() && std::isfinite(v),
-                     "FaultPlan: bad number '" << s << "' in '" << token
-                                               << "'");
-  return v;
-}
-
-std::vector<std::string> split(const std::string& s, char sep) {
-  std::vector<std::string> out;
-  std::size_t start = 0;
-  for (std::size_t i = 0; i <= s.size(); ++i) {
-    if (i == s.size() || s[i] == sep) {
-      out.push_back(s.substr(start, i - start));
-      start = i + 1;
-    }
-  }
-  return out;
-}
-
-std::string trim(const std::string& s) {
-  std::size_t b = 0, e = s.size();
-  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
-  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t')) --e;
-  return s.substr(b, e - b);
+  return util::spec::parse_f64(kWho, s, token);
 }
 
 }  // namespace
 
-void FaultPlan::validate(std::size_t k, std::size_t slots) const {
+const char* mobility_name(std::uint8_t mobility) {
+  return mobility < kNumMobilityRegimes ? kMobilityNames[mobility] : "?";
+}
+
+bool FaultPlan::has_infra() const {
+  for (const FaultEvent& e : events) {
+    if (e.kind == FaultKind::kBsDown || e.kind == FaultKind::kBsUp ||
+        e.kind == FaultKind::kWireScale || e.kind == FaultKind::kRegional) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultPlan::has_churn() const {
+  for (const FaultEvent& e : events) {
+    if (e.kind == FaultKind::kMsLeave || e.kind == FaultKind::kMsJoin) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultPlan::has_shift() const {
+  for (const FaultEvent& e : events) {
+    if (e.kind == FaultKind::kMobilityShift) return true;
+  }
+  return false;
+}
+
+void FaultPlan::validate(std::size_t k, std::size_t slots,
+                         std::size_t n) const {
   std::uint32_t prev = 0;
   for (std::size_t i = 0; i < events.size(); ++i) {
     const FaultEvent& e = events[i];
@@ -106,26 +115,31 @@ void FaultPlan::validate(std::size_t k, std::size_t slots) const {
                                std::isfinite(e.center.y),
                            "FaultPlan: regional center must be finite");
         break;
+      case FaultKind::kMsLeave:
+      case FaultKind::kMsJoin:
+        MANETCAP_CHECK_MSG(e.ms < n, "FaultPlan: MS index " << e.ms
+                                         << " >= n (" << n << ")");
+        break;
+      case FaultKind::kMobilityShift:
+        MANETCAP_CHECK_MSG(e.mobility < kNumMobilityRegimes,
+                           "FaultPlan: unknown mobility regime ordinal "
+                               << static_cast<unsigned>(e.mobility));
+        break;
     }
   }
 }
 
 FaultPlan FaultPlan::parse(const std::string& spec) {
   FaultPlan plan;
-  for (const std::string& raw : split(spec, ';')) {
-    const std::string token = trim(raw);
+  for (const std::string& raw : util::spec::split(spec, ';')) {
+    const std::string token = util::spec::trim(raw);
     if (token.empty()) continue;
-    const std::size_t at = token.find('@');
-    const std::size_t colon = token.find(':', at == std::string::npos ? 0 : at);
-    MANETCAP_CHECK_MSG(at != std::string::npos && colon != std::string::npos,
-                       "FaultPlan: expected KIND@SLOT:ARGS, got '" << token
-                                                                   << "'");
-    const std::string kind = token.substr(0, at);
-    const std::string slot_s = token.substr(at + 1, colon - at - 1);
-    const std::string args = token.substr(colon + 1);
+    const util::spec::EventClause c = util::spec::split_event(kWho, token);
+    const std::string& kind = c.kind;
+    const std::string& args = c.args;
 
     FaultEvent e;
-    e.slot = static_cast<std::uint32_t>(parse_u64(slot_s, token));
+    e.slot = static_cast<std::uint32_t>(parse_u64(c.slot, token));
     if (kind == "down" || kind == "up") {
       e.kind = kind == "down" ? FaultKind::kBsDown : FaultKind::kBsUp;
       e.bs = static_cast<std::uint32_t>(parse_u64(args, token));
@@ -146,13 +160,29 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
     } else if (kind == "region") {
       // region@SLOT:X,Y,R — disk of radius R around (X, Y).
       e.kind = FaultKind::kRegional;
-      const auto parts = split(args, ',');
+      const auto parts = util::spec::split(args, ',');
       MANETCAP_CHECK_MSG(parts.size() == 3,
                          "FaultPlan: expected region@SLOT:X,Y,R, got '"
                              << token << "'");
-      e.center.x = parse_f64(trim(parts[0]), token);
-      e.center.y = parse_f64(trim(parts[1]), token);
-      e.radius = parse_f64(trim(parts[2]), token);
+      e.center.x = parse_f64(util::spec::trim(parts[0]), token);
+      e.center.y = parse_f64(util::spec::trim(parts[1]), token);
+      e.radius = parse_f64(util::spec::trim(parts[2]), token);
+    } else if (kind == "leave" || kind == "join") {
+      e.kind = kind == "leave" ? FaultKind::kMsLeave : FaultKind::kMsJoin;
+      e.ms = static_cast<std::uint32_t>(parse_u64(args, token));
+    } else if (kind == "shift") {
+      // shift@SLOT:REGIME — switch the mobility process mid-run.
+      e.kind = FaultKind::kMobilityShift;
+      const std::string regime = util::spec::trim(args);
+      std::uint8_t m = kNumMobilityRegimes;
+      for (std::uint8_t i = 0; i < kNumMobilityRegimes; ++i) {
+        if (regime == kMobilityNames[i]) m = i;
+      }
+      MANETCAP_CHECK_MSG(m < kNumMobilityRegimes,
+                         "FaultPlan: unknown mobility regime '"
+                             << regime << "' in '" << token
+                             << "' (want iid|walk|pull|brownian)");
+      e.mobility = m;
     } else {
       MANETCAP_CHECK_MSG(false, "FaultPlan: unknown fault kind '"
                                     << kind << "' in '" << token << "'");
@@ -179,6 +209,15 @@ std::string FaultPlan::describe() const {
       case FaultKind::kRegional:
         os << "regional outage, radius " << e.radius << " at ("
            << e.center.x << "," << e.center.y << ")";
+        break;
+      case FaultKind::kMsLeave:
+        os << "MS " << e.ms << " leaves";
+        break;
+      case FaultKind::kMsJoin:
+        os << "MS " << e.ms << " joins";
+        break;
+      case FaultKind::kMobilityShift:
+        os << "mobility shift to " << mobility_name(e.mobility);
         break;
     }
     os << "\n";

@@ -1,18 +1,21 @@
-// Runtime fault injection for the slot simulator: timed base-station
-// outages and wired-backbone degradation.
+// Runtime fault and churn injection for the simulators: timed
+// base-station outages, wired-backbone degradation, node churn and
+// mobility-regime shifts.
 //
 // The paper's infrastructure-mode results (Table I: λ = Θ(min(k²c/n, k/n)))
-// assume all k base stations and every wired edge stay up. A FaultPlan
-// attaches a timeline of infrastructure faults to a SlotSim run
-// (SlotSimOptions::faults): BSs die and revive at named slots, wired edges
-// lose bandwidth or are severed, and a regional outage kills every BS in a
-// disk at once. Schemes B and C degrade gracefully instead of stalling —
-// affected MSs are re-homed to the nearest live BS, scheme-C cells are
-// re-colored over the live set, and packets queued at a dead BS are
-// dropped with an explicit dropped_bs_outage counter so the packet
-// conservation identity (injected == delivered + queued + dropped) still
-// closes under every plan. See docs/FAULTS.md for the spec grammar and
-// the full semantics.
+// assume all k base stations and every wired edge stay up and that the n
+// mobile sources are fixed for the whole run. A FaultPlan attaches a
+// timeline of disturbances to a run (SlotSimOptions::faults,
+// FlowSimOptions::faults): BSs die and revive at named slots, wired edges
+// lose bandwidth or are severed, a regional outage kills every BS in a
+// disk at once, mobile stations leave and (re)join mid-run, and the
+// mobility regime itself can shift. Schemes B and C degrade gracefully
+// instead of stalling — affected MSs are re-homed to the nearest live BS,
+// scheme-C cells are re-colored over the live set, and packets queued at
+// a dead BS or addressed to a departed MS are dropped with explicit
+// counters so the packet conservation identity
+// (injected == delivered + queued + dropped) still closes under every
+// plan. See docs/FAULTS.md for the spec grammar and the full semantics.
 #pragma once
 
 #include <cstdint>
@@ -29,9 +32,19 @@ enum class FaultKind : std::uint8_t {
   kWireScale = 2,  // wired edge (bs, bs2) bandwidth scaled by `scale`;
                    // scale 0 severs the edge and zeroes buffered credit
   kRegional = 3,   // every live BS within `radius` of `center` dies
+  kMsLeave = 4,    // MS `ms` departs at `slot`: its own queue and every
+                   // in-flight packet addressed to it are dropped
+  kMsJoin = 5,     // MS `ms` (re)joins at `slot`; an MS whose first churn
+                   // event is a join is absent from slot 0
+  kMobilityShift = 6,  // mobility regime switches to `mobility` at `slot`
 };
 
 const char* to_string(FaultKind k);
+
+/// Canonical short names for the mobility regimes a kMobilityShift can
+/// select, index-aligned with sim::SlotMobility: iid | walk | pull |
+/// brownian.
+const char* mobility_name(std::uint8_t mobility);
 
 /// One timed fault. Faults take effect at the START of `slot`, before that
 /// slot's scheduling/TDMA phase.
@@ -44,6 +57,10 @@ struct FaultEvent {
   double scale = 1.0;      // kWireScale bandwidth factor, in [0, 1]
   geom::Point center{};    // kRegional disk center (torus coordinates)
   double radius = 0.0;     // kRegional disk radius
+  std::uint32_t ms = 0;    // MS index in [0, n) (kMsLeave / kMsJoin)
+  std::uint8_t mobility = 0;  // kMobilityShift target regime, the
+                              // sim::SlotMobility ordinal (see
+                              // mobility_name)
 };
 
 /// A validated, slot-ordered fault timeline. Attach via
@@ -54,17 +71,33 @@ struct FaultPlan {
 
   bool empty() const { return events.empty(); }
 
+  /// True iff any event targets the infrastructure (BS down/up, wire,
+  /// regional). Such plans require an infrastructure scheme (B or C).
+  bool has_infra() const;
+
+  /// True iff any event is node churn (MS leave/join).
+  bool has_churn() const;
+
+  /// True iff any event shifts the mobility regime.
+  bool has_shift() const;
+
   /// Validates the plan against a run shape with named errors (the
   /// SlotSimOptions discipline): events must be slot-ordered, BS indices
-  /// < k, wired endpoints distinct, scales in [0, 1], slots < `slots`.
+  /// < k, wired endpoints distinct, scales in [0, 1], slots < `slots`,
+  /// MS indices < `n`, shift regimes known. Callers that do not know n
+  /// may omit it (MS bounds are then re-checked by the engine).
   /// Throws manetcap::CheckError on the first violation.
-  void validate(std::size_t k, std::size_t slots) const;
+  void validate(std::size_t k, std::size_t slots,
+                std::size_t n = static_cast<std::size_t>(-1)) const;
 
   /// Parses the docs/FAULTS.md spec grammar. Events are ';'-separated:
   ///   down@SLOT:BS        BS outage
   ///   up@SLOT:BS          BS revival
   ///   wire@SLOT:A-BxS     wired edge (A,B) scaled to S (0 severs)
   ///   region@SLOT:X,Y,R   regional outage, disk of radius R at (X, Y)
+  ///   leave@SLOT:MS       MS departs (its packets are dropped)
+  ///   join@SLOT:MS        MS (re)joins
+  ///   shift@SLOT:REGIME   mobility regime shift (iid|walk|pull|brownian)
   /// Throws manetcap::CheckError naming the offending token.
   static FaultPlan parse(const std::string& spec);
 

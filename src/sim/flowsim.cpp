@@ -94,19 +94,53 @@ void water_fill(const routing::RateStructure& rs, std::size_t rounds,
   }
 }
 
-}  // namespace
+/// One resolved churn transition (slot ascending, plan order preserved).
+struct ChurnEvent {
+  std::size_t slot = 0;
+  std::uint32_t ms = 0;
+  bool join = false;
+};
 
-FlowSimResult run_flow_sim(const net::Network& net,
-                           const std::vector<std::uint32_t>& dest,
-                           const FlowSimOptions& opt) {
+FlowSimResult run_flow_sim_impl(const net::Network& net,
+                                const std::vector<std::uint32_t>& dest,
+                                const std::vector<net::FlowDemand>* demands,
+                                const FlowSimOptions& opt) {
   const std::size_t n = net.num_ms();
   MANETCAP_CHECK_MSG(dest.size() == n,
                      "FlowSimOptions: dest must hold one entry per MS");
+  net::validate_traffic_dest(dest, n, "FlowSimOptions");
   MANETCAP_CHECK_MSG(opt.warmup < opt.slots,
                      "FlowSimOptions: warmup (" << opt.warmup
                          << ") must be < slots (" << opt.slots << ")");
   MANETCAP_CHECK_MSG(opt.epoch_slots >= 1,
                      "FlowSimOptions: epoch_slots must be >= 1");
+
+  // Churn timeline: the fluid engine takes leave/join only. Liveness is
+  // piecewise constant over epochs (boundaries are clamped to churn
+  // slots below), which is exactly the granularity the fluid model has.
+  std::vector<ChurnEvent> churn;
+  std::vector<std::uint8_t> alive;  // empty = everyone present throughout
+  if (opt.faults != nullptr) {
+    opt.faults->validate(net.num_bs(), opt.slots, n);
+    MANETCAP_CHECK_MSG(
+        !opt.faults->has_infra() && !opt.faults->has_shift(),
+        "FlowSimOptions: the fluid engine accepts churn-only fault plans "
+        "(leave@/join@); infrastructure and mobility-shift events need the "
+        "slots engine");
+    for (const FaultEvent& e : opt.faults->events)
+      churn.push_back({e.slot, e.ms, e.kind == FaultKind::kMsJoin});
+  }
+  if (!churn.empty()) {
+    alive.assign(n, 1);
+    // An MS whose first event is a join starts the run absent (the
+    // packet engine's rule).
+    std::vector<std::uint8_t> seen(n, 0);
+    for (const ChurnEvent& e : churn) {
+      if (seen[e.ms] != 0) continue;
+      seen[e.ms] = 1;
+      if (e.join) alive[e.ms] = 0;
+    }
+  }
 
   // --- rate structure from the routing evaluator ---------------------------
   routing::RateStructure rs;
@@ -209,17 +243,61 @@ FlowSimResult run_flow_sim(const net::Network& net,
   }
   const double wired_c = net.num_bs() > 0 ? net.params().c() : 0.0;
 
+  // Per-flow demand decorations; identity values on the legacy path, so
+  // a default demand set reproduces the dest overload's arithmetic
+  // exactly (duty 1.0 and start 0.0 are exact multiplicative/additive
+  // identities in IEEE arithmetic).
+  const auto duty_of = [&](std::uint32_t f) {
+    if (demands == nullptr) return 1.0;
+    const net::FlowDemand& d = (*demands)[f];
+    return d.always_on() ? 1.0 : d.on_mean / (d.on_mean + d.off_mean);
+  };
+  const auto start_of = [&](std::uint32_t f) {
+    return demands == nullptr ? 0.0
+                              : static_cast<double>((*demands)[f].start);
+  };
+  const auto size_of = [&](std::uint32_t f) {
+    return demands == nullptr ? std::numeric_limits<double>::infinity()
+                              : static_cast<double>((*demands)[f].size);
+  };
+  const auto flow_live = [&](std::uint32_t f) {
+    return alive.empty() || (alive[f] != 0 && alive[dest[f]] != 0);
+  };
+
   // --- epoch loop: continuous volumes, floored audit units -----------------
   std::vector<double> inject_cum(n, 0.0);
   std::vector<double> deliver_cum(n, 0.0);
+  std::vector<double> drop_cum(n, 0.0);  // churn-flushed backlog per flow
   std::vector<double> deliver_at_warmup(n, 0.0);
   std::vector<double> edge_demand(edge_keys.size(), 0.0);
   std::vector<double> edge_grant(edge_keys.size(), 1.0);
-  std::uint64_t prev_inj = 0, prev_del = 0, prev_wired = 0;
+  std::uint64_t prev_inj = 0, prev_del = 0, prev_wired = 0, prev_drop = 0;
+  std::size_t next_churn = 0;
   std::size_t t0 = 0;
   while (t0 < opt.slots) {
     std::size_t t1 = std::min(opt.slots, t0 + opt.epoch_slots);
     if (t0 < opt.warmup && opt.warmup < t1) t1 = opt.warmup;
+    // Apply churn transitions due at the start of t0, then clamp the
+    // epoch so no transition falls strictly inside it — liveness is
+    // constant over [t0, t1).
+    while (next_churn < churn.size() && churn[next_churn].slot <= t0) {
+      const ChurnEvent& e = churn[next_churn++];
+      if (e.join) {
+        alive[e.ms] = 1;
+        audit.inc(Counter::kMsJoined);
+        continue;
+      }
+      alive[e.ms] = 0;
+      audit.inc(Counter::kMsLeft);
+      // Flush the fluid backlog of every flow the leaver sources or
+      // terminates — the packet engine's leave-time queue drops.
+      for (std::uint32_t f = 0; f < n; ++f) {
+        if (f != e.ms && dest[f] != e.ms) continue;
+        drop_cum[f] = inject_cum[f] - deliver_cum[f];
+      }
+    }
+    if (next_churn < churn.size() && churn[next_churn].slot < t1)
+      t1 = churn[next_churn].slot;
     const double dt = static_cast<double>(t1 - t0);
 
     // Wired pacing: aggregate each edge's desired transit volume, then
@@ -230,10 +308,11 @@ FlowSimResult run_flow_sim(const net::Network& net,
       std::fill(edge_demand.begin(), edge_demand.end(), 0.0);
       for (std::uint32_t f = 0; f < n; ++f) {
         if (flow_edge[f] == kNoEdge) continue;
-        const double start =
-            std::max(static_cast<double>(t0), rs.flow_hops[f]);
+        if (!flow_live(f)) continue;
+        const double start = std::max(static_cast<double>(t0),
+                                      start_of(f) + rs.flow_hops[f]);
         const double window = std::max(0.0, static_cast<double>(t1) - start);
-        edge_demand[flow_edge[f]] += rate[f] * window;
+        edge_demand[flow_edge[f]] += rate[f] * duty_of(f) * window;
       }
       for (std::size_t e = 0; e < edge_keys.size(); ++e) {
         WireState* w = credit.try_emplace(edge_keys[e]).first;
@@ -251,32 +330,48 @@ FlowSimResult run_flow_sim(const net::Network& net,
     }
 
     std::uint64_t inj_units = 0, del_units = 0, queued_units = 0;
-    std::uint64_t wired_units = 0;
+    std::uint64_t wired_units = 0, drop_units = 0;
     for (std::uint32_t f = 0; f < n; ++f) {
       if (rs.flow_served[f] == 0) continue;
-      inject_cum[f] += rate[f] * dt;
-      const double start =
-          std::max(static_cast<double>(t0), rs.flow_hops[f]);
-      const double window = std::max(0.0, static_cast<double>(t1) - start);
-      double vol = rate[f] * window;
+      const bool live = flow_live(f);
+      const double duty = duty_of(f);
+      if (live) {
+        const double istart =
+            std::max(static_cast<double>(t0), start_of(f));
+        const double iwin =
+            std::max(0.0, static_cast<double>(t1) - istart);
+        inject_cum[f] =
+            std::min(inject_cum[f] + rate[f] * duty * iwin, size_of(f));
+      }
+      const double start = std::max(static_cast<double>(t0),
+                                    start_of(f) + rs.flow_hops[f]);
+      const double window =
+          live ? std::max(0.0, static_cast<double>(t1) - start) : 0.0;
+      double vol = rate[f] * duty * window;
       const bool wired = flow_edge.size() == n && flow_edge[f] != kNoEdge;
       if (wired) vol *= edge_grant[flow_edge[f]];
-      // Fluid can never deliver more than was injected (pipeline depth
-      // only delays, grants only shrink).
-      deliver_cum[f] = std::min(deliver_cum[f] + vol, inject_cum[f]);
+      // Fluid can never deliver more than was injected and not dropped
+      // (pipeline depth only delays, grants only shrink).
+      deliver_cum[f] =
+          std::min(deliver_cum[f] + vol, inject_cum[f] - drop_cum[f]);
       const auto iu = static_cast<std::uint64_t>(inject_cum[f]);
       const auto du = static_cast<std::uint64_t>(deliver_cum[f]);
+      const auto dru = static_cast<std::uint64_t>(drop_cum[f]);
       inj_units += iu;
       del_units += du;
-      queued_units += iu - du;
+      drop_units += dru;
+      queued_units += iu - du - dru;
       if (wired) wired_units += du;
     }
     audit.add(Counter::kInjected, inj_units - prev_inj);
     audit.add(Counter::kDelivered, del_units - prev_del);
     audit.add(Counter::kWiredForwarded, wired_units - prev_wired);
+    audit.add(Counter::kDropped, drop_units - prev_drop);
+    audit.add(Counter::kDroppedMsChurn, drop_units - prev_drop);
     prev_inj = inj_units;
     prev_del = del_units;
     prev_wired = wired_units;
+    prev_drop = drop_units;
     audit.sample_slot(static_cast<std::uint32_t>(t1 - 1), queued_units, 0, 0,
                       0);
 
@@ -296,8 +391,8 @@ FlowSimResult run_flow_sim(const net::Network& net,
 
   res.injected = prev_inj;
   res.delivered_lifetime = prev_del;
-  res.dropped = 0;
-  res.queued_end = res.injected - res.delivered_lifetime;
+  res.dropped = prev_drop;
+  res.queued_end = res.injected - res.delivered_lifetime - res.dropped;
   if (opt.check_conservation) {
     MANETCAP_CHECK_MSG(
         res.injected ==
@@ -306,7 +401,8 @@ FlowSimResult run_flow_sim(const net::Network& net,
         "dropped");
   }
   res.state_bytes = vec_bytes(rate) + vec_bytes(inject_cum) +
-                    vec_bytes(deliver_cum) + vec_bytes(deliver_at_warmup) +
+                    vec_bytes(deliver_cum) + vec_bytes(drop_cum) +
+                    vec_bytes(deliver_at_warmup) +
                     vec_bytes(measured) + vec_bytes(flow_edge) +
                     vec_bytes(edge_keys) + vec_bytes(edge_demand) +
                     vec_bytes(edge_grant) + vec_bytes(rs.constraints) +
@@ -315,6 +411,22 @@ FlowSimResult run_flow_sim(const net::Network& net,
                     vec_bytes(rs.flow_served) + credit.memory_bytes();
   if (opt.metrics != nullptr) opt.metrics->absorb(std::move(audit));
   return res;
+}
+
+}  // namespace
+
+FlowSimResult run_flow_sim(const net::Network& net,
+                           const std::vector<std::uint32_t>& dest,
+                           const FlowSimOptions& options) {
+  return run_flow_sim_impl(net, dest, nullptr, options);
+}
+
+FlowSimResult run_flow_sim(const net::Network& net,
+                           const std::vector<net::FlowDemand>& demands,
+                           const FlowSimOptions& options) {
+  net::validate_demands(demands, net.num_ms());
+  const std::vector<std::uint32_t> dest = net::dest_of(demands);
+  return run_flow_sim_impl(net, dest, &demands, options);
 }
 
 }  // namespace manetcap::sim

@@ -21,7 +21,9 @@
 
 #include "flow/constraints.h"
 #include "net/network.h"
+#include "net/traffic.h"
 #include "routing/scheme_b.h"
+#include "sim/faults.h"
 #include "sim/metrics.h"
 
 namespace manetcap::sim {
@@ -52,6 +54,13 @@ struct FlowSimOptions {
   std::uint64_t seed = 1;  // recorded only; the fluid model is deterministic
   Metrics* metrics = nullptr;
   bool check_conservation = true;
+  /// Optional churn timeline (sim/faults.h). The fluid engine accepts
+  /// churn-only plans — leave@SLOT:MS / join@SLOT:MS — and refuses
+  /// infrastructure or mobility-shift events with a named error (those
+  /// need the packet engine's per-slot geometry). Epoch boundaries are
+  /// clamped to churn slots, so liveness is constant within an epoch; a
+  /// departure flushes the leaver's flows' fluid backlog into `dropped`.
+  const FaultPlan* faults = nullptr;
 };
 
 struct FlowSimResult {
@@ -79,6 +88,16 @@ struct FlowSimResult {
 /// Runs the flow-level engine for permutation traffic `dest` over `net`.
 FlowSimResult run_flow_sim(const net::Network& net,
                            const std::vector<std::uint32_t>& dest,
+                           const FlowSimOptions& options);
+
+/// Demand-set overload (net/traffic.h): the allocation water-fills as
+/// usual, then each flow's offered rate is thinned by its on-off duty
+/// cycle, gated on its start slot and clamped to its finite size — the
+/// fluid rendering of the same per-flow demands SlotSim injects. A
+/// demand set from the default TrafficSpec reproduces the dest overload
+/// exactly.
+FlowSimResult run_flow_sim(const net::Network& net,
+                           const std::vector<net::FlowDemand>& demands,
                            const FlowSimOptions& options);
 
 }  // namespace manetcap::sim

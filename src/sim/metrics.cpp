@@ -51,6 +51,18 @@ const char* to_string(Counter c) {
       return "phy_sinr_rejected";
     case Counter::kPhyCsmaSuppressed:
       return "phy_csma_suppressed";
+    case Counter::kInjectGatedTraffic:
+      return "inject_gated_traffic";
+    case Counter::kInjectBlockedChurn:
+      return "inject_blocked_churn";
+    case Counter::kDroppedMsChurn:
+      return "dropped_ms_churn";
+    case Counter::kMsLeft:
+      return "ms_left";
+    case Counter::kMsJoined:
+      return "ms_joined";
+    case Counter::kMobilityShifts:
+      return "mobility_shifts";
   }
   return "?";
 }

@@ -58,9 +58,21 @@ enum class Counter : std::size_t {
                            // below β; 0 under the protocol model)
   kPhyCsmaSuppressed,      // S* pairs backed off by the CSMA CCA pass
                            // before SINR (sinr-csma backend only)
+  kInjectGatedTraffic,     // source idle by its traffic model: flow not yet
+                           // started, size exhausted, or in an off-burst
+                           // (intentional silence, not backpressure)
+  kInjectBlockedChurn,     // injection refused because the source or its
+                           // destination has left the network
+  kDroppedMsChurn,         // packets dropped with a departing MS — its own
+                           // queue plus every in-flight packet addressed to
+                           // it (also counted under kDropped, same single-
+                           // equation discipline as kDroppedBsOutage)
+  kMsLeft,                 // MS departure events applied (leave@SLOT:MS)
+  kMsJoined,               // MS arrival events applied (join@SLOT:MS)
+  kMobilityShifts,         // mobility-regime changes applied (shift@SLOT:R)
 };
 
-inline constexpr std::size_t kNumCounters = 21;
+inline constexpr std::size_t kNumCounters = 27;
 
 /// Stable snake-case name used as the CSV `counter` column.
 const char* to_string(Counter c);

@@ -1,0 +1,18 @@
+#include "sim/run_config.h"
+
+#include "util/check.h"
+
+namespace manetcap::sim {
+
+void RunConfig::validate(const char* who) const {
+  MANETCAP_CHECK_MSG(warmup < slots, who << ": warmup (" << warmup
+                                         << ") must be < slots (" << slots
+                                         << ")");
+  MANETCAP_CHECK_MSG(slots <= 0xffffffffULL,
+                     who << ": slots must fit in 32 bits (slot "
+                            "stamps, packet birth slots and trace slots are "
+                            "uint32)");
+  if (phy != phy::PhyKind::kProtocol) sinr.validate();
+}
+
+}  // namespace manetcap::sim

@@ -1,0 +1,35 @@
+// The run-shape configuration shared by every measurement entry point.
+//
+// SlotSimOptions and EngineOptions used to duplicate the (slots, warmup,
+// phy, sinr) quartet — and each re-implemented the validation. RunConfig
+// is the single home: both option structs inherit it, so call sites keep
+// the flat `opt.slots` spelling while the named-error validation lives in
+// exactly one place (validate(), parameterized by the reporting struct's
+// name so messages stay stable per entry point).
+#pragma once
+
+#include <cstddef>
+
+#include "phy/interference.h"
+
+namespace manetcap::sim {
+
+struct RunConfig {
+  /// Simulation horizon in slots and the prefix excluded from the
+  /// measurement window.
+  std::size_t slots = 4000;
+  std::size_t warmup = 400;
+  /// Interference backend the run is evaluated under (docs/PHY.md).
+  /// kProtocol — the default — takes the historical code path exactly.
+  phy::PhyKind phy = phy::PhyKind::kProtocol;
+  /// Parameters of the sinr / sinr-csma backends (validated when `phy`
+  /// selects one; ignored under kProtocol).
+  phy::SinrParams sinr;
+
+  /// Validates the shared fields with named errors, prefixed "<who>: "
+  /// (e.g. "SlotSimOptions: warmup (400) must be < slots (100)").
+  /// Throws manetcap::CheckError on the first violation.
+  void validate(const char* who) const;
+};
+
+}  // namespace manetcap::sim

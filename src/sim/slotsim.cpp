@@ -14,6 +14,7 @@
 #include "mobility/process.h"
 #include "sched/sstar.h"
 #include "sim/route_tables.h"
+#include "sim/sweep.h"
 #include "sim/trace.h"
 #include "sim/wire_credit.h"
 #include "util/binio.h"
@@ -63,9 +64,16 @@ std::unique_ptr<mobility::MobilityProcess> make_process(
 /// max_queue or inverted warmup/slots used to surface as undefined
 /// behavior (or a cryptic check) deep inside the run.
 void validate_options(const SlotSimOptions& opt) {
-  MANETCAP_CHECK_MSG(opt.warmup < opt.slots,
-                     "SlotSimOptions: warmup (" << opt.warmup
-                         << ") must be < slots (" << opt.slots << ")");
+  // Shared (slots, warmup, phy, sinr) validation lives in the RunConfig
+  // base — single point, named errors (sim/run_config.h).
+  if (opt.phy != phy::PhyKind::kProtocol) {
+    MANETCAP_CHECK_MSG(opt.scheme != SlotScheme::kSchemeC,
+                       "SlotSimOptions: --phy " << phy::to_string(opt.phy)
+                           << " applies to the S*-driven schemes (A, "
+                              "two-hop, B); scheme C's TDMA schedule has "
+                              "no per-slot geometry to evaluate");
+  }
+  opt.RunConfig::validate("SlotSimOptions");
   MANETCAP_CHECK_MSG(opt.max_queue >= 1,
                      "SlotSimOptions: max_queue must be >= 1");
   MANETCAP_CHECK_MSG(opt.ct > 0.0, "SlotSimOptions: ct must be > 0");
@@ -73,13 +81,9 @@ void validate_options(const SlotSimOptions& opt) {
   MANETCAP_CHECK_MSG(opt.source_backlog >= 1,
                      "SlotSimOptions: source_backlog must be >= 1");
   // Narrowing guards (large-n audit): every quantity below is carried in a
-  // 32-bit field somewhere in the hot state (slot stamps, q_born, trace
-  // slots, queue/window counters) — reject configurations that would wrap
-  // instead of simulating garbage.
-  MANETCAP_CHECK_MSG(opt.slots <= 0xffffffffULL,
-                     "SlotSimOptions: slots must fit in 32 bits (slot "
-                     "stamps, packet birth slots and trace slots are "
-                     "uint32)");
+  // 32-bit field somewhere in the hot state (q_born, queue/window
+  // counters) — reject configurations that would wrap instead of
+  // simulating garbage. (The slots guard lives in RunConfig::validate.)
   MANETCAP_CHECK_MSG(opt.max_queue <= 0xffffffffULL,
                      "SlotSimOptions: max_queue must fit in 32 bits "
                      "(per-node queue sizes are uint32)");
@@ -87,14 +91,6 @@ void validate_options(const SlotSimOptions& opt) {
                      "SlotSimOptions: source_backlog must fit in 32 bits "
                      "(per-flow windows are uint32)");
   MANETCAP_CHECK_MSG(opt.shards >= 1, "SlotSimOptions: shards must be >= 1");
-  if (opt.phy != phy::PhyKind::kProtocol) {
-    MANETCAP_CHECK_MSG(opt.scheme != SlotScheme::kSchemeC,
-                       "SlotSimOptions: --phy " << phy::to_string(opt.phy)
-                           << " applies to the S*-driven schemes (A, "
-                              "two-hop, B); scheme C's TDMA schedule has "
-                              "no per-slot geometry to evaluate");
-    opt.sinr.validate();
-  }
   MANETCAP_CHECK_MSG(opt.checkpoint_every == 0 || !opt.checkpoint_path.empty(),
                      "SlotSimOptions: checkpoint_every requires a "
                      "checkpoint_path");
@@ -119,7 +115,8 @@ void validate_options(const SlotSimOptions& opt) {
 class SlotSim {
  public:
   SlotSim(const net::Network& net, const std::vector<std::uint32_t>& dest,
-          const SlotSimOptions& opt)
+          const SlotSimOptions& opt,
+          const std::vector<net::FlowDemand>* demands = nullptr)
       : net_(net),
         dest_(dest),
         opt_(opt),
@@ -151,22 +148,73 @@ class SlotSim {
     validate_options(opt);
     MANETCAP_CHECK_MSG(dest.size() == n_,
                        "SlotSimOptions: dest must hold one entry per MS");
+    // Out-of-range or self-loop destinations used to be trusted (an id
+    // ≥ n indexes past the serving CSR / per-flow state) — reject them
+    // up front with a named error.
+    net::validate_traffic_dest(dest, n_, "SlotSimOptions");
     MANETCAP_CHECK_MSG(n_ + k_ < geom::SpatialHash::kNone,
                        "SlotSim: population n + k must stay below the "
                        "uint32 id sentinel (2^32 - 1)");
     MANETCAP_CHECK_MSG(q_flow_.size() <= (std::size_t{1} << 38),
                        "SlotSim: queue slabs would exceed the addressable "
                        "budget — reduce max_queue or the population");
+    if (demands != nullptr) {
+      net::validate_demands(*demands, n_);
+      // The default demand set (unlimited, always-on, start 0) gates
+      // nothing — leave demands_ null so the legacy path stays
+      // byte-identical without per-inject spec checks.
+      bool gated = false;
+      for (const net::FlowDemand& d : *demands)
+        gated = gated || !d.unlimited() || d.start != 0 || !d.always_on();
+      if (gated) {
+        demands_ = demands;
+        inj_count_.assign(n_, 0);
+        for (const net::FlowDemand& d : *demands)
+          has_onoff_ = has_onoff_ || !d.always_on();
+        if (has_onoff_) {
+          onoff_.resize(n_);
+          for (std::uint32_t f = 0; f < n_; ++f) {
+            const net::FlowDemand& d = (*demands)[f];
+            if (!d.always_on())
+              onoff_[f] = net::OnOffGate(d.on_mean, d.off_mean,
+                                         trial_seed(opt_.seed, f, 5));
+          }
+        }
+      }
+    }
     if (opt_.faults != nullptr && !opt_.faults->empty()) {
-      opt_.faults->validate(k_, opt_.slots);
-      MANETCAP_CHECK_MSG(opt_.scheme == SlotScheme::kSchemeB ||
-                             opt_.scheme == SlotScheme::kSchemeC,
-                         "FaultPlan: BS/wired faults require an "
-                         "infrastructure scheme (B or C)");
-      // Every fault branch below guards on faults_ — a null (or empty)
-      // plan takes exactly the pre-fault code path, byte for byte.
+      opt_.faults->validate(k_, opt_.slots, n_);
+      if (opt_.faults->has_infra()) {
+        MANETCAP_CHECK_MSG(opt_.scheme == SlotScheme::kSchemeB ||
+                               opt_.scheme == SlotScheme::kSchemeC,
+                           "FaultPlan: BS/wired faults require an "
+                           "infrastructure scheme (B or C)");
+        bs_alive_.assign(k_, 1);
+      }
+      MANETCAP_CHECK_MSG(!opt_.faults->has_shift() ||
+                             (opt_.checkpoint_every == 0 &&
+                              opt_.resume_path.empty()),
+                         "SlotSimOptions: checkpointing is not supported "
+                         "with mobility-shift events (the process type "
+                         "changes mid-run)");
+      // Every fault branch below guards on faults_ (or on bs_alive_ /
+      // ms_alive_ being empty) — a null (or empty) plan takes exactly the
+      // pre-fault code path, byte for byte.
       faults_ = opt_.faults;
-      bs_alive_.assign(k_, 1);
+      if (opt_.faults->has_churn()) {
+        ms_alive_.assign(n_, 1);
+        // An MS whose FIRST churn event is a join starts absent.
+        std::vector<std::uint8_t> seen(n_, 0);
+        for (const FaultEvent& e : opt_.faults->events) {
+          if (e.kind != FaultKind::kMsLeave && e.kind != FaultKind::kMsJoin)
+            continue;
+          if (seen[e.ms] != 0) continue;
+          seen[e.ms] = 1;
+          if (e.kind == FaultKind::kMsJoin) ms_alive_[e.ms] = 0;
+        }
+        live_ms_ = 0;
+        for (std::uint8_t a : ms_alive_) live_ms_ += a;
+      }
     }
     live_bs_ = k_;
     std::copy(net_.bs_pos().begin(), net_.bs_pos().end(),
@@ -229,8 +277,9 @@ class SlotSim {
 
       slot_ = static_cast<std::uint32_t>(t);
       // Faults take effect at the start of the slot, before scheduling /
-      // TDMA: a BS downed at slot t serves nothing at slot t.
-      if (faults_ != nullptr) apply_faults(t);
+      // TDMA: a BS downed at slot t serves nothing at slot t, an MS
+      // departing at slot t is a ghost from slot t on.
+      if (faults_ != nullptr) apply_faults(t, process);
       if (opt_.scheme == SlotScheme::kSchemeC) {
         // Static cellular TDMA (Definition 13): no S* — the active color
         // group serves; "pairs" counts active cells for reporting.
@@ -341,6 +390,7 @@ class SlotSim {
         vec_bytes(serving_is_fallback_) + vec_bytes(members_start_) +
         vec_bytes(members_ids_) + vec_bytes(cell_color_) +
         vec_bytes(rr_cell_) + vec_bytes(bs_alive_) +
+        vec_bytes(ms_alive_) + vec_bytes(inj_count_) +
         vec_bytes(move_old_row_) + vec_bytes(move_new_row_) +
         vec_bytes(ws.lone) + vec_bytes(ws.pairs) + hash.memory_bytes() +
         wire_credit_.memory_bytes();
@@ -352,6 +402,7 @@ class SlotSim {
     res.queued_end = queued;
     res.dropped = audit_.count(Counter::kDropped);
     res.dropped_bs_outage = audit_.count(Counter::kDroppedBsOutage);
+    res.dropped_ms_churn = audit_.count(Counter::kDroppedMsChurn);
     if (opt_.check_conservation) {
       MANETCAP_CHECK_MSG(in_network_ == queued,
                          "packet accounting drift: in-network counter "
@@ -500,16 +551,19 @@ class SlotSim {
   }
 
   /// Applies every fault event scheduled at or before slot `t`. Events are
-  /// validated non-decreasing, so this is a cursor walk.
-  void apply_faults(std::size_t t) {
+  /// validated non-decreasing, so this is a cursor walk. `process` is
+  /// passed through so a mobility-shift event can swap the process.
+  void apply_faults(std::size_t t,
+                    std::unique_ptr<mobility::MobilityProcess>& process) {
     const auto& ev = faults_->events;
     while (next_fault_ < ev.size() && ev[next_fault_].slot <= t) {
-      apply_fault(ev[next_fault_]);
+      apply_fault(ev[next_fault_], process);
       ++next_fault_;
     }
   }
 
-  void apply_fault(const FaultEvent& e) {
+  void apply_fault(const FaultEvent& e,
+                   std::unique_ptr<mobility::MobilityProcess>& process) {
     switch (e.kind) {
       case FaultKind::kBsDown:
         apply_bs_down({e.bs});
@@ -532,6 +586,104 @@ class SlotSim {
         apply_bs_down(downs);
         break;
       }
+      case FaultKind::kMsLeave:
+        apply_ms_leave(e.ms);
+        break;
+      case FaultKind::kMsJoin:
+        apply_ms_join(e.ms);
+        break;
+      case FaultKind::kMobilityShift:
+        apply_mobility_shift(e, process);
+        break;
+    }
+  }
+
+  // --- node churn ----------------------------------------------------------
+  /// True when MS `i` is present. Without churn events ms_alive_ stays
+  /// empty and every MS is present (same discipline as bs_is_live).
+  bool ms_is_present(std::uint32_t i) const {
+    return ms_alive_.empty() || ms_alive_[i] != 0;
+  }
+
+  /// MS `ms` departs: mark it absent, drop every packet it holds (its own
+  /// and any relayed traffic — the holder is gone) and every in-flight
+  /// packet addressed to it anywhere in the network. The node keeps its
+  /// position and keeps moving — S* can still schedule a meeting with the
+  /// ghost, which is simply wasted, exactly the dead-BS semantics.
+  void apply_ms_leave(std::uint32_t ms) {
+    if (ms_alive_[ms] == 0) return;  // leave on an absent MS: no-op
+    ms_alive_[ms] = 0;
+    --live_ms_;
+    audit_.inc(Counter::kMsLeft);
+    TraceFault* tf = open_trace_fault(TraceFault::kKindMsLeave);
+    if (tf != nullptr) {
+      tf->bs.push_back(ms);  // subject list reused; raw MS id (< n)
+      opt_.trace->record(TraceEventKind::kMsLeave, slot_, 0, 0, ms, ms);
+    }
+    drop_all_at(ms, Counter::kDroppedMsChurn);
+    drop_packets_to(ms);
+  }
+
+  void apply_ms_join(std::uint32_t ms) {
+    if (ms_alive_[ms] != 0) return;  // join on a present MS: no-op
+    ms_alive_[ms] = 1;
+    ++live_ms_;
+    audit_.inc(Counter::kMsJoined);
+    TraceFault* tf = open_trace_fault(TraceFault::kKindMsJoin);
+    if (tf != nullptr) {
+      tf->bs.push_back(ms);
+      opt_.trace->record(TraceEventKind::kMsJoin, slot_, 0, 0, ms, ms);
+    }
+  }
+
+  /// Swaps the mobility process for the shifted regime. The new process
+  /// re-initializes motion from the home points with a slot-derived seed,
+  /// so the shift is deterministic and shard-invariant; the incremental
+  /// spatial hash absorbs the position jump through its ordinary per-MS
+  /// move path at the top of the next S* phase.
+  void apply_mobility_shift(
+      const FaultEvent& e,
+      std::unique_ptr<mobility::MobilityProcess>& process) {
+    const auto kind = static_cast<SlotMobility>(e.mobility);
+    process = make_process(net_, kind, trial_seed(opt_.seed, slot_, 7));
+    audit_.inc(Counter::kMobilityShifts);
+    TraceFault* tf = open_trace_fault(TraceFault::kKindShift);
+    if (tf != nullptr) {
+      tf->scale = static_cast<double>(e.mobility);
+      opt_.trace->record(TraceEventKind::kMobilityShift, slot_, 0, 0, 0, 0);
+    }
+  }
+
+  /// Drops every in-flight packet addressed to `ms`, wherever it is
+  /// queued: nodes ascending, FIFO within each queue (single compaction
+  /// pass). Each drop releases its flow-control window slot so the
+  /// conservation identity closes.
+  void drop_packets_to(std::uint32_t ms) {
+    for (std::uint32_t node = 0; node < n_ + k_; ++node) {
+      const std::size_t qs = q_size_[node];
+      if (qs == 0) continue;
+      const std::size_t base = q_base(node);
+      std::size_t w = 0;
+      for (std::size_t r = 0; r < qs; ++r) {
+        const std::uint32_t flow = q_flow_[base + r];
+        if (dest_[flow] == ms) {
+          --count_own_[flow];
+          --in_network_;
+          audit_.inc(Counter::kDropped);
+          audit_.inc(Counter::kDroppedMsChurn);
+          if (opt_.trace != nullptr)
+            opt_.trace->record(TraceEventKind::kDrop, slot_, flow,
+                               q_hop_[base + r], node, node);
+          continue;
+        }
+        if (w != r) {
+          q_flow_[base + w] = q_flow_[base + r];
+          q_hop_[base + w] = q_hop_[base + r];
+          q_born_[base + w] = q_born_[base + r];
+        }
+        ++w;
+      }
+      q_size_[node] = w;
     }
   }
 
@@ -583,12 +735,17 @@ class SlotSim {
     rebuild_serving(tf);
   }
 
-  /// Drops a dying BS's entire queue, FIFO order. The only loss source in
-  /// the simulator: each packet counts under kDropped AND kDroppedBsOutage
-  /// and releases its flow-control window slot, so the conservation
-  /// identity (injected == delivered + queued + dropped) still closes.
+  /// Drops a dying BS's entire queue, FIFO order.
   void drop_queue(std::uint32_t l) {
-    const std::uint32_t node = node_of_bs(l);
+    drop_all_at(node_of_bs(l), Counter::kDroppedBsOutage);
+  }
+
+  /// Drops every packet queued at `node` (a dying BS or a departing MS),
+  /// FIFO order. The simulator's only loss sources: each packet counts
+  /// under kDropped AND the cause counter `reason` and releases its
+  /// flow-control window slot, so the conservation identity
+  /// (injected == delivered + queued + dropped) still closes.
+  void drop_all_at(std::uint32_t node, Counter reason) {
     const std::size_t base = q_base(node);
     const std::size_t qs = q_size_[node];
     for (std::size_t idx = 0; idx < qs; ++idx) {
@@ -596,7 +753,7 @@ class SlotSim {
       --count_own_[flow];
       --in_network_;
       audit_.inc(Counter::kDropped);
-      audit_.inc(Counter::kDroppedBsOutage);
+      audit_.inc(reason);
       if (opt_.trace != nullptr)
         opt_.trace->record(TraceEventKind::kDrop, slot_, flow,
                            q_hop_[base + idx], node, node);
@@ -817,6 +974,27 @@ class SlotSim {
   /// rejection — a full queue used to no-op silently, making the offered
   /// load unknowable.
   void try_inject(std::uint32_t flow, std::uint32_t node) {
+    // Traffic-model arrival gate (null for the legacy saturated-CBR
+    // path): a flow that has not started, has exhausted its size, or is
+    // in an off-gap offers nothing this meeting. The on-off gate advances
+    // lazily per flow, so its state at a slot is independent of which
+    // earlier slots were queried — a requirement for shard bit-identity.
+    if (demands_ != nullptr) {
+      const net::FlowDemand& d = (*demands_)[flow];
+      if (slot_ < d.start || inj_count_[flow] >= d.size ||
+          (has_onoff_ && !onoff_[flow].on_at(slot_))) {
+        audit_.inc(Counter::kInjectGatedTraffic);
+        return;
+      }
+    }
+    // Churn gate: an absent source offers nothing; traffic toward an
+    // absent destination is refused at the source (it would be dropped on
+    // arrival anyway).
+    if (!ms_alive_.empty() &&
+        (ms_alive_[flow] == 0 || ms_alive_[dest_[flow]] == 0)) {
+      audit_.inc(Counter::kInjectBlockedChurn);
+      return;
+    }
     if (count_own_[flow] >= opt_.source_backlog) {
       audit_.inc(Counter::kInjectRejectWindowFull);
       return;
@@ -828,6 +1006,7 @@ class SlotSim {
     push_packet(node, flow, 0, slot_);
     ++count_own_[flow];
     ++in_network_;
+    if (demands_ != nullptr) ++inj_count_[flow];
     audit_.inc(Counter::kInjected);
     if (opt_.trace != nullptr)
       opt_.trace->record(TraceEventKind::kInject, slot_, flow, 0, flow, node);
@@ -837,6 +1016,11 @@ class SlotSim {
   // home squarelet is path[h+1], or directly to the destination.
   void transfer_scheme_a(std::uint32_t from, std::uint32_t to) {
     if (is_bs(from) || is_bs(to)) return;  // pure ad hoc scheme
+    // A departed MS still occupies its position, so S* can schedule a
+    // meeting with the ghost — the meeting is simply wasted (the dead-BS
+    // semantics applied to churn).
+    if (!ms_alive_.empty() && (ms_alive_[from] == 0 || ms_alive_[to] == 0))
+      return;
 
     // Source injection: keep the head of the pipeline saturated.
     try_inject(from, from);
@@ -879,6 +1063,8 @@ class SlotSim {
   // Two-hop: source → any relay → destination.
   void transfer_two_hop(std::uint32_t from, std::uint32_t to) {
     if (is_bs(from) || is_bs(to)) return;
+    if (!ms_alive_.empty() && (ms_alive_[from] == 0 || ms_alive_[to] == 0))
+      return;  // ghost meeting (see transfer_scheme_a)
     try_inject(from, from);
     const std::size_t base = q_base(from);
     const std::size_t scan = std::min<std::size_t>(q_size_[from], kScanDepth);
@@ -1136,6 +1322,25 @@ class SlotSim {
       util::binio::put_f64(buf, e.center.x);
       util::binio::put_f64(buf, e.center.y);
       util::binio::put_f64(buf, e.radius);
+      util::binio::put_varint(buf, e.ms);
+      buf.push_back(e.mobility);
+    }
+    return util::binio::fnv1a(buf.data(), buf.size());
+  }
+
+  /// Binds a checkpoint to the full demand set (the dest fingerprint only
+  /// covers destinations): sizes, starts and on-off means. 0 for the
+  /// legacy saturated-CBR path.
+  std::uint64_t traffic_fingerprint() const {
+    if (demands_ == nullptr) return 0;
+    std::vector<std::uint8_t> buf;
+    buf.reserve(demands_->size() * 24);
+    for (const net::FlowDemand& d : *demands_) {
+      util::binio::put_varint(buf, d.dst);
+      util::binio::put_u64_fixed(buf, d.size);
+      util::binio::put_varint(buf, d.start);
+      util::binio::put_f64(buf, d.on_mean);
+      util::binio::put_f64(buf, d.off_mean);
     }
     return util::binio::fnv1a(buf.data(), buf.size());
   }
@@ -1180,6 +1385,7 @@ class SlotSim {
     put_u64_fixed(out, dest_fingerprint());
     put_u64_fixed(out, geometry_fingerprint());
     put_u64_fixed(out, faults_fingerprint());
+    put_u64_fixed(out, traffic_fingerprint());
     // Cursor + scalar state.
     put_varint(out, t_next);
     out.push_back(measuring_ ? 1 : 0);
@@ -1191,6 +1397,22 @@ class SlotSim {
     put_varint(out, live_bs_);
     put_varint(out, bs_alive_.size());
     out.insert(out.end(), bs_alive_.begin(), bs_alive_.end());
+    // Churn + traffic-model state (empty/absent on the legacy path).
+    put_varint(out, ms_alive_.size());
+    out.insert(out.end(), ms_alive_.begin(), ms_alive_.end());
+    put_varint(out, live_ms_);
+    out.push_back(demands_ != nullptr ? 1 : 0);
+    if (demands_ != nullptr) {
+      for (std::uint64_t cnt : inj_count_) put_varint(out, cnt);
+      out.push_back(has_onoff_ ? 1 : 0);
+      if (has_onoff_) {
+        for (const net::OnOffGate& gate : onoff_) {
+          put_u64_fixed(out, gate.until());
+          out.push_back(gate.is_on() ? 1 : 0);
+          for (std::uint64_t s : gate.rng_state()) put_u64_fixed(out, s);
+        }
+      }
+    }
     // Positions (the hash is rebuilt from these on load, not serialized).
     for (const geom::Point& p : pos_all_) {
       put_f64(out, p.x);
@@ -1336,6 +1558,8 @@ class SlotSim {
                        "checkpoint: network geometry fingerprint mismatch");
     MANETCAP_CHECK_MSG(r.u64_fixed() == faults_fingerprint(),
                        "checkpoint: fault plan fingerprint mismatch");
+    MANETCAP_CHECK_MSG(r.u64_fixed() == traffic_fingerprint(),
+                       "checkpoint: traffic demand fingerprint mismatch");
 
     const std::size_t t_next = r.varint();
     MANETCAP_CHECK_MSG(t_next <= opt_.slots,
@@ -1353,6 +1577,28 @@ class SlotSim {
     MANETCAP_CHECK_MSG(r.varint() == bs_alive_.size(),
                        "checkpoint: BS liveness table size mismatch");
     for (auto& b : bs_alive_) b = r.u8();
+    MANETCAP_CHECK_MSG(r.varint() == ms_alive_.size(),
+                       "checkpoint: MS presence table size mismatch");
+    for (auto& b : ms_alive_) b = r.u8();
+    live_ms_ = r.varint();
+    MANETCAP_CHECK_MSG(live_ms_ <= n_,
+                       "checkpoint: live MS count out of range");
+    MANETCAP_CHECK_MSG((r.u8() != 0) == (demands_ != nullptr),
+                       "checkpoint: traffic-model state presence mismatch");
+    if (demands_ != nullptr) {
+      for (auto& cnt : inj_count_) cnt = r.varint();
+      MANETCAP_CHECK_MSG((r.u8() != 0) == has_onoff_,
+                         "checkpoint: on-off gate state presence mismatch");
+      if (has_onoff_) {
+        for (net::OnOffGate& gate : onoff_) {
+          const std::uint64_t until = r.u64_fixed();
+          const bool on = r.u8() != 0;
+          std::array<std::uint64_t, 4> s{};
+          for (std::uint64_t& w : s) w = r.u64_fixed();
+          gate.restore(until, on, s);
+        }
+      }
+    }
     for (geom::Point& p : pos_all_) {
       p.x = get_f64(r);
       p.y = get_f64(r);
@@ -1422,7 +1668,7 @@ class SlotSim {
                          "checkpoint: file carries trace state but no "
                          "trace sink is attached to this run");
       opt_.trace->context.faults = decode_faults(r);
-      opt_.trace->events = decode_events(r, 8);
+      opt_.trace->events = decode_events(r, 11);
     } else {
       MANETCAP_CHECK_MSG(opt_.trace == nullptr,
                          "checkpoint: a trace sink is attached but the "
@@ -1515,6 +1761,19 @@ class SlotSim {
   double contact_ = 0.0;  // scheme B MS–BS contact distance (re-homing rule)
   std::vector<std::uint8_t> serving_is_fallback_;  // nearest-BS fallback MSs
 
+  // Traffic-model state (tentpole). demands_ stays null for the default
+  // saturated-CBR spec — every traffic branch is guarded on it, same
+  // discipline as faults_, so the legacy path and its golden trace bytes
+  // are unchanged.
+  const std::vector<net::FlowDemand>* demands_ = nullptr;
+  std::vector<std::uint64_t> inj_count_;  // packets injected per flow
+  std::vector<net::OnOffGate> onoff_;     // per-flow burst gates
+  bool has_onoff_ = false;
+
+  // MS churn state; empty = everyone present for the whole run.
+  std::vector<std::uint8_t> ms_alive_;
+  std::size_t live_ms_ = 0;
+
   // Sharded-move scratch (old/new bucket row per MS, per-stripe deferred
   // movers), reused across slots. Empty on the serial path.
   std::vector<std::int32_t> move_old_row_;
@@ -1528,6 +1787,17 @@ SlotSimResult run_slot_sim(const net::Network& net,
                            const std::vector<std::uint32_t>& dest,
                            const SlotSimOptions& options) {
   SlotSim sim(net, dest, options);
+  return sim.run();
+}
+
+SlotSimResult run_slot_sim(const net::Network& net,
+                           const std::vector<net::FlowDemand>& demands,
+                           const SlotSimOptions& options) {
+  net::validate_demands(demands, net.num_ms());
+  // The sim holds dest by reference; this wrapper owns the derived map
+  // for the sim's lifetime.
+  const std::vector<std::uint32_t> dest = net::dest_of(demands);
+  SlotSim sim(net, dest, options, &demands);
   return sim.run();
 }
 

@@ -19,9 +19,11 @@
 #include <vector>
 
 #include "net/network.h"
+#include "net/traffic.h"
 #include "phy/interference.h"
 #include "sim/faults.h"
 #include "sim/metrics.h"
+#include "sim/run_config.h"
 
 namespace manetcap::sim {
 
@@ -33,24 +35,21 @@ std::string to_string(SlotScheme s);
 
 enum class SlotMobility { kIid, kWalk, kPullHome, kBrownian };
 
-struct SlotSimOptions {
+/// Run options. The shared (slots, warmup, phy, sinr) quartet lives in the
+/// RunConfig base (sim/run_config.h) — defaults 4000/400 — so `opt.slots`
+/// etc. keep their flat spelling. Under a non-protocol `phy` the
+/// S*-scheduled pairs are re-evaluated per docs/PHY.md; kProtocol — the
+/// default — takes the historical code path exactly (no model is even
+/// constructed), so protocol runs stay byte-identical. The SINR backends
+/// apply to the S*-driven schemes (A / two-hop / B); scheme C is
+/// TDMA-scheduled without instantaneous geometry and rejects a
+/// non-protocol backend with a named error.
+struct SlotSimOptions : RunConfig {
   SlotScheme scheme = SlotScheme::kSchemeA;
   SlotMobility mobility = SlotMobility::kIid;
-  std::size_t slots = 4000;
-  std::size_t warmup = 400;     // slots excluded from the measurement
   double ct = 0.3;              // S* constant c_T (see LinkCapacityModel)
   double delta = 1.0;           // guard factor Δ
   std::size_t max_queue = 64;   // per-node relay queue bound (backpressure)
-  /// Interference backend the S*-scheduled pairs are re-evaluated under
-  /// (docs/PHY.md). kProtocol — the default — takes the historical code
-  /// path exactly (no model is even constructed), so protocol runs stay
-  /// byte-identical. The SINR backends apply to the S*-driven schemes
-  /// (A / two-hop / B); scheme C is TDMA-scheduled without instantaneous
-  /// geometry and rejects a non-protocol backend with a named error.
-  phy::PhyKind phy = phy::PhyKind::kProtocol;
-  /// Parameters of the sinr / sinr-csma backends (validated at run start
-  /// when `phy` selects one; ignored under kProtocol).
-  phy::SinrParams sinr;
   /// In-flight packets each source keeps outstanding. The default 4
   /// saturates the pipeline (throughput measurement); 1 probes the
   /// lightly-loaded end-to-end delay without queueing.
@@ -68,14 +67,16 @@ struct SlotSimOptions {
   /// run without rebuilding the network. Null (the default) costs one
   /// untaken branch per event.
   Trace* trace = nullptr;
-  /// Optional runtime fault timeline (sim/faults.h): BS outages/revivals,
-  /// wired-edge degradation, regional outages. Validated against the run
-  /// shape at start. Requires an infrastructure scheme (B or C) when
-  /// non-empty; schemes degrade gracefully — affected MSs re-home to the
-  /// nearest live BS, scheme-C cells re-color over the live set, and a
-  /// dying BS's queue is dropped with an explicit counter so the
-  /// conservation identity still closes. Null or an empty plan is exactly
-  /// a fault-free run (byte-identical traces). See docs/FAULTS.md.
+  /// Optional runtime fault/churn timeline (sim/faults.h): BS
+  /// outages/revivals, wired-edge degradation, regional outages, MS
+  /// leave/join churn and mobility-regime shifts. Validated against the
+  /// run shape at start. Infrastructure events require scheme B or C
+  /// (churn and shifts run under any scheme); schemes degrade gracefully —
+  /// affected MSs re-home to the nearest live BS, scheme-C cells re-color
+  /// over the live set, and a dying BS's queue (or a departing MS's
+  /// packets) is dropped with an explicit counter so the conservation
+  /// identity still closes. Null or an empty plan is exactly a fault-free
+  /// run (byte-identical traces). See docs/FAULTS.md.
   const FaultPlan* faults = nullptr;
   /// End-of-run packet-conservation audit:
   ///   injected == delivered + queued_end + dropped,
@@ -133,10 +134,13 @@ struct SlotSimResult {
   std::uint64_t queued_end = 0;  // packets resident in queues at the end
   /// Packets removed without delivery. 0 unless a fault plan is active:
   /// the simulator models backpressure, never loss, except for queues lost
-  /// with a dying BS.
+  /// with a dying BS or packets orphaned by node churn.
   std::uint64_t dropped = 0;
-  /// Of `dropped`, packets lost to a BS outage (today: all of them).
+  /// Of `dropped`, packets lost to a BS outage.
   std::uint64_t dropped_bs_outage = 0;
+  /// Of `dropped`, packets lost to MS churn (a departing MS's own queue
+  /// plus every in-flight packet addressed to it).
+  std::uint64_t dropped_ms_churn = 0;
 
   /// Resident bytes of per-run simulator state at end of run (queue slabs,
   /// positions, routing CSR, spatial hash, wired credits, scratch, delay
@@ -145,9 +149,23 @@ struct SlotSimResult {
   std::uint64_t state_bytes = 0;
 };
 
-/// Runs the simulation for permutation traffic `dest` on `net`.
+/// Runs the simulation for permutation traffic `dest` on `net` — the
+/// historical saturated-CBR entry point (every flow unlimited, always on,
+/// windowed by source_backlog).
 SlotSimResult run_slot_sim(const net::Network& net,
                            const std::vector<std::uint32_t>& dest,
+                           const SlotSimOptions& options);
+
+/// Runs the simulation for a traffic-model demand set (net/traffic.h):
+/// one flow per MS with its own destination, optional finite size,
+/// start slot and on-off arrival process. Injection is gated per flow by
+/// the demand's arrival process on top of the source_backlog window;
+/// everything else — scheduling, routing, the conservation audit — is
+/// shared with the permutation entry point, and a default demand set
+/// (dest_of(demands) permutation, unlimited, always-on, start 0) is
+/// byte-identical to it.
+SlotSimResult run_slot_sim(const net::Network& net,
+                           const std::vector<net::FlowDemand>& demands,
                            const SlotSimOptions& options);
 
 }  // namespace manetcap::sim

@@ -38,6 +38,12 @@ const char* to_string(TraceEventKind k) {
       return "wire_scale";
     case TraceEventKind::kRehome:
       return "rehome";
+    case TraceEventKind::kMsLeave:
+      return "ms_leave";
+    case TraceEventKind::kMsJoin:
+      return "ms_join";
+    case TraceEventKind::kMobilityShift:
+      return "mobility_shift";
   }
   return "?";
 }
@@ -86,7 +92,7 @@ std::vector<TraceFault> decode_faults(util::binio::ByteReader& r) {
   std::vector<TraceFault> faults(nf);
   for (auto& f : faults) {
     f.kind = r.u8();
-    MANETCAP_CHECK_MSG(f.kind <= TraceFault::kKindWireScale,
+    MANETCAP_CHECK_MSG(f.kind <= TraceFault::kKindShift,
                        r.label << ": invalid fault kind");
     f.slot = r.u32v();
     f.bs = get_id_list(r);
@@ -200,7 +206,7 @@ Trace Trace::decode(const std::vector<std::uint8_t>& bytes) {
   t.context.serving = get_id_lists(r);
   if (v2) t.context.faults = decode_faults(r);
 
-  t.events = decode_events(r, v2 ? 8 : 4);
+  t.events = decode_events(r, v2 ? 11 : 4);
   t.footer.injected = r.varint();
   t.footer.delivered = r.varint();
   t.footer.dropped = r.varint();
@@ -276,6 +282,14 @@ struct FaultModel {
   std::map<std::pair<std::uint32_t, std::uint32_t>,
            std::vector<std::pair<std::uint32_t, double>>>
       scale_changes;
+  /// MS churn: per-MS presence transitions (slot, present_after), slots
+  /// ascending; empty = everyone present throughout. An MS whose first
+  /// churn event is a join starts the run absent (the simulator's rule).
+  std::vector<std::vector<std::pair<std::uint32_t, bool>>> ms_transitions;
+  std::vector<std::uint8_t> ms_initially_absent;
+  /// (slot, MS) pairs at which an MS departed — the churn positions a
+  /// kDrop is legal (the leaver's own queue, or packets addressed to it).
+  std::set<std::pair<std::uint32_t, std::uint32_t>> ms_leave_at;
   /// The exact fault-marker events the stream must contain, in order.
   std::vector<TraceEvent> markers;
 
@@ -289,6 +303,16 @@ struct FaultModel {
       down = went_down;
     }
     return down;
+  }
+
+  bool ms_absent(std::uint32_t ms, std::uint32_t slot) const {
+    if (ms_transitions.empty() || ms >= ms_transitions.size()) return false;
+    bool present = ms_initially_absent[ms] == 0;
+    for (const auto& [at, present_after] : ms_transitions[ms]) {
+      if (at > slot) break;
+      present = present_after;
+    }
+    return !present;
   }
 
   const std::vector<std::uint32_t>& serving_at(const TraceContext& c,
@@ -337,6 +361,32 @@ FaultModel build_fault_model(const TraceContext& c) {
                               key.first, key.second});
         break;
       }
+      case TraceFault::kKindMsLeave: {
+        const std::uint32_t ms = tf.bs[0];
+        if (fm.ms_transitions.empty()) {
+          fm.ms_transitions.resize(c.n);
+          fm.ms_initially_absent.assign(c.n, 0);
+        }
+        fm.ms_transitions[ms].push_back({tf.slot, false});
+        fm.ms_leave_at.insert({tf.slot, ms});
+        fm.markers.push_back({TraceEventKind::kMsLeave, tf.slot, 0, 0, ms, ms});
+        break;
+      }
+      case TraceFault::kKindMsJoin: {
+        const std::uint32_t ms = tf.bs[0];
+        if (fm.ms_transitions.empty()) {
+          fm.ms_transitions.resize(c.n);
+          fm.ms_initially_absent.assign(c.n, 0);
+        }
+        if (fm.ms_transitions[ms].empty()) fm.ms_initially_absent[ms] = 1;
+        fm.ms_transitions[ms].push_back({tf.slot, true});
+        fm.markers.push_back({TraceEventKind::kMsJoin, tf.slot, 0, 0, ms, ms});
+        break;
+      }
+      case TraceFault::kKindShift:
+        fm.markers.push_back(
+            {TraceEventKind::kMobilityShift, tf.slot, 0, 0, 0, 0});
+        break;
       default:
         break;
     }
@@ -383,16 +433,35 @@ bool context_ok(const TraceContext& c, ViolationSink& sink) {
         if (s.size() != 1) return fail("scheme C association must be 1 BS");
   }
   if (!c.faults.empty()) {
-    if (!infra)
-      return fail("fault timeline without an infrastructure scheme");
+    // Churn (leave/join) and mobility-shift entries are legal on any
+    // scheme; infrastructure entries (BS outage/revival, wire scaling)
+    // still require one.
     std::uint32_t prev = 0;
     for (const TraceFault& tf : c.faults) {
       if (tf.slot < prev)
         return fail("fault timeline slots must be non-decreasing");
       prev = tf.slot;
       if (tf.slot >= c.slots) return fail("fault slot out of range");
-      if (tf.kind > TraceFault::kKindWireScale)
+      if (tf.kind > TraceFault::kKindShift)
         return fail("invalid fault kind");
+      if (tf.kind == TraceFault::kKindMsLeave ||
+          tf.kind == TraceFault::kKindMsJoin) {
+        if (tf.bs.size() != 1 || tf.bs[0] >= c.n)
+          return fail("churn subject must be a single MS id");
+        if (!tf.rehomed_ms.empty())
+          return fail("churn entry cannot re-home MSs");
+        continue;
+      }
+      if (tf.kind == TraceFault::kKindShift) {
+        if (!tf.bs.empty()) return fail("shift entry carries no subject ids");
+        if (!(tf.scale >= 0.0 && tf.scale <= 3.0))
+          return fail("shift regime ordinal out of range");
+        if (!tf.rehomed_ms.empty())
+          return fail("shift entry cannot re-home MSs");
+        continue;
+      }
+      if (!infra)
+        return fail("fault timeline without an infrastructure scheme");
       if (tf.bs.empty()) return fail("fault with no subject BS");
       for (std::uint32_t b : tf.bs)
         if (b < c.n || b >= c.n + c.k) return fail("fault subject not a BS");
@@ -520,6 +589,11 @@ void replay_global(const Trace& trace, const FaultModel& fm,
           sink.add("dead_bs", i,
                    "inject targets a BS the timeline has down: " +
                        describe_event(e));
+        if (fm.ms_absent(e.flow, e.slot) ||
+            fm.ms_absent(c.dest[e.flow], e.slot))
+          sink.add("absent_ms", i,
+                   "inject while the source or its destination is absent: " +
+                       describe_event(e));
         put(e.to, e.flow, i);
         ++verdict.injected;
         break;
@@ -529,6 +603,10 @@ void replay_global(const Trace& trace, const FaultModel& fm,
                    "relay endpoint is not an MS: " + describe_event(e));
           break;
         }
+        if (fm.ms_absent(e.from, e.slot) || fm.ms_absent(e.to, e.slot))
+          sink.add("absent_ms", i,
+                   "relay touches an MS the timeline has absent: " +
+                       describe_event(e));
         if (!take(e.from, e.flow)) {
           sink.add("packet_not_at_node", i, describe_event(e));
           break;
@@ -590,26 +668,41 @@ void replay_global(const Trace& trace, const FaultModel& fm,
           sink.add("dead_bs", i,
                    "delivery from a BS the timeline has down: " +
                        describe_event(e));
+        if (fm.ms_absent(e.to, e.slot))
+          sink.add("absent_ms", i,
+                   "delivery to an MS the timeline has absent: " +
+                       describe_event(e));
         if (!take(e.from, e.flow)) {
           sink.add("packet_not_at_node", i, describe_event(e));
           break;
         }
         ++verdict.delivered;
         break;
-      case TraceEventKind::kDrop:
-        // Legal only as queue loss at a BS the timeline downs this slot.
-        if (e.from != e.to ||
-            fm.down_at.find({e.slot, e.from}) == fm.down_at.end())
+      case TraceEventKind::kDrop: {
+        // Legal as queue loss at a BS the timeline downs this slot, or as
+        // churn loss: the dropping node is an MS leaving this slot (its
+        // whole queue goes), or the packet's destination is.
+        const bool bs_ok =
+            fm.down_at.find({e.slot, e.from}) != fm.down_at.end();
+        const bool churn_ok =
+            fm.ms_leave_at.count({e.slot, e.from}) != 0 ||
+            fm.ms_leave_at.count({e.slot, c.dest[e.flow]}) != 0;
+        if (e.from != e.to || (!bs_ok && !churn_ok))
           sink.add("drop_forbidden", i,
-                   "a drop is legal only at a BS going down this slot: " +
+                   "a drop is legal only at a BS going down or an MS "
+                   "leaving this slot: " +
                        describe_event(e));
         if (!take(e.from, e.flow))
           sink.add("packet_not_at_node", i, describe_event(e));
         ++verdict.dropped;
         break;
+      }
       case TraceEventKind::kBsDown:
       case TraceEventKind::kBsUp:
       case TraceEventKind::kWireScale:
+      case TraceEventKind::kMsLeave:
+      case TraceEventKind::kMsJoin:
+      case TraceEventKind::kMobilityShift:
         // Markers must reproduce the timeline exactly, in order. State is
         // applied from the timeline, so a corrupted marker cannot
         // desynchronize the replay.
@@ -851,6 +944,9 @@ void check_flow(const Trace& trace, const FaultModel& fm, std::uint32_t f,
       case TraceEventKind::kBsDown:
       case TraceEventKind::kBsUp:
       case TraceEventKind::kWireScale:
+      case TraceEventKind::kMsLeave:
+      case TraceEventKind::kMsJoin:
+      case TraceEventKind::kMobilityShift:
         break;  // markers carry no packet; excluded from the fan-out
     }
   }
@@ -892,7 +988,9 @@ TraceVerdict verify_trace(const Trace& trace,
   for (std::uint32_t i = 0; i < trace.events.size(); ++i) {
     const TraceEventKind kind = trace.events[i].kind;
     if (kind == TraceEventKind::kBsDown || kind == TraceEventKind::kBsUp ||
-        kind == TraceEventKind::kWireScale)
+        kind == TraceEventKind::kWireScale ||
+        kind == TraceEventKind::kMsLeave || kind == TraceEventKind::kMsJoin ||
+        kind == TraceEventKind::kMobilityShift)
       continue;
     const std::uint32_t f = trace.events[i].flow;
     if (f < n) by_flow[f].push_back(i);

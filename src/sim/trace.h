@@ -49,6 +49,14 @@ enum class TraceEventKind : std::uint8_t {
   kWireScale = 7,     // wired edge (from,to) accrual rate re-scaled
   kRehome = 8,        // hop-1 packet demoted to hop 0 at from(==to): its
                       // BS stopped serving the destination after a fault
+  // Churn / mobility markers (flow and hop are 0). For kMsLeave/kMsJoin
+  // from==to names the MS (an id < n, unlike the BS markers); a leave is
+  // followed by kDrop events for every packet lost with it. For
+  // kMobilityShift all four id fields are 0 — the timeline entry carries
+  // the new regime.
+  kMsLeave = 9,        // MS departed at the start of this slot
+  kMsJoin = 10,        // MS (re)joined at the start of this slot
+  kMobilityShift = 11, // mobility regime changed at the start of this slot
 };
 
 const char* to_string(TraceEventKind k);
@@ -72,6 +80,12 @@ struct TraceFault {
   static constexpr std::uint8_t kKindBsDown = 0;
   static constexpr std::uint8_t kKindBsUp = 1;
   static constexpr std::uint8_t kKindWireScale = 2;
+  // Churn/mobility kinds reuse the existing fields — `bs` holds the MS id
+  // (< n) for leave/join, `scale` holds the regime ordinal for shift — so
+  // the MCTRACE2 fault-record byte layout is unchanged.
+  static constexpr std::uint8_t kKindMsLeave = 3;
+  static constexpr std::uint8_t kKindMsJoin = 4;
+  static constexpr std::uint8_t kKindShift = 5;
 
   std::uint32_t slot = 0;    // faults apply at the start of this slot
   std::uint8_t kind = kKindBsDown;
@@ -172,7 +186,7 @@ std::vector<TraceFault> decode_faults(util::binio::ByteReader& r);
 void encode_events(std::vector<std::uint8_t>& out,
                    const std::vector<TraceEvent>& events);
 /// `max_kind` caps the accepted TraceEventKind (4 for MCTRACE1 bodies,
-/// 8 when fault markers are legal).
+/// 11 when fault/churn markers are legal).
 std::vector<TraceEvent> decode_events(util::binio::ByteReader& r,
                                       std::uint8_t max_kind);
 

@@ -1,0 +1,67 @@
+#include "util/spec.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace manetcap::util::spec {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t')) --e;
+  return s.substr(b, e - b);
+}
+
+std::uint64_t parse_u64(const char* who, const std::string& s,
+                        const std::string& token) {
+  MANETCAP_CHECK_MSG(!s.empty(),
+                     who << ": missing number in '" << token << "'");
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  MANETCAP_CHECK_MSG(end == s.c_str() + s.size() && s[0] != '-',
+                     who << ": bad number '" << s << "' in '" << token
+                         << "'");
+  return static_cast<std::uint64_t>(v);
+}
+
+double parse_f64(const char* who, const std::string& s,
+                 const std::string& token) {
+  MANETCAP_CHECK_MSG(!s.empty(),
+                     who << ": missing number in '" << token << "'");
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  MANETCAP_CHECK_MSG(end == s.c_str() + s.size() && std::isfinite(v),
+                     who << ": bad number '" << s << "' in '" << token
+                         << "'");
+  return v;
+}
+
+EventClause split_event(const char* who, const std::string& token) {
+  const std::size_t at = token.find('@');
+  const std::size_t colon =
+      token.find(':', at == std::string::npos ? 0 : at);
+  MANETCAP_CHECK_MSG(at != std::string::npos && colon != std::string::npos,
+                     who << ": expected KIND@SLOT:ARGS, got '" << token
+                         << "'");
+  EventClause c;
+  c.kind = token.substr(0, at);
+  c.slot = token.substr(at + 1, colon - at - 1);
+  c.args = token.substr(colon + 1);
+  return c;
+}
+
+}  // namespace manetcap::util::spec

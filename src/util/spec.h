@@ -1,0 +1,49 @@
+// Shared tokenizer for the repo's ';'-separated spec grammars.
+//
+// FaultPlan timelines (docs/FAULTS.md) and TrafficSpec scenarios
+// (docs/TRAFFIC.md) both parse small single-line spec strings of
+// ';'-separated clauses with ':'-separated argument lists; fault/churn
+// clauses additionally carry an '@slot' timestamp. The splitting, the
+// whitespace handling and the strict numeric-field parsing live here so
+// every grammar reports the same shape of error, prefixed by the grammar
+// name ("FaultPlan: ...", "TrafficSpec: ...").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace manetcap::util::spec {
+
+/// Splits on `sep`, emitting empty segments ("a,,b" -> {"a", "", "b"}).
+std::vector<std::string> split(const std::string& s, char sep);
+
+/// Strips leading and trailing spaces/tabs.
+std::string trim(const std::string& s);
+
+/// Parses one full numeric field; the whole substring must be consumed —
+/// "12x" silently parsing as 12 is how a typo'd spec corrupts a run.
+/// Errors read "<who>: missing number in '<token>'" /
+/// "<who>: bad number '<s>' in '<token>'".
+std::uint64_t parse_u64(const char* who, const std::string& s,
+                        const std::string& token);
+
+/// Like parse_u64 but for finite doubles.
+double parse_f64(const char* who, const std::string& s,
+                 const std::string& token);
+
+/// One 'KIND@SLOT:ARGS' clause of a timed-event grammar, split but not
+/// yet interpreted. `slot` is the raw digit string (parse with
+/// parse_u64); `args` is everything after the first ':' past the '@'.
+struct EventClause {
+  std::string kind;
+  std::string slot;
+  std::string args;
+};
+
+/// Splits one trimmed token of an '@slot' grammar. Throws
+/// "<who>: expected KIND@SLOT:ARGS, got '<token>'" when either the '@'
+/// or the ':' is missing.
+EventClause split_event(const char* who, const std::string& token);
+
+}  // namespace manetcap::util::spec

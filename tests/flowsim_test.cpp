@@ -465,5 +465,165 @@ TEST(Engine, AutoSelectsByInstanceSize) {
   EXPECT_EQ(r_large, measure_instance(EngineKind::kFluid, large, eopt));
 }
 
+TEST(FlowSimTraffic, DefaultSpecDemandsMatchDestPathExactly) {
+  // A demand set drawn from the default TrafficSpec must take the legacy
+  // arithmetic bit for bit: duty 1.0, start 0, unlimited size.
+  auto p = strong_params(256);
+  auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
+                                 net::BsPlacement::kClusteredMatched, 929);
+  FlowSimOptions opt;
+  opt.scheme = FlowScheme::kSchemeB;
+  opt.slots = 2000;
+  opt.warmup = 400;
+  opt.seed = 937;
+
+  rng::Xoshiro256 g1(traffic_seed(opt.seed));
+  const auto dest = net::permutation_traffic(p.n, g1);
+  rng::Xoshiro256 g2(traffic_seed(opt.seed));
+  const auto demands =
+      net::make_traffic_model(net::TrafficSpec{})->draw(p.n, g2);
+  ASSERT_EQ(net::dest_of(demands), dest);
+
+  const auto a = run_flow_sim(net, dest, opt);
+  const auto b = run_flow_sim(net, demands, opt);
+  EXPECT_EQ(a.injected, b.injected);
+  EXPECT_EQ(a.delivered_lifetime, b.delivered_lifetime);
+  EXPECT_EQ(a.queued_end, b.queued_end);
+  EXPECT_DOUBLE_EQ(a.mean_flow_rate, b.mean_flow_rate);
+  EXPECT_DOUBLE_EQ(a.min_flow_rate, b.min_flow_rate);
+  EXPECT_DOUBLE_EQ(a.p10_flow_rate, b.p10_flow_rate);
+}
+
+TEST(FlowSimTraffic, DutyThinningCutsInjectedVolume) {
+  auto p = strong_params(256);
+  auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
+                                 net::BsPlacement::kClusteredMatched, 941);
+  FlowSimOptions opt;
+  opt.scheme = FlowScheme::kSchemeB;
+  opt.slots = 2000;
+  opt.warmup = 400;
+  opt.seed = 947;
+
+  rng::Xoshiro256 g1(traffic_seed(opt.seed));
+  const auto cbr =
+      net::make_traffic_model(net::TrafficSpec{})->draw(p.n, g1);
+  rng::Xoshiro256 g2(traffic_seed(opt.seed));
+  const auto bursty =
+      net::make_traffic_model(net::TrafficSpec::parse("onoff:50,150"))
+          ->draw(p.n, g2);
+  // Same destination draw, different decoration.
+  ASSERT_EQ(net::dest_of(cbr), net::dest_of(bursty));
+
+  const auto rc = run_flow_sim(net, cbr, opt);
+  const auto rb = run_flow_sim(net, bursty, opt);
+  // Duty 50/(50+150) = 1/4 thins every flow's offered rate; the injected
+  // integral must drop strictly, and both audits must close.
+  EXPECT_LT(rb.injected, rc.injected);
+  EXPECT_EQ(rc.injected, rc.delivered_lifetime + rc.queued_end + rc.dropped);
+  EXPECT_EQ(rb.injected, rb.delivered_lifetime + rb.queued_end + rb.dropped);
+  EXPECT_LT(rb.mean_flow_rate, rc.mean_flow_rate);
+}
+
+TEST(FlowSimTraffic, FiniteSizesCapInjection) {
+  auto p = strong_params(256);
+  auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
+                                 net::BsPlacement::kClusteredMatched, 953);
+  FlowSimOptions opt;
+  opt.scheme = FlowScheme::kSchemeB;
+  opt.slots = 4000;
+  opt.warmup = 400;
+  opt.seed = 967;
+
+  rng::Xoshiro256 g(traffic_seed(opt.seed));
+  auto demands = net::make_traffic_model(net::TrafficSpec{})->draw(p.n, g);
+  for (auto& d : demands) d.size = 2;  // two packets each, then silence
+  const auto r = run_flow_sim(net, demands, opt);
+  EXPECT_LE(r.injected, 2u * p.n);
+  EXPECT_EQ(r.injected, r.delivered_lifetime + r.queued_end + r.dropped);
+}
+
+TEST(FlowSimTraffic, OutOfRangeDestIsANamedError) {
+  auto p = strong_params(64);
+  auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
+                                 net::BsPlacement::kClusteredMatched, 971);
+  FlowSimOptions opt;
+  opt.scheme = FlowScheme::kSchemeB;
+  opt.slots = 200;
+  opt.warmup = 20;
+
+  rng::Xoshiro256 g(traffic_seed(opt.seed));
+  auto dest = net::permutation_traffic(p.n, g);
+  dest[3] = static_cast<std::uint32_t>(p.n);
+  try {
+    run_flow_sim(net, dest, opt);
+    FAIL() << "expected CheckError";
+  } catch (const manetcap::CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("out of range"), std::string::npos)
+        << "got: " << e.what();
+  }
+}
+
+TEST(FlowSimChurn, ConservationClosesAndLeaveGatesInjection) {
+  auto p = strong_params(256);
+  auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
+                                 net::BsPlacement::kClusteredMatched, 977);
+  rng::Xoshiro256 g(983);
+  const auto dest = net::permutation_traffic(p.n, g);
+
+  FlowSimOptions opt;
+  opt.scheme = FlowScheme::kSchemeB;
+  opt.slots = 2000;
+  opt.warmup = 400;
+  opt.seed = 991;
+  Metrics m0;
+  opt.metrics = &m0;
+  const auto plain = run_flow_sim(net, dest, opt);
+
+  const FaultPlan plan = FaultPlan::parse("leave@600:3; leave@700:12");
+  opt.faults = &plan;
+  Metrics m;
+  opt.metrics = &m;
+  const auto r = run_flow_sim(net, dest, opt);
+  EXPECT_EQ(r.injected, r.delivered_lifetime + r.queued_end + r.dropped);
+  EXPECT_EQ(m.count(Counter::kMsLeft), 2u);
+  EXPECT_EQ(m.count(Counter::kDroppedMsChurn), r.dropped);
+  // Departed sources stop injecting, so the churn run injects strictly
+  // less fluid volume than the undisturbed one.
+  EXPECT_LT(r.injected, plain.injected);
+  EXPECT_GT(r.delivered_lifetime, 0u);
+  // The fluid engine is deterministic: a repeat run is bit-identical.
+  Metrics m2;
+  opt.metrics = &m2;
+  const auto r2 = run_flow_sim(net, dest, opt);
+  EXPECT_EQ(r.injected, r2.injected);
+  EXPECT_EQ(r.dropped, r2.dropped);
+  EXPECT_DOUBLE_EQ(r.mean_flow_rate, r2.mean_flow_rate);
+}
+
+TEST(FlowSimChurn, RejectsInfraAndShiftPlans) {
+  // The fluid engine has no per-slot geometry: BS outages, wire faults
+  // and mobility shifts must be refused with a named error, not ignored.
+  auto p = strong_params(64);
+  auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
+                                 net::BsPlacement::kClusteredMatched, 997);
+  rng::Xoshiro256 g(1009);
+  const auto dest = net::permutation_traffic(p.n, g);
+  FlowSimOptions opt;
+  opt.scheme = FlowScheme::kSchemeB;
+  opt.slots = 400;
+  opt.warmup = 40;
+  for (const char* spec : {"down@100:0", "shift@100:walk"}) {
+    const FaultPlan plan = FaultPlan::parse(spec);
+    opt.faults = &plan;
+    try {
+      run_flow_sim(net, dest, opt);
+      FAIL() << "expected CheckError for " << spec;
+    } catch (const manetcap::CheckError& e) {
+      EXPECT_NE(std::string(e.what()).find("churn-only"), std::string::npos)
+          << "got: " << e.what();
+    }
+  }
+}
+
 }  // namespace
 }  // namespace manetcap::sim

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <set>
+#include <string>
+#include <vector>
 
 #include "net/network.h"
 #include "net/params.h"
@@ -237,6 +240,224 @@ TEST(Traffic, ValidatorRejectsBadInputs) {
 TEST(Traffic, RequiresAtLeastTwoNodes) {
   rng::Xoshiro256 g(1);
   EXPECT_THROW(permutation_traffic(1, g), manetcap::CheckError);
+}
+
+TEST(Traffic, DestValidatorNamesEachError) {
+  auto expect_error = [](const std::vector<std::uint32_t>& dest,
+                         std::size_t n, const char* needle) {
+    try {
+      validate_traffic_dest(dest, n, "who");
+      FAIL() << "expected CheckError for " << needle;
+    } catch (const manetcap::CheckError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find(needle), std::string::npos) << "got: " << what;
+      EXPECT_NE(what.find("who"), std::string::npos);
+    }
+  };
+  expect_error({1, 0, 2}, 4, "one entry per MS");
+  expect_error({1, 5, 0}, 3, "out of range");
+  expect_error({1, 1, 0}, 3, "self-loop");
+  // Many-to-one maps are legal (hotspot), unlike permutation validation.
+  validate_traffic_dest({1, 0, 0, 0}, 4);
+}
+
+TEST(TrafficSpec, ParseDescribeRoundTrip) {
+  const TrafficSpec d;
+  EXPECT_TRUE(d.is_default());
+  EXPECT_TRUE(TrafficSpec::parse("").is_default());
+  EXPECT_TRUE(TrafficSpec::parse("perm").is_default());
+  EXPECT_EQ(TrafficSpec::parse("perm").describe(), "perm");
+
+  const auto s = TrafficSpec::parse(
+      " hotspot:0.25,0.9 ; pareto:2,500 ; onoff:32,96 ; start:400 ");
+  EXPECT_FALSE(s.is_default());
+  EXPECT_EQ(s.pattern, TrafficPattern::kHotspot);
+  EXPECT_DOUBLE_EQ(s.hotspot_frac, 0.25);
+  EXPECT_DOUBLE_EQ(s.hotspot_mass, 0.9);
+  EXPECT_DOUBLE_EQ(s.pareto_alpha, 2.0);
+  EXPECT_DOUBLE_EQ(s.pareto_mean, 500.0);
+  EXPECT_DOUBLE_EQ(s.on_mean, 32.0);
+  EXPECT_DOUBLE_EQ(s.off_mean, 96.0);
+  EXPECT_EQ(s.max_start, 400u);
+  // describe() re-parses to the same spec (the round-trip contract the
+  // FaultPlan grammar also keeps).
+  const auto back = TrafficSpec::parse(s.describe());
+  EXPECT_EQ(back.pattern, s.pattern);
+  EXPECT_DOUBLE_EQ(back.hotspot_frac, s.hotspot_frac);
+  EXPECT_DOUBLE_EQ(back.hotspot_mass, s.hotspot_mass);
+  EXPECT_DOUBLE_EQ(back.pareto_mean, s.pareto_mean);
+  EXPECT_DOUBLE_EQ(back.on_mean, s.on_mean);
+  EXPECT_EQ(back.max_start, s.max_start);
+}
+
+TEST(TrafficSpec, ParseNamesEachError) {
+  auto expect_error = [](const char* spec, const char* needle) {
+    try {
+      TrafficSpec::parse(spec);
+      FAIL() << "expected CheckError for '" << spec << "'";
+    } catch (const manetcap::CheckError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("TrafficSpec"), std::string::npos)
+          << "got: " << what;
+      EXPECT_NE(what.find(needle), std::string::npos) << "got: " << what;
+    }
+  };
+  expect_error("blorp:1,2", "unknown clause");
+  expect_error("perm:3", "takes no arguments");
+  expect_error("hotspot:0.5", "two comma-separated values");
+  expect_error("hotspot:0.5,0.8,1", "two comma-separated values");
+  expect_error("onoff:12x,30", "bad number");
+  expect_error("start:", "missing number");
+  expect_error("hotspot:1.5,0.5", "outside (0, 1]");
+  expect_error("hotspot:0.5,1.5", "outside [0, 1]");
+  expect_error("pareto:0.9,100", "must be > 1");
+  expect_error("pareto:1.5,0.2", "must be >= 1 packet");
+  expect_error("onoff:0,30", "both on/off means or neither");
+}
+
+TEST(TrafficModel, DefaultDrawMatchesPermutationStream) {
+  // The default model must consume the RNG exactly like the historical
+  // permutation_traffic call — the byte-identity contract both engines
+  // lean on.
+  rng::Xoshiro256 g1(77);
+  const auto dest = permutation_traffic(300, g1);
+  rng::Xoshiro256 g2(77);
+  const auto demands = make_traffic_model(TrafficSpec{})->draw(300, g2);
+  EXPECT_EQ(dest_of(demands), dest);
+  EXPECT_EQ(g1.state(), g2.state());  // no extra draws for decorations
+  for (const FlowDemand& f : demands) {
+    EXPECT_TRUE(f.unlimited());
+    EXPECT_TRUE(f.always_on());
+    EXPECT_EQ(f.start, 0u);
+  }
+  validate_demands(demands, 300);
+}
+
+TEST(TrafficModel, HotspotConcentratesMass) {
+  const std::size_t n = 2000;
+  auto spec = TrafficSpec::parse("hotspot:0.1,0.8");
+  rng::Xoshiro256 g(101);
+  const auto demands = make_traffic_model(spec)->draw(n, g);
+  validate_demands(demands, n);
+  // Count destination hits per MS; the top-10% must absorb far more than
+  // a uniform map's 10% share (expected ~82% incl. the uniform tail).
+  std::vector<std::size_t> hits(n, 0);
+  for (const FlowDemand& f : demands) ++hits[f.dst];
+  std::vector<std::size_t> sorted = hits;
+  std::sort(sorted.rbegin(), sorted.rend());
+  std::size_t top = 0;
+  for (std::size_t i = 0; i < n / 10; ++i) top += sorted[i];
+  EXPECT_GT(top, (n * 6) / 10);  // ≫ the uniform 10%
+  // mass 0 degenerates to uniform random destinations.
+  spec.hotspot_mass = 0.0;
+  rng::Xoshiro256 g2(103);
+  const auto uniform = make_traffic_model(spec)->draw(n, g2);
+  validate_demands(uniform, n);
+  std::vector<std::size_t> uhits(n, 0);
+  for (const FlowDemand& f : uniform) ++uhits[f.dst];
+  std::sort(uhits.rbegin(), uhits.rend());
+  std::size_t utop = 0;
+  for (std::size_t i = 0; i < n / 10; ++i) utop += uhits[i];
+  // Poisson fluctuations put the uniform map's top-10% near 30%, still
+  // nowhere near the hotspot model's 60%+.
+  EXPECT_LT(utop, (n * 7) / 20);
+}
+
+TEST(TrafficModel, ParetoSizesAreHeavyTailedWithTheRequestedMean) {
+  const std::size_t n = 4000;
+  const auto spec = TrafficSpec::parse("pareto:1.5,1000");
+  rng::Xoshiro256 g(107);
+  const auto demands = make_traffic_model(spec)->draw(n, g);
+  validate_demands(demands, n);
+  double sum = 0.0;
+  std::uint64_t max_size = 0;
+  for (const FlowDemand& f : demands) {
+    EXPECT_GE(f.size, 1u);
+    EXPECT_FALSE(f.unlimited());
+    sum += static_cast<double>(f.size);
+    max_size = std::max(max_size, f.size);
+  }
+  const double mean = sum / static_cast<double>(n);
+  // α = 1.5 has infinite variance, so the sample mean is noisy — gate a
+  // wide band around the requested mean and require a genuine tail.
+  EXPECT_GT(mean, 400.0);
+  EXPECT_LT(mean, 6000.0);
+  EXPECT_GT(max_size, 10000u);  // x_m ≈ 333; a 4000-draw max ≫ the bulk
+}
+
+TEST(TrafficModel, StaggeredStartsStayInRange) {
+  const auto spec = TrafficSpec::parse("start:500");
+  rng::Xoshiro256 g(109);
+  const auto demands = make_traffic_model(spec)->draw(1000, g);
+  bool any_late = false;
+  for (const FlowDemand& f : demands) {
+    EXPECT_LE(f.start, 500u);
+    any_late = any_late || f.start > 250;
+  }
+  EXPECT_TRUE(any_late);  // uniform over [0, 500] cannot all land early
+}
+
+TEST(OnOffGate, DutyCycleAndLazyAdvanceAgree) {
+  const std::uint64_t kSlots = 200000;
+  OnOffGate dense(40.0, 60.0, 1234);
+  OnOffGate sparse(40.0, 60.0, 1234);
+  std::uint64_t on = 0;
+  for (std::uint64_t t = 0; t < kSlots; ++t)
+    if (dense.on_at(t)) ++on;
+  // Querying every 7th slot must agree with the dense walk at the common
+  // slots — the lazy advance is order-independent state, not sampling.
+  OnOffGate dense2(40.0, 60.0, 1234);
+  for (std::uint64_t t = 0; t < kSlots; t += 7)
+    EXPECT_EQ(sparse.on_at(t), dense2.on_at(t)) << "slot " << t;
+  // Long-run duty ≈ on/(on+off) = 0.4.
+  const double duty = static_cast<double>(on) / kSlots;
+  EXPECT_GT(duty, 0.3);
+  EXPECT_LT(duty, 0.5);
+  // The always-on default gate never gates.
+  OnOffGate open;
+  EXPECT_FALSE(open.active());
+  EXPECT_TRUE(open.on_at(0));
+  EXPECT_TRUE(open.on_at(1u << 20));
+  // Restore round-trip: a snapshot reproduces the original's future.
+  OnOffGate a(25.0, 75.0, 55);
+  for (std::uint64_t t = 0; t < 1000; ++t) a.on_at(t);
+  OnOffGate b(25.0, 75.0, 55);
+  b.restore(a.until(), a.is_on(), a.rng_state());
+  OnOffGate c(25.0, 75.0, 55);
+  for (std::uint64_t t = 0; t < 1000; ++t) c.on_at(t);
+  for (std::uint64_t t = 1000; t < 5000; ++t)
+    EXPECT_EQ(b.on_at(t), c.on_at(t)) << "slot " << t;
+}
+
+TEST(TrafficModel, DemandValidatorNamesEachError) {
+  rng::Xoshiro256 g(113);
+  const auto good = make_traffic_model(TrafficSpec{})->draw(8, g);
+  auto expect_error = [](std::vector<FlowDemand> demands, std::size_t n,
+                         const char* needle) {
+    try {
+      validate_demands(demands, n);
+      FAIL() << "expected CheckError for " << needle;
+    } catch (const manetcap::CheckError& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << "got: " << e.what();
+    }
+  };
+  expect_error(good, 9, "one flow per MS");
+  auto bad = good;
+  bad[2].src = 3;
+  expect_error(bad, 8, "must be sourced at MS");
+  bad = good;
+  bad[2].dst = 8;
+  expect_error(bad, 8, "out of range");
+  bad = good;
+  bad[2].dst = 2;
+  expect_error(bad, 8, "self-loop");
+  bad = good;
+  bad[2].size = 0;
+  expect_error(bad, 8, "zero size");
+  bad = good;
+  bad[2].on_mean = 10.0;  // off_mean still 0
+  expect_error(bad, 8, "both on/off means or neither");
 }
 
 }  // namespace

@@ -1434,5 +1434,248 @@ TEST(SlotSimPhy, CheckpointRejectsBackendMismatch) {
   std::remove(path.c_str());
 }
 
+TEST(SlotSimTraffic, DefaultSpecDemandsMatchDestPathExactly) {
+  // The demand overload with a default TrafficSpec must reproduce the
+  // historical dest-overload run bit for bit: the draw consumes the same
+  // RNG stream and every new branch is behind a demands_ guard.
+  auto p = strong_params(192);
+  auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
+                                 net::BsPlacement::kClusteredMatched, 811);
+  SlotSimOptions opt;
+  opt.scheme = SlotScheme::kSchemeB;
+  opt.slots = 1200;
+  opt.warmup = 240;
+  opt.seed = 821;
+
+  rng::Xoshiro256 g1(traffic_seed(opt.seed));
+  const auto dest = net::permutation_traffic(p.n, g1);
+  rng::Xoshiro256 g2(traffic_seed(opt.seed));
+  const auto demands =
+      net::make_traffic_model(net::TrafficSpec{})->draw(p.n, g2);
+  ASSERT_EQ(net::dest_of(demands), dest);
+
+  const auto a = run_slot_sim(net, dest, opt);
+  const auto b = run_slot_sim(net, demands, opt);
+  EXPECT_EQ(a.total_delivered, b.total_delivered);
+  EXPECT_EQ(a.injected, b.injected);
+  EXPECT_EQ(a.queued_end, b.queued_end);
+  EXPECT_DOUBLE_EQ(a.mean_flow_rate, b.mean_flow_rate);
+  EXPECT_DOUBLE_EQ(a.mean_delay, b.mean_delay);
+  EXPECT_DOUBLE_EQ(a.pairs_per_slot, b.pairs_per_slot);
+}
+
+TEST(SlotSimTraffic, OutOfRangeDestIsANamedError) {
+  // Regression: a dest id >= n used to be an out-of-bounds CSR read.
+  // Both overloads must reject it up front with a named error.
+  auto p = strong_params(64);
+  auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
+                                 net::BsPlacement::kClusteredMatched, 823);
+  SlotSimOptions opt;
+  opt.scheme = SlotScheme::kSchemeB;
+  opt.slots = 100;
+  opt.warmup = 10;
+
+  rng::Xoshiro256 g(traffic_seed(opt.seed));
+  auto dest = net::permutation_traffic(p.n, g);
+  dest[5] = static_cast<std::uint32_t>(p.n);  // one past the end
+  try {
+    run_slot_sim(net, dest, opt);
+    FAIL() << "expected CheckError";
+  } catch (const manetcap::CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("out of range"), std::string::npos)
+        << "got: " << e.what();
+  }
+
+  rng::Xoshiro256 g2(traffic_seed(opt.seed));
+  auto demands = net::make_traffic_model(net::TrafficSpec{})->draw(p.n, g2);
+  demands[5].dst = static_cast<std::uint32_t>(p.n) + 7;
+  EXPECT_THROW(run_slot_sim(net, demands, opt), manetcap::CheckError);
+}
+
+TEST(SlotSimTraffic, ConservationClosesUnderHotspotBurstyLoad) {
+  auto p = strong_params(192);
+  auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
+                                 net::BsPlacement::kClusteredMatched, 827);
+  SlotSimOptions opt;
+  opt.scheme = SlotScheme::kSchemeB;
+  opt.slots = 1500;
+  opt.warmup = 300;
+  opt.seed = 829;
+  Metrics m;
+  opt.metrics = &m;
+
+  const auto tspec = net::TrafficSpec::parse(
+      "hotspot:0.1,0.8; pareto:1.5,200; onoff:30,60; start:200");
+  rng::Xoshiro256 g(traffic_seed(opt.seed));
+  const auto demands = net::make_traffic_model(tspec)->draw(p.n, g);
+  const auto r = run_slot_sim(net, demands, opt);
+
+  EXPECT_EQ(r.injected, r.delivered_lifetime + r.queued_end + r.dropped);
+  EXPECT_GT(r.delivered_lifetime, 0u);
+  // A 1/3 duty cycle over 1500 slots must gate some injection attempts.
+  EXPECT_GT(m.count(Counter::kInjectGatedTraffic), 0u);
+  // No churn plan: churn counters stay exactly zero.
+  EXPECT_EQ(m.count(Counter::kMsLeft), 0u);
+  EXPECT_EQ(m.count(Counter::kDroppedMsChurn), 0u);
+}
+
+TEST(SlotSimTraffic, ShardsAreBitIdenticalUnderTrafficAndChurn) {
+  auto p = strong_params(192);
+  auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
+                                 net::BsPlacement::kClusteredMatched, 839);
+  const auto tspec =
+      net::TrafficSpec::parse("hotspot:0.15,0.7; onoff:40,80");
+  const FaultPlan plan =
+      FaultPlan::parse("leave@400:3; join@700:3; leave@900:17");
+
+  SlotSimOptions opt;
+  opt.scheme = SlotScheme::kSchemeB;
+  opt.slots = 1500;
+  opt.warmup = 300;
+  opt.seed = 853;
+  opt.faults = &plan;
+
+  rng::Xoshiro256 g(traffic_seed(opt.seed));
+  const auto demands = net::make_traffic_model(tspec)->draw(p.n, g);
+  opt.shards = 1;
+  const auto serial = run_slot_sim(net, demands, opt);
+  for (std::size_t shards : {2u, 4u}) {
+    opt.shards = shards;
+    const auto sharded = run_slot_sim(net, demands, opt);
+    EXPECT_EQ(serial.total_delivered, sharded.total_delivered)
+        << "shards=" << shards;
+    EXPECT_EQ(serial.injected, sharded.injected);
+    EXPECT_EQ(serial.dropped, sharded.dropped);
+    EXPECT_DOUBLE_EQ(serial.mean_flow_rate, sharded.mean_flow_rate);
+    EXPECT_DOUBLE_EQ(serial.mean_delay, sharded.mean_delay);
+  }
+}
+
+TEST(SlotSimChurn, ConservationClosesUnderLeaveAndJoin) {
+  auto p = strong_params(256);
+  auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
+                                 net::BsPlacement::kClusteredMatched, 857);
+  rng::Xoshiro256 g(859);
+  auto dest = net::permutation_traffic(p.n, g);
+  const FaultPlan plan =
+      FaultPlan::parse("leave@500:3; leave@600:40; join@900:3");
+
+  SlotSimOptions opt;
+  opt.scheme = SlotScheme::kSchemeB;
+  opt.slots = 2000;
+  opt.warmup = 400;
+  opt.seed = 863;
+  opt.faults = &plan;
+  Metrics m;
+  opt.metrics = &m;
+  const auto r = run_slot_sim(net, dest, opt);
+
+  EXPECT_EQ(r.injected, r.delivered_lifetime + r.queued_end + r.dropped);
+  EXPECT_EQ(r.dropped, r.dropped_ms_churn);
+  EXPECT_EQ(m.count(Counter::kDroppedMsChurn), r.dropped_ms_churn);
+  EXPECT_EQ(m.count(Counter::kMsLeft), 2u);
+  EXPECT_EQ(m.count(Counter::kMsJoined), 1u);
+  // Saturated CBR keeps queues non-empty, so each departure flushed
+  // packets (its own queue plus in-flight packets addressed to it).
+  EXPECT_GT(r.dropped_ms_churn, 0u);
+  // Absent sources cannot inject: the gate counter must have fired.
+  EXPECT_GT(m.count(Counter::kInjectBlockedChurn), 0u);
+  EXPECT_GT(r.delivered_lifetime, 0u);
+}
+
+TEST(SlotSimChurn, FirstEventJoinStartsAbsent) {
+  // An MS whose first churn event is a join is absent from slot 0 — its
+  // flow injects nothing until the join fires.
+  auto p = strong_params(128);
+  auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
+                                 net::BsPlacement::kClusteredMatched, 877);
+  rng::Xoshiro256 g(881);
+  auto dest = net::permutation_traffic(p.n, g);
+  const FaultPlan plan = FaultPlan::parse("join@800:5");
+
+  SlotSimOptions opt;
+  opt.scheme = SlotScheme::kSchemeB;
+  opt.slots = 1200;
+  opt.warmup = 240;
+  opt.seed = 883;
+  opt.faults = &plan;
+  Metrics m;
+  opt.metrics = &m;
+  const auto r = run_slot_sim(net, dest, opt);
+  EXPECT_EQ(r.injected, r.delivered_lifetime + r.queued_end + r.dropped);
+  EXPECT_EQ(m.count(Counter::kMsJoined), 1u);
+  EXPECT_EQ(m.count(Counter::kMsLeft), 0u);
+  EXPECT_GT(m.count(Counter::kInjectBlockedChurn), 0u);
+}
+
+TEST(SlotSimChurn, CheckpointRefusedWithShiftPlans) {
+  auto p = strong_params(64);
+  auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
+                                 net::BsPlacement::kClusteredMatched, 887);
+  rng::Xoshiro256 g(907);
+  auto dest = net::permutation_traffic(p.n, g);
+  const FaultPlan plan = FaultPlan::parse("shift@300:walk");
+
+  SlotSimOptions opt;
+  opt.scheme = SlotScheme::kSchemeB;
+  opt.slots = 600;
+  opt.warmup = 120;
+  opt.faults = &plan;
+  opt.checkpoint_every = 100;
+  opt.checkpoint_path = "churn_shift_ckpt.bin";
+  try {
+    run_slot_sim(net, dest, opt);
+    FAIL() << "expected CheckError";
+  } catch (const manetcap::CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("mobility-shift"),
+              std::string::npos)
+        << "got: " << e.what();
+  }
+  // Without checkpointing the same plan runs, shifts once and conserves.
+  opt.checkpoint_every = 0;
+  opt.checkpoint_path.clear();
+  Metrics m;
+  opt.metrics = &m;
+  const auto r = run_slot_sim(net, dest, opt);
+  EXPECT_EQ(m.count(Counter::kMobilityShifts), 1u);
+  EXPECT_EQ(r.injected, r.delivered_lifetime + r.queued_end + r.dropped);
+}
+
+TEST(SlotSimChurn, CheckpointRoundTripsUnderTrafficAndChurn) {
+  // Checkpoint/resume must reproduce the uninterrupted run exactly even
+  // with a traffic model (on-off gate state) and churn (presence table)
+  // in flight.
+  auto p = strong_params(128);
+  auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
+                                 net::BsPlacement::kClusteredMatched, 911);
+  const auto tspec = net::TrafficSpec::parse("hotspot:0.2,0.6; onoff:25,50");
+  const FaultPlan plan = FaultPlan::parse("leave@300:7; join@600:7");
+  const std::string path = "churn_traffic_ckpt.bin";
+
+  SlotSimOptions opt;
+  opt.scheme = SlotScheme::kSchemeB;
+  opt.slots = 1000;
+  opt.warmup = 200;
+  opt.seed = 919;
+  opt.faults = &plan;
+  rng::Xoshiro256 g(traffic_seed(opt.seed));
+  const auto demands = net::make_traffic_model(tspec)->draw(p.n, g);
+
+  const auto full = run_slot_sim(net, demands, opt);
+  opt.checkpoint_every = 450;
+  opt.checkpoint_path = path;
+  run_slot_sim(net, demands, opt);
+  SlotSimOptions resume = opt;
+  resume.checkpoint_every = 0;
+  resume.checkpoint_path.clear();
+  resume.resume_path = path;
+  const auto resumed = run_slot_sim(net, demands, resume);
+  EXPECT_EQ(full.total_delivered, resumed.total_delivered);
+  EXPECT_EQ(full.injected, resumed.injected);
+  EXPECT_EQ(full.dropped, resumed.dropped);
+  EXPECT_DOUBLE_EQ(full.mean_flow_rate, resumed.mean_flow_rate);
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace manetcap::sim

@@ -13,6 +13,7 @@
 #include "util/csv.h"
 #include "util/flags.h"
 #include "util/log.h"
+#include "util/spec.h"
 #include "util/stopwatch.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
@@ -396,6 +397,69 @@ TEST(Log, ThresholdSuppressesLowerLevels) {
   MANETCAP_LOG(kError) << "emitted";
   util::set_log_level(util::LogLevel::kInfo);
   EXPECT_EQ(util::log_level(), util::LogLevel::kInfo);
+}
+
+// ----------------------------------------------------------------- spec --
+
+TEST(Spec, SplitEmitsEmptySegments) {
+  using util::spec::split;
+  EXPECT_EQ(split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(split("", ';'), (std::vector<std::string>{""}));
+  EXPECT_EQ(split("x;", ';'), (std::vector<std::string>{"x", ""}));
+  EXPECT_EQ(split("one", ';'), (std::vector<std::string>{"one"}));
+}
+
+TEST(Spec, TrimStripsSpacesAndTabs) {
+  using util::spec::trim;
+  EXPECT_EQ(trim("  a b \t"), "a b");
+  EXPECT_EQ(trim("\t\t"), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Spec, NumericFieldsMustBeFullyConsumed) {
+  // "12x" silently parsing as 12 is how a typo'd spec corrupts a run —
+  // both parsers must consume the whole field or throw the grammar's
+  // error shape, prefixed with the caller-supplied grammar name.
+  EXPECT_EQ(util::spec::parse_u64("G", "42", "tok"), 42u);
+  EXPECT_DOUBLE_EQ(util::spec::parse_f64("G", "0.25", "tok"), 0.25);
+  auto expect_error = [](auto fn, const std::string& s,
+                         const char* needle) {
+    try {
+      fn("MyGrammar", s, "the-token");
+      FAIL() << "expected CheckError for '" << s << "'";
+    } catch (const CheckError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("MyGrammar"), std::string::npos)
+          << "got: " << what;
+      EXPECT_NE(what.find(needle), std::string::npos) << "got: " << what;
+      EXPECT_NE(what.find("the-token"), std::string::npos);
+    }
+  };
+  expect_error(util::spec::parse_u64, "12x", "bad number");
+  expect_error(util::spec::parse_u64, "", "missing number");
+  expect_error(util::spec::parse_f64, "1.5e", "bad number");
+  expect_error(util::spec::parse_f64, "", "missing number");
+}
+
+TEST(Spec, SplitEventParsesTimedClauses) {
+  const auto e = util::spec::split_event("G", "down@120:3");
+  EXPECT_EQ(e.kind, "down");
+  EXPECT_EQ(e.slot, "120");
+  EXPECT_EQ(e.args, "3");
+  // args keep any later ':' intact for the grammar to interpret.
+  const auto w = util::spec::split_event("G", "wire@9:0-1x0.5");
+  EXPECT_EQ(w.kind, "wire");
+  EXPECT_EQ(w.args, "0-1x0.5");
+  for (const char* bad : {"down120:3", "down@120", "plain"}) {
+    try {
+      util::spec::split_event("G", bad);
+      FAIL() << "expected CheckError for '" << bad << "'";
+    } catch (const CheckError& e2) {
+      EXPECT_NE(std::string(e2.what()).find("expected KIND@SLOT:ARGS"),
+                std::string::npos)
+          << "got: " << e2.what();
+    }
+  }
 }
 
 }  // namespace

@@ -72,8 +72,14 @@ constexpr FlagSpec kFlagSpecs[] = {
     {"metrics-out", "NAME",
      "write NAME_counters.csv + NAME_series.csv under ./bench_csv"},
     {"faults", "SPEC",
-     "fault plan (schemes B/C): 'down@SLOT:BS | up@SLOT:BS | "
-     "wire@SLOT:A-BxSCALE | region@SLOT:X,Y,R', ';'-separated"},
+     "fault/churn plan: 'down@SLOT:BS | up@SLOT:BS | wire@SLOT:A-BxSCALE | "
+     "region@SLOT:X,Y,R | leave@SLOT:MS | join@SLOT:MS | shift@SLOT:REGIME'"
+     ", ';'-separated (BS faults need schemes B/C; the fluid engine takes "
+     "churn only)"},
+    {"traffic", "SPEC",
+     "traffic scenario (default perm): 'perm | hotspot:FRAC,MASS | "
+     "pareto:ALPHA,MEAN | onoff:ON,OFF | start:MAX', ';'-separated "
+     "(docs/TRAFFIC.md)"},
     {"shards", "S",
      "spatial stripes for the parallel slot phases; bit-identical for any "
      "value (default 1 = serial)"},
@@ -143,16 +149,16 @@ const std::vector<Subcommand>& subcommands() {
        with_params({"placement", "seed"}), &cmd_capacity},
       {"sweep", "lambda(n) scaling sweep + exponent fit",
        with_params({"placement", "n0", "count", "ratio", "trials", "seed",
-                    "threads", "engine", "slots", "warmup", "phy",
+                    "threads", "engine", "slots", "warmup", "traffic", "phy",
                     "path-loss", "sinr-beta", "snr-edge", "tx-power",
                     "field-radius", "cca"}),
        &cmd_sweep},
       {"simulate", "packet- or flow-level simulation of one instance",
        with_params({"scheme", "engine", "slots", "warmup", "mobility",
-                    "seed", "metrics-out", "faults", "shards", "checkpoint",
-                    "checkpoint-every", "resume", "phy", "path-loss",
-                    "sinr-beta", "snr-edge", "tx-power", "field-radius",
-                    "cca"}),
+                    "seed", "metrics-out", "traffic", "faults", "shards",
+                    "checkpoint", "checkpoint-every", "resume", "phy",
+                    "path-loss", "sinr-beta", "snr-edge", "tx-power",
+                    "field-radius", "cca"}),
        &cmd_simulate},
       {"phase", "Figure 3 phase-diagram panel for a given phi",
        {"phi"}, &cmd_phase},
@@ -286,6 +292,9 @@ int cmd_sweep(const util::Flags& f) {
   eopt.phy = phy_from(f);
   eopt.sinr = sinr_from(f);
   if (eopt.phy != phy::PhyKind::kProtocol) eopt.sinr.validate();
+  const std::string traffic_spec = f.get_string("traffic", "");
+  if (!traffic_spec.empty())
+    eopt.traffic = net::TrafficSpec::parse(traffic_spec);
   sim::SweepEvaluator eval = sim::make_engine_evaluator(engine, eopt);
   sim::SweepOptions sopt;
   sopt.seed0 = static_cast<std::uint64_t>(f.get_int("seed", 1));
@@ -300,6 +309,8 @@ int cmd_sweep(const util::Flags& f) {
                util::fmt_sci(pt.lambda_min, 4),
                util::fmt_sci(pt.lambda_max, 4)});
   std::cout << "engine: " << sim::to_string(engine) << "\n";
+  if (!eopt.traffic.is_default())
+    std::cout << "traffic: " << eopt.traffic.describe() << "\n";
   if (eopt.phy != phy::PhyKind::kProtocol)
     std::cout << "phy:    " << phy::to_string(eopt.phy)
               << " (path-loss " << eopt.sinr.path_loss << ", beta "
@@ -337,11 +348,9 @@ int cmd_simulate_fluid(const util::Flags& f, const net::ScalingParams& p) {
     opt.scheme = sim::FlowScheme::kStaticMultihop;
   else
     throw std::runtime_error("unknown scheme: " + scheme);
-  if (!f.get_string("faults", "").empty() ||
-      !f.get_string("checkpoint", "").empty() ||
+  if (!f.get_string("checkpoint", "").empty() ||
       !f.get_string("resume", "").empty())
-    throw std::runtime_error(
-        "--faults/--checkpoint/--resume need --engine slots");
+    throw std::runtime_error("--checkpoint/--resume need --engine slots");
 
   opt.slots = static_cast<std::size_t>(f.get_int("slots", 2000));
   opt.warmup = static_cast<std::size_t>(f.get_int("warmup",
@@ -350,6 +359,18 @@ int cmd_simulate_fluid(const util::Flags& f, const net::ScalingParams& p) {
   opt.grouping = capacity::classify(p) == capacity::MobilityRegime::kWeak
                      ? routing::BsGrouping::kCluster
                      : routing::BsGrouping::kSquarelet;
+
+  // The fluid engine takes churn-only plans; run_flow_sim rejects
+  // infrastructure or mobility-shift events with a named error.
+  const std::string fault_spec = f.get_string("faults", "");
+  sim::FaultPlan faults;
+  if (!fault_spec.empty()) {
+    faults = sim::FaultPlan::parse(fault_spec);
+    opt.faults = &faults;
+  }
+  const std::string traffic_spec = f.get_string("traffic", "");
+  net::TrafficSpec tspec;
+  if (!traffic_spec.empty()) tspec = net::TrafficSpec::parse(traffic_spec);
 
   const std::string metrics_out = f.get_string("metrics-out", "");
   sim::Metrics metrics;
@@ -364,7 +385,12 @@ int cmd_simulate_fluid(const util::Flags& f, const net::ScalingParams& p) {
   const auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
                                        placement, opt.seed);
   rng::Xoshiro256 g(sim::traffic_seed(opt.seed));
-  const auto dest = net::permutation_traffic(p.n, g);
+  std::vector<net::FlowDemand> demands;
+  std::vector<std::uint32_t> dest;
+  if (tspec.is_default())
+    dest = net::permutation_traffic(p.n, g);
+  else
+    demands = net::make_traffic_model(tspec)->draw(p.n, g);
 
   // Non-protocol backends derate the wireless capacities by the measured
   // pair-survival ratio (docs/PHY.md): schemes A/B via bandwidth_share
@@ -385,8 +411,10 @@ int cmd_simulate_fluid(const util::Flags& f, const net::ScalingParams& p) {
   const bool shares = opt.scheme == sim::FlowScheme::kSchemeA ||
                       opt.scheme == sim::FlowScheme::kSchemeB;
   if (shares && survival > 0.0) opt.bandwidth_share = survival;
-  auto r = survival > 0.0 ? sim::run_flow_sim(net, dest, opt)
-                          : sim::FlowSimResult{};
+  auto r = survival > 0.0
+               ? (tspec.is_default() ? sim::run_flow_sim(net, dest, opt)
+                                     : sim::run_flow_sim(net, demands, opt))
+               : sim::FlowSimResult{};
   if (!shares && survival < 1.0) {
     r.mean_flow_rate *= survival;
     r.p10_flow_rate *= survival;
@@ -394,6 +422,12 @@ int cmd_simulate_fluid(const util::Flags& f, const net::ScalingParams& p) {
   }
   std::cout << "scheme " << to_string(opt.scheme) << " (flow engine), "
             << opt.slots << " slots (" << opt.warmup << " warmup)\n";
+  if (!tspec.is_default())
+    std::cout << "  traffic:            " << tspec.describe() << "\n";
+  if (!fault_spec.empty())
+    std::cout << "  churn: " << faults.events.size() << " event(s), "
+              << r.dropped << " packet(s) dropped to departures\n"
+              << faults.describe();
   if (phy != phy::PhyKind::kProtocol)
     std::cout << "  phy " << phy::to_string(phy) << ": pair survival "
               << util::fmt_double(survival, 4)
@@ -487,12 +521,24 @@ int cmd_simulate(const util::Flags& f) {
   if (!p.with_bs) placement = net::BsPlacement::kUniform;
   auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
                                  placement, opt.seed);
+  const std::string traffic_spec = f.get_string("traffic", "");
+  net::TrafficSpec tspec;
+  if (!traffic_spec.empty()) tspec = net::TrafficSpec::parse(traffic_spec);
+
   rng::Xoshiro256 g(sim::traffic_seed(opt.seed));
-  auto dest = net::permutation_traffic(p.n, g);
-  const auto r = sim::run_slot_sim(net, dest, opt);
+  sim::SlotSimResult r;
+  if (tspec.is_default()) {
+    auto dest = net::permutation_traffic(p.n, g);
+    r = sim::run_slot_sim(net, dest, opt);
+  } else {
+    const auto demands = net::make_traffic_model(tspec)->draw(p.n, g);
+    r = sim::run_slot_sim(net, demands, opt);
+  }
   std::cout << "scheme " << to_string(opt.scheme) << ", " << opt.slots
             << " slots (" << opt.warmup << " warmup), mobility " << mob
             << "\n";
+  if (!tspec.is_default())
+    std::cout << "  traffic:            " << tspec.describe() << "\n";
   if (opt.phy != phy::PhyKind::kProtocol)
     std::cout << "  phy:                " << phy::to_string(opt.phy)
               << " (path-loss " << opt.sinr.path_loss << ", beta "
@@ -510,7 +556,8 @@ int cmd_simulate(const util::Flags& f) {
             << " + dropped " << r.dropped << " (conserved)\n";
   if (!fault_spec.empty())
     std::cout << "  faults: " << faults.events.size() << " event(s), "
-              << r.dropped_bs_outage << " packet(s) dropped to BS outages\n"
+              << r.dropped_bs_outage << " packet(s) dropped to BS outages, "
+              << r.dropped_ms_churn << " to MS departures\n"
               << faults.describe();
   if (!metrics_out.empty()) {
     const auto cpath =
