@@ -1,6 +1,8 @@
 #include "net/params.h"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "util/check.h"
@@ -36,7 +38,22 @@ double ScalingParams::r() const {
 double ScalingParams::c() const {
   const std::size_t kk = k();
   MANETCAP_CHECK_MSG(kk >= 1, "c(n) undefined without base stations");
-  return npow(n, phi) / static_cast<double>(kk);
+  const double mu_c = npow(n, phi);
+  MANETCAP_CHECK_MSG(std::isfinite(mu_c),
+                     "c(n): mu_c = n^phi overflows double (n=" << n
+                         << ", phi=" << phi << ")");
+  const double cc = mu_c / static_cast<double>(kk);
+  MANETCAP_CHECK_MSG(
+      cc == 0.0 || cc >= std::numeric_limits<double>::min(),
+      "c(n): n^phi/k underflows to denormal (n=" << n << ", phi=" << phi
+          << ", k=" << kk << ") — wired credits would silently lose "
+          << "precision; use a larger phi or treat the backbone as absent");
+  return cc;
+}
+
+std::size_t ScalingParams::l() const {
+  if (!with_bs) return 1;
+  return static_cast<std::size_t>(std::max(1.0, std::round(npow(n, L))));
 }
 
 double ScalingParams::gamma() const {
@@ -56,7 +73,10 @@ double ScalingParams::gamma_tilde() const {
 std::string ScalingParams::describe() const {
   std::ostringstream os;
   os << "n=" << n << " alpha=" << alpha;
-  if (with_bs) os << " K=" << K << " (k=" << k() << ") phi=" << phi;
+  if (with_bs) {
+    os << " K=" << K << " (k=" << k() << ") phi=" << phi;
+    if (L != 0.0) os << " L=" << L << " (l=" << l() << ")";
+  }
   if (cluster_free())
     os << " cluster-free";
   else
@@ -82,6 +102,11 @@ std::vector<std::string> ScalingParams::assumption_violations() const {
   }
   if (with_bs && (K < 0.0 || K > 1.0))
     v.push_back("K outside [0, 1]");
+  if (with_bs && L < 0.0)
+    v.push_back("L < 0: antennas per BS cannot shrink with n");
+  if (with_bs && K + L > 1.0)
+    v.push_back("K + L > 1: more BS antennas than MSs (k*l = omega(n)); "
+                "the antenna-limited branch saturates at k*l = n");
   return v;
 }
 

@@ -6,6 +6,8 @@
 //   m    = n^M      number of home-point clusters (M = 1 ⇒ cluster-free)
 //   r    = n^-R     cluster radius (0 ≤ R ≤ α, M − 2R < 0)
 //   µ_c  = k·c = n^ϕ  aggregate wired bandwidth per BS (c = per-edge)
+//   l    = n^L      antennas per BS (generalized model of Jeong & Shin,
+//                   arXiv:1402.2042; L = 0 is the paper's single-antenna BS)
 //
 // ScalingParams maps a concrete n plus those exponents to concrete sizes,
 // and exposes the derived quantities the theory uses: γ(n) = log m / m,
@@ -27,6 +29,8 @@ struct ScalingParams {
   double M = 1.0;      // m = n^M; M == 1 means cluster-free (m = n, r = 0)
   double R = 0.0;      // r = n^-R
   double phi = 0.0;    // µ_c = k·c = n^phi
+  double L = 0.0;      // l = n^L antennas per BS (0 = single-antenna paper
+                       // model; ignored when !with_bs)
 
   /// Mobility-shape support D (pre-normalization constant; Definition 2).
   double shape_support = 1.0;
@@ -41,7 +45,14 @@ struct ScalingParams {
   bool cluster_free() const { return M >= 1.0; }
 
   /// Per-edge wired bandwidth c(n) = n^phi / k (so that k·c = n^phi).
+  /// CHECKs that the result is finite and not denormal — a silently
+  /// overflowed/underflowed c(n) would otherwise propagate into the
+  /// engines' wired-credit token buckets.
   double c() const;
+
+  /// Antennas per BS: max(1, round(n^L)); 1 when !with_bs (identity
+  /// multiplier — a network without BSs has no antenna axis).
+  std::size_t l() const;
 
   /// Mobility radius on the normalized torus: D/f(n).
   double mobility_radius() const { return shape_support / f(); }

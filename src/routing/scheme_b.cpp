@@ -128,12 +128,17 @@ SchemeBResult SchemeB::evaluate(const net::Network& net,
       bs_unit_load[l] += ms_demand[i] * m / access[i];
     }
   }
+  // A BS with l = n^L antennas serves up to l concurrent streams, so its
+  // aggregate access row caps at l·W_A instead of W_A (still bounded by the
+  // sum of its per-link rates). At the paper's l = 1 this is unchanged.
+  const double antennas = static_cast<double>(params.l());
   for (std::uint32_t l = 0; l < k; ++l) {
     if (bs_unit_load[l] > 0.0) {
       if (rates != nullptr)
         bs_row_cid[l] = static_cast<std::uint32_t>(cs.size());
       cs.add(flow::Resource::kAccess,
-             std::min(bandwidth_share, bs_capacity[l]), bs_unit_load[l]);
+             std::min(antennas * bandwidth_share, bs_capacity[l]),
+             bs_unit_load[l]);
     }
   }
   res.min_access_rate = std::isfinite(min_access) ? min_access : 0.0;

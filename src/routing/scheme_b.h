@@ -12,6 +12,11 @@
 // the strong-mobility regime, and the home-point clusters in the weak
 // regime (Theorem 7 maps the squarelet argument onto clusters-as-subnets).
 // Either way the fluid capacity comes out Θ(min(k²c/n, k/n)).
+//
+// Generalized model: with l = n^L antennas per BS (net.params().l(), from
+// arXiv:1402.2042) each BS's aggregate access row caps at l·W_A instead of
+// W_A, realizing the antenna-limited branch Θ(min(k·l, k²c, n)/n). At the
+// paper's l = 1 the rows are arithmetically identical.
 #pragma once
 
 #include <cstdint>

@@ -113,6 +113,10 @@ SchemeCResult SchemeC::evaluate(const net::Network& net,
 
   std::vector<std::uint32_t> cell_cid;
   if (rates != nullptr) cell_cid.assign(k, kNoCid);
+  // With l = n^L antennas the BS serves up to that many MSs concurrently in
+  // its active slots, bounded by the cell population itself — at the
+  // paper's single antenna min(1, pop) = 1 and the row is unchanged.
+  const double antennas = static_cast<double>(net.params().l());
   double pop_sum = 0.0, pop_max = 0.0;
   std::size_t active_cells = 0;
   for (std::uint32_t l = 0; l < k; ++l) {
@@ -120,11 +124,13 @@ SchemeCResult SchemeC::evaluate(const net::Network& net,
     ++active_cells;
     pop_sum += cell_pop[l];
     pop_max = std::max(pop_max, cell_pop[l]);
-    // Active cell carries W = 1 split into symmetric up/down channels; each
-    // associated MS needs uplink λ and downlink λ.
+    // Active cell carries W = min(l, pop) concurrent streams split into
+    // symmetric up/down channels; each associated MS needs uplink λ and
+    // downlink λ.
     if (rates != nullptr)
       cell_cid[l] = static_cast<std::uint32_t>(cs.size());
-    cs.add(flow::Resource::kAccess, duty[l], 2.0 * cell_pop[l]);
+    cs.add(flow::Resource::kAccess,
+           duty[l] * std::min(antennas, cell_pop[l]), 2.0 * cell_pop[l]);
   }
   res.mean_cell_population =
       active_cells ? pop_sum / static_cast<double>(active_cells) : 0.0;
@@ -191,7 +197,9 @@ SchemeCResult SchemeC::evaluate(const net::Network& net,
     if (res.ms_without_bs > 0)
       sym.add(flow::Resource::kAccess, 0.0, 1.0, "cluster without BS");
     if (active_cells > 0)
-      sym.add(flow::Resource::kAccess, res.mean_duty_cycle,
+      sym.add(flow::Resource::kAccess,
+              res.mean_duty_cycle *
+                  std::min(antennas, res.mean_cell_population),
               2.0 * res.mean_cell_population);
     if (wired_flows > 0.0 && k >= 2) {
       const double edges = static_cast<double>(k) *

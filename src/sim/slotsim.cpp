@@ -146,6 +146,14 @@ class SlotSim {
         count_own_(n_, 0),
         pos_all_(n_ + k_) {
     validate_options(opt);
+    // The packet engine models the paper's single-antenna BS: a BS moves at
+    // most one packet per direction per slot, and the golden traces pin
+    // that event order. Antenna scaling (L > 0) is a fluid-engine feature.
+    MANETCAP_CHECK_MSG(net.params().L == 0.0,
+                       "SlotSim: the packet engine models single-antenna "
+                       "BSs (L = 0); antenna scaling (L = "
+                           << net.params().L
+                           << ") needs the fluid engine (--engine fluid)");
     MANETCAP_CHECK_MSG(dest.size() == n_,
                        "SlotSimOptions: dest must hold one entry per MS");
     // Out-of-range or self-loop destinations used to be trusted (an id

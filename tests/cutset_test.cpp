@@ -202,5 +202,80 @@ TEST(Recommend, WiredBandwidthRealizesPhi) {
   EXPECT_NEAR(c2 * static_cast<double>(p.k()), 100.0, 1e-9);
 }
 
+// Satellite bugfix: n^ϕ can silently overflow to inf or underflow into
+// denormals for extreme ϕ; both must trip a named CHECK instead of
+// propagating into wired-credit budgets.
+TEST(Recommend, WiredBandwidthChecksOverflowAndDenormals) {
+  net::ScalingParams p;
+  p.n = 1000000;
+  p.with_bs = true;
+  p.K = 0.5;
+  // 10^(6·60) = 10^360 overflows double (max ~1.8e308).
+  EXPECT_THROW(wired_bandwidth_for_phi(p, 60.0), manetcap::CheckError);
+  // 10^(−6·52)/k = 10^−315 is a denormal (double normal min ~2.2e-308).
+  EXPECT_THROW(wired_bandwidth_for_phi(p, -52.0), manetcap::CheckError);
+  // A representable but tiny value still passes.
+  EXPECT_GT(wired_bandwidth_for_phi(p, -40.0), 0.0);
+}
+
+TEST(Recommend, GeneralizedPhiAndAntennaRules) {
+  // ϕ* = min(L, 1 − K): backhaul beyond what antennas can radiate or the
+  // saturation cap allows is pure waste.
+  EXPECT_DOUBLE_EQ(recommended_phi(0.0, 0.7), 0.0);  // legacy at L = 0
+  EXPECT_DOUBLE_EQ(recommended_phi(0.2, 0.7), 0.2);
+  EXPECT_DOUBLE_EQ(recommended_phi(0.5, 0.7), 0.3);  // capped at 1 − K
+  // L* = max(0, min(ϕ, 1 − K)): antennas beyond the backbone or the cap
+  // are useless; a starved backbone (ϕ ≤ 0) already wants l = 1.
+  EXPECT_DOUBLE_EQ(recommended_L(-0.4, 0.7), 0.0);
+  EXPECT_DOUBLE_EQ(recommended_L(0.2, 0.7), 0.2);
+  EXPECT_DOUBLE_EQ(recommended_L(0.5, 0.7), 0.3);
+}
+
+TEST(Recommend, GeneralizedRequiredKAndBoundary) {
+  // L lets wires substitute for BSs: target −0.1 at ϕ = 0.3, L = 0.3 needs
+  // K = −0.1 + 1 − 0.3 = 0.6 instead of 0.9 at L = 0.
+  EXPECT_DOUBLE_EQ(required_K(-0.1, 0.3, 0.0), 0.9);
+  EXPECT_DOUBLE_EQ(required_K(-0.1, 0.3, 0.3), 0.6);
+  // Reduction to the 2-arg form at L = 0.
+  for (double e : {-0.5, -0.2})
+    for (double phi : {-0.3, 0.0, 0.4})
+      EXPECT_DOUBLE_EQ(required_K(e, phi, 0.0), required_K(e, phi));
+  EXPECT_DOUBLE_EQ(infrastructure_worthwhile_K(0.3, 0.4, 0.2), 0.5);
+  EXPECT_TRUE(infrastructure_improves(0.3, 0.6, 0.4, 0.2));
+  EXPECT_FALSE(infrastructure_improves(0.3, 0.6, 0.4, 0.0));
+  // At the exact boundary K = worthwhile K the exponents tie and
+  // "improves" must be false — consistent with required_K inverting to
+  // the same K.
+  const double Kb = infrastructure_worthwhile_K(0.25, 0.0, 0.0);
+  EXPECT_FALSE(infrastructure_improves(0.25, Kb, 0.0, 0.0));
+  EXPECT_DOUBLE_EQ(required_K(-0.25, 0.0, 0.0), Kb);
+}
+
+TEST(Recommend, BsCostModelDollarsAndExponents) {
+  // Exponent: K + max(0, L, ϕ) — the dominant per-BS line item times k.
+  EXPECT_DOUBLE_EQ(bs_cost_exponent(0.6, -0.4, 0.0), 0.6);  // fixed cost
+  EXPECT_DOUBLE_EQ(bs_cost_exponent(0.6, 0.4, 0.2), 1.0);   // backhaul
+  EXPECT_DOUBLE_EQ(bs_cost_exponent(0.6, 0.1, 0.3), 0.9);   // antennas
+  // Per-dollar = capacity exponent − cost exponent; starved wires waste
+  // the whole BS budget, so the per-dollar frontier peaks at ϕ = L.
+  EXPECT_DOUBLE_EQ(capacity_per_dollar_exponent(0.75, 0.6, 0.4, 0.4),
+                   0.0 - 1.0);
+  EXPECT_LT(capacity_per_dollar_exponent(0.75, 0.6, -0.4, 0.4),
+            capacity_per_dollar_exponent(0.75, 0.6, 0.0, 0.0));
+
+  net::ScalingParams p;
+  p.n = 10000;
+  p.with_bs = true;
+  p.K = 0.5;
+  p.phi = 0.5;
+  p.L = 0.25;
+  BsCostModel cost;
+  cost.fixed = 2.0;
+  cost.per_antenna = 3.0;
+  cost.per_backhaul = 5.0;
+  // k = 100, l = 10, µ_c = 100: 100·(2 + 3·10 + 5·100) = 53200.
+  EXPECT_NEAR(bs_dollars(p, cost), 53200.0, 1e-6);
+}
+
 }  // namespace
 }  // namespace manetcap::capacity

@@ -95,6 +95,38 @@ TEST(ScalingParams, DescribeMentionsKeyNumbers) {
   EXPECT_NE(d.find("alpha=0.45"), std::string::npos);
 }
 
+TEST(ScalingParams, AntennaCountFollowsL) {
+  ScalingParams p = strong_params(10000);
+  EXPECT_EQ(p.l(), 1u);  // L = 0: the paper's single-antenna BS
+  p.L = 0.5;
+  EXPECT_EQ(p.l(), 100u);
+  p.with_bs = false;
+  EXPECT_EQ(p.l(), 1u);  // no BSs: l is a harmless 1, not 0
+}
+
+TEST(ScalingParams, DescribeShowsAntennasOnlyWhenGeneralized) {
+  ScalingParams p = clustered_params();
+  EXPECT_EQ(p.describe().find("L="), std::string::npos);
+  p.L = 0.25;
+  const std::string d = p.describe();
+  EXPECT_NE(d.find("L=0.25"), std::string::npos);
+  EXPECT_NE(d.find("l="), std::string::npos);
+}
+
+TEST(ScalingParams, AntennaViolationsDetected) {
+  ScalingParams p = strong_params();
+  p.L = -0.1;  // antennas cannot shrink with n
+  EXPECT_FALSE(p.assumption_violations().empty());
+
+  ScalingParams q = strong_params();
+  q.L = 0.4;  // K + L = 1.1 > 1: more antennas than MSs
+  EXPECT_FALSE(q.assumption_violations().empty());
+
+  ScalingParams r = strong_params();
+  r.L = 0.3;  // K + L = 1.0 is fine
+  EXPECT_TRUE(r.assumption_violations().empty());
+}
+
 // -------------------------------------------------------------- network --
 
 TEST(Network, BuildsRequestedPopulation) {

@@ -7,6 +7,7 @@
 #include "capacity/cutset.h"
 #include "capacity/formulas.h"
 #include "capacity/phase_diagram.h"
+#include "capacity/recommend.h"
 #include "linkcap/link_capacity.h"
 #include "linkcap/measure.h"
 #include "mobility/shape.h"
@@ -183,6 +184,67 @@ TEST(PhaseDiagramProperty, ExponentMonotoneInKAndAlpha) {
   for (std::size_t ai = 0; ai + 1 < d.alpha_steps; ++ai)
     for (std::size_t ki = 0; ki < d.k_steps; ++ki)
       EXPECT_GE(d.at(ai, ki).exponent, d.at(ai + 1, ki).exponent - 1e-12);
+}
+
+// Property (satellite of the generalized-infrastructure PR): the closed
+// form dominance_boundary_K must agree with a brute-force argmax over the
+// computed grid on EVERY panel, including the new ϕ/L axes. Grid values
+// are dyadic (eighths/quarters), so every exponent below is binary-exact
+// and the comparison needs no tolerance.
+TEST(PhaseDiagramProperty, BoundaryMatchesBruteForceOverAllPanels) {
+  constexpr std::size_t kAlphaSteps = 5;  // α = ai/8 ∈ {0, ⅛, ¼, ⅜, ½}
+  constexpr std::size_t kKSteps = 9;      // K = ki/8 ∈ {0, ⅛, …, 1}
+  for (double phi : {-0.5, -0.25, 0.0, 0.25, 0.5}) {
+    for (double L : {0.0, 0.25, 0.5}) {
+      auto d = capacity::compute_phase_diagram(phi, L, kAlphaSteps, kKSteps);
+      for (std::size_t ai = 0; ai < kAlphaSteps; ++ai) {
+        // Brute force: first grid K at which infrastructure dominates.
+        std::size_t first = kKSteps;
+        for (std::size_t ki = 0; ki < kKSteps; ++ki)
+          if (!d.at(ai, ki).mobility_dominant) {
+            first = ki;
+            break;
+          }
+        const double alpha = d.at(ai, 0).alpha;
+        const double Kb = capacity::dominance_boundary_K(alpha, phi, L);
+        // Closed form: smallest grid index with ki/8 ≥ Kb (none if > 1).
+        const std::size_t predicted =
+            Kb > 1.0 ? kKSteps
+                     : static_cast<std::size_t>(
+                           std::ceil(Kb * 8.0 - 1e-12) < 0.0
+                               ? 0.0
+                               : std::ceil(Kb * 8.0 - 1e-12));
+        EXPECT_EQ(first, predicted)
+            << "phi=" << phi << " L=" << L << " alpha=" << alpha
+            << " boundary=" << Kb;
+        // Consistency at the boundary: exactly at K = Kb the exponents tie,
+        // so "improves" is false but the diagram is already
+        // infrastructure-dominant (ties prefer infrastructure), and
+        // required_K inverts back to the boundary.
+        if (Kb >= 0.0 && Kb <= 1.0) {
+          EXPECT_FALSE(capacity::infrastructure_improves(alpha, Kb, phi, L));
+          EXPECT_DOUBLE_EQ(capacity::required_K(-alpha, phi, L), Kb);
+        }
+      }
+    }
+  }
+}
+
+TEST(PhaseDiagramProperty, FrontierPanelMatchesPointwiseRecomputation) {
+  for (double alpha : {0.125, 0.375}) {
+    for (double K : {0.25, 0.75}) {
+      auto d = capacity::compute_frontier_diagram(alpha, K, 9, 5);
+      for (const auto& pt : d.grid) {
+        const double mob = capacity::mobility_exponent(alpha);
+        const double infra =
+            capacity::infrastructure_exponent(K, pt.phi, pt.L);
+        EXPECT_DOUBLE_EQ(pt.exponent, std::max(mob, infra));
+        EXPECT_EQ(pt.mobility_dominant, mob > infra);
+        EXPECT_EQ(pt.bottleneck,
+                  capacity::infrastructure_bottleneck(K, pt.phi, pt.L));
+      }
+    }
+  }
 }
 
 // ------------------------------------------------------- sweep invariants --

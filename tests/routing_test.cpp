@@ -254,6 +254,71 @@ TEST(SchemeC, ThroughputNearKOverN) {
   EXPECT_LT(r.throughput.lambda, k_over_n);
 }
 
+// ------------------------------------------- generalized model (L > 0) --
+
+TEST(SchemeC, AntennasLiftThroughputWhenWiresAllow) {
+  // Same sampled instance, fat wires (ϕ = 0.4): l = n^0.25 antennas
+  // multiply each cell's TDMA row, so λ must strictly rise — and by no
+  // more than the antenna count.
+  auto p = trivial_params(8192);
+  p.phi = 0.4;
+  auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
+                                 net::BsPlacement::kClusterGrid, 15);
+  SchemeC c;
+  auto single = c.evaluate(net, traffic_for(net));
+  auto q = p;
+  q.L = 0.25;
+  auto net_l = net::Network::build(q, mobility::ShapeKind::kUniformDisk,
+                                   net::BsPlacement::kClusterGrid, 15);
+  auto multi = c.evaluate(net_l, traffic_for(net_l));
+  EXPECT_GT(multi.throughput.lambda, single.throughput.lambda);
+  EXPECT_LE(multi.throughput.lambda,
+            static_cast<double>(q.l()) * single.throughput.lambda * 1.0001);
+  EXPECT_GT(multi.lambda_symmetric, single.lambda_symmetric);
+}
+
+TEST(SchemeC, AntennaGainCappedByMeanCellPopulation) {
+  // The cell rows are duty·min(l, pop): once l exceeds a cell's population
+  // the row saturates, so the symmetric estimate's gain over L = 0 is
+  // bounded by the mean population, not by l.
+  auto p = trivial_params(8192);
+  p.phi = 0.5;
+  auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
+                                 net::BsPlacement::kClusterGrid, 16);
+  SchemeC c;
+  auto single = c.evaluate(net, traffic_for(net));
+  auto q = p;
+  q.L = 0.4;  // l = n^0.4 ≈ 36.7 vs mean population n^0.4 — saturating
+  auto net_l = net::Network::build(q, mobility::ShapeKind::kUniformDisk,
+                                   net::BsPlacement::kClusterGrid, 16);
+  auto multi = c.evaluate(net_l, traffic_for(net_l));
+  EXPECT_GT(multi.lambda_symmetric, single.lambda_symmetric);
+  EXPECT_LE(multi.lambda_symmetric,
+            single.lambda_symmetric * single.mean_cell_population * 1.0001);
+}
+
+TEST(SchemeB, AntennasWidenBsAggregateRows) {
+  // Scheme B's per-BS aggregate access rows are capped at l·(bandwidth
+  // share); with more antennas λ must not drop, and the L = 0 build must
+  // be identical to the legacy single-antenna evaluation.
+  auto p = strong_with_bs(4096, 0.6, 0.0);
+  auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
+                                 net::BsPlacement::kClusteredMatched, 17);
+  SchemeB b;
+  auto dest = traffic_for(net);
+  auto single = b.evaluate(net, dest);
+  auto q = p;
+  q.L = 0.3;
+  auto net_l = net::Network::build(q, mobility::ShapeKind::kUniformDisk,
+                                   net::BsPlacement::kClusteredMatched, 17);
+  auto multi = b.evaluate(net_l, traffic_for(net_l));
+  EXPECT_GE(multi.throughput.lambda, single.throughput.lambda);
+  // The honest finding of this reproduction: scheme B's access is capped
+  // by the per-MS meeting rate (Lemma 9), so antennas give at most a
+  // constant — not an order — improvement. Bound the gain generously.
+  EXPECT_LE(multi.throughput.lambda, 10.0 * single.throughput.lambda);
+}
+
 // ------------------------------------------------------------- two-hop --
 
 TEST(TwoHop, ConstantThroughputUnderFullMixing) {

@@ -1677,5 +1677,89 @@ TEST(SlotSimChurn, CheckpointRoundTripsUnderTrafficAndChurn) {
   std::remove(path.c_str());
 }
 
+
+// ---------------------------------------------------- capacity frontier --
+//
+// The generalized infrastructure axes (phi backhaul, L antennas) ride the
+// fluid engine and the sweep harness; bench/ext_cost_frontier gates the
+// capacity-law bends in CI. These tests pin the determinism and the
+// engine boundary that the bench relies on.
+
+TEST(CapacityFrontier, SweepOverNewAxesIsBitIdenticalAcrossThreads) {
+  // A forced scheme-C sweep at a generalized point (phi < 0, L > 0):
+  // exactly the kind of spot ext_cost_frontier measures. Any thread-order
+  // leak into the reduction would change the bits of the fit.
+  auto p = trivial_params(0);
+  p.phi = -0.4;
+  p.L = 0.2;
+  SweepEvaluator eval = [](const EvalContext& ctx) {
+    FluidOptions opt;
+    opt.seed = ctx.seed;
+    opt.force = FluidOptions::ForceScheme::kC;
+    opt.placement = net::BsPlacement::kClusterGrid;
+    return evaluate_capacity(ctx.params, opt).lambda_symmetric;
+  };
+  const auto sizes = geometric_sizes(512, 2.0, 3);
+  SweepOptions serial;
+  serial.num_threads = 1;
+  serial.seed0 = 97;
+  auto a = run_sweep(p, sizes, 2, eval, serial);
+  SweepOptions parallel = serial;
+  parallel.num_threads = 4;
+  auto b = run_sweep(p, sizes, 2, eval, parallel);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.points[i].lambda_gm, b.points[i].lambda_gm);
+    EXPECT_DOUBLE_EQ(a.points[i].lambda_min, b.points[i].lambda_min);
+    EXPECT_DOUBLE_EQ(a.points[i].lambda_max, b.points[i].lambda_max);
+  }
+  ASSERT_TRUE(a.fit_valid);
+  ASSERT_TRUE(b.fit_valid);
+  EXPECT_DOUBLE_EQ(a.fit.exponent, b.fit.exponent);
+}
+
+TEST(CapacityFrontier, AntennasLiftTheFluidEstimateAtSamePoint) {
+  // Same network draw, L = 0 vs L > 0: the only change is the antenna
+  // multiplier in the scheme-C cell rows, so lambda must not drop and
+  // must gain at most a factor l.
+  auto p = trivial_params(8192);
+  p.phi = 0.4;
+  FluidOptions opt;
+  opt.seed = 41;
+  opt.force = FluidOptions::ForceScheme::kC;
+  opt.placement = net::BsPlacement::kClusterGrid;
+  auto single = evaluate_capacity(p, opt);
+  auto q = p;
+  q.L = 0.25;
+  auto multi = evaluate_capacity(q, opt);
+  EXPECT_GT(multi.lambda_symmetric, single.lambda_symmetric);
+  EXPECT_LE(multi.lambda_symmetric,
+            single.lambda_symmetric * static_cast<double>(q.l()) * 1.0001);
+}
+
+TEST(CapacityFrontier, SlotSimRejectsAntennaScaling) {
+  // The packet engine's golden traces pin single-antenna BS event order;
+  // L > 0 must be a named error pointing at the fluid engine, not a
+  // silently-ignored knob.
+  auto p = strong_params(512);
+  p.L = 0.25;
+  auto net = net::Network::build(p, mobility::ShapeKind::kUniformDisk,
+                                 net::BsPlacement::kUniform, 17);
+  rng::Xoshiro256 g(19);
+  auto dest = net::permutation_traffic(p.n, g);
+  SlotSimOptions opt;
+  opt.scheme = SlotScheme::kSchemeB;
+  opt.slots = 100;
+  opt.warmup = 0;
+  opt.seed = 21;
+  try {
+    run_slot_sim(net, dest, opt);
+    FAIL() << "SlotSim accepted L > 0";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("single-antenna"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("fluid"), std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace manetcap::sim

@@ -5,10 +5,13 @@
 //   manetcap_cli sweep     --alpha 0.3 --K 0.7 --n0 2048 --count 4
 //   manetcap_cli simulate  --n 512 --scheme B --slots 2000
 //   manetcap_cli phase     --phi -0.5
+//   manetcap_cli phase     --panel frontier --alpha 0.3 --K 0.7
+//   manetcap_cli recommend --alpha 0.3 --K 0.7 --target -0.25
 //
 // Every subcommand prints a self-contained report; `--help` lists flags.
 #include <cstring>
 #include <iostream>
+#include <limits>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -49,6 +52,9 @@ constexpr FlagSpec kFlagSpecs[] = {
     {"alpha", "A", "mobility exponent: f(n) = n^alpha (default 0.3)"},
     {"K", "K", "base-station exponent: k = n^K (default 0.7)"},
     {"phi", "P", "wired-bandwidth exponent: c = n^phi / k (default 0)"},
+    {"L", "L",
+     "antennas-per-BS exponent: l = n^L (default 0 = the paper's "
+     "single-antenna BS; L > 0 needs --engine fluid)"},
     {"M", "M", "cluster count exponent: m = n^M (default 1 = cluster-free)"},
     {"R", "R", "cluster radius exponent (default 0)"},
     {"no-bs", "", "pure ad hoc network (no base stations)"},
@@ -109,6 +115,15 @@ constexpr FlagSpec kFlagSpecs[] = {
     {"resume", "FILE",
      "resume a run from an MCCKPT1 checkpoint written by the identical "
      "configuration"},
+    {"panel", "fig3|frontier",
+     "phase panel: Figure 3 over (alpha, K), or the antenna/backhaul "
+     "frontier over (phi, L) at fixed (alpha, K) (default fig3)"},
+    {"target", "E",
+     "target per-node capacity exponent e in lambda = Theta(n^e) "
+     "(default -0.25)"},
+    {"cost-antenna", "D", "BS dollars per antenna element (default 1)"},
+    {"cost-backhaul", "D",
+     "BS dollars per unit of aggregate wired bandwidth (default 1)"},
 };
 
 const FlagSpec& spec_of(const std::string& name) {
@@ -122,6 +137,7 @@ int cmd_capacity(const util::Flags& f);
 int cmd_sweep(const util::Flags& f);
 int cmd_simulate(const util::Flags& f);
 int cmd_phase(const util::Flags& f);
+int cmd_recommend(const util::Flags& f);
 
 struct Subcommand {
   const char* name;
@@ -133,7 +149,7 @@ struct Subcommand {
 // params_from() reads the scaling-exponent flags, so every subcommand that
 // builds ScalingParams accepts them all.
 const std::vector<std::string> kParamFlags = {"n",   "alpha", "K",    "phi",
-                                              "M",   "R",     "no-bs"};
+                                              "L",   "M",     "R",    "no-bs"};
 
 std::vector<std::string> with_params(std::vector<std::string> extra) {
   std::vector<std::string> all = kParamFlags;
@@ -161,7 +177,11 @@ const std::vector<Subcommand>& subcommands() {
                     "field-radius", "cca"}),
        &cmd_simulate},
       {"phase", "Figure 3 phase-diagram panel for a given phi",
-       {"phi"}, &cmd_phase},
+       {"phi", "L", "panel", "alpha", "K"}, &cmd_phase},
+      {"recommend",
+       "antennas/backhaul per BS-dollar (generalized-model design rules)",
+       with_params({"target", "cost-antenna", "cost-backhaul"}),
+       &cmd_recommend},
   };
   return kSubcommands;
 }
@@ -198,6 +218,7 @@ net::ScalingParams params_from(const util::Flags& f) {
   p.with_bs = !f.get_bool("no-bs", false);
   p.K = f.get_double("K", 0.7);
   p.phi = f.get_double("phi", 0.0);
+  p.L = f.get_double("L", 0.0);
   p.M = f.get_double("M", 1.0);
   p.R = f.get_double("R", 0.0);
   return p;
@@ -248,10 +269,14 @@ int cmd_classify(const util::Flags& f) {
             << util::fmt_double(law.rt_exponent, 4) << "\n";
   if (p.with_bs) {
     std::cout << "infra dominance boundary: K >= "
-              << util::fmt_double(
-                     capacity::infrastructure_worthwhile_K(p.alpha, p.phi),
-                     4)
-              << " (this network has K = " << p.K << ")\n";
+              << util::fmt_double(capacity::infrastructure_worthwhile_K(
+                                      p.alpha, p.phi, p.L),
+                                  4)
+              << " (this network has K = " << p.K << ")\n"
+              << "infra bottleneck: "
+              << capacity::to_string(
+                     capacity::infrastructure_bottleneck(p.K, p.phi, p.L))
+              << "\n";
   }
   return 0;
 }
@@ -569,9 +594,90 @@ int cmd_simulate(const util::Flags& f) {
 }
 
 int cmd_phase(const util::Flags& f) {
-  const double phi = f.get_double("phi", 0.0);
-  auto d = capacity::compute_phase_diagram(phi, 11, 11);
-  std::cout << capacity::render_ascii(d);
+  const std::string panel = f.get_string("panel", "fig3");
+  if (panel == "frontier") {
+    auto d = capacity::compute_frontier_diagram(
+        f.get_double("alpha", 0.3), f.get_double("K", 0.7), 21, 11);
+    std::cout << capacity::render_ascii(d);
+  } else if (panel == "fig3") {
+    auto d = capacity::compute_phase_diagram(
+        f.get_double("phi", 0.0), f.get_double("L", 0.0), 11, 11);
+    std::cout << capacity::render_ascii(d);
+  } else {
+    throw std::runtime_error("unknown panel: " + panel);
+  }
+  return 0;
+}
+
+// recommend — the generalized-model design rules: the binding bottleneck,
+// order-optimal backhaul/antenna exponents, the K a target capacity needs,
+// and a capacity-per-BS-dollar argmax over the (phi, L) frontier grid.
+int cmd_recommend(const util::Flags& f) {
+  net::ScalingParams p = params_from(f);
+  if (!p.with_bs)
+    throw std::runtime_error("recommend needs base stations (drop --no-bs)");
+  const double target = f.get_double("target", -0.25);
+  capacity::BsCostModel cost;
+  cost.per_antenna = f.get_double("cost-antenna", cost.per_antenna);
+  cost.per_backhaul = f.get_double("cost-backhaul", cost.per_backhaul);
+
+  std::cout << "parameters: " << p.describe() << "\n";
+  for (const auto& v : p.assumption_violations())
+    std::cout << "  note: " << v << "\n";
+  std::cout << "infra bottleneck:   "
+            << capacity::to_string(
+                   capacity::infrastructure_bottleneck(p.K, p.phi, p.L))
+            << " (exponent "
+            << util::fmt_double(
+                   capacity::infrastructure_exponent(p.K, p.phi, p.L), 4)
+            << ")\n"
+            << "recommended phi*:   "
+            << util::fmt_double(capacity::recommended_phi(p.L, p.K), 4)
+            << " (backbone stops binding; this network has phi = " << p.phi
+            << ")\n"
+            << "recommended L*:     "
+            << util::fmt_double(capacity::recommended_L(p.phi, p.K), 4)
+            << " (antennas stop binding; this network has L = " << p.L
+            << ")\n"
+            << "K for target n^" << util::fmt_double(target, 4) << ": "
+            << util::fmt_double(capacity::required_K(target, p.phi, p.L), 4)
+            << (capacity::required_K(target, p.phi, p.L) > 1.0
+                    ? "  (> 1: unreachable with k <= n)"
+                    : "")
+            << "\n"
+            << "BS dollars:         "
+            << util::fmt_sci(capacity::bs_dollars(p, cost), 4)
+            << " (cost exponent "
+            << util::fmt_double(
+                   capacity::bs_cost_exponent(p.K, p.phi, p.L), 4)
+            << ")\n"
+            << "capacity/dollar:    n^"
+            << util::fmt_double(capacity::capacity_per_dollar_exponent(
+                                    p.alpha, p.K, p.phi, p.L),
+                                4)
+            << "\n";
+
+  // Frontier argmax: best (phi, L) for capacity per BS-dollar at this
+  // (alpha, K) on a 0.1-spaced grid (cost exponent does not depend on the
+  // dollar coefficients).
+  double best_e = -std::numeric_limits<double>::infinity();
+  double best_phi = 0.0, best_l = 0.0;
+  for (int li = 0; li <= 10; ++li) {
+    for (int pi = -10; pi <= 10; ++pi) {
+      const double L = 0.1 * li, phi = 0.1 * pi;
+      const double e =
+          capacity::capacity_per_dollar_exponent(p.alpha, p.K, phi, L);
+      if (e > best_e) {
+        best_e = e;
+        best_phi = phi;
+        best_l = L;
+      }
+    }
+  }
+  std::cout << "frontier argmax:    phi = " << util::fmt_double(best_phi, 2)
+            << ", L = " << util::fmt_double(best_l, 2)
+            << " -> capacity/dollar n^" << util::fmt_double(best_e, 4)
+            << " (grid step 0.1)\n";
   return 0;
 }
 
